@@ -1,0 +1,49 @@
+#pragma once
+
+// Shared helpers for the figure-reproduction benches: argument parsing,
+// output locations, and the paper-claim check printer.
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "scenario/experiment.hpp"
+#include "scenario/report.hpp"
+#include "util/config.hpp"
+
+namespace heteroplace::bench {
+
+/// Parse --key=value args; on error print usage and exit.
+inline util::Config parse_args(int argc, char** argv, const std::string& usage) {
+  try {
+    return util::Config::from_args(argc, argv);
+  } catch (const util::ConfigError& e) {
+    std::cerr << "usage: " << usage << "\n" << e.what() << "\n";
+    std::exit(1);
+  }
+}
+
+/// Directory for full-resolution CSV dumps (default ./bench_out).
+inline std::string output_dir(const util::Config& cfg) {
+  const std::string dir = cfg.get_string("out", "bench_out");
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+/// Print a PASS/FAIL shape-check line (the benches verify the *shape* of
+/// the paper's figures, not absolute numbers).
+inline bool check(const std::string& what, bool ok) {
+  std::cout << (ok ? "  [PASS] " : "  [FAIL] ") << what << "\n";
+  return ok;
+}
+
+inline void save_series(const scenario::ExperimentResult& result, const std::string& path) {
+  if (result.series.save_csv(path)) {
+    std::cout << "full series written to " << path << "\n";
+  } else {
+    std::cout << "WARNING: could not write " << path << "\n";
+  }
+}
+
+}  // namespace heteroplace::bench

@@ -1,0 +1,69 @@
+// Micro-benchmarks (google-benchmark) for the simulation substrate:
+// event-engine throughput and the request-level M/M/1 simulator.
+
+#include <benchmark/benchmark.h>
+
+#include "perfmodel/request_sim.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace heteroplace;
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    util::Rng rng(5);
+    long fired = 0;
+    for (int i = 0; i < n; ++i) {
+      engine.schedule_at(util::Seconds{rng.uniform(0.0, 1e6)},
+                         sim::EventPriority::kStateTransition, [&fired] { ++fired; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineScheduleRun)->RangeMultiplier(8)->Range(1024, 65536);
+
+void BM_EngineCancellationHeavy(benchmark::State& state) {
+  // The controller cancels/reschedules job completions constantly; this
+  // measures the lazy-deletion path.
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    util::Rng rng(9);
+    long fired = 0;
+    std::vector<sim::EventHandle> handles;
+    handles.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      handles.push_back(engine.schedule_at(util::Seconds{rng.uniform(0.0, 1e6)},
+                                           sim::EventPriority::kStateTransition,
+                                           [&fired] { ++fired; }));
+    }
+    for (int i = 0; i < n; i += 2) handles[i].cancel();  // half cancelled
+    engine.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineCancellationHeavy)->Arg(16384);
+
+void BM_RequestLevelMm1(benchmark::State& state) {
+  perfmodel::RequestSimConfig cfg;
+  cfg.lambda = 10.0;
+  cfg.service_demand = 600.0;
+  cfg.capacity_mhz = 12000.0;
+  cfg.horizon_s = 5000.0;
+  for (auto _ : state) {
+    const auto r = perfmodel::run_request_sim(cfg);
+    benchmark::DoNotOptimize(r.completed);
+  }
+}
+BENCHMARK(BM_RequestLevelMm1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

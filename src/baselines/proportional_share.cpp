@@ -1,0 +1,87 @@
+#include "baselines/proportional_share.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/utility_policy.hpp"
+
+namespace heteroplace::baselines {
+
+core::PolicyOutput ProportionalSharePolicy::decide(const core::World& world, util::Seconds now) {
+  core::PolicyOutput out;
+  core::PlacementProblem problem = core::build_problem_skeleton(world);
+
+  const double capacity = world.cluster().total_capacity().cpu.get();
+  const auto jobs = world.active_jobs();
+
+  // --- weights ---------------------------------------------------------------
+  std::vector<double> job_weight(problem.jobs.size(), 1.0);
+  std::vector<double> app_weight(problem.apps.size(), 1.0);
+  if (config_.mode == ShareMode::kDemandProportional) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      job_weight[i] = job_model_->demand_for_max_utility(*jobs[i], now).get();
+    }
+    for (std::size_t a = 0; a < world.apps().size(); ++a) {
+      const auto& app = world.apps()[a];
+      app_weight[a] =
+          tx_model_->demand_for_max_utility(app.spec(), app.arrival_rate(now)).get();
+    }
+  }
+  double total_weight = 0.0;
+  for (double w : job_weight) total_weight += w;
+  for (double w : app_weight) total_weight += w;
+  if (total_weight <= 0.0) total_weight = 1.0;
+
+  // --- targets: proportional share, capped at each consumer's demand --------
+  double jobs_target = 0.0;
+  double jobs_demand = 0.0;
+  for (std::size_t i = 0; i < problem.jobs.size(); ++i) {
+    const double share = capacity * job_weight[i] / total_weight;
+    const double demand = job_model_->demand_for_max_utility(*jobs[i], now).get();
+    problem.jobs[i].target = util::CpuMhz{std::min(share, demand)};
+    // FCFS urgency: older submissions first.
+    problem.jobs[i].urgency = 1.0e9 - jobs[i]->spec().submit_time.get();
+    jobs_target += problem.jobs[i].target.get();
+    jobs_demand += demand;
+  }
+  for (std::size_t a = 0; a < problem.apps.size(); ++a) {
+    const auto& app = world.apps()[a];
+    const double lambda = app.arrival_rate(now);
+    const double share = capacity * app_weight[a] / total_weight;
+    const double demand = tx_model_->demand_for_max_utility(app.spec(), lambda).get();
+    problem.apps[a].target = util::CpuMhz{std::min(share, demand)};
+
+    core::PolicyDiagnostics::AppDiag d;
+    d.id = app.id();
+    d.lambda = lambda;
+    d.demand = util::CpuMhz{demand};
+    d.target = problem.apps[a].target;
+    out.diag.apps.push_back(d);
+  }
+
+  out.diag.jobs_target = util::CpuMhz{jobs_target};
+  out.diag.jobs_demand = util::CpuMhz{jobs_demand};
+  out.diag.active_jobs = static_cast<int>(jobs.size());
+
+  // Hypothetical utility the proportional targets would yield (lets the
+  // ablation compare utility outcomes across policies).
+  double u_sum = 0.0;
+  double u_min = 1e300;
+  double u_max = -1e300;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const double u = job_model_->hypothetical_utility(*jobs[i], now, problem.jobs[i].target);
+    u_sum += u;
+    u_min = std::min(u_min, u);
+    u_max = std::max(u_max, u);
+  }
+  out.diag.jobs_avg_hyp_utility = jobs.empty() ? 0.0 : u_sum / static_cast<double>(jobs.size());
+  out.diag.jobs_min_hyp_utility = jobs.empty() ? 0.0 : u_min;
+  out.diag.jobs_max_hyp_utility = jobs.empty() ? 0.0 : u_max;
+
+  core::SolverResult solved = core::solve_placement(problem, config_.solver);
+  out.plan = std::move(solved.plan);
+  out.diag.solver = solved.stats;
+  return out;
+}
+
+}  // namespace heteroplace::baselines

@@ -1,0 +1,48 @@
+#pragma once
+
+// Utility-unaware proportional-share baseline.
+//
+// Divides cluster CPU among workloads by static weight (or by raw
+// demand), then reuses the same discrete placement machinery as the
+// utility-driven policy. The contrast isolates the contribution of
+// utility-shaped targets: this policy is "fair" in CPU but blind to SLAs,
+// so it cannot trade response-time slack against job deadlines.
+
+#include "core/policy.hpp"
+#include "utility/job_utility.hpp"
+#include "utility/tx_utility.hpp"
+
+#include <memory>
+
+namespace heteroplace::baselines {
+
+enum class ShareMode {
+  kEqualPerWorkload,   // every job and every app has weight 1
+  kDemandProportional  // weight = CPU demand for max utility
+};
+
+struct ProportionalShareConfig {
+  ShareMode mode{ShareMode::kEqualPerWorkload};
+  core::SolverConfig solver;
+};
+
+class ProportionalSharePolicy final : public core::PlacementPolicy {
+ public:
+  ProportionalSharePolicy(std::shared_ptr<const utility::JobUtilityModel> job_model,
+                          std::shared_ptr<const utility::TxUtilityModel> tx_model,
+                          ProportionalShareConfig config = {})
+      : job_model_(std::move(job_model)), tx_model_(std::move(tx_model)), config_(config) {}
+
+  [[nodiscard]] core::PolicyOutput decide(const core::World& world, util::Seconds now) override;
+  [[nodiscard]] std::string name() const override {
+    return config_.mode == ShareMode::kEqualPerWorkload ? "proportional-equal"
+                                                        : "proportional-demand";
+  }
+
+ private:
+  std::shared_ptr<const utility::JobUtilityModel> job_model_;
+  std::shared_ptr<const utility::TxUtilityModel> tx_model_;
+  ProportionalShareConfig config_;
+};
+
+}  // namespace heteroplace::baselines

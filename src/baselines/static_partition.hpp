@@ -1,0 +1,30 @@
+#pragma once
+
+// Static-partition baseline.
+//
+// The classic pre-virtualization arrangement the paper argues against
+// (cf. its reference [6], static consolidation): a fixed fraction of the
+// nodes is dedicated to the transactional tier, the rest run batch jobs
+// FCFS at full speed, and nothing ever moves between the partitions.
+
+#include "core/policy.hpp"
+
+namespace heteroplace::baselines {
+
+struct StaticPartitionConfig {
+  /// Fraction of nodes dedicated to transactional apps (rounded up).
+  double tx_node_fraction{0.4};
+};
+
+class StaticPartitionPolicy final : public core::PlacementPolicy {
+ public:
+  explicit StaticPartitionPolicy(StaticPartitionConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] core::PolicyOutput decide(const core::World& world, util::Seconds now) override;
+  [[nodiscard]] std::string name() const override { return "static-partition"; }
+
+ private:
+  StaticPartitionConfig config_;
+};
+
+}  // namespace heteroplace::baselines

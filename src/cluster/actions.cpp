@@ -1,0 +1,35 @@
+#include "cluster/actions.hpp"
+
+namespace heteroplace::cluster {
+
+const char* to_string(ActionType t) {
+  switch (t) {
+    case ActionType::kStartJob:
+      return "start-job";
+    case ActionType::kSuspendJob:
+      return "suspend-job";
+    case ActionType::kResumeJob:
+      return "resume-job";
+    case ActionType::kMigrateJob:
+      return "migrate-job";
+    case ActionType::kStartInstance:
+      return "start-instance";
+    case ActionType::kStopInstance:
+      return "stop-instance";
+    case ActionType::kResizeCpu:
+      return "resize-cpu";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const Action& a) {
+  os << to_string(a.type) << "{vm=" << a.vm;
+  if (a.job.valid()) os << ", job=" << a.job;
+  if (a.app.valid()) os << ", app=" << a.app;
+  if (a.from.valid()) os << ", from=" << a.from;
+  if (a.to.valid()) os << ", to=" << a.to;
+  os << ", cpu=" << a.cpu << "}";
+  return os;
+}
+
+}  // namespace heteroplace::cluster

@@ -1,0 +1,113 @@
+#pragma once
+
+// Placement actions and their latency model.
+//
+// The paper's controller "dynamically modifies workload placement by
+// leveraging control mechanisms such as suspension and migration". Each
+// mechanism takes real time during which the affected VM makes no
+// progress — these latencies are what make churn costly and why the
+// placement solver prefers stable placements.
+
+#include <ostream>
+
+#include "util/ids.hpp"
+#include "util/units.hpp"
+
+namespace heteroplace::cluster {
+
+enum class ActionType {
+  kStartJob,       // place + boot a job container
+  kSuspendJob,     // suspend to disk, freeing CPU and memory
+  kResumeJob,      // bring a suspended job back (possibly on another node)
+  kMigrateJob,     // move a running job between nodes
+  kStartInstance,  // boot a new web instance for an app
+  kStopInstance,   // retire a web instance
+  kResizeCpu,      // change a VM's CPU share (effectively instantaneous)
+};
+
+[[nodiscard]] const char* to_string(ActionType t);
+
+struct Action {
+  ActionType type{ActionType::kResizeCpu};
+  util::VmId vm{};       // target VM (invalid for kStartInstance until created)
+  util::JobId job{};     // set for job actions
+  util::AppId app{};     // set for instance actions
+  util::NodeId from{};   // source node (migrations, stops)
+  util::NodeId to{};     // destination node (starts, resumes, migrations)
+  util::CpuMhz cpu{0.0};  // CPU share to grant on completion
+
+  friend std::ostream& operator<<(std::ostream& os, const Action& a);
+};
+
+/// Durations of each mechanism. Defaults are in the range reported for
+/// VM suspend/resume/migrate in the virtualization literature of the
+/// paper's era; all configurable per scenario.
+struct ActionLatencies {
+  util::Seconds start_job{60.0};
+  util::Seconds suspend_job{15.0};
+  util::Seconds resume_job{90.0};
+  util::Seconds migrate_job{120.0};
+  util::Seconds start_instance{120.0};
+  util::Seconds stop_instance{0.0};
+
+  [[nodiscard]] util::Seconds latency_of(ActionType t) const {
+    switch (t) {
+      case ActionType::kStartJob:
+        return start_job;
+      case ActionType::kSuspendJob:
+        return suspend_job;
+      case ActionType::kResumeJob:
+        return resume_job;
+      case ActionType::kMigrateJob:
+        return migrate_job;
+      case ActionType::kStartInstance:
+        return start_instance;
+      case ActionType::kStopInstance:
+        return stop_instance;
+      case ActionType::kResizeCpu:
+        return util::Seconds{0.0};
+    }
+    return util::Seconds{0.0};
+  }
+};
+
+/// Counters of executed actions, for churn metrics and ablations.
+struct ActionCounts {
+  long starts{0};
+  long suspends{0};
+  long resumes{0};
+  long migrations{0};
+  long instance_starts{0};
+  long instance_stops{0};
+  long resizes{0};
+
+  [[nodiscard]] long total_disruptive() const { return suspends + resumes + migrations; }
+
+  void record(ActionType t) {
+    switch (t) {
+      case ActionType::kStartJob:
+        ++starts;
+        break;
+      case ActionType::kSuspendJob:
+        ++suspends;
+        break;
+      case ActionType::kResumeJob:
+        ++resumes;
+        break;
+      case ActionType::kMigrateJob:
+        ++migrations;
+        break;
+      case ActionType::kStartInstance:
+        ++instance_starts;
+        break;
+      case ActionType::kStopInstance:
+        ++instance_stops;
+        break;
+      case ActionType::kResizeCpu:
+        ++resizes;
+        break;
+    }
+  }
+};
+
+}  // namespace heteroplace::cluster

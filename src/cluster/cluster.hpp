@@ -1,0 +1,92 @@
+#pragma once
+
+// Cluster state: the set of nodes and VMs, with placement bookkeeping.
+//
+// The Cluster is the "plant" that the placement controller manipulates.
+// It enforces the physical invariants (no CPU or memory over-commitment,
+// legal VM lifecycle transitions); policy lives elsewhere.
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "cluster/vm.hpp"
+#include "util/ids.hpp"
+
+namespace heteroplace::cluster {
+
+class Cluster {
+ public:
+  Cluster() = default;
+
+  // --- topology -----------------------------------------------------------
+
+  util::NodeId add_node(Resources capacity);
+
+  /// Homogeneous convenience: `count` nodes of `per_node` capacity.
+  void add_nodes(int count, Resources per_node);
+
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  [[nodiscard]] Node& node(util::NodeId id);
+  [[nodiscard]] const Node& node(util::NodeId id) const;
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  [[nodiscard]] Resources total_capacity() const;
+  [[nodiscard]] Resources total_used() const;
+
+  // --- VM lifecycle --------------------------------------------------------
+
+  /// Define a job-container VM (state kPending, not placed).
+  util::VmId create_job_vm(util::JobId job, util::MemMb memory);
+
+  /// Define a web-instance VM for a transactional app.
+  util::VmId create_web_vm(util::AppId app, util::MemMb memory);
+
+  [[nodiscard]] const Vm& vm(util::VmId id) const;
+  [[nodiscard]] bool vm_exists(util::VmId id) const { return vms_.count(id) > 0; }
+  [[nodiscard]] std::vector<util::VmId> vm_ids() const;
+
+  /// Reserve the VM's memory on `node` (CPU share starts at 0) and record
+  /// the VM as hosted there. Fails if the VM is already placed or memory
+  /// does not fit. Does NOT change the VM state.
+  [[nodiscard]] bool place_vm(util::VmId id, util::NodeId node);
+
+  /// Release the VM's reservation and clear its node. CPU share drops to 0.
+  void unplace_vm(util::VmId id);
+
+  /// Lifecycle transition; throws std::logic_error on an illegal edge.
+  void set_vm_state(util::VmId id, VmState state);
+
+  /// Grant a CPU share to a placed VM; fails on node CPU over-commitment.
+  [[nodiscard]] bool set_cpu_share(util::VmId id, util::CpuMhz cpu);
+
+  // --- aggregate queries ---------------------------------------------------
+
+  /// Total CPU currently granted to VMs of the given kind.
+  [[nodiscard]] util::CpuMhz allocated_cpu(VmKind kind) const;
+
+  /// VMs of a kind in a given state (deterministic id order).
+  [[nodiscard]] std::vector<util::VmId> vms_in_state(VmKind kind, VmState state) const;
+
+  /// How many additional VMs with `memory` each could be packed on `node`
+  /// given its current free memory.
+  [[nodiscard]] int free_memory_slots(util::NodeId node, util::MemMb memory) const;
+
+  /// Invariant check: returns human-readable violations (empty == healthy).
+  /// Checked invariants: per-node resource sums within capacity; node
+  /// resident sets consistent with VM back-pointers; memory reservations
+  /// consistent with VM states; CPU shares only on running VMs.
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+ private:
+  [[nodiscard]] Vm& vm_mut(util::VmId id);
+
+  std::vector<Node> nodes_;
+  std::unordered_map<util::VmId, Vm> vms_;
+  std::vector<util::VmId> vm_order_;  // insertion order for deterministic iteration
+  util::VmId::underlying_type next_vm_{0};
+};
+
+}  // namespace heteroplace::cluster

@@ -1,0 +1,41 @@
+#include "cluster/node.hpp"
+
+namespace heteroplace::cluster {
+
+bool Node::add_vm(util::VmId vm, Resources r) {
+  if (residents_.count(vm) > 0) return false;
+  if (!r.fits_in(available())) return false;
+  residents_.emplace(vm, r);
+  used_ += r;
+  return true;
+}
+
+bool Node::remove_vm(util::VmId vm) {
+  auto it = residents_.find(vm);
+  if (it == residents_.end()) return false;
+  used_ -= it->second;
+  residents_.erase(it);
+  return true;
+}
+
+bool Node::set_vm_cpu(util::VmId vm, util::CpuMhz cpu) {
+  auto it = residents_.find(vm);
+  if (it == residents_.end()) return false;
+  const util::CpuMhz others = used_.cpu - it->second.cpu;
+  if (others.get() + cpu.get() > capacity_.cpu.get() + 1e-6) return false;
+  used_.cpu = others + cpu;
+  it->second.cpu = cpu;
+  return true;
+}
+
+bool Node::set_vm_mem(util::VmId vm, util::MemMb mem) {
+  auto it = residents_.find(vm);
+  if (it == residents_.end()) return false;
+  const util::MemMb others = used_.mem - it->second.mem;
+  if (others.get() + mem.get() > capacity_.mem.get() + 1e-9) return false;
+  used_.mem = others + mem;
+  it->second.mem = mem;
+  return true;
+}
+
+}  // namespace heteroplace::cluster

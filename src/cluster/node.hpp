@@ -1,0 +1,56 @@
+#pragma once
+
+// A physical machine: CPU capacity (sum of its processors, in MHz) and
+// memory capacity (MB). Tracks which VMs reside on it and their resource
+// reservations; rejects over-commitment.
+
+#include <map>
+#include <vector>
+
+#include "cluster/resources.hpp"
+#include "util/ids.hpp"
+
+namespace heteroplace::cluster {
+
+class Node {
+ public:
+  Node(util::NodeId id, Resources capacity) : id_(id), capacity_(capacity) {}
+
+  [[nodiscard]] util::NodeId id() const { return id_; }
+  [[nodiscard]] Resources capacity() const { return capacity_; }
+  [[nodiscard]] Resources used() const { return used_; }
+  [[nodiscard]] Resources available() const { return capacity_ - used_; }
+  [[nodiscard]] util::CpuMhz cpu_free() const { return available().cpu; }
+  [[nodiscard]] util::MemMb mem_free() const { return available().mem; }
+
+  /// Could `r` be admitted right now?
+  [[nodiscard]] bool can_host(Resources r) const { return r.fits_in(available()); }
+
+  /// Admit a VM with reservation `r`. Returns false (no change) if it
+  /// does not fit or the VM is already resident.
+  [[nodiscard]] bool add_vm(util::VmId vm, Resources r);
+
+  /// Remove a resident VM, releasing its reservation. Returns false if
+  /// the VM is not resident.
+  bool remove_vm(util::VmId vm);
+
+  /// Change a resident VM's CPU share; fails (false) if the node's CPU
+  /// would be over-committed. Memory reservations never change in place.
+  [[nodiscard]] bool set_vm_cpu(util::VmId vm, util::CpuMhz cpu);
+
+  /// Change whether a resident VM's memory is counted (suspend-to-disk in
+  /// progress etc. is handled by Cluster; Node just applies deltas).
+  [[nodiscard]] bool set_vm_mem(util::VmId vm, util::MemMb mem);
+
+  [[nodiscard]] bool hosts(util::VmId vm) const { return residents_.count(vm) > 0; }
+  [[nodiscard]] const std::map<util::VmId, Resources>& residents() const { return residents_; }
+  [[nodiscard]] std::size_t resident_count() const { return residents_.size(); }
+
+ private:
+  util::NodeId id_;
+  Resources capacity_;
+  Resources used_{};
+  std::map<util::VmId, Resources> residents_;  // ordered for determinism
+};
+
+}  // namespace heteroplace::cluster

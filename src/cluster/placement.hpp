@@ -1,0 +1,69 @@
+#pragma once
+
+// Desired-placement descriptions produced by placement policies and
+// consumed by the action executor.
+//
+// A PlacementPlan is declarative: "job J should be running on node N with
+// CPU share c", "app A should have an instance on node N with share c".
+// The executor diffs the plan against cluster reality and emits actions
+// (start/suspend/resume/migrate/resize) to converge.
+
+#include <map>
+#include <optional>
+#include <ostream>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/units.hpp"
+
+namespace heteroplace::cluster {
+
+struct DesiredJobPlacement {
+  util::JobId job{};
+  util::NodeId node{};
+  util::CpuMhz cpu{0.0};
+};
+
+struct DesiredWebInstance {
+  util::AppId app{};
+  util::NodeId node{};
+  util::CpuMhz cpu{0.0};
+};
+
+struct PlacementPlan {
+  /// Jobs that should be executing. Jobs absent from this list should be
+  /// left pending (if never started) or suspended (if running).
+  std::vector<DesiredJobPlacement> jobs;
+
+  /// Web instances that should exist, at most one per (app, node) pair.
+  /// Existing instances on nodes not listed are stopped.
+  std::vector<DesiredWebInstance> instances;
+
+  [[nodiscard]] std::optional<DesiredJobPlacement> find_job(util::JobId id) const {
+    for (const auto& j : jobs) {
+      if (j.job == id) return j;
+    }
+    return std::nullopt;
+  }
+
+  /// Total CPU the plan grants each app / the job workload.
+  [[nodiscard]] util::CpuMhz total_job_cpu() const {
+    util::CpuMhz total{0.0};
+    for (const auto& j : jobs) total += j.cpu;
+    return total;
+  }
+  [[nodiscard]] util::CpuMhz app_cpu(util::AppId app) const {
+    util::CpuMhz total{0.0};
+    for (const auto& i : instances) {
+      if (i.app == app) total += i.cpu;
+    }
+    return total;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const PlacementPlan& p) {
+    os << "plan{jobs=" << p.jobs.size() << ", instances=" << p.instances.size() << "}";
+    return os;
+  }
+};
+
+}  // namespace heteroplace::cluster

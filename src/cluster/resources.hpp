@@ -1,0 +1,49 @@
+#pragma once
+
+// Two-dimensional resource vector: CPU power (MHz) and memory (MB).
+// These are the two resources the paper's placement controller manages:
+// CPU is fluid (arbitrarily divisible between collocated VMs), memory is
+// a rigid per-VM reservation — which is exactly why "only three jobs fit
+// on a node at once" in the paper's evaluation even though four would fit
+// by CPU alone.
+
+#include <ostream>
+
+#include "util/units.hpp"
+
+namespace heteroplace::cluster {
+
+struct Resources {
+  util::CpuMhz cpu{0.0};
+  util::MemMb mem{0.0};
+
+  friend constexpr Resources operator+(Resources a, Resources b) {
+    return {a.cpu + b.cpu, a.mem + b.mem};
+  }
+  friend constexpr Resources operator-(Resources a, Resources b) {
+    return {a.cpu - b.cpu, a.mem - b.mem};
+  }
+  constexpr Resources& operator+=(Resources b) {
+    cpu += b.cpu;
+    mem += b.mem;
+    return *this;
+  }
+  constexpr Resources& operator-=(Resources b) {
+    cpu -= b.cpu;
+    mem -= b.mem;
+    return *this;
+  }
+  friend constexpr bool operator==(Resources, Resources) = default;
+
+  /// True if this fits within `avail` on both dimensions (with a small
+  /// epsilon on the fluid CPU axis to absorb accumulated FP error).
+  [[nodiscard]] constexpr bool fits_in(Resources avail, double cpu_eps = 1e-6) const {
+    return cpu.get() <= avail.cpu.get() + cpu_eps && mem.get() <= avail.mem.get() + 1e-9;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, Resources r) {
+    return os << "{cpu=" << r.cpu << "MHz, mem=" << r.mem << "MB}";
+  }
+};
+
+}  // namespace heteroplace::cluster

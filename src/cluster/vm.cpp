@@ -1,0 +1,60 @@
+#include "cluster/vm.hpp"
+
+namespace heteroplace::cluster {
+
+const char* to_string(VmState s) {
+  switch (s) {
+    case VmState::kPending:
+      return "pending";
+    case VmState::kStarting:
+      return "starting";
+    case VmState::kRunning:
+      return "running";
+    case VmState::kSuspending:
+      return "suspending";
+    case VmState::kSuspended:
+      return "suspended";
+    case VmState::kResuming:
+      return "resuming";
+    case VmState::kMigrating:
+      return "migrating";
+    case VmState::kStopped:
+      return "stopped";
+  }
+  return "?";
+}
+
+const char* to_string(VmKind k) {
+  switch (k) {
+    case VmKind::kJobContainer:
+      return "job-container";
+    case VmKind::kWebInstance:
+      return "web-instance";
+  }
+  return "?";
+}
+
+bool vm_transition_allowed(VmState from, VmState to) {
+  switch (from) {
+    case VmState::kPending:
+      return to == VmState::kStarting || to == VmState::kStopped;
+    case VmState::kStarting:
+      return to == VmState::kRunning || to == VmState::kStopped;
+    case VmState::kRunning:
+      return to == VmState::kSuspending || to == VmState::kMigrating || to == VmState::kStopped;
+    case VmState::kSuspending:
+      return to == VmState::kSuspended || to == VmState::kStopped;
+    case VmState::kSuspended:
+      return to == VmState::kResuming || to == VmState::kStopped;
+    case VmState::kResuming:
+      return to == VmState::kRunning || to == VmState::kStopped;
+    case VmState::kMigrating:
+      // kSuspended: migration aborted, image parked on disk instead.
+      return to == VmState::kRunning || to == VmState::kStopped || to == VmState::kSuspended;
+    case VmState::kStopped:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace heteroplace::cluster

@@ -1,0 +1,82 @@
+#pragma once
+
+// Virtual machine records.
+//
+// Every workload runs inside a VM: long-running jobs in job containers,
+// transactional applications in web instances (one instance per node at
+// most, clustered across nodes). The VM is the unit of placement and of
+// the control actions the paper leverages (start, stop, suspend to disk,
+// resume, live-migrate).
+
+#include <string>
+
+#include "cluster/resources.hpp"
+#include "util/ids.hpp"
+
+namespace heteroplace::cluster {
+
+enum class VmKind {
+  kJobContainer,  // hosts exactly one long-running job
+  kWebInstance,   // one member of a transactional app's instance cluster
+};
+
+enum class VmState {
+  kPending,     // defined but never started
+  kStarting,    // boot in progress (holds memory, no useful work yet)
+  kRunning,     // placed and executing
+  kSuspending,  // suspend-to-disk in progress (still holds memory)
+  kSuspended,   // image on disk: consumes neither CPU nor memory
+  kResuming,    // resume in progress (holds memory, no useful work yet)
+  kMigrating,   // move in progress (holds memory at destination)
+  kStopped,     // terminal
+};
+
+[[nodiscard]] const char* to_string(VmState s);
+[[nodiscard]] const char* to_string(VmKind k);
+
+/// Legal lifecycle edges (enforced by Cluster::set_vm_state).
+[[nodiscard]] bool vm_transition_allowed(VmState from, VmState to);
+
+/// True if a VM in this state occupies memory on a node.
+[[nodiscard]] constexpr bool vm_state_holds_memory(VmState s) {
+  switch (s) {
+    case VmState::kStarting:
+    case VmState::kRunning:
+    case VmState::kSuspending:
+    case VmState::kResuming:
+    case VmState::kMigrating:
+      return true;
+    case VmState::kPending:
+    case VmState::kSuspended:
+    case VmState::kStopped:
+      return false;
+  }
+  return false;
+}
+
+/// True if a VM in this state can make progress / serve load.
+[[nodiscard]] constexpr bool vm_state_executes(VmState s) { return s == VmState::kRunning; }
+
+struct Vm {
+  util::VmId id{};
+  VmKind kind{VmKind::kJobContainer};
+  VmState state{VmState::kPending};
+  util::MemMb memory{0.0};
+
+  /// Exactly one of these identifies the owner, depending on `kind`.
+  util::JobId job{};
+  util::AppId app{};
+
+  /// Node currently hosting the VM; invalid when pending/suspended/stopped.
+  util::NodeId node{};
+
+  /// CPU share currently granted by the controller (0 unless running).
+  util::CpuMhz cpu_share{0.0};
+
+  [[nodiscard]] bool placed() const { return node.valid(); }
+  [[nodiscard]] Resources footprint() const {
+    return Resources{cpu_share, vm_state_holds_memory(state) ? memory : util::MemMb{0.0}};
+  }
+};
+
+}  // namespace heteroplace::cluster

@@ -1,0 +1,110 @@
+#pragma once
+
+// Utility consumers: the common currency abstraction.
+//
+// The equalizer sees every workload — each long-running job and each
+// transactional application — as a "consumer" exposing a monotone
+// non-decreasing utility-of-allocation curve and its inverse. This is the
+// mechanism that makes the heterogeneous workloads' performance
+// *comparable*, which is the paper's central idea.
+
+#include <memory>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/units.hpp"
+#include "utility/job_utility.hpp"
+#include "utility/tx_utility.hpp"
+#include "workload/job.hpp"
+#include "workload/transactional.hpp"
+
+namespace heteroplace::core {
+
+enum class ConsumerKind { kJob, kTxApp };
+
+class UtilityConsumer {
+ public:
+  virtual ~UtilityConsumer() = default;
+
+  /// Hypothetical utility if granted `alloc` CPU from now on.
+  /// Monotone non-decreasing in alloc.
+  [[nodiscard]] virtual double utility_at(util::CpuMhz alloc) const = 0;
+
+  /// Minimum CPU that achieves utility `u`, clamped to [0, demand_max()].
+  /// (If `u` exceeds what demand_max() can deliver, returns demand_max().)
+  [[nodiscard]] virtual util::CpuMhz alloc_for_utility(double u) const = 0;
+
+  /// CPU beyond which utility no longer improves (the consumer's demand —
+  /// the paper's Figure-2 "demand" series sums these).
+  [[nodiscard]] virtual util::CpuMhz demand_max() const = 0;
+
+  /// Utility achieved at demand_max().
+  [[nodiscard]] virtual double utility_max() const = 0;
+
+  [[nodiscard]] virtual ConsumerKind kind() const = 0;
+  [[nodiscard]] virtual util::JobId job_id() const { return util::JobId{}; }
+  [[nodiscard]] virtual util::AppId app_id() const { return util::AppId{}; }
+};
+
+/// Consumer view of a long-running job at a specific controller instant.
+class JobConsumer final : public UtilityConsumer {
+ public:
+  JobConsumer(const workload::Job& job, const utility::JobUtilityModel& model, util::Seconds now)
+      : job_(&job), model_(&model), now_(now) {}
+
+  [[nodiscard]] double utility_at(util::CpuMhz alloc) const override {
+    return model_->hypothetical_utility(*job_, now_, alloc);
+  }
+  [[nodiscard]] util::CpuMhz alloc_for_utility(double u) const override {
+    return model_->speed_for_utility(*job_, now_, u);
+  }
+  [[nodiscard]] util::CpuMhz demand_max() const override {
+    return model_->demand_for_max_utility(*job_, now_);
+  }
+  [[nodiscard]] double utility_max() const override {
+    return model_->max_achievable_utility(*job_, now_);
+  }
+  [[nodiscard]] ConsumerKind kind() const override { return ConsumerKind::kJob; }
+  [[nodiscard]] util::JobId job_id() const override { return job_->id(); }
+
+  [[nodiscard]] const workload::Job& job() const { return *job_; }
+
+ private:
+  const workload::Job* job_;
+  const utility::JobUtilityModel* model_;
+  util::Seconds now_;
+};
+
+/// Consumer view of a transactional app at its current arrival rate.
+class TxConsumer final : public UtilityConsumer {
+ public:
+  TxConsumer(const workload::TxApp& app, const utility::TxUtilityModel& model, util::Seconds now)
+      : app_(&app), model_(&model), lambda_(app.arrival_rate(now)) {}
+
+  /// Use an externally supplied arrival-rate estimate (e.g. a smoothed,
+  /// noisy monitor reading) instead of the ground-truth trace.
+  TxConsumer(const workload::TxApp& app, const utility::TxUtilityModel& model, double lambda)
+      : app_(&app), model_(&model), lambda_(lambda) {}
+
+  [[nodiscard]] double utility_at(util::CpuMhz alloc) const override {
+    return model_->utility(app_->spec(), lambda_, alloc);
+  }
+  [[nodiscard]] util::CpuMhz alloc_for_utility(double u) const override {
+    return model_->alloc_for_utility(app_->spec(), lambda_, u);
+  }
+  [[nodiscard]] util::CpuMhz demand_max() const override {
+    return model_->demand_for_max_utility(app_->spec(), lambda_);
+  }
+  [[nodiscard]] double utility_max() const override { return model_->max_utility(app_->spec()); }
+  [[nodiscard]] ConsumerKind kind() const override { return ConsumerKind::kTxApp; }
+  [[nodiscard]] util::AppId app_id() const override { return app_->id(); }
+
+  [[nodiscard]] double lambda() const { return lambda_; }
+
+ private:
+  const workload::TxApp* app_;
+  const utility::TxUtilityModel* model_;
+  double lambda_;
+};
+
+}  // namespace heteroplace::core

@@ -1,0 +1,42 @@
+#include "core/controller.hpp"
+
+namespace heteroplace::core {
+
+void PlacementController::start() {
+  const util::Seconds first =
+      std::max(config_.first_cycle_at.get(), engine_.now().get()) == config_.first_cycle_at.get()
+          ? config_.first_cycle_at
+          : engine_.now();
+  engine_.schedule_at(first, sim::EventPriority::kController, [this] {
+    run_cycle();
+    schedule_next();
+  });
+}
+
+void PlacementController::schedule_next() {
+  engine_.schedule_in(config_.cycle, sim::EventPriority::kController, [this] {
+    run_cycle();
+    schedule_next();
+  });
+}
+
+void PlacementController::run_cycle() {
+  const util::Seconds now = engine_.now();
+
+  // Fold elapsed progress into every job before the policy reads state.
+  for (workload::Job* job : world_.active_jobs()) job->advance_to(now);
+
+  PolicyOutput out = policy_->decide(world_, now);
+  executor_.apply(out.plan);
+  ++cycles_;
+
+  if (observer_) {
+    CycleReport report;
+    report.t = now;
+    report.diag = std::move(out.diag);
+    report.actions = executor_.take_counts_delta();
+    observer_(report);
+  }
+}
+
+}  // namespace heteroplace::core

@@ -1,0 +1,72 @@
+#pragma once
+
+// The placement controller: the paper's periodic control loop.
+//
+// Every `cycle` seconds (600 s in the paper's evaluation) the controller
+// snapshots the world, asks its policy for a desired placement, and has
+// the executor converge toward it. An observer receives a CycleReport
+// after each cycle — the metric recorder uses it to reproduce Figures 1
+// and 2.
+
+#include <functional>
+#include <memory>
+
+#include "cluster/actions.hpp"
+#include "core/executor.hpp"
+#include "core/policy.hpp"
+#include "core/world.hpp"
+#include "sim/engine.hpp"
+
+namespace heteroplace::core {
+
+struct ControllerConfig {
+  util::Seconds cycle{600.0};
+  /// Time of the first control evaluation.
+  util::Seconds first_cycle_at{0.0};
+};
+
+struct CycleReport {
+  util::Seconds t{0.0};
+  PolicyDiagnostics diag;
+  cluster::ActionCounts actions;  // actions initiated this cycle
+};
+
+class PlacementController {
+ public:
+  using CycleObserver = std::function<void(const CycleReport&)>;
+
+  PlacementController(sim::Engine& engine, World& world,
+                      std::unique_ptr<PlacementPolicy> policy,
+                      cluster::ActionLatencies latencies = {}, ControllerConfig config = {})
+      : engine_(engine),
+        world_(world),
+        policy_(std::move(policy)),
+        executor_(engine, world, latencies),
+        config_(config) {}
+
+  void set_observer(CycleObserver observer) { observer_ = std::move(observer); }
+
+  /// Schedule the periodic control loop on the engine. Call once, before
+  /// Engine::run().
+  void start();
+
+  /// Run one control evaluation immediately (tests / manual stepping).
+  void run_cycle();
+
+  [[nodiscard]] ActionExecutor& executor() { return executor_; }
+  [[nodiscard]] PlacementPolicy& policy() { return *policy_; }
+  [[nodiscard]] long cycles_run() const { return cycles_; }
+
+ private:
+  void schedule_next();
+
+  sim::Engine& engine_;
+  World& world_;
+  std::unique_ptr<PlacementPolicy> policy_;
+  ActionExecutor executor_;
+  ControllerConfig config_;
+  CycleObserver observer_;
+  long cycles_{0};
+};
+
+}  // namespace heteroplace::core

@@ -1,0 +1,102 @@
+#include "core/equalizer.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace heteroplace::core {
+
+namespace {
+
+/// Σ alloc_for_utility(u) over all consumers. OpenMP-parallel for large
+/// consumer populations (each term may itself run a bisection).
+double total_alloc_at(const std::vector<const UtilityConsumer*>& consumers, double u) {
+  const auto n = static_cast<std::ptrdiff_t>(consumers.size());
+  double total = 0.0;
+#ifdef _OPENMP
+#pragma omp parallel for reduction(+ : total) schedule(static) if (n > 256)
+#endif
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    total += consumers[static_cast<std::size_t>(i)]->alloc_for_utility(u).get();
+  }
+  return total;
+}
+
+}  // namespace
+
+EqualizeResult equalize(const std::vector<const UtilityConsumer*>& consumers,
+                        util::CpuMhz capacity, const EqualizerOptions& opts) {
+  EqualizeResult result;
+  result.allocations.resize(consumers.size());
+  if (consumers.empty()) return result;
+
+  double total_demand = 0.0;
+  double u_hi = opts.u_floor;
+  double u_min_max = 1e300;
+  for (const auto* c : consumers) {
+    total_demand += c->demand_max().get();
+    u_hi = std::max(u_hi, c->utility_max());
+    u_min_max = std::min(u_min_max, c->utility_max());
+  }
+  result.total_demand = util::CpuMhz{total_demand};
+
+  if (total_demand <= capacity.get()) {
+    // Uncontended: everyone receives full demand.
+    result.contended = false;
+    result.u_star = u_min_max;
+    double total = 0.0;
+    for (std::size_t i = 0; i < consumers.size(); ++i) {
+      const util::CpuMhz a = consumers[i]->demand_max();
+      result.allocations[i] = {a, consumers[i]->utility_at(a)};
+      total += a.get();
+    }
+    result.total = util::CpuMhz{total};
+    return result;
+  }
+
+  result.contended = true;
+
+  // Widen the floor if even the floor's allocations exceed capacity
+  // (can happen with extreme importance weights).
+  double u_lo = opts.u_floor;
+  for (int widen = 0; widen < 16 && total_alloc_at(consumers, u_lo) > capacity.get(); ++widen) {
+    u_lo *= 2.0;
+  }
+
+  // Bisect g(u) = total_alloc(u) − capacity, monotone non-decreasing.
+  int iters = 0;
+  while (u_hi - u_lo > opts.u_tolerance && iters < opts.max_iterations) {
+    const double mid = 0.5 * (u_lo + u_hi);
+    if (total_alloc_at(consumers, mid) <= capacity.get()) {
+      u_lo = mid;
+    } else {
+      u_hi = mid;
+    }
+    ++iters;
+  }
+  result.iterations = iters;
+  // Use the feasible side (total ≤ capacity).
+  result.u_star = u_lo;
+
+  double total = 0.0;
+  for (std::size_t i = 0; i < consumers.size(); ++i) {
+    const util::CpuMhz a = consumers[i]->alloc_for_utility(result.u_star);
+    result.allocations[i] = {a, consumers[i]->utility_at(a)};
+    total += a.get();
+  }
+
+  // The bisection leaves a small slack (or FP overshoot). Scale down if
+  // infeasible; leave tiny slack alone (the placement layer rounds anyway).
+  if (total > capacity.get() && total > 0.0) {
+    const double scale = capacity.get() / total;
+    total = 0.0;
+    for (std::size_t i = 0; i < consumers.size(); ++i) {
+      result.allocations[i].alloc *= scale;
+      result.allocations[i].utility = consumers[i]->utility_at(result.allocations[i].alloc);
+      total += result.allocations[i].alloc.get();
+    }
+  }
+  result.total = util::CpuMhz{total};
+  return result;
+}
+
+}  // namespace heteroplace::core

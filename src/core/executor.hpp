@@ -1,0 +1,81 @@
+#pragma once
+
+// Action executor: converges cluster reality toward a PlacementPlan.
+//
+// Diffs the desired placement against the current cluster state and
+// performs the control mechanisms of the paper — start, stop, suspend,
+// resume, migrate, resize — with realistic latencies on the simulation
+// clock. During a transition the affected VM makes no progress, which is
+// what makes placement churn costly.
+//
+// Apply order matters and is chosen to avoid transient over-commitment:
+//   1. suspends and instance stops (release capacity),
+//   2. CPU-share shrinks, then grows,
+//   3. migrations (with fallback to suspension when memory is not yet free),
+//   4. starts and resumes (with a short retry when blocked on memory that
+//      a concurrent suspension is still draining).
+
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "cluster/actions.hpp"
+#include "cluster/placement.hpp"
+#include "core/world.hpp"
+#include "sim/engine.hpp"
+
+namespace heteroplace::core {
+
+class ActionExecutor {
+ public:
+  using JobCompletionCallback = std::function<void(const workload::Job&)>;
+
+  ActionExecutor(sim::Engine& engine, World& world, cluster::ActionLatencies latencies = {})
+      : engine_(engine), world_(world), latencies_(latencies) {}
+
+  ActionExecutor(const ActionExecutor&) = delete;
+  ActionExecutor& operator=(const ActionExecutor&) = delete;
+
+  /// Invoked (synchronously, on the simulation clock) whenever a job
+  /// finishes its work.
+  void set_completion_callback(JobCompletionCallback cb) { on_completion_ = std::move(cb); }
+
+  /// Converge toward `plan`. Called once per control cycle.
+  void apply(const cluster::PlacementPlan& plan);
+
+  [[nodiscard]] const cluster::ActionCounts& counts() const { return counts_; }
+
+  /// Actions executed since the last call (per-cycle deltas for metrics).
+  [[nodiscard]] cluster::ActionCounts take_counts_delta();
+
+ private:
+  struct JobRuntime {
+    sim::EventHandle completion;   // pending completion event
+    sim::EventHandle transition;   // pending start/resume/migrate/suspend end
+    double pending_share{0.0};     // CPU share to grant when transition ends
+  };
+
+  void start_job(workload::Job& job, util::NodeId node, util::CpuMhz cpu, bool is_retry);
+  void resume_job(workload::Job& job, util::NodeId node, util::CpuMhz cpu, bool is_retry);
+  /// Returns false when the destination cannot take the job yet.
+  bool migrate_job(workload::Job& job, util::NodeId node, util::CpuMhz cpu);
+  void suspend_job(workload::Job& job);
+  void finish_transition_to_running(util::JobId job_id);
+  void schedule_completion(workload::Job& job);
+  void on_job_finished(util::JobId job_id);
+
+  /// Grant as much of `want` as the node can take right now.
+  util::CpuMhz clamped_share(util::VmId vm, util::CpuMhz want) const;
+
+  sim::Engine& engine_;
+  World& world_;
+  cluster::ActionLatencies latencies_;
+  JobCompletionCallback on_completion_;
+  cluster::ActionCounts counts_;
+  cluster::ActionCounts counts_at_last_delta_;
+  std::map<util::JobId, JobRuntime> job_rt_;
+  std::map<util::VmId, sim::EventHandle> instance_start_;
+  std::map<util::VmId, double> instance_pending_share_;
+};
+
+}  // namespace heteroplace::core

@@ -1,0 +1,87 @@
+#pragma once
+
+// Input snapshot for the discrete placement solver.
+//
+// The equalizer produces continuous per-consumer CPU targets; this
+// structure carries those targets together with the physical state the
+// solver must respect: node capacities, current residencies (for
+// stability), memory footprints, and which VMs are mid-action and thus
+// immovable this cycle.
+
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/units.hpp"
+#include "workload/job.hpp"
+
+namespace heteroplace::core {
+
+struct SolverNode {
+  util::NodeId id{};
+  util::CpuMhz cpu_capacity{0.0};
+  util::MemMb mem_capacity{0.0};
+};
+
+struct SolverJob {
+  util::JobId id{};
+  util::MemMb memory{0.0};
+  util::CpuMhz max_speed{0.0};
+  /// Equalized CPU target (0 if the equalizer starved it).
+  util::CpuMhz target{0.0};
+  /// Ranking key for memory slots; higher = placed first. The utility
+  /// policy uses the equalized target (for identical jobs this orders by
+  /// waiting time), baselines use arrival order.
+  double urgency{0.0};
+  /// Node currently holding this job's memory (invalid if none).
+  util::NodeId current_node{};
+  workload::JobPhase phase{workload::JobPhase::kPending};
+  /// False while an action is in flight: the solver must keep the job
+  /// exactly where it is.
+  bool movable{true};
+  /// Remaining work (used by the near-completion eviction guard).
+  util::MhzSeconds remaining{0.0};
+};
+
+struct SolverAppInstance {
+  util::NodeId node{};
+  bool movable{true};  // false while the instance is booting
+};
+
+struct SolverApp {
+  util::AppId id{};
+  util::MemMb instance_memory{0.0};
+  int min_instances{1};
+  int max_instances{64};
+  util::CpuMhz max_cpu_per_instance{0.0};
+  /// Equalized CPU target across all instances.
+  util::CpuMhz target{0.0};
+  std::vector<SolverAppInstance> current;
+};
+
+struct PlacementProblem {
+  std::vector<SolverNode> nodes;
+  std::vector<SolverJob> jobs;
+  std::vector<SolverApp> apps;
+};
+
+struct SolverConfig {
+  /// Permit moving a running job between nodes (vs. suspend-only).
+  bool allow_migration{true};
+  /// Give CPU left over after targets are met to residents that can use
+  /// it (jobs up to max speed, instances up to their cap).
+  bool work_conserving{true};
+  /// Jobs with remaining work below max_speed × this horizon (seconds)
+  /// are never evicted for an instance — they are about to finish and
+  /// suspending them wastes nearly-complete work.
+  double protect_completion_horizon_s{600.0};
+  /// Hysteresis on growing the instance set: only add an instance when
+  /// the app's achievable capacity falls short of its target by more
+  /// than this fraction.
+  double instance_grow_headroom{0.05};
+  /// Fraction of a node's CPU an instance is assumed to obtain when
+  /// collocated with jobs; used only to size the instance cluster
+  /// (count = ceil(target / (per-instance cap × this factor))).
+  double instance_capacity_factor{0.7};
+};
+
+}  // namespace heteroplace::core

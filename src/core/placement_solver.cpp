@@ -1,0 +1,549 @@
+#include "core/placement_solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace heteroplace::core {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Mutable per-node ledger used while the solver assembles the placement.
+struct NodeScratch {
+  util::NodeId id{};
+  double cpu_cap{0.0};
+  double mem_cap{0.0};
+  double mem_free{0.0};
+
+  struct Resident {
+    bool is_job{true};
+    std::size_t index{0};  // into problem.jobs or problem.apps
+    double target{0.0};
+    double cap{0.0};
+    double grant{0.0};
+    double urgency{0.0};       // jobs only: eviction ranking
+    bool evictable{false};     // jobs only
+    double memory{0.0};
+  };
+  std::vector<Resident> residents;
+
+  [[nodiscard]] double target_headroom() const {
+    double t = 0.0;
+    for (const auto& r : residents) t += r.target;
+    return cpu_cap - t;
+  }
+};
+
+/// Proportional-to-target fill of `members` within `budget`, respecting
+/// per-resident caps (peeling off capped residents). Returns the budget
+/// left over.
+double proportional_fill(std::vector<NodeScratch::Resident*> active, double budget) {
+  while (!active.empty() && budget > kEps) {
+    double total_target = 0.0;
+    for (const auto* r : active) total_target += r->target;
+    if (total_target <= budget + kEps) {
+      // Everyone gets their full target (cap can bind below target only
+      // if the caller passed target > cap; clamp defensively).
+      for (auto* r : active) {
+        r->grant = std::min(r->target, r->cap);
+        budget -= r->grant;
+      }
+      return budget;
+    }
+    const double scale = budget / total_target;
+    bool any_capped = false;
+    for (std::size_t i = 0; i < active.size();) {
+      NodeScratch::Resident* r = active[i];
+      if (scale * r->target >= r->cap - kEps) {
+        r->grant = r->cap;
+        budget -= r->cap;
+        active[i] = active.back();
+        active.pop_back();
+        any_capped = true;
+      } else {
+        ++i;
+      }
+    }
+    if (!any_capped) {
+      for (auto* r : active) {
+        r->grant = scale * r->target;
+      }
+      return 0.0;
+    }
+  }
+  return budget;
+}
+
+/// Distribute a node's CPU among its residents in two tiers: web
+/// instances first (up to their targets — the transactional middleware
+/// tier is capacity-guaranteed, mirroring the flow-controlled app servers
+/// of the paper's prototype), then job containers share the remainder.
+/// Without tiering, a proportional squeeze on a crowded node hits the
+/// steep transactional utility curve far harder than the jobs' shallow
+/// one and breaks the equalization that the continuous stage computed.
+void waterfill_node(NodeScratch& node, bool work_conserving) {
+  for (auto& r : node.residents) r.grant = 0.0;
+  std::vector<NodeScratch::Resident*> instances;
+  std::vector<NodeScratch::Resident*> jobs;
+  for (auto& r : node.residents) {
+    if (r.target <= kEps) continue;
+    (r.is_job ? jobs : instances).push_back(&r);
+  }
+  const double after_instances = proportional_fill(std::move(instances), node.cpu_cap);
+  proportional_fill(std::move(jobs), after_instances);
+  (void)work_conserving;
+}
+
+/// Work conservation: spread a node's unallocated CPU equally among *job*
+/// residents with headroom (batch work soaks idle cycles up to max
+/// speed). Instances stay at their equalized targets — granting beyond
+/// target would push the app's utility above the equalized level and
+/// defeat the arbitration.
+void spread_leftover_to_jobs(NodeScratch& node) {
+  double granted = 0.0;
+  for (const auto& r : node.residents) granted += r.grant;
+  double remaining = node.cpu_cap - granted;
+  for (int pass = 0; pass < 64 && remaining > kEps; ++pass) {
+    std::vector<NodeScratch::Resident*> open;
+    for (auto& r : node.residents) {
+      if (r.is_job && r.cap - r.grant > kEps) open.push_back(&r);
+    }
+    if (open.empty()) break;
+    const double share = remaining / static_cast<double>(open.size());
+    for (auto* r : open) {
+      const double add = std::min(share, r->cap - r->grant);
+      r->grant += add;
+      remaining -= add;
+    }
+  }
+}
+
+[[nodiscard]] bool job_holds_memory(workload::JobPhase p) {
+  switch (p) {
+    case workload::JobPhase::kStarting:
+    case workload::JobPhase::kRunning:
+    case workload::JobPhase::kResuming:
+    case workload::JobPhase::kMigrating:
+      return true;
+    case workload::JobPhase::kPending:
+    case workload::JobPhase::kSuspending:  // memory drains mid-cycle
+    case workload::JobPhase::kSuspended:
+    case workload::JobPhase::kCompleted:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+SolverResult solve_placement(const PlacementProblem& problem, const SolverConfig& config) {
+  SolverResult result;
+  auto& stats = result.stats;
+
+  // ---- scratch construction ----------------------------------------------
+  std::vector<NodeScratch> nodes(problem.nodes.size());
+  std::map<util::NodeId, std::size_t> node_index;
+  double max_node_cpu = 0.0;
+  for (std::size_t i = 0; i < problem.nodes.size(); ++i) {
+    const auto& n = problem.nodes[i];
+    nodes[i].id = n.id;
+    nodes[i].cpu_cap = n.cpu_capacity.get();
+    nodes[i].mem_cap = n.mem_capacity.get();
+    nodes[i].mem_free = n.mem_capacity.get();
+    node_index.emplace(n.id, i);
+    max_node_cpu = std::max(max_node_cpu, n.cpu_capacity.get());
+  }
+
+  auto scratch_of = [&](util::NodeId id) -> NodeScratch& {
+    auto it = node_index.find(id);
+    if (it == node_index.end()) {
+      throw std::invalid_argument("solve_placement: VM references unknown node");
+    }
+    return nodes[it->second];
+  };
+
+  // ---- Phase 1: decide per-app instance counts -----------------------------
+  struct AppScratch {
+    std::size_t index;
+    double per_inst_cap;
+    int desired;
+    std::vector<util::NodeId> kept_nodes;   // instances we keep
+    int to_add{0};
+  };
+  std::vector<AppScratch> app_scratch;
+  app_scratch.reserve(problem.apps.size());
+
+  for (std::size_t ai = 0; ai < problem.apps.size(); ++ai) {
+    const SolverApp& app = problem.apps[ai];
+    AppScratch as;
+    as.index = ai;
+    as.per_inst_cap = std::min(app.max_cpu_per_instance.get(), max_node_cpu);
+    if (as.per_inst_cap <= 0.0) as.per_inst_cap = max_node_cpu;
+
+    const int max_by_nodes = static_cast<int>(problem.nodes.size());
+    const int hard_max = std::min(app.max_instances, max_by_nodes);
+    // Size the cluster assuming an instance only obtains a fraction of its
+    // node (it shares the node with collocated jobs).
+    const double effective_per_inst =
+        as.per_inst_cap * std::clamp(config.instance_capacity_factor, 0.05, 1.0);
+    int needed = static_cast<int>(std::ceil(app.target.get() / effective_per_inst - 1e-9));
+    needed = std::clamp(needed, std::max(app.min_instances, 1), std::max(hard_max, 1));
+
+    const int current = static_cast<int>(app.current.size());
+    int keep;
+    if (needed > current) {
+      keep = current;
+      as.to_add = needed - current;
+    } else {
+      // Shrink hysteresis: drop instances only when the target is served
+      // comfortably by fewer.
+      const double comfortable =
+          (static_cast<double>(current) - 1.0) * effective_per_inst *
+          (1.0 - config.instance_grow_headroom);
+      if (current > needed && app.target.get() < comfortable) {
+        keep = std::max({needed, app.min_instances, 1});
+      } else {
+        keep = current;
+      }
+    }
+    as.desired = keep + as.to_add;
+
+    // Keep immovable (booting) instances unconditionally, then movable
+    // ones in node-id order until `keep` is reached.
+    std::vector<SolverAppInstance> sorted = app.current;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const SolverAppInstance& a, const SolverAppInstance& b) {
+                       if (a.movable != b.movable) return !a.movable;  // immovable first
+                       return a.node < b.node;
+                     });
+    for (const auto& inst : sorted) {
+      if (static_cast<int>(as.kept_nodes.size()) < keep || !inst.movable) {
+        as.kept_nodes.push_back(inst.node);
+      } else {
+        ++stats.instances_dropped;
+      }
+    }
+    app_scratch.push_back(std::move(as));
+  }
+
+  // ---- Phase 2: reserve memory for everything currently placed -------------
+  // Kept instances. Give each a provisional CPU target (the app's target
+  // split over the planned instance count) so the job-packing phase sees
+  // realistic per-node headroom; phase 5 recomputes the exact split.
+  for (const auto& as : app_scratch) {
+    const SolverApp& app = problem.apps[as.index];
+    const double provisional_target =
+        app.target.get() / static_cast<double>(std::max(as.desired, 1));
+    for (util::NodeId nid : as.kept_nodes) {
+      NodeScratch& ns = scratch_of(nid);
+      ns.mem_free -= app.instance_memory.get();
+      NodeScratch::Resident r;
+      r.is_job = false;
+      r.index = as.index;
+      r.target = provisional_target;
+      r.cap = as.per_inst_cap;
+      r.memory = app.instance_memory.get();
+      ns.residents.push_back(r);
+    }
+  }
+  // Currently-placed jobs (memory holders).
+  for (std::size_t ji = 0; ji < problem.jobs.size(); ++ji) {
+    const SolverJob& job = problem.jobs[ji];
+    if (!job.current_node.valid() || !job_holds_memory(job.phase)) continue;
+    NodeScratch& ns = scratch_of(job.current_node);
+    ns.mem_free -= job.memory.get();
+    NodeScratch::Resident r;
+    r.is_job = true;
+    r.index = ji;
+    r.target = job.target.get();
+    r.cap = job.max_speed.get();
+    r.urgency = job.urgency;
+    r.memory = job.memory.get();
+    const bool protected_near_done =
+        job.remaining.get() <= job.max_speed.get() * config.protect_completion_horizon_s;
+    r.evictable = job.movable && !protected_near_done;
+    ns.residents.push_back(r);
+  }
+
+  std::vector<std::size_t> displaced;  // running jobs pushed off their node
+
+  auto evict_job_from = [&](NodeScratch& ns, std::size_t resident_pos) {
+    NodeScratch::Resident r = ns.residents[resident_pos];
+    assert(r.is_job);
+    ns.mem_free += r.memory;
+    ns.residents.erase(ns.residents.begin() + static_cast<std::ptrdiff_t>(resident_pos));
+    displaced.push_back(r.index);
+    ++stats.jobs_evicted;
+  };
+
+  // ---- Phase 3: grow instance clusters, evicting jobs when needed ----------
+  for (auto& as : app_scratch) {
+    const SolverApp& app = problem.apps[as.index];
+    for (int k = 0; k < as.to_add; ++k) {
+      // Candidate nodes: no instance of this app yet.
+      auto has_instance = [&](const NodeScratch& ns) {
+        for (const auto& r : ns.residents) {
+          if (!r.is_job && r.index == as.index) return true;
+        }
+        return false;
+      };
+
+      // First choice: free memory, most of it.
+      NodeScratch* best = nullptr;
+      for (auto& ns : nodes) {
+        if (has_instance(ns)) continue;
+        if (ns.mem_free + kEps < app.instance_memory.get()) continue;
+        if (best == nullptr || ns.mem_free > best->mem_free) best = &ns;
+      }
+
+      if (best == nullptr) {
+        // Reclaim memory from the least-urgent evictable jobs: pick the
+        // node where the evicted urgency mass is smallest.
+        double best_cost = std::numeric_limits<double>::max();
+        NodeScratch* best_node = nullptr;
+        std::vector<std::size_t> best_victims;
+        for (auto& ns : nodes) {
+          if (has_instance(ns)) continue;
+          // Greedily evict lowest-urgency jobs until the instance fits.
+          std::vector<std::size_t> order;  // resident positions, jobs only
+          for (std::size_t p = 0; p < ns.residents.size(); ++p) {
+            if (ns.residents[p].is_job && ns.residents[p].evictable) order.push_back(p);
+          }
+          std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+            return ns.residents[a].urgency < ns.residents[b].urgency;
+          });
+          double freed = ns.mem_free;
+          double cost = 0.0;
+          std::vector<std::size_t> victims;
+          for (std::size_t p : order) {
+            if (freed + kEps >= app.instance_memory.get()) break;
+            freed += ns.residents[p].memory;
+            cost += ns.residents[p].urgency + 1.0;  // +1: churn penalty per job
+            victims.push_back(p);
+          }
+          if (freed + kEps < app.instance_memory.get()) continue;  // still no room
+          if (cost < best_cost) {
+            best_cost = cost;
+            best_node = &ns;
+            best_victims = std::move(victims);
+          }
+        }
+        if (best_node != nullptr) {
+          // Evict from highest position first so indices stay valid.
+          std::sort(best_victims.rbegin(), best_victims.rend());
+          for (std::size_t p : best_victims) evict_job_from(*best_node, p);
+          best = best_node;
+        }
+      }
+
+      if (best == nullptr) continue;  // cluster simply cannot host more
+
+      best->mem_free -= app.instance_memory.get();
+      NodeScratch::Resident r;
+      r.is_job = false;
+      r.index = as.index;
+      r.target = app.target.get() / static_cast<double>(std::max(as.desired, 1));
+      r.cap = as.per_inst_cap;
+      r.memory = app.instance_memory.get();
+      best->residents.push_back(r);
+      as.kept_nodes.push_back(best->id);
+      ++stats.instances_added;
+    }
+  }
+
+  // ---- Phase 4: pack waiting jobs by urgency --------------------------------
+  struct Waiting {
+    std::size_t index;
+    bool was_running;  // displaced mid-run → migrate if re-placed
+  };
+  std::vector<Waiting> waiting;
+  for (std::size_t ji = 0; ji < problem.jobs.size(); ++ji) {
+    const SolverJob& job = problem.jobs[ji];
+    if (job.phase == workload::JobPhase::kPending ||
+        job.phase == workload::JobPhase::kSuspended) {
+      waiting.push_back({ji, false});
+    }
+  }
+  for (std::size_t ji : displaced) waiting.push_back({ji, true});
+
+  std::stable_sort(waiting.begin(), waiting.end(), [&](const Waiting& a, const Waiting& b) {
+    const SolverJob& ja = problem.jobs[a.index];
+    const SolverJob& jb = problem.jobs[b.index];
+    if (ja.urgency != jb.urgency) return ja.urgency > jb.urgency;
+    return ja.id < jb.id;
+  });
+
+  for (const Waiting& w : waiting) {
+    const SolverJob& job = problem.jobs[w.index];
+    if (w.was_running && !config.allow_migration) {
+      ++stats.jobs_waiting;  // becomes a suspension downstream
+      continue;
+    }
+    NodeScratch* best = nullptr;
+    double best_headroom = -std::numeric_limits<double>::max();
+    for (auto& ns : nodes) {
+      if (ns.mem_free + kEps < job.memory.get()) continue;
+      const double headroom = ns.target_headroom();
+      if (best == nullptr || headroom > best_headroom) {
+        best = &ns;
+        best_headroom = headroom;
+      }
+    }
+    if (best == nullptr) {
+      ++stats.jobs_waiting;
+      continue;
+    }
+    best->mem_free -= job.memory.get();
+    NodeScratch::Resident r;
+    r.is_job = true;
+    r.index = w.index;
+    r.target = job.target.get();
+    r.cap = job.max_speed.get();
+    r.urgency = job.urgency;
+    r.memory = job.memory.get();
+    const bool protected_near_done =
+        job.remaining.get() <= job.max_speed.get() * config.protect_completion_horizon_s;
+    r.evictable = job.movable && !protected_near_done;
+    best->residents.push_back(r);
+    // Landing back on its own node is not a migration (plan diff is a
+    // plain resize there).
+    if (w.was_running && best->id != job.current_node) ++stats.jobs_migrated;
+  }
+
+  // ---- Phase 5: per-node CPU distribution ----------------------------------
+  // Instance targets: split each app's target equally across its placed
+  // instances.
+  std::vector<int> placed_instances(problem.apps.size(), 0);
+  for (const auto& ns : nodes) {
+    for (const auto& r : ns.residents) {
+      if (!r.is_job) ++placed_instances[r.index];
+    }
+  }
+  for (auto& ns : nodes) {
+    for (auto& r : ns.residents) {
+      if (!r.is_job) {
+        const int n = std::max(placed_instances[r.index], 1);
+        r.target = problem.apps[r.index].target.get() / static_cast<double>(n);
+      }
+    }
+    waterfill_node(ns, config.work_conserving);
+  }
+
+  // Instance shortfall fixup: instances squeezed on crowded nodes leave
+  // their app short of its target even when sibling instances sit next to
+  // idle CPU. Raise sibling shares (never beyond the per-instance cap)
+  // until the target is met or slack runs out.
+  for (std::size_t ai = 0; ai < problem.apps.size(); ++ai) {
+    double granted = 0.0;
+    for (const auto& ns : nodes) {
+      for (const auto& r : ns.residents) {
+        if (!r.is_job && r.index == ai) granted += r.grant;
+      }
+    }
+    double shortfall = problem.apps[ai].target.get() - granted;
+    if (shortfall <= kEps) continue;
+    for (auto& ns : nodes) {
+      if (shortfall <= kEps) break;
+      double node_granted = 0.0;
+      for (const auto& r : ns.residents) node_granted += r.grant;
+      double leftover = ns.cpu_cap - node_granted;
+      if (leftover <= kEps) continue;
+      for (auto& r : ns.residents) {
+        if (r.is_job || r.index != ai) continue;
+        const double add = std::min({leftover, shortfall, r.cap - r.grant});
+        if (add > kEps) {
+          r.grant += add;
+          leftover -= add;
+          shortfall -= add;
+        }
+      }
+    }
+  }
+
+  if (config.work_conserving) {
+    for (auto& ns : nodes) spread_leftover_to_jobs(ns);
+  }
+
+  // ---- Phase 5.5: starvation rescue ------------------------------------------
+  // A running job kept in place for stability can end up with a zero CPU
+  // grant when a collocated instance's target consumes the whole node.
+  // Left alone it would hold its memory slot forever without progressing.
+  // Relocate it to a node with CPU leftover and a free memory slot, else
+  // suspend it (dropping it from the plan) so a later cycle resumes it
+  // where it can actually run.
+  for (auto& ns : nodes) {
+    for (std::size_t p = 0; p < ns.residents.size();) {
+      NodeScratch::Resident& r = ns.residents[p];
+      const bool starved = r.is_job && r.grant <= 1.0 &&
+                           problem.jobs[r.index].movable &&
+                           problem.jobs[r.index].remaining.get() > 0.0;
+      if (!starved) {
+        ++p;
+        continue;
+      }
+      const SolverJob& job = problem.jobs[r.index];
+      // Find a destination with spare CPU and memory.
+      NodeScratch* dest = nullptr;
+      double best_leftover = 1.0;  // require strictly useful CPU
+      for (auto& cand : nodes) {
+        if (&cand == &ns) continue;
+        if (cand.mem_free + kEps < job.memory.get()) continue;
+        double granted = 0.0;
+        for (const auto& cr : cand.residents) granted += cr.grant;
+        const double leftover = cand.cpu_cap - granted;
+        if (leftover > best_leftover) {
+          best_leftover = leftover;
+          dest = &cand;
+        }
+      }
+      NodeScratch::Resident moved = r;
+      ns.mem_free += moved.memory;
+      ns.residents.erase(ns.residents.begin() + static_cast<std::ptrdiff_t>(p));
+      ++stats.jobs_evicted;
+      if (dest != nullptr && config.allow_migration) {
+        moved.grant = std::min(best_leftover, moved.cap);
+        dest->mem_free -= moved.memory;
+        dest->residents.push_back(moved);
+        if (dest->id != job.current_node) ++stats.jobs_migrated;
+      } else {
+        ++stats.jobs_waiting;  // suspended by the executor
+      }
+      // Do not advance p: the erase shifted the next resident into place.
+    }
+  }
+
+  // ---- Emit the plan ---------------------------------------------------------
+  for (const auto& ns : nodes) {
+    for (const auto& r : ns.residents) {
+      if (r.is_job) {
+        const SolverJob& job = problem.jobs[r.index];
+        result.plan.jobs.push_back({job.id, ns.id, util::CpuMhz{r.grant}});
+        ++stats.jobs_placed;
+      } else {
+        const SolverApp& app = problem.apps[r.index];
+        result.plan.instances.push_back({app.id, ns.id, util::CpuMhz{r.grant}});
+      }
+    }
+  }
+  stats.instances_total = static_cast<int>(result.plan.instances.size());
+
+  // Deterministic output order.
+  std::sort(result.plan.jobs.begin(), result.plan.jobs.end(),
+            [](const cluster::DesiredJobPlacement& a, const cluster::DesiredJobPlacement& b) {
+              return a.job < b.job;
+            });
+  std::sort(result.plan.instances.begin(), result.plan.instances.end(),
+            [](const cluster::DesiredWebInstance& a, const cluster::DesiredWebInstance& b) {
+              if (a.app != b.app) return a.app < b.app;
+              return a.node < b.node;
+            });
+  return result;
+}
+
+}  // namespace heteroplace::core

@@ -1,0 +1,124 @@
+#include "core/utility_policy.hpp"
+
+#include <algorithm>
+
+namespace heteroplace::core {
+
+PlacementProblem build_problem_skeleton(const World& world) {
+  PlacementProblem problem;
+  const auto& cl = world.cluster();
+
+  problem.nodes.reserve(cl.node_count());
+  for (const auto& n : cl.nodes()) {
+    problem.nodes.push_back({n.id(), n.capacity().cpu, n.capacity().mem});
+  }
+
+  for (const workload::Job* job : world.active_jobs()) {
+    SolverJob sj;
+    sj.id = job->id();
+    sj.memory = job->spec().memory;
+    sj.max_speed = job->spec().max_speed;
+    sj.current_node = job->node();
+    sj.phase = job->phase();
+    sj.movable = job->phase() == workload::JobPhase::kRunning;
+    sj.remaining = job->remaining();
+    problem.jobs.push_back(sj);
+  }
+
+  for (const auto& app : world.apps()) {
+    SolverApp sa;
+    sa.id = app.id();
+    sa.instance_memory = app.spec().instance_memory;
+    sa.min_instances = app.spec().min_instances;
+    sa.max_instances = app.spec().max_instances;
+    sa.max_cpu_per_instance = app.spec().max_cpu_per_instance;
+    for (util::VmId vm_id : cl.vm_ids()) {
+      const auto& vm = cl.vm(vm_id);
+      if (vm.kind != cluster::VmKind::kWebInstance || vm.app != app.id()) continue;
+      if (vm.state == cluster::VmState::kRunning) {
+        sa.current.push_back({vm.node, /*movable=*/true});
+      } else if (vm.state == cluster::VmState::kStarting) {
+        sa.current.push_back({vm.node, /*movable=*/false});
+      }
+    }
+    problem.apps.push_back(std::move(sa));
+  }
+  return problem;
+}
+
+PolicyOutput UtilityDrivenPolicy::decide(const World& world, util::Seconds now) {
+  PolicyOutput out;
+
+  // --- 1. consumers: one per active job, one per transactional app --------
+  const auto jobs = world.active_jobs();
+  std::vector<JobConsumer> job_consumers;
+  job_consumers.reserve(jobs.size());
+  for (const workload::Job* job : jobs) {
+    job_consumers.emplace_back(*job, *job_model_, now);
+  }
+  std::vector<TxConsumer> tx_consumers;
+  tx_consumers.reserve(world.apps().size());
+  for (const auto& app : world.apps()) {
+    if (lambda_provider_) {
+      tx_consumers.emplace_back(app, *tx_model_, lambda_provider_(app, now));
+    } else {
+      tx_consumers.emplace_back(app, *tx_model_, now);
+    }
+  }
+
+  std::vector<const UtilityConsumer*> consumers;
+  consumers.reserve(job_consumers.size() + tx_consumers.size());
+  for (const auto& c : job_consumers) consumers.push_back(&c);
+  for (const auto& c : tx_consumers) consumers.push_back(&c);
+
+  // --- 2. equalize hypothetical utility ------------------------------------
+  const util::CpuMhz capacity = world.cluster().total_capacity().cpu;
+  const EqualizeResult eq = equalize(consumers, capacity, eq_options_);
+
+  out.diag.u_star = eq.u_star;
+  out.diag.contended = eq.contended;
+
+  // --- 3. assemble the discrete problem ------------------------------------
+  PlacementProblem problem = build_problem_skeleton(world);
+
+  double jobs_demand = 0.0;
+  double jobs_target = 0.0;
+  double u_sum = 0.0;
+  double u_min = 1e300;
+  double u_max = -1e300;
+  for (std::size_t i = 0; i < job_consumers.size(); ++i) {
+    const auto& alloc = eq.allocations[i];
+    problem.jobs[i].target = alloc.alloc;
+    problem.jobs[i].urgency = alloc.alloc.get();
+    jobs_target += alloc.alloc.get();
+    jobs_demand += job_consumers[i].demand_max().get();
+    u_sum += alloc.utility;
+    u_min = std::min(u_min, alloc.utility);
+    u_max = std::max(u_max, alloc.utility);
+  }
+  out.diag.jobs_demand = util::CpuMhz{jobs_demand};
+  out.diag.jobs_target = util::CpuMhz{jobs_target};
+  out.diag.active_jobs = static_cast<int>(jobs.size());
+  out.diag.jobs_avg_hyp_utility = jobs.empty() ? 0.0 : u_sum / static_cast<double>(jobs.size());
+  out.diag.jobs_min_hyp_utility = jobs.empty() ? 0.0 : u_min;
+  out.diag.jobs_max_hyp_utility = jobs.empty() ? 0.0 : u_max;
+
+  for (std::size_t a = 0; a < tx_consumers.size(); ++a) {
+    const auto& alloc = eq.allocations[job_consumers.size() + a];
+    problem.apps[a].target = alloc.alloc;
+    PolicyDiagnostics::AppDiag diag;
+    diag.id = problem.apps[a].id;
+    diag.lambda = tx_consumers[a].lambda();
+    diag.demand = tx_consumers[a].demand_max();
+    diag.target = alloc.alloc;
+    out.diag.apps.push_back(diag);
+  }
+
+  // --- 4. discrete placement ------------------------------------------------
+  SolverResult solved = solve_placement(problem, solver_config_);
+  out.plan = std::move(solved.plan);
+  out.diag.solver = solved.stats;
+  return out;
+}
+
+}  // namespace heteroplace::core

@@ -1,0 +1,56 @@
+#include "core/world.hpp"
+
+namespace heteroplace::core {
+
+const workload::TxApp& World::app(util::AppId id) const {
+  for (const auto& a : apps_) {
+    if (a.id() == id) return a;
+  }
+  throw std::out_of_range("World::app: unknown app id");
+}
+
+workload::Job& World::submit_job(workload::JobSpec spec) {
+  const util::JobId id = spec.id;
+  if (jobs_.count(id) > 0) throw std::invalid_argument("World::submit_job: duplicate job id");
+  auto [it, _] = jobs_.emplace(id, workload::Job{std::move(spec)});
+  job_order_.push_back(id);
+  return it->second;
+}
+
+workload::Job& World::job(util::JobId id) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) throw std::out_of_range("World::job: unknown job id");
+  return it->second;
+}
+
+const workload::Job& World::job(util::JobId id) const {
+  return const_cast<World*>(this)->job(id);
+}
+
+std::vector<workload::Job*> World::active_jobs() {
+  std::vector<workload::Job*> out;
+  for (util::JobId id : job_order_) {
+    workload::Job& j = jobs_.at(id);
+    if (j.phase() != workload::JobPhase::kCompleted) out.push_back(&j);
+  }
+  return out;
+}
+
+std::vector<const workload::Job*> World::active_jobs() const {
+  std::vector<const workload::Job*> out;
+  for (util::JobId id : job_order_) {
+    const workload::Job& j = jobs_.at(id);
+    if (j.phase() != workload::JobPhase::kCompleted) out.push_back(&j);
+  }
+  return out;
+}
+
+std::size_t World::completed_count() const {
+  std::size_t n = 0;
+  for (const auto& [_, j] : jobs_) {
+    if (j.phase() == workload::JobPhase::kCompleted) ++n;
+  }
+  return n;
+}
+
+}  // namespace heteroplace::core

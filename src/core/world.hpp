@@ -1,0 +1,56 @@
+#pragma once
+
+// World: the complete managed-system state — cluster, transactional apps,
+// and the job population — shared by the controller, the executor, and
+// the experiment driver.
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "util/ids.hpp"
+#include "workload/job.hpp"
+#include "workload/transactional.hpp"
+
+namespace heteroplace::core {
+
+class World {
+ public:
+  World() = default;
+
+  [[nodiscard]] cluster::Cluster& cluster() { return cluster_; }
+  [[nodiscard]] const cluster::Cluster& cluster() const { return cluster_; }
+
+  /// Register a transactional application (before the run starts).
+  void add_app(workload::TxApp app) { apps_.push_back(std::move(app)); }
+  [[nodiscard]] const std::vector<workload::TxApp>& apps() const { return apps_; }
+  [[nodiscard]] const workload::TxApp& app(util::AppId id) const;
+
+  /// Submit a job (typically from an arrival event). The job starts in
+  /// phase kPending with no VM.
+  workload::Job& submit_job(workload::JobSpec spec);
+
+  [[nodiscard]] bool job_exists(util::JobId id) const { return jobs_.count(id) > 0; }
+  [[nodiscard]] workload::Job& job(util::JobId id);
+  [[nodiscard]] const workload::Job& job(util::JobId id) const;
+
+  /// All submitted jobs in submission order (completed ones included).
+  [[nodiscard]] const std::vector<util::JobId>& job_order() const { return job_order_; }
+
+  /// Jobs that are submitted and not yet completed, in submission order.
+  [[nodiscard]] std::vector<workload::Job*> active_jobs();
+  [[nodiscard]] std::vector<const workload::Job*> active_jobs() const;
+
+  [[nodiscard]] std::size_t submitted_count() const { return jobs_.size(); }
+  [[nodiscard]] std::size_t completed_count() const;
+
+ private:
+  cluster::Cluster cluster_;
+  std::vector<workload::TxApp> apps_;
+  std::map<util::JobId, workload::Job> jobs_;
+  std::vector<util::JobId> job_order_;
+};
+
+}  // namespace heteroplace::core

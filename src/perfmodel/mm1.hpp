@@ -1,0 +1,51 @@
+#pragma once
+
+// Classic single-queue formulas (M/M/1 and M/G/1 processor sharing).
+//
+// For M/M/1-FCFS and M/G/1-PS the mean response time coincides:
+//   RT = 1 / (μ - λ),   μ = capacity / service_demand.
+// The transactional performance model builds on these; the request-level
+// discrete-event simulator in tests validates them empirically.
+
+#include <cmath>
+#include <limits>
+
+namespace heteroplace::perfmodel {
+
+/// Utilization ρ = λ/μ. Unbounded above 1 (meaningful only as an
+/// *offered* utilization in that regime).
+[[nodiscard]] inline double mm1_utilization(double lambda, double mu) {
+  if (mu <= 0.0) return std::numeric_limits<double>::infinity();
+  return lambda / mu;
+}
+
+/// Mean response time (sojourn). Infinite at or beyond saturation.
+[[nodiscard]] inline double mm1_response_time(double lambda, double mu) {
+  if (mu <= lambda) return std::numeric_limits<double>::infinity();
+  return 1.0 / (mu - lambda);
+}
+
+/// Mean number in system L = ρ / (1 - ρ); infinite at saturation.
+[[nodiscard]] inline double mm1_number_in_system(double lambda, double mu) {
+  const double rho = mm1_utilization(lambda, mu);
+  if (rho >= 1.0) return std::numeric_limits<double>::infinity();
+  return rho / (1.0 - rho);
+}
+
+/// Mean waiting time (excluding service) W_q = ρ / (μ - λ).
+[[nodiscard]] inline double mm1_wait_time(double lambda, double mu) {
+  if (mu <= lambda) return std::numeric_limits<double>::infinity();
+  return mm1_utilization(lambda, mu) / (mu - lambda);
+}
+
+/// Arrival rate that produces a target mean response time: λ = μ - 1/RT.
+[[nodiscard]] inline double mm1_lambda_for_response_time(double mu, double rt) {
+  return mu - 1.0 / rt;
+}
+
+/// Service rate needed for a target mean response time at arrival rate λ.
+[[nodiscard]] inline double mm1_mu_for_response_time(double lambda, double rt) {
+  return lambda + 1.0 / rt;
+}
+
+}  // namespace heteroplace::perfmodel

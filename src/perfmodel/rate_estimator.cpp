@@ -1,0 +1,40 @@
+#include "perfmodel/rate_estimator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace heteroplace::perfmodel {
+
+void RateEstimator::observe(util::Seconds t, double rate) {
+  if (rate < 0.0) throw std::invalid_argument("RateEstimator: negative rate");
+  ++count_;
+  if (!have_) {
+    value_ = rate;
+    last_t_ = t.get();
+    have_ = true;
+    return;
+  }
+  if (t.get() < last_t_) {
+    throw std::invalid_argument("RateEstimator: observations must be time-ordered");
+  }
+  if (half_life_s_ <= 0.0) {
+    value_ = rate;
+    last_t_ = t.get();
+    return;
+  }
+  // Weight of the old estimate decays with elapsed time: after one
+  // half-life the old value contributes 50%.
+  const double dt = t.get() - last_t_;
+  const double keep = std::pow(0.5, dt / half_life_s_);
+  value_ = keep * value_ + (1.0 - keep) * rate;
+  last_t_ = t.get();
+}
+
+void RateEstimator::reset() {
+  value_ = 0.0;
+  last_t_ = 0.0;
+  have_ = false;
+  count_ = 0;
+}
+
+}  // namespace heteroplace::perfmodel

@@ -1,0 +1,46 @@
+#pragma once
+
+// Arrival-rate estimation for the controller.
+//
+// The paper's controller observes the transactional request rate through
+// monitoring, not as ground truth; real monitors deliver noisy
+// per-interval counts. This module provides the standard estimator used
+// by such controllers — an exponentially weighted moving average over
+// interval rates — so experiments can study the control loop under
+// measurement noise (see ExperimentOptions::lambda_noise_cv).
+
+#include <cstddef>
+
+#include "util/units.hpp"
+
+namespace heteroplace::perfmodel {
+
+/// EWMA over irregularly spaced rate observations. The smoothing factor
+/// is expressed as a half-life in seconds, so irregular control cycles
+/// weight observations consistently: an observation `h` seconds old
+/// carries half the weight of a fresh one.
+class RateEstimator {
+ public:
+  /// half_life <= 0 disables smoothing (estimator tracks the last sample).
+  explicit RateEstimator(double half_life_s = 1200.0) : half_life_s_(half_life_s) {}
+
+  /// Feed one observation: the measured average rate over the interval
+  /// ending at `t`. Observations must arrive in nondecreasing t order.
+  void observe(util::Seconds t, double rate);
+
+  /// Current smoothed estimate (0 before any observation).
+  [[nodiscard]] double estimate() const { return have_ ? value_ : 0.0; }
+  [[nodiscard]] bool has_observation() const { return have_; }
+  [[nodiscard]] std::size_t observations() const { return count_; }
+
+  void reset();
+
+ private:
+  double half_life_s_;
+  double value_{0.0};
+  double last_t_{0.0};
+  bool have_{false};
+  std::size_t count_{0};
+};
+
+}  // namespace heteroplace::perfmodel

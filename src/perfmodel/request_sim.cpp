@@ -1,0 +1,95 @@
+#include "perfmodel/request_sim.hpp"
+
+#include <deque>
+
+namespace heteroplace::perfmodel {
+
+namespace {
+
+/// Single FCFS server with Poisson arrivals and exponential service.
+/// Admission control: an arrival is shed if the number of requests in
+/// the system would push utilization-equivalent backlog beyond the cap —
+/// approximated by shedding when in-system count >= K(rho_cap), the
+/// M/M/1 occupancy at the cap (a practical token-bucket-style stand-in
+/// for middleware flow control).
+class Mm1System {
+ public:
+  Mm1System(const RequestSimConfig& cfg, sim::Engine& engine)
+      : cfg_(cfg),
+        engine_(engine),
+        rng_(cfg.seed),
+        mu_(cfg.capacity_mhz / cfg.service_demand) {
+    if (cfg_.rho_cap < 1.0) {
+      // Mean M/M/1 occupancy at rho_cap, plus slack: beyond this backlog
+      // the admission controller sheds.
+      const double l = cfg_.rho_cap / (1.0 - cfg_.rho_cap);
+      admit_limit_ = static_cast<long>(l * 4.0) + 2;
+    }
+    schedule_arrival();
+  }
+
+  [[nodiscard]] RequestSimResult take_result() { return std::move(result_); }
+
+ private:
+  void schedule_arrival() {
+    const double gap = rng_.exponential_mean(1.0 / cfg_.lambda);
+    const double t = engine_.now().get() + gap;
+    if (t > cfg_.horizon_s) return;
+    engine_.schedule_at(util::Seconds{t}, sim::EventPriority::kWorkloadArrival,
+                        [this] { on_arrival(); });
+  }
+
+  void on_arrival() {
+    ++result_.arrivals;
+    const long in_system = static_cast<long>(queue_.size()) + (busy_ ? 1 : 0);
+    if (admit_limit_ >= 0 && in_system >= admit_limit_) {
+      ++result_.shed;
+    } else {
+      ++result_.admitted;
+      queue_.push_back(engine_.now().get());
+      if (!busy_) start_service();
+    }
+    schedule_arrival();
+  }
+
+  void start_service() {
+    busy_ = true;
+    const double service = rng_.exponential_mean(1.0 / mu_);
+    engine_.schedule_in(util::Seconds{service}, sim::EventPriority::kStateTransition,
+                        [this] { on_departure(); });
+  }
+
+  void on_departure() {
+    const double arrived_at = queue_.front();
+    queue_.pop_front();
+    ++result_.completed;
+    if (arrived_at >= cfg_.warmup_s) {
+      result_.response_time.add(engine_.now().get() - arrived_at);
+    }
+    if (!queue_.empty()) {
+      start_service();
+    } else {
+      busy_ = false;
+    }
+  }
+
+  RequestSimConfig cfg_;
+  sim::Engine& engine_;
+  util::Rng rng_;
+  double mu_;
+  long admit_limit_{-1};  // -1 = no admission control
+  std::deque<double> queue_;  // arrival timestamps, FCFS
+  bool busy_{false};
+  RequestSimResult result_;
+};
+
+}  // namespace
+
+RequestSimResult run_request_sim(const RequestSimConfig& cfg) {
+  sim::Engine engine;
+  Mm1System system(cfg, engine);
+  engine.run();
+  return system.take_result();
+}
+
+}  // namespace heteroplace::perfmodel

@@ -1,0 +1,160 @@
+#include "scenario/config_loader.hpp"
+
+#include <set>
+#include <sstream>
+
+namespace heteroplace::scenario {
+
+namespace {
+
+/// Track consumed keys so unknown keys can be rejected.
+class KeyedConfig {
+ public:
+  explicit KeyedConfig(const util::Config& cfg) : cfg_(cfg) {}
+
+  [[nodiscard]] double num(const std::string& key, double def) {
+    used_.insert(key);
+    return cfg_.get_double(key, def);
+  }
+  [[nodiscard]] long long integer(const std::string& key, long long def) {
+    used_.insert(key);
+    return cfg_.get_int(key, def);
+  }
+  [[nodiscard]] bool boolean(const std::string& key, bool def) {
+    used_.insert(key);
+    return cfg_.get_bool(key, def);
+  }
+  [[nodiscard]] std::string str(const std::string& key, const std::string& def) {
+    used_.insert(key);
+    return cfg_.get_string(key, def);
+  }
+
+  void reject_unknown() const {
+    for (const auto& key : cfg_.keys()) {
+      if (used_.count(key) == 0) {
+        throw util::ConfigError("unknown scenario config key: '" + key + "'");
+      }
+    }
+  }
+
+ private:
+  const util::Config& cfg_;
+  std::set<std::string> used_;
+};
+
+}  // namespace
+
+Scenario scenario_from_config(const util::Config& cfg) {
+  KeyedConfig k(cfg);
+  const Scenario defaults = section3_scenario();
+  Scenario s;
+
+  s.name = k.str("name", "custom");
+  s.seed = static_cast<std::uint64_t>(k.integer("seed", static_cast<long long>(defaults.seed)));
+  s.horizon_s = k.num("horizon_s", defaults.horizon_s);
+  s.sample_interval_s = k.num("sample_interval_s", defaults.sample_interval_s);
+
+  s.cluster.nodes = static_cast<int>(k.integer("nodes", defaults.cluster.nodes));
+  s.cluster.cpu_per_node_mhz = k.num("cpu_per_node_mhz", defaults.cluster.cpu_per_node_mhz);
+  s.cluster.mem_per_node_mb = k.num("mem_per_node_mb", defaults.cluster.mem_per_node_mb);
+
+  s.controller.cycle_s = k.num("cycle_s", defaults.controller.cycle_s);
+  auto& lat = s.controller.latencies;
+  lat.start_job = util::Seconds{k.num("latency.start_job", lat.start_job.get())};
+  lat.suspend_job = util::Seconds{k.num("latency.suspend", lat.suspend_job.get())};
+  lat.resume_job = util::Seconds{k.num("latency.resume", lat.resume_job.get())};
+  lat.migrate_job = util::Seconds{k.num("latency.migrate", lat.migrate_job.get())};
+  lat.start_instance = util::Seconds{k.num("latency.start_instance", lat.start_instance.get())};
+
+  auto& sol = s.controller.solver;
+  sol.allow_migration = k.boolean("solver.allow_migration", sol.allow_migration);
+  sol.work_conserving = k.boolean("solver.work_conserving", sol.work_conserving);
+  sol.protect_completion_horizon_s =
+      k.num("solver.protect_completion_horizon_s", sol.protect_completion_horizon_s);
+  sol.instance_capacity_factor =
+      k.num("solver.instance_capacity_factor", sol.instance_capacity_factor);
+
+  s.jobs.count = k.integer("jobs.count", defaults.jobs.count);
+  s.jobs.mean_interarrival_s =
+      k.num("jobs.mean_interarrival_s", defaults.jobs.mean_interarrival_s);
+  s.jobs.tail_count = k.integer("jobs.tail_count", 0);
+  s.jobs.tail_mean_interarrival_s = k.num("jobs.tail_mean_interarrival_s", 0.0);
+  s.jobs.tmpl.work = util::MhzSeconds{k.num("jobs.work_mhz_s", defaults.jobs.tmpl.work.get())};
+  s.jobs.tmpl.work_cv = k.num("jobs.work_cv", defaults.jobs.tmpl.work_cv);
+  s.jobs.tmpl.max_speed =
+      util::CpuMhz{k.num("jobs.max_speed_mhz", defaults.jobs.tmpl.max_speed.get())};
+  s.jobs.tmpl.memory = util::MemMb{k.num("jobs.memory_mb", defaults.jobs.tmpl.memory.get())};
+  s.jobs.tmpl.goal_stretch = k.num("jobs.goal_stretch", defaults.jobs.tmpl.goal_stretch);
+  s.jobs.tmpl.importance = k.num("jobs.importance", defaults.jobs.tmpl.importance);
+  s.jobs.utility_shape = k.str("jobs.utility_shape", defaults.jobs.utility_shape);
+
+  const auto n_apps = k.integer("apps", 1);
+  if (n_apps < 0 || n_apps > 64) throw util::ConfigError("apps: out of range [0, 64]");
+  const TxAppScenario& app_defaults = defaults.apps.front();
+  for (long long i = 0; i < n_apps; ++i) {
+    const std::string p = "app." + std::to_string(i) + ".";
+    TxAppScenario app;
+    app.spec = app_defaults.spec;
+    app.spec.id = util::AppId{static_cast<util::AppId::underlying_type>(i)};
+    app.spec.name = k.str(p + "name", n_apps == 1 ? "web" : "app" + std::to_string(i));
+    app.spec.rt_goal = util::Seconds{k.num(p + "rt_goal_s", app_defaults.spec.rt_goal.get())};
+    app.spec.service_demand =
+        k.num(p + "service_demand_mhz_s", app_defaults.spec.service_demand);
+    app.spec.importance = k.num(p + "importance", 1.0);
+    app.spec.instance_memory =
+        util::MemMb{k.num(p + "instance_memory_mb", app_defaults.spec.instance_memory.get())};
+    app.spec.min_instances =
+        static_cast<int>(k.integer(p + "min_instances", app_defaults.spec.min_instances));
+    app.spec.max_instances =
+        static_cast<int>(k.integer(p + "max_instances", s.cluster.nodes));
+    app.spec.utility_cap = k.num(p + "utility_cap", app_defaults.spec.utility_cap);
+    app.spec.max_utilization = k.num(p + "max_utilization", app_defaults.spec.max_utilization);
+    app.spec.throughput_exponent =
+        k.num(p + "throughput_exponent", app_defaults.spec.throughput_exponent);
+    app.spec.max_cpu_per_instance = util::CpuMhz{s.cluster.cpu_per_node_mhz};
+    app.trace = workload::DemandTrace{k.num(p + "lambda", 24.0)};
+    s.apps.push_back(std::move(app));
+  }
+
+  k.reject_unknown();
+  return s;
+}
+
+std::string scenario_to_config(const Scenario& s) {
+  std::ostringstream os;
+  os << "name = " << s.name << "\n";
+  os << "seed = " << s.seed << "\n";
+  os << "horizon_s = " << s.horizon_s << "\n";
+  os << "sample_interval_s = " << s.sample_interval_s << "\n";
+  os << "nodes = " << s.cluster.nodes << "\n";
+  os << "cpu_per_node_mhz = " << s.cluster.cpu_per_node_mhz << "\n";
+  os << "mem_per_node_mb = " << s.cluster.mem_per_node_mb << "\n";
+  os << "cycle_s = " << s.controller.cycle_s << "\n";
+  os << "jobs.count = " << s.jobs.count << "\n";
+  os << "jobs.mean_interarrival_s = " << s.jobs.mean_interarrival_s << "\n";
+  os << "jobs.work_mhz_s = " << s.jobs.tmpl.work.get() << "\n";
+  os << "jobs.work_cv = " << s.jobs.tmpl.work_cv << "\n";
+  os << "jobs.max_speed_mhz = " << s.jobs.tmpl.max_speed.get() << "\n";
+  os << "jobs.memory_mb = " << s.jobs.tmpl.memory.get() << "\n";
+  os << "jobs.goal_stretch = " << s.jobs.tmpl.goal_stretch << "\n";
+  os << "jobs.utility_shape = " << s.jobs.utility_shape << "\n";
+  os << "apps = " << s.apps.size() << "\n";
+  for (std::size_t i = 0; i < s.apps.size(); ++i) {
+    const auto& a = s.apps[i];
+    const std::string p = "app." + std::to_string(i) + ".";
+    os << p << "name = " << a.spec.name << "\n";
+    os << p << "lambda = " << a.trace.rate_at(util::Seconds{0.0}) << "\n";
+    os << p << "rt_goal_s = " << a.spec.rt_goal.get() << "\n";
+    os << p << "service_demand_mhz_s = " << a.spec.service_demand << "\n";
+    os << p << "importance = " << a.spec.importance << "\n";
+    os << p << "instance_memory_mb = " << a.spec.instance_memory.get() << "\n";
+    os << p << "min_instances = " << a.spec.min_instances << "\n";
+    os << p << "max_instances = " << a.spec.max_instances << "\n";
+    os << p << "utility_cap = " << a.spec.utility_cap << "\n";
+    os << p << "max_utilization = " << a.spec.max_utilization << "\n";
+    os << p << "throughput_exponent = " << a.spec.throughput_exponent << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace heteroplace::scenario

@@ -1,0 +1,43 @@
+#pragma once
+
+// Config-driven scenario construction: build a full Scenario from
+// key=value configuration (file or command line), so experiments can be
+// defined and swept without recompiling.
+//
+// Recognized keys (defaults = the paper's Section-3 experiment):
+//
+//   name, seed, horizon_s, sample_interval_s
+//   nodes, cpu_per_node_mhz, mem_per_node_mb
+//   cycle_s
+//   latency.start_job, latency.suspend, latency.resume, latency.migrate,
+//   latency.start_instance
+//   solver.allow_migration, solver.work_conserving,
+//   solver.protect_completion_horizon_s, solver.instance_capacity_factor
+//   jobs.count, jobs.mean_interarrival_s, jobs.tail_count,
+//   jobs.tail_mean_interarrival_s, jobs.work_mhz_s, jobs.work_cv,
+//   jobs.max_speed_mhz, jobs.memory_mb, jobs.goal_stretch,
+//   jobs.utility_shape, jobs.importance
+//   apps                       — number of transactional apps (default 1)
+//   app.<i>.name, app.<i>.lambda, app.<i>.rt_goal_s,
+//   app.<i>.service_demand_mhz_s, app.<i>.importance,
+//   app.<i>.instance_memory_mb, app.<i>.min_instances,
+//   app.<i>.max_instances, app.<i>.utility_cap, app.<i>.max_utilization,
+//   app.<i>.throughput_exponent
+//
+// Unknown keys raise util::ConfigError so typos fail loudly.
+
+#include "scenario/scenario.hpp"
+#include "util/config.hpp"
+
+namespace heteroplace::scenario {
+
+/// Build a scenario from configuration; unspecified keys fall back to the
+/// paper's Section-3 values. Throws util::ConfigError on malformed values
+/// or unknown keys.
+[[nodiscard]] Scenario scenario_from_config(const util::Config& cfg);
+
+/// Render a scenario back into config text (round-trips through
+/// scenario_from_config); handy for archiving exactly what a bench ran.
+[[nodiscard]] std::string scenario_to_config(const Scenario& scenario);
+
+}  // namespace heteroplace::scenario

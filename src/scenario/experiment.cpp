@@ -1,0 +1,186 @@
+#include "scenario/experiment.hpp"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "perfmodel/rate_estimator.hpp"
+
+#include "baselines/proportional_share.hpp"
+#include "baselines/static_partition.hpp"
+#include "core/controller.hpp"
+#include "core/utility_policy.hpp"
+#include "sim/engine.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "utility/utility_fn.hpp"
+
+namespace heteroplace::scenario {
+
+const char* to_string(PolicyKind p) {
+  switch (p) {
+    case PolicyKind::kUtilityDriven:
+      return "utility-driven";
+    case PolicyKind::kStaticPartition:
+      return "static-partition";
+    case PolicyKind::kProportionalEqual:
+      return "proportional-equal";
+    case PolicyKind::kProportionalDemand:
+      return "proportional-demand";
+  }
+  return "?";
+}
+
+PolicyKind policy_from_string(const std::string& name) {
+  if (name == "utility-driven" || name == "utility") return PolicyKind::kUtilityDriven;
+  if (name == "static-partition" || name == "static") return PolicyKind::kStaticPartition;
+  if (name == "proportional-equal") return PolicyKind::kProportionalEqual;
+  if (name == "proportional-demand") return PolicyKind::kProportionalDemand;
+  throw std::invalid_argument("unknown policy: " + name);
+}
+
+ExperimentResult run_experiment(const Scenario& scenario, const ExperimentOptions& options) {
+  sim::Engine engine;
+  core::World world;
+
+  // --- cluster & apps -------------------------------------------------------
+  world.cluster().add_nodes(scenario.cluster.nodes,
+                            cluster::Resources{util::CpuMhz{scenario.cluster.cpu_per_node_mhz},
+                                               util::MemMb{scenario.cluster.mem_per_node_mb}});
+  for (const auto& app : scenario.apps) {
+    world.add_app(workload::TxApp{app.spec, app.trace});
+  }
+
+  // --- job stream -----------------------------------------------------------
+  util::Rng rng(scenario.seed);
+  std::vector<workload::PhasedPoissonArrivals::Phase> phases;
+  phases.push_back({util::Seconds{scenario.jobs.mean_interarrival_s}, scenario.jobs.count});
+  if (scenario.jobs.tail_count > 0 && scenario.jobs.tail_mean_interarrival_s > 0.0) {
+    phases.push_back(
+        {util::Seconds{scenario.jobs.tail_mean_interarrival_s}, scenario.jobs.tail_count});
+  }
+  workload::PhasedPoissonArrivals arrivals{util::Seconds{0.0}, std::move(phases)};
+  const auto job_specs = workload::generate_jobs(arrivals, scenario.jobs.tmpl, rng);
+
+  // --- models ----------------------------------------------------------------
+  auto job_model = std::make_shared<utility::JobUtilityModel>(
+      utility::make_utility(scenario.jobs.utility_shape));
+  auto tx_model = std::make_shared<utility::TxUtilityModel>();
+
+  // --- policy ----------------------------------------------------------------
+  // Noisy-monitoring state must outlive the policy: one estimator and one
+  // noise stream per app (keyed by app id).
+  auto estimators = std::make_shared<std::map<util::AppId, perfmodel::RateEstimator>>();
+  auto noise_rng = std::make_shared<util::Rng>(scenario.seed ^ 0xD1CEBA5EULL);
+
+  std::unique_ptr<core::PlacementPolicy> policy;
+  switch (options.policy) {
+    case PolicyKind::kUtilityDriven: {
+      auto up = std::make_unique<core::UtilityDrivenPolicy>(job_model, tx_model,
+                                                            scenario.controller.solver);
+      if (options.lambda_noise_cv > 0.0) {
+        const double cv = options.lambda_noise_cv;
+        const double half_life = options.lambda_estimator_half_life_s;
+        // LogNormal with mean 1 and the requested coefficient of variation.
+        const double sigma2 = std::log(1.0 + cv * cv);
+        const double mu = -0.5 * sigma2;
+        const double sigma = std::sqrt(sigma2);
+        up->set_lambda_provider(
+            [estimators, noise_rng, mu, sigma, half_life](const workload::TxApp& app,
+                                                          util::Seconds now) {
+              auto [it, inserted] =
+                  estimators->try_emplace(app.id(), perfmodel::RateEstimator{half_life});
+              const double observed =
+                  app.arrival_rate(now) * noise_rng->lognormal(mu, sigma);
+              it->second.observe(now, observed);
+              return it->second.estimate();
+            });
+      }
+      policy = std::move(up);
+      break;
+    }
+    case PolicyKind::kStaticPartition: {
+      baselines::StaticPartitionConfig cfg;
+      cfg.tx_node_fraction = options.static_tx_fraction;
+      policy = std::make_unique<baselines::StaticPartitionPolicy>(cfg);
+      break;
+    }
+    case PolicyKind::kProportionalEqual:
+    case PolicyKind::kProportionalDemand: {
+      baselines::ProportionalShareConfig cfg;
+      cfg.mode = options.policy == PolicyKind::kProportionalEqual
+                     ? baselines::ShareMode::kEqualPerWorkload
+                     : baselines::ShareMode::kDemandProportional;
+      cfg.solver = scenario.controller.solver;
+      policy = std::make_unique<baselines::ProportionalSharePolicy>(job_model, tx_model, cfg);
+      break;
+    }
+  }
+
+  // --- controller & metrics ---------------------------------------------------
+  core::ControllerConfig ctrl_cfg;
+  ctrl_cfg.cycle = util::Seconds{scenario.controller.cycle_s};
+  core::PlacementController controller(engine, world, std::move(policy),
+                                       scenario.controller.latencies, ctrl_cfg);
+
+  MetricsRecorder recorder(world, job_model, tx_model);
+  recorder.summary().scenario = scenario.name;
+  recorder.summary().policy = to_string(options.policy);
+
+  long invariant_violations = 0;
+  controller.set_observer([&](const core::CycleReport& report) {
+    recorder.on_cycle(report);
+    if (options.validate_invariants) {
+      const auto issues = world.cluster().validate();
+      invariant_violations += static_cast<long>(issues.size());
+      for (const auto& msg : issues) util::log_warn() << "invariant: " << msg;
+    }
+  });
+  controller.executor().set_completion_callback(
+      [&](const workload::Job& job) { recorder.on_job_completed(job); });
+
+  // --- schedule arrivals, sampling, control loop ------------------------------
+  for (const auto& spec : job_specs) {
+    engine.schedule_at(spec.submit_time, sim::EventPriority::kWorkloadArrival,
+                       [&world, spec] { world.submit_job(spec); });
+  }
+  // Periodic sampling, self-rescheduling.
+  const util::Seconds sample_dt{scenario.sample_interval_s};
+  std::function<void()> sample_tick = [&] {
+    recorder.sample(engine.now());
+    engine.schedule_in(sample_dt, sim::EventPriority::kSampling, sample_tick);
+  };
+  engine.schedule_in(sample_dt, sim::EventPriority::kSampling, sample_tick);
+  controller.start();
+
+  // --- run ---------------------------------------------------------------------
+  const double horizon =
+      options.horizon_override_s > 0.0 ? options.horizon_override_s : scenario.horizon_s;
+  const std::size_t total_jobs = job_specs.size();
+  if (horizon > 0.0) {
+    engine.run_until(util::Seconds{horizon});
+  } else {
+    // Run until every job completes (chunked so the perpetual control
+    // loop does not spin forever), capped for safety.
+    const double chunk = std::max(10.0 * scenario.controller.cycle_s, 6000.0);
+    while (world.completed_count() < total_jobs &&
+           engine.now().get() < options.max_sim_time_s) {
+      engine.run_until(engine.now() + util::Seconds{chunk});
+    }
+  }
+
+  // --- finalize -----------------------------------------------------------------
+  recorder.sample(engine.now());
+  ExperimentResult result;
+  result.summary = recorder.summary();
+  result.summary.jobs_submitted = static_cast<long>(world.submitted_count());
+  result.summary.sim_end_time_s = engine.now().get();
+  result.summary.invariant_violations = invariant_violations;
+  if (result.summary.jobs_completed > 0) {
+    result.summary.goal_met_fraction /= static_cast<double>(result.summary.jobs_completed);
+  }
+  result.series = std::move(recorder.series());
+  return result;
+}
+
+}  // namespace heteroplace::scenario

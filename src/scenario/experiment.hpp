@@ -1,0 +1,55 @@
+#pragma once
+
+// Experiment runner: wires a Scenario into engine + world + controller +
+// metrics, runs the simulation, and returns series + summary.
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "scenario/metrics.hpp"
+#include "scenario/scenario.hpp"
+
+namespace heteroplace::scenario {
+
+enum class PolicyKind {
+  kUtilityDriven,      // the paper's controller
+  kStaticPartition,    // fixed node split, FCFS jobs
+  kProportionalEqual,  // CPU fair share, utility-blind
+  kProportionalDemand  // CPU proportional to demand, utility-blind
+};
+
+[[nodiscard]] const char* to_string(PolicyKind p);
+[[nodiscard]] PolicyKind policy_from_string(const std::string& name);
+
+struct ExperimentOptions {
+  PolicyKind policy{PolicyKind::kUtilityDriven};
+  /// TX node fraction for the static-partition baseline.
+  double static_tx_fraction{0.4};
+  /// Run cluster invariant validation after every control cycle and
+  /// count violations in the summary (tests assert zero).
+  bool validate_invariants{false};
+  /// Override the scenario horizon (0 = keep scenario setting).
+  double horizon_override_s{0.0};
+  /// Hard safety cap on simulated time when running to completion.
+  double max_sim_time_s{5.0e6};
+  /// Measurement noise on the controller's arrival-rate observations:
+  /// each cycle the utility-driven policy sees λ_true × LogNormal(1, cv)
+  /// smoothed by an EWMA estimator (0 = perfect observation). Only
+  /// affects the utility-driven policy.
+  double lambda_noise_cv{0.0};
+  /// Half-life of the rate-estimator EWMA (see perfmodel::RateEstimator).
+  double lambda_estimator_half_life_s{1200.0};
+};
+
+struct ExperimentResult {
+  util::TimeSeriesSet series;
+  ExperimentSummary summary;
+};
+
+/// Run `scenario` under `options` and collect results. Deterministic for
+/// a fixed (scenario.seed, options) pair.
+[[nodiscard]] ExperimentResult run_experiment(const Scenario& scenario,
+                                              const ExperimentOptions& options = {});
+
+}  // namespace heteroplace::scenario

@@ -1,0 +1,87 @@
+#pragma once
+
+// Metric collection for experiments.
+//
+// Records the exact series the paper plots —
+//   Figure 1: actual transactional utility and average hypothetical
+//             long-running utility over time;
+//   Figure 2: CPU allocated to each workload and each workload's demand
+//             (CPU for maximum utility) over time —
+// plus churn, queue and completion statistics for the ablations.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/actions.hpp"
+#include "core/controller.hpp"
+#include "core/world.hpp"
+#include "util/stats.hpp"
+#include "util/time_series.hpp"
+#include "utility/job_utility.hpp"
+#include "utility/tx_utility.hpp"
+
+namespace heteroplace::scenario {
+
+/// End-of-run aggregates.
+struct ExperimentSummary {
+  std::string scenario;
+  std::string policy;
+
+  long jobs_submitted{0};
+  long jobs_completed{0};
+  /// Fraction of completed jobs that met their completion goal.
+  double goal_met_fraction{0.0};
+  /// (completion − submit) / goal over completed jobs.
+  util::RunningStats completion_ratio;
+  /// Utility at completion over completed jobs.
+  util::RunningStats job_utility;
+
+  /// Per-sample actual transactional utility (all apps averaged).
+  util::RunningStats tx_utility;
+  /// Per-cycle average hypothetical utility of active jobs.
+  util::RunningStats lr_utility;
+  /// |u_tx − ū_lr| over contended cycles: how well utilities equalize.
+  util::RunningStats equalization_gap;
+
+  cluster::ActionCounts actions;
+  long cycles{0};
+  double sim_end_time_s{0.0};
+  long invariant_violations{0};
+};
+
+/// Streams controller cycles and periodic samples into a TimeSeriesSet
+/// and accumulates the summary.
+class MetricsRecorder {
+ public:
+  MetricsRecorder(const core::World& world,
+                  std::shared_ptr<const utility::JobUtilityModel> job_model,
+                  std::shared_ptr<const utility::TxUtilityModel> tx_model)
+      : world_(&world), job_model_(std::move(job_model)), tx_model_(std::move(tx_model)) {}
+
+  /// Hook for PlacementController::set_observer.
+  void on_cycle(const core::CycleReport& report);
+
+  /// Periodic sampling of measured cluster state (allocations, actual
+  /// utilities). Scheduled by the experiment runner.
+  void sample(util::Seconds now);
+
+  /// Hook for ActionExecutor::set_completion_callback.
+  void on_job_completed(const workload::Job& job);
+
+  [[nodiscard]] const util::TimeSeriesSet& series() const { return series_; }
+  [[nodiscard]] util::TimeSeriesSet& series() { return series_; }
+  [[nodiscard]] ExperimentSummary& summary() { return summary_; }
+  [[nodiscard]] const ExperimentSummary& summary() const { return summary_; }
+
+ private:
+  const core::World* world_;
+  std::shared_ptr<const utility::JobUtilityModel> job_model_;
+  std::shared_ptr<const utility::TxUtilityModel> tx_model_;
+  util::TimeSeriesSet series_;
+  ExperimentSummary summary_;
+  double last_tx_utility_{0.0};
+  bool have_tx_utility_{false};
+};
+
+}  // namespace heteroplace::scenario

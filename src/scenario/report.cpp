@@ -1,0 +1,91 @@
+#include "scenario/report.hpp"
+
+#include <iomanip>
+#include <set>
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace heteroplace::scenario {
+
+void print_summary(std::ostream& os, const ExperimentSummary& s) {
+  os << "=== " << s.scenario << " / " << s.policy << " ===\n";
+  os << "  sim end time:        " << s.sim_end_time_s << " s over " << s.cycles << " cycles\n";
+  os << "  jobs:                " << s.jobs_completed << "/" << s.jobs_submitted
+     << " completed, goal met " << std::fixed << std::setprecision(3) << s.goal_met_fraction
+     << "\n";
+  os << "  completion ratio:    mean " << s.completion_ratio.mean() << " max "
+     << s.completion_ratio.max() << "\n";
+  os << "  job utility @done:   mean " << s.job_utility.mean() << " min " << s.job_utility.min()
+     << "\n";
+  os << "  tx utility:          mean " << s.tx_utility.mean() << " min " << s.tx_utility.min()
+     << "\n";
+  os << "  lr hyp utility:      mean " << s.lr_utility.mean() << " min " << s.lr_utility.min()
+     << "\n";
+  os << "  equalization gap:    mean " << s.equalization_gap.mean() << " (contended cycles: "
+     << s.equalization_gap.count() << ")\n";
+  os << "  actions:             starts " << s.actions.starts << ", suspends "
+     << s.actions.suspends << ", resumes " << s.actions.resumes << ", migrations "
+     << s.actions.migrations << ", inst+ " << s.actions.instance_starts << ", inst- "
+     << s.actions.instance_stops << "\n";
+  os << "  invariant violations: " << s.invariant_violations << "\n";
+  os.unsetf(std::ios::fixed);
+}
+
+std::string summary_csv_header() {
+  return "scenario,policy,jobs_completed,jobs_submitted,goal_met_fraction,"
+         "completion_ratio_mean,job_utility_mean,tx_utility_mean,lr_utility_mean,"
+         "equalization_gap_mean,suspends,resumes,migrations,instance_starts,cycles,"
+         "sim_end_time_s";
+}
+
+std::string summary_csv_row(const ExperimentSummary& s) {
+  std::ostringstream os;
+  util::CsvWriter w(os);
+  w.cell(s.scenario)
+      .cell(s.policy)
+      .cell(static_cast<long long>(s.jobs_completed))
+      .cell(static_cast<long long>(s.jobs_submitted))
+      .cell(s.goal_met_fraction)
+      .cell(s.completion_ratio.mean())
+      .cell(s.job_utility.mean())
+      .cell(s.tx_utility.mean())
+      .cell(s.lr_utility.mean())
+      .cell(s.equalization_gap.mean())
+      .cell(static_cast<long long>(s.actions.suspends))
+      .cell(static_cast<long long>(s.actions.resumes))
+      .cell(static_cast<long long>(s.actions.migrations))
+      .cell(static_cast<long long>(s.actions.instance_starts))
+      .cell(static_cast<long long>(s.cycles))
+      .cell(s.sim_end_time_s);
+  std::string row = os.str();
+  return row;
+}
+
+void print_series_csv(std::ostream& os, const util::TimeSeriesSet& series,
+                      const std::vector<std::string>& names, int every_nth) {
+  if (every_nth < 1) every_nth = 1;
+  util::CsvWriter w(os);
+  w.cell("t");
+  for (const auto& n : names) w.cell(n);
+  w.row();
+
+  std::set<double> times;
+  for (const auto& n : names) {
+    if (const auto* s = series.find(n)) {
+      for (const auto& p : s->points()) times.insert(p.t);
+    }
+  }
+  int idx = 0;
+  for (double t : times) {
+    if (idx++ % every_nth != 0) continue;
+    w.cell(t);
+    for (const auto& n : names) {
+      const auto* s = series.find(n);
+      w.cell(s != nullptr ? s->value_at(t) : 0.0);
+    }
+    w.row();
+  }
+}
+
+}  // namespace heteroplace::scenario

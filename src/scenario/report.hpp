@@ -1,0 +1,27 @@
+#pragma once
+
+// Human-readable and CSV reporting of experiment results, shared by the
+// benches and examples so every run prints comparable rows.
+
+#include <ostream>
+#include <string>
+
+#include "scenario/metrics.hpp"
+#include "util/time_series.hpp"
+
+namespace heteroplace::scenario {
+
+/// Multi-line human-readable summary block.
+void print_summary(std::ostream& os, const ExperimentSummary& summary);
+
+/// One-line CSV header/row matching print_summary's content (for sweep
+/// benches that emit one row per configuration).
+[[nodiscard]] std::string summary_csv_header();
+[[nodiscard]] std::string summary_csv_row(const ExperimentSummary& summary);
+
+/// Print selected series as a CSV table, optionally thinning to every
+/// n-th sample row (benches print every row to files, thinned to stdout).
+void print_series_csv(std::ostream& os, const util::TimeSeriesSet& series,
+                      const std::vector<std::string>& names, int every_nth = 1);
+
+}  // namespace heteroplace::scenario

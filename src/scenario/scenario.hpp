@@ -1,0 +1,78 @@
+#pragma once
+
+// Scenario descriptions: everything needed to run an experiment —
+// cluster topology, workloads, controller configuration — plus builders
+// for the paper's Section 3 evaluation (and scaled-down variants used in
+// tests and fast ablations).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/actions.hpp"
+#include "core/placement_problem.hpp"
+#include "workload/job_factory.hpp"
+#include "workload/transactional.hpp"
+
+namespace heteroplace::scenario {
+
+struct ClusterSpec {
+  int nodes{25};
+  double cpu_per_node_mhz{12000.0};  // 4 processors × 3000 MHz
+  double mem_per_node_mb{4096.0};
+};
+
+/// Job-stream specification: a phased Poisson arrival process over a job
+/// template. The paper uses one phase (800 jobs, mean gap 260 s); a
+/// second phase lets experiments model the end-of-run rate decrease
+/// explicitly.
+struct JobStreamSpec {
+  long count{800};
+  double mean_interarrival_s{260.0};
+  long tail_count{0};               // optional slower second phase
+  double tail_mean_interarrival_s{0.0};
+  workload::JobTemplate tmpl;
+  std::string utility_shape{"piecewise"};
+};
+
+struct TxAppScenario {
+  workload::TxAppSpec spec;
+  workload::DemandTrace trace;
+};
+
+struct ControllerSpec {
+  double cycle_s{600.0};
+  cluster::ActionLatencies latencies;
+  core::SolverConfig solver;
+};
+
+struct Scenario {
+  std::string name{"scenario"};
+  ClusterSpec cluster;
+  std::vector<TxAppScenario> apps;
+  JobStreamSpec jobs;
+  ControllerSpec controller;
+  /// Simulated horizon; 0 = run until every submitted job completes.
+  double horizon_s{0.0};
+  /// Sampling period for the time-series recorder.
+  double sample_interval_s{600.0};
+  std::uint64_t seed{42};
+};
+
+/// The paper's Section 3 experiment: 25 nodes × 4 × 3000 MHz, 800
+/// identical jobs (exponential inter-arrival, mean 260 s), 3 job VMs max
+/// per node by memory, one constant transactional workload, 600 s control
+/// cycle. Parameters not stated in the paper (job length, service demand,
+/// SLA goals) are chosen so the documented qualitative phases emerge; see
+/// EXPERIMENTS.md.
+[[nodiscard]] Scenario section3_scenario();
+
+/// Scaled-down Section 3 (fewer nodes/jobs, shorter jobs) for tests and
+/// fast ablation sweeps. `scale` ∈ (0, 1]; 1 returns the full scenario.
+[[nodiscard]] Scenario section3_scaled(double scale);
+
+/// Two transactional classes (gold/silver, different RT goals and
+/// importance) plus a job stream: the service-differentiation scenario.
+[[nodiscard]] Scenario service_differentiation_scenario();
+
+}  // namespace heteroplace::scenario

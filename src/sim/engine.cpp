@@ -1,0 +1,40 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace heteroplace::sim {
+
+EventHandle Engine::schedule_at(util::Seconds t, EventPriority priority, EventCallback cb) {
+  if (t.get() < now_) {
+    throw std::invalid_argument("Engine::schedule_at: time " + std::to_string(t.get()) +
+                                " is in the past (now=" + std::to_string(now_) + ")");
+  }
+  return queue_.push(t.get(), priority, std::move(cb));
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  auto [time, callback] = queue_.pop();
+  assert(time >= now_);
+  now_ = time;
+  ++executed_;
+  if (callback) callback();
+  return true;
+}
+
+void Engine::run() {
+  stop_requested_ = false;
+  while (!stop_requested_ && step()) {
+  }
+}
+
+void Engine::run_until(util::Seconds t_end) {
+  stop_requested_ = false;
+  while (!stop_requested_ && !queue_.empty() && queue_.next_time() <= t_end.get()) {
+    step();
+  }
+  if (!stop_requested_ && now_ < t_end.get()) now_ = t_end.get();
+}
+
+}  // namespace heteroplace::sim

@@ -1,0 +1,58 @@
+#pragma once
+
+// Discrete-event simulation engine.
+//
+// Single-threaded, deterministic: events fire in (time, priority, FIFO)
+// order; callbacks may schedule and cancel further events. Time is in
+// simulated seconds (util::Seconds at the API surface, raw double inside
+// the queue for speed).
+
+#include <cstdint>
+#include <limits>
+
+#include "sim/event_queue.hpp"
+#include "util/units.hpp"
+
+namespace heteroplace::sim {
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] util::Seconds now() const { return util::Seconds{now_}; }
+
+  /// Schedule at absolute simulated time `t` (must be >= now()).
+  EventHandle schedule_at(util::Seconds t, EventPriority priority, EventCallback cb);
+
+  /// Schedule `dt` seconds from now (dt >= 0).
+  EventHandle schedule_in(util::Seconds dt, EventPriority priority, EventCallback cb) {
+    return schedule_at(util::Seconds{now_ + dt.get()}, priority, std::move(cb));
+  }
+
+  /// Run until the event queue is empty or `stop()` is called.
+  void run();
+
+  /// Run events with time <= t_end, then set now() = t_end.
+  /// Events exactly at t_end do fire.
+  void run_until(util::Seconds t_end);
+
+  /// Fire exactly one event if any; returns false when the queue is empty.
+  bool step();
+
+  /// Request that run()/run_until() return after the current callback.
+  void stop() { stop_requested_ = true; }
+
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+  [[nodiscard]] std::size_t events_pending() const { return queue_.live_size(); }
+
+ private:
+  EventQueue queue_;
+  double now_{0.0};
+  std::uint64_t executed_{0};
+  bool stop_requested_{false};
+};
+
+}  // namespace heteroplace::sim

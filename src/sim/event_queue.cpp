@@ -1,0 +1,45 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace heteroplace::sim {
+
+EventHandle EventQueue::push(double time, EventPriority priority, EventCallback cb) {
+  auto rec = std::make_shared<detail::EventRecord>();
+  rec->time = time;
+  rec->priority = static_cast<int>(priority);
+  rec->seq = next_seq_++;
+  rec->callback = std::move(cb);
+  EventHandle handle{std::weak_ptr<detail::EventRecord>{rec}};
+  heap_.push(std::move(rec));
+  ++live_;
+  return handle;
+}
+
+void EventQueue::drop_dead() const {
+  while (!heap_.empty() && heap_.top()->cancelled) {
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const {
+  drop_dead();
+  return heap_.empty();
+}
+
+double EventQueue::next_time() const {
+  drop_dead();
+  assert(!heap_.empty());
+  return heap_.top()->time;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drop_dead();
+  assert(!heap_.empty());
+  auto rec = heap_.top();
+  heap_.pop();
+  --live_;
+  return Popped{rec->time, std::move(rec->callback)};
+}
+
+}  // namespace heteroplace::sim

@@ -1,0 +1,109 @@
+#pragma once
+
+// Pending-event set for the discrete-event engine.
+//
+// Ordering is total and deterministic: (time, priority, insertion sequence).
+// Cancellation is O(1) via lazy deletion: a handle flips a flag on the
+// shared record and the pop loop skips dead entries. This is the standard
+// technique for simulators whose events are frequently rescheduled (job
+// completion events are invalidated every time the controller changes a
+// job's CPU share).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace heteroplace::sim {
+
+/// Scheduling priority at equal timestamps; lower values run first.
+/// Named constants keep cross-module ordering explicit.
+enum class EventPriority : int {
+  kWorkloadArrival = 0,   // job submissions, demand-trace changes
+  kStateTransition = 10,  // action completions, job completions
+  kController = 20,       // control-cycle evaluation (sees arrivals at t)
+  kSampling = 30,         // metric sampling (sees the controller's output)
+};
+
+using EventCallback = std::function<void()>;
+
+namespace detail {
+struct EventRecord {
+  double time;
+  int priority;
+  std::uint64_t seq;
+  EventCallback callback;
+  bool cancelled{false};
+};
+}  // namespace detail
+
+/// Handle to a scheduled event; cancel() is idempotent and safe after the
+/// event has fired (it simply has no effect then).
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True if the event is still pending (not fired, not cancelled).
+  [[nodiscard]] bool pending() const {
+    auto rec = record_.lock();
+    return rec && !rec->cancelled;
+  }
+
+  /// Prevent the event from firing. Returns true if it was still pending.
+  bool cancel() {
+    auto rec = record_.lock();
+    if (!rec || rec->cancelled) return false;
+    rec->cancelled = true;
+    rec->callback = nullptr;  // release captured state eagerly
+    return true;
+  }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::weak_ptr<detail::EventRecord> rec) : record_(std::move(rec)) {}
+  std::weak_ptr<detail::EventRecord> record_;
+};
+
+class EventQueue {
+ public:
+  /// Schedule `cb` at absolute `time`. Ties broken by priority then FIFO.
+  EventHandle push(double time, EventPriority priority, EventCallback cb);
+
+  /// True if no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const;
+
+  /// Timestamp of the earliest live event; precondition: !empty().
+  [[nodiscard]] double next_time() const;
+
+  /// Remove and return the earliest live event's callback along with its
+  /// time. Precondition: !empty().
+  struct Popped {
+    double time;
+    EventCallback callback;
+  };
+  Popped pop();
+
+  [[nodiscard]] std::size_t live_size() const { return live_; }
+  [[nodiscard]] std::uint64_t total_scheduled() const { return next_seq_; }
+
+ private:
+  struct Cmp {
+    bool operator()(const std::shared_ptr<detail::EventRecord>& a,
+                    const std::shared_ptr<detail::EventRecord>& b) const {
+      if (a->time != b->time) return a->time > b->time;
+      if (a->priority != b->priority) return a->priority > b->priority;
+      return a->seq > b->seq;
+    }
+  };
+
+  void drop_dead() const;
+
+  mutable std::priority_queue<std::shared_ptr<detail::EventRecord>,
+                              std::vector<std::shared_ptr<detail::EventRecord>>, Cmp>
+      heap_;
+  mutable std::size_t live_{0};
+  std::uint64_t next_seq_{0};
+};
+
+}  // namespace heteroplace::sim

@@ -1,0 +1,122 @@
+#include "util/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace heteroplace::util {
+
+namespace {
+std::string trim(const std::string& s) {
+  auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  auto end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+}  // namespace
+
+Config Config::from_string(const std::string& text) {
+  Config cfg;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw ConfigError("config line " + std::to_string(lineno) + ": missing '=' in \"" + line +
+                        "\"");
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      throw ConfigError("config line " + std::to_string(lineno) + ": empty key");
+    }
+    cfg.values_[key] = value;
+  }
+  return cfg;
+}
+
+Config Config::from_args(int argc, const char* const* argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string tok = argv[i];
+    if (tok.rfind("--", 0) != 0) {
+      throw ConfigError("unexpected argument (expected --key=value): " + tok);
+    }
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos) {
+      // Bare flag --foo means foo=true.
+      cfg.values_[tok.substr(2)] = "true";
+      continue;
+    }
+    const std::string key = tok.substr(2, eq - 2);
+    if (key.empty()) throw ConfigError("empty key in argument: " + tok);
+    cfg.values_[key] = tok.substr(eq + 1);
+  }
+  return cfg;
+}
+
+void Config::merge(const Config& other) {
+  for (const auto& [k, v] : other.values_) values_[k] = v;
+}
+
+std::optional<std::string> Config::raw(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_string(const std::string& key, const std::string& def) const {
+  auto v = raw(key);
+  return v ? *v : def;
+}
+
+double Config::get_double(const std::string& key, double def) const {
+  auto v = raw(key);
+  if (!v) return def;
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(*v, &pos);
+    if (pos != v->size()) throw ConfigError("");
+    return out;
+  } catch (...) {
+    throw ConfigError("config key '" + key + "': not a number: \"" + *v + "\"");
+  }
+}
+
+long long Config::get_int(const std::string& key, long long def) const {
+  auto v = raw(key);
+  if (!v) return def;
+  try {
+    std::size_t pos = 0;
+    const long long out = std::stoll(*v, &pos);
+    if (pos != v->size()) throw ConfigError("");
+    return out;
+  } catch (...) {
+    throw ConfigError("config key '" + key + "': not an integer: \"" + *v + "\"");
+  }
+}
+
+bool Config::get_bool(const std::string& key, bool def) const {
+  auto v = raw(key);
+  if (!v) return def;
+  std::string s = *v;
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) { return std::tolower(c); });
+  if (s == "true" || s == "1" || s == "yes" || s == "on") return true;
+  if (s == "false" || s == "0" || s == "no" || s == "off") return false;
+  throw ConfigError("config key '" + key + "': not a boolean: \"" + *v + "\"");
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, _] : values_) out.push_back(k);
+  return out;
+}
+
+}  // namespace heteroplace::util

@@ -1,0 +1,53 @@
+#pragma once
+
+// Key=value configuration: parsed from files ("key = value" lines, '#'
+// comments) and from command lines ("--key=value"). Benches and examples
+// use it so every experiment parameter is overridable without recompiling.
+
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace heteroplace::util {
+
+/// Thrown when a value exists but cannot be parsed as the requested type.
+class ConfigError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse "key = value" lines; '#' starts a comment; blank lines ignored.
+  /// Later assignments override earlier ones.
+  static Config from_string(const std::string& text);
+
+  /// Parse argv-style "--key=value" tokens; unknown tokens raise
+  /// ConfigError. argv[0] is skipped.
+  static Config from_args(int argc, const char* const* argv);
+
+  /// Merge: entries in `other` override entries here.
+  void merge(const Config& other);
+
+  void set(const std::string& key, const std::string& value) { values_[key] = value; }
+
+  [[nodiscard]] bool has(const std::string& key) const { return values_.count(key) > 0; }
+  [[nodiscard]] std::optional<std::string> raw(const std::string& key) const;
+
+  /// Typed getters with defaults. Throw ConfigError on malformed values.
+  [[nodiscard]] std::string get_string(const std::string& key, const std::string& def) const;
+  [[nodiscard]] double get_double(const std::string& key, double def) const;
+  [[nodiscard]] long long get_int(const std::string& key, long long def) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool def) const;
+
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace heteroplace::util

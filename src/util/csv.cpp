@@ -1,0 +1,58 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+
+namespace heteroplace::util {
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quote = field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string{field};
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+CsvWriter& CsvWriter::cell(std::string_view s) {
+  if (!at_line_start_) os_ << ',';
+  os_ << csv_escape(s);
+  at_line_start_ = false;
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return cell(std::string_view{buf});
+}
+
+CsvWriter& CsvWriter::cell(long long v) {
+  if (!at_line_start_) os_ << ',';
+  os_ << v;
+  at_line_start_ = false;
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(unsigned long long v) {
+  if (!at_line_start_) os_ << ',';
+  os_ << v;
+  at_line_start_ = false;
+  return *this;
+}
+
+void CsvWriter::row() {
+  os_ << '\n';
+  at_line_start_ = true;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  for (const auto& c : cells) cell(c);
+  row();
+}
+
+}  // namespace heteroplace::util

@@ -1,0 +1,43 @@
+#pragma once
+
+// Minimal CSV emission with RFC-4180-style quoting. Used for experiment and
+// bench outputs so downstream plotting tools can regenerate the figures.
+
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace heteroplace::util {
+
+/// Quote a CSV field if it contains a comma, quote, or newline.
+[[nodiscard]] std::string csv_escape(std::string_view field);
+
+/// Streaming CSV writer over any std::ostream. Cells are appended with
+/// cell(); row() terminates the line. Numeric overloads format with enough
+/// precision to round-trip doubles.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  CsvWriter& cell(std::string_view s);
+  CsvWriter& cell(const char* s) { return cell(std::string_view{s}); }
+  CsvWriter& cell(double v);
+  CsvWriter& cell(long long v);
+  CsvWriter& cell(unsigned long long v);
+  CsvWriter& cell(int v) { return cell(static_cast<long long>(v)); }
+  CsvWriter& cell(std::size_t v) { return cell(static_cast<unsigned long long>(v)); }
+
+  /// End the current row.
+  void row();
+
+  /// Convenience: write an entire row of strings.
+  void row(const std::vector<std::string>& cells);
+
+ private:
+  std::ostream& os_;
+  bool at_line_start_{true};
+};
+
+}  // namespace heteroplace::util

@@ -1,0 +1,64 @@
+#pragma once
+
+// Strong identifier types for simulation entities.
+//
+// NodeId / VmId / JobId / AppId are all integers underneath, but mixing them
+// up is a silent bug; distinct types make the compiler catch it.
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace heteroplace::util {
+
+/// Tagged integral identifier. `Tag` is an empty struct unique per id kind.
+template <typename Tag>
+struct Id {
+  using underlying_type = std::uint32_t;
+  static constexpr underlying_type kInvalid = std::numeric_limits<underlying_type>::max();
+
+  underlying_type value{kInvalid};
+
+  constexpr Id() = default;
+  constexpr explicit Id(underlying_type v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value != kInvalid; }
+  [[nodiscard]] constexpr underlying_type get() const { return value; }
+
+  friend constexpr bool operator==(Id, Id) = default;
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Id id) {
+    if (!id.valid()) return os << "<none>";
+    return os << id.value;
+  }
+};
+
+struct NodeTag {};
+struct VmTag {};
+struct JobTag {};
+struct AppTag {};
+struct WorkloadTag {};
+
+/// Physical machine in the cluster.
+using NodeId = Id<NodeTag>;
+/// Virtual machine (job container or web-application instance).
+using VmId = Id<VmTag>;
+/// Long-running job.
+using JobId = Id<JobTag>;
+/// Transactional (clustered web) application.
+using AppId = Id<AppTag>;
+/// A utility consumer in the equalizer: either a job or a transactional app.
+using ConsumerId = Id<WorkloadTag>;
+
+}  // namespace heteroplace::util
+
+namespace std {
+template <typename Tag>
+struct hash<heteroplace::util::Id<Tag>> {
+  size_t operator()(heteroplace::util::Id<Tag> id) const noexcept {
+    return std::hash<typename heteroplace::util::Id<Tag>::underlying_type>{}(id.value);
+  }
+};
+}  // namespace std

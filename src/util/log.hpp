@@ -1,0 +1,46 @@
+#pragma once
+
+// Tiny leveled logger. Controllers log placement decisions at Debug; tests
+// and benches keep the default at Warn so output stays clean.
+
+#include <sstream>
+#include <string>
+
+namespace heteroplace::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level that is emitted.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emit one line at `level` (no-op if below the global level).
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+/// RAII line builder: streams into a buffer, emits on destruction.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, os_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+[[nodiscard]] inline detail::LogStream log_debug() { return detail::LogStream{LogLevel::kDebug}; }
+[[nodiscard]] inline detail::LogStream log_info() { return detail::LogStream{LogLevel::kInfo}; }
+[[nodiscard]] inline detail::LogStream log_warn() { return detail::LogStream{LogLevel::kWarn}; }
+[[nodiscard]] inline detail::LogStream log_error() { return detail::LogStream{LogLevel::kError}; }
+
+}  // namespace heteroplace::util

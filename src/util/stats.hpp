@@ -1,0 +1,85 @@
+#pragma once
+
+// Online and batch statistics used by the metric recorder and benches.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace heteroplace::util {
+
+/// Numerically stable running mean/variance (Welford), with min/max.
+class RunningStats {
+ public:
+  void add(double x);
+  /// Merge another accumulator (parallel reduction of per-replica stats).
+  void merge(const RunningStats& other);
+  void reset();
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for n < 2.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+  double sum_{0.0};
+};
+
+/// Batch percentile estimator: stores samples, answers arbitrary quantiles.
+/// Fine at simulation scale (up to a few million samples).
+class PercentileEstimator {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+
+  /// q in [0, 1]; linear interpolation between order statistics.
+  /// Returns 0 for an empty estimator.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_{false};
+};
+
+/// Fixed-width histogram over [lo, hi) with under/overflow bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::size_t underflow() const { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const { return overflow_; }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+
+  /// Render as "lo..hi: count" lines (debug / report output).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_{0};
+  std::size_t overflow_{0};
+  std::size_t total_{0};
+};
+
+}  // namespace heteroplace::util

@@ -1,0 +1,78 @@
+#include "util/time_series.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace heteroplace::util {
+
+double TimeSeries::value_at(double t) const {
+  if (points_.empty() || t < points_.front().t) return 0.0;
+  // Last point with point.t <= t.
+  auto it = std::upper_bound(points_.begin(), points_.end(), t,
+                             [](double lhs, const Point& p) { return lhs < p.t; });
+  return std::prev(it)->v;
+}
+
+double TimeSeries::mean_over(double t0, double t1) const {
+  RunningStats s;
+  for (const auto& p : points_) {
+    if (p.t >= t0 && p.t <= t1) s.add(p.v);
+  }
+  return s.mean();
+}
+
+RunningStats TimeSeries::summary() const {
+  RunningStats s;
+  for (const auto& p : points_) s.add(p.v);
+  return s;
+}
+
+TimeSeries& TimeSeriesSet::series(const std::string& name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return series_[it->second];
+  index_.emplace(name, series_.size());
+  series_.emplace_back(name);
+  return series_.back();
+}
+
+const TimeSeries* TimeSeriesSet::find(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return nullptr;
+  return &series_[it->second];
+}
+
+std::vector<std::string> TimeSeriesSet::names() const {
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& s : series_) out.push_back(s.name());
+  return out;
+}
+
+std::string TimeSeriesSet::to_csv() const {
+  std::ostringstream os;
+  os << "t";
+  for (const auto& s : series_) os << "," << s.name();
+  os << "\n";
+
+  std::set<double> times;
+  for (const auto& s : series_) {
+    for (const auto& p : s.points()) times.insert(p.t);
+  }
+  for (double t : times) {
+    os << t;
+    for (const auto& s : series_) os << "," << s.value_at(t);
+    os << "\n";
+  }
+  return os.str();
+}
+
+bool TimeSeriesSet::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_csv();
+  return static_cast<bool>(out);
+}
+
+}  // namespace heteroplace::util

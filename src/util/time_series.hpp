@@ -1,0 +1,70 @@
+#pragma once
+
+// Time-series recording for experiment outputs (the paper's Figures 1 and 2
+// are time series of utility and of allocated/demanded MHz).
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace heteroplace::util {
+
+/// One sampled series: (time, value) pairs, in nondecreasing time order.
+class TimeSeries {
+ public:
+  struct Point {
+    double t;
+    double v;
+  };
+
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  void add(double t, double v) { points_.push_back({t, v}); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+
+  /// Value at time t by zero-order hold (last sample at or before t).
+  /// Returns 0 before the first sample.
+  [[nodiscard]] double value_at(double t) const;
+
+  /// Mean of values sampled with t in [t0, t1].
+  [[nodiscard]] double mean_over(double t0, double t1) const;
+
+  /// Summary stats over all sample values.
+  [[nodiscard]] RunningStats summary() const;
+
+ private:
+  std::string name_;
+  std::vector<Point> points_;
+};
+
+/// A named collection of series sharing a sampling clock; CSV-exportable
+/// with one time column plus one column per series.
+class TimeSeriesSet {
+ public:
+  /// Get-or-create a series by name (insertion order is preserved).
+  TimeSeries& series(const std::string& name);
+  [[nodiscard]] const TimeSeries* find(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Record one value into the named series.
+  void add(const std::string& name, double t, double v) { series(name).add(t, v); }
+
+  /// Write "t,name1,name2,..." CSV. Rows are the union of sample times;
+  /// missing values use zero-order hold. Returns the CSV text.
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Write to_csv() output to a file; returns false on I/O error.
+  bool save_csv(const std::string& path) const;
+
+ private:
+  std::vector<TimeSeries> series_;
+  std::map<std::string, std::size_t> index_;
+};
+
+}  // namespace heteroplace::util

@@ -1,0 +1,106 @@
+#pragma once
+
+// Strong unit types used throughout heteroplace.
+//
+// The managed resources in the paper are CPU power (expressed in MHz, as in
+// the paper's Figure 2) and memory (MB). Simulated time is in seconds.
+// Using distinct types prevents the classic bug of adding megahertz to
+// megabytes; the types are thin wrappers over double with full arithmetic.
+
+#include <compare>
+#include <ostream>
+
+namespace heteroplace::util {
+
+/// CRTP base providing arithmetic for a scalar quantity wrapper.
+///
+/// Derived types behave like a `double` tagged with a unit: they support
+/// addition/subtraction with themselves, scaling by dimensionless factors,
+/// and ratios (which are dimensionless doubles).
+template <typename Derived>
+struct Quantity {
+  double value{0.0};
+
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) : value(v) {}
+
+  [[nodiscard]] constexpr double get() const { return value; }
+
+  friend constexpr Derived operator+(Derived a, Derived b) { return Derived{a.value + b.value}; }
+  friend constexpr Derived operator-(Derived a, Derived b) { return Derived{a.value - b.value}; }
+  friend constexpr Derived operator*(Derived a, double s) { return Derived{a.value * s}; }
+  friend constexpr Derived operator*(double s, Derived a) { return Derived{a.value * s}; }
+  friend constexpr Derived operator/(Derived a, double s) { return Derived{a.value / s}; }
+  /// Ratio of two like quantities is dimensionless.
+  friend constexpr double operator/(Derived a, Derived b) { return a.value / b.value; }
+  friend constexpr Derived operator-(Derived a) { return Derived{-a.value}; }
+
+  constexpr Derived& operator+=(Derived b) {
+    value += b.value;
+    return self();
+  }
+  constexpr Derived& operator-=(Derived b) {
+    value -= b.value;
+    return self();
+  }
+  constexpr Derived& operator*=(double s) {
+    value *= s;
+    return self();
+  }
+
+  friend constexpr auto operator<=>(const Quantity& a, const Quantity& b) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, const Quantity& q) { return os << q.value; }
+
+ private:
+  constexpr Derived& self() { return static_cast<Derived&>(*this); }
+};
+
+/// CPU power in MHz. The paper reports CPU allocation and demand in MHz
+/// (Figure 2); a 3 GHz processor contributes 3000 MHz of capacity.
+struct CpuMhz : Quantity<CpuMhz> {
+  using Quantity::Quantity;
+};
+
+/// Memory in megabytes.
+struct MemMb : Quantity<MemMb> {
+  using Quantity::Quantity;
+};
+
+/// Simulated wall-clock time / durations in seconds.
+struct Seconds : Quantity<Seconds> {
+  using Quantity::Quantity;
+};
+
+/// CPU work in MHz-seconds ("megacycles"): the integral of speed over time.
+/// A job with 3.0e7 MHz·s of work takes 10,000 s on a 3000 MHz processor.
+struct MhzSeconds : Quantity<MhzSeconds> {
+  using Quantity::Quantity;
+};
+
+/// Work accumulated by running at `speed` for `dt`.
+[[nodiscard]] constexpr MhzSeconds operator*(CpuMhz speed, Seconds dt) {
+  return MhzSeconds{speed.get() * dt.get()};
+}
+[[nodiscard]] constexpr MhzSeconds operator*(Seconds dt, CpuMhz speed) { return speed * dt; }
+
+/// Time to finish `work` at constant `speed` (caller guards speed > 0).
+[[nodiscard]] constexpr Seconds operator/(MhzSeconds work, CpuMhz speed) {
+  return Seconds{work.get() / speed.get()};
+}
+
+/// Speed needed to finish `work` within `dt` (caller guards dt > 0).
+[[nodiscard]] constexpr CpuMhz operator/(MhzSeconds work, Seconds dt) {
+  return CpuMhz{work.get() / dt.get()};
+}
+
+inline namespace literals {
+constexpr CpuMhz operator""_mhz(long double v) { return CpuMhz{static_cast<double>(v)}; }
+constexpr CpuMhz operator""_mhz(unsigned long long v) { return CpuMhz{static_cast<double>(v)}; }
+constexpr MemMb operator""_mb(long double v) { return MemMb{static_cast<double>(v)}; }
+constexpr MemMb operator""_mb(unsigned long long v) { return MemMb{static_cast<double>(v)}; }
+constexpr Seconds operator""_s(long double v) { return Seconds{static_cast<double>(v)}; }
+constexpr Seconds operator""_s(unsigned long long v) { return Seconds{static_cast<double>(v)}; }
+}  // namespace literals
+
+}  // namespace heteroplace::util

@@ -1,0 +1,68 @@
+#include "utility/tx_utility.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math.hpp"
+
+namespace heteroplace::utility {
+
+double TxUtilityModel::raw_utility(const workload::TxAppSpec& spec, double lambda,
+                                   util::CpuMhz alloc) const {
+  if (lambda <= 0.0) {
+    // No load: the app is maximally satisfied regardless of allocation.
+    return spec.utility_cap;
+  }
+  if (alloc.get() <= 0.0) {
+    // Nothing allocated but load offered: strongly unsatisfied. Use a
+    // large negative value that still orders below any finite-RT utility.
+    return -1e3;
+  }
+  const auto perf =
+      perfmodel::evaluate_tx(lambda, spec.service_demand, alloc, spec.max_utilization);
+  const double t_goal = spec.rt_goal.get();
+  double u = (t_goal - perf.response_time.get()) / t_goal;
+  u = std::min(u, spec.utility_cap);
+  if (u > 0.0 && perf.throughput_ratio < 1.0) {
+    u *= std::pow(perf.throughput_ratio, spec.throughput_exponent);
+  }
+  return u;
+}
+
+// Importance semantics (matches JobUtilityModel): the equalized quantity
+// is raw/importance, so more-important apps sustain proportionally higher
+// raw utility under contention.
+
+double TxUtilityModel::utility(const workload::TxAppSpec& spec, double lambda,
+                               util::CpuMhz alloc) const {
+  const double w = spec.importance > 0.0 ? spec.importance : 1.0;
+  return raw_utility(spec, lambda, alloc) / w;
+}
+
+double TxUtilityModel::max_utility(const workload::TxAppSpec& spec) const {
+  const double w = spec.importance > 0.0 ? spec.importance : 1.0;
+  return spec.utility_cap / w;
+}
+
+util::CpuMhz TxUtilityModel::demand_for_max_utility(const workload::TxAppSpec& spec,
+                                                    double lambda) const {
+  if (lambda <= 0.0) return util::CpuMhz{0.0};
+  // Unsaturated closed form: u_cap corresponds to RT = T(1 − u_cap).
+  const double rt_floor = spec.rt_goal.get() * (1.0 - spec.utility_cap);
+  const auto cap = perfmodel::capacity_for_response_time(lambda, spec.service_demand,
+                                                         util::Seconds{rt_floor});
+  return cap;
+}
+
+util::CpuMhz TxUtilityModel::alloc_for_utility(const workload::TxAppSpec& spec, double lambda,
+                                               double u) const {
+  if (lambda <= 0.0) return util::CpuMhz{0.0};
+  const util::CpuMhz hi = demand_for_max_utility(spec, lambda);
+  if (u >= max_utility(spec)) return hi;
+  const double x = util::invert_increasing(
+      [&](double w) { return utility(spec, lambda, util::CpuMhz{w}); }, u, 0.0, hi.get(),
+      /*x_tol=*/1e-6 * std::max(1.0, hi.get()));
+  return util::CpuMhz{std::clamp(x, 0.0, hi.get())};
+}
+
+}  // namespace heteroplace::utility

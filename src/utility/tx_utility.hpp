@@ -1,0 +1,45 @@
+#pragma once
+
+// Transactional utility model.
+//
+// Composes the queueing performance model with a response-time utility:
+//   u_raw = (T − RT) / T          (1 at RT→0, 0 at the goal, <0 beyond)
+//   u     = min(u_raw, u_cap) · τ^κ  for u_raw > 0,  else u_raw
+// where τ is the throughput ratio after flow control and κ >= 0 penalizes
+// shed load. The result is monotone non-decreasing in allocated CPU, so a
+// unique inverse (CPU needed for a target utility) exists and is computed
+// by bisection.
+
+#include "perfmodel/tx_model.hpp"
+#include "util/units.hpp"
+#include "workload/transactional.hpp"
+
+namespace heteroplace::utility {
+
+class TxUtilityModel {
+ public:
+  TxUtilityModel() = default;
+
+  /// Utility of app `spec` at arrival rate `lambda` with `alloc` CPU.
+  [[nodiscard]] double utility(const workload::TxAppSpec& spec, double lambda,
+                               util::CpuMhz alloc) const;
+
+  /// Minimum CPU achieving utility `u` (clamped to [0, demand_max]).
+  [[nodiscard]] util::CpuMhz alloc_for_utility(const workload::TxAppSpec& spec, double lambda,
+                                               double u) const;
+
+  /// Best achievable utility (the cap, modulated by importance).
+  [[nodiscard]] double max_utility(const workload::TxAppSpec& spec) const;
+
+  /// CPU demand to reach maximum utility — the "transactional demand"
+  /// series of the paper's Figure 2.
+  [[nodiscard]] util::CpuMhz demand_for_max_utility(const workload::TxAppSpec& spec,
+                                                    double lambda) const;
+
+ private:
+  /// Utility without the importance weight.
+  [[nodiscard]] double raw_utility(const workload::TxAppSpec& spec, double lambda,
+                                   util::CpuMhz alloc) const;
+};
+
+}  // namespace heteroplace::utility

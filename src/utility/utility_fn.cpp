@@ -1,0 +1,131 @@
+#include "utility/utility_fn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "util/math.hpp"
+
+namespace heteroplace::utility {
+
+double UtilityFunction::inverse(double u, double x_lo, double x_hi) const {
+  return util::invert_decreasing([this](double x) { return value(x); }, u, x_lo, x_hi);
+}
+
+PiecewiseLinearUtility::PiecewiseLinearUtility(std::vector<Point> points)
+    : points_(std::move(points)) {
+  if (points_.empty()) throw std::invalid_argument("PiecewiseLinearUtility: no points");
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].first <= points_[i - 1].first) {
+      throw std::invalid_argument("PiecewiseLinearUtility: x must be strictly increasing");
+    }
+    if (points_[i].second > points_[i - 1].second) {
+      throw std::invalid_argument("PiecewiseLinearUtility: u must be non-increasing");
+    }
+  }
+}
+
+double PiecewiseLinearUtility::value(double x) const {
+  if (points_.size() == 1) return points_.front().second;
+  if (x <= points_.front().first) {
+    // Extrapolate with the first segment's slope, but never above the
+    // first utility (utility saturates at its best value).
+    return points_.front().second;
+  }
+  if (x >= points_.back().first) {
+    const auto& a = points_[points_.size() - 2];
+    const auto& b = points_.back();
+    return util::lerp_at(a.first, a.second, b.first, b.second, x);
+  }
+  auto it = std::upper_bound(points_.begin(), points_.end(), x,
+                             [](double lhs, const Point& p) { return lhs < p.first; });
+  const auto& b = *it;
+  const auto& a = *std::prev(it);
+  return util::lerp_at(a.first, a.second, b.first, b.second, x);
+}
+
+double PiecewiseLinearUtility::inverse(double u, double x_lo, double x_hi) const {
+  if (points_.size() == 1) return u <= points_.front().second ? x_hi : x_lo;
+  if (u > points_.front().second) return x_lo;  // unreachable utility
+  if (u == points_.front().second) {
+    // Plateau: the largest x still achieving the maximum utility.
+    return std::clamp(points_.front().first, x_lo, x_hi);
+  }
+  // Walk segments until utility drops below u.
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const auto& a = points_[i - 1];
+    const auto& b = points_[i];
+    if (u >= b.second) {
+      if (a.second == b.second) return std::clamp(b.first, x_lo, x_hi);
+      const double x = a.first + (a.second - u) / (a.second - b.second) * (b.first - a.first);
+      return std::clamp(x, x_lo, x_hi);
+    }
+  }
+  // Beyond the last point: extrapolate the final slope.
+  const auto& a = points_[points_.size() - 2];
+  const auto& b = points_.back();
+  const double slope = (b.second - a.second) / (b.first - a.first);
+  if (slope >= 0.0) return x_hi;  // flat tail: u unreachable below
+  const double x = b.first + (u - b.second) / slope;
+  return std::clamp(x, x_lo, x_hi);
+}
+
+double PiecewiseLinearUtility::max_utility() const { return points_.front().second; }
+
+LinearUtility::LinearUtility(double u0, double slope) : u0_(u0), slope_(slope) {
+  if (slope < 0.0) throw std::invalid_argument("LinearUtility: negative slope");
+}
+
+double LinearUtility::value(double x) const { return u0_ - slope_ * x; }
+
+double LinearUtility::inverse(double u, double x_lo, double x_hi) const {
+  if (slope_ == 0.0) return u <= u0_ ? x_hi : x_lo;
+  return std::clamp((u0_ - u) / slope_, x_lo, x_hi);
+}
+
+SigmoidUtility::SigmoidUtility(double lo, double hi, double mid, double steepness)
+    : lo_(lo), hi_(hi), mid_(mid), k_(steepness) {
+  if (hi <= lo) throw std::invalid_argument("SigmoidUtility: hi <= lo");
+  if (steepness <= 0.0) throw std::invalid_argument("SigmoidUtility: steepness <= 0");
+}
+
+double SigmoidUtility::value(double x) const {
+  return lo_ + (hi_ - lo_) / (1.0 + std::exp(k_ * (x - mid_)));
+}
+
+double SigmoidUtility::inverse(double u, double x_lo, double x_hi) const {
+  if (u >= value(x_lo)) return x_lo;
+  if (u <= value(x_hi)) return x_hi;
+  const double f = (hi_ - lo_) / (u - lo_) - 1.0;  // = exp(k (x - mid))
+  return std::clamp(mid_ + std::log(f) / k_, x_lo, x_hi);
+}
+
+ExponentialUtility::ExponentialUtility(double u0, double rate) : u0_(u0), rate_(rate) {
+  if (u0 <= 0.0) throw std::invalid_argument("ExponentialUtility: u0 <= 0");
+  if (rate < 0.0) throw std::invalid_argument("ExponentialUtility: negative rate");
+}
+
+double ExponentialUtility::value(double x) const { return u0_ * std::exp(-rate_ * x); }
+
+double ExponentialUtility::inverse(double u, double x_lo, double x_hi) const {
+  if (rate_ == 0.0) return u <= u0_ ? x_hi : x_lo;
+  if (u <= 0.0) return x_hi;
+  return std::clamp(-std::log(u / u0_) / rate_, x_lo, x_hi);
+}
+
+std::shared_ptr<const UtilityFunction> default_job_utility() {
+  static const auto fn = std::make_shared<PiecewiseLinearUtility>(
+      std::vector<PiecewiseLinearUtility::Point>{{0.5, 1.0}, {1.0, 0.4}, {1.5, 0.0}});
+  return fn;
+}
+
+std::shared_ptr<const UtilityFunction> make_utility(const std::string& name) {
+  if (name == "piecewise") return default_job_utility();
+  if (name == "linear") return std::make_shared<LinearUtility>(1.3, 0.9);
+  if (name == "sigmoid") return std::make_shared<SigmoidUtility>(-0.5, 1.0, 1.0, 4.0);
+  if (name == "exponential") return std::make_shared<ExponentialUtility>(1.5, 0.9);
+  throw std::invalid_argument("make_utility: unknown shape '" + name + "'");
+}
+
+}  // namespace heteroplace::utility

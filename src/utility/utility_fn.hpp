@@ -1,0 +1,102 @@
+#pragma once
+
+// Monotone continuous utility functions.
+//
+// The paper represents the satisfaction of every workload as a monotonic,
+// continuous function of a *relative performance* measure x — for jobs,
+// x = (completion − submit) / goal; lower x is better, so utility is
+// non-increasing in x. A shared inverse lets the equalizer translate a
+// utility level back into a performance requirement.
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace heteroplace::utility {
+
+/// Monotone non-increasing, continuous utility of a relative performance
+/// ratio x >= 0 (x = 1 means "exactly met the goal").
+class UtilityFunction {
+ public:
+  virtual ~UtilityFunction() = default;
+
+  /// Utility at ratio x. Must be monotone non-increasing and continuous.
+  [[nodiscard]] virtual double value(double x) const = 0;
+
+  /// Largest ratio x achieving utility >= u, i.e. the generalized inverse
+  /// x(u) = sup{x : value(x) >= u}. For u above max utility returns
+  /// `x_lo`; for u below the utility at `x_hi` returns `x_hi`.
+  /// Subclasses with closed forms override; the default bisects.
+  [[nodiscard]] virtual double inverse(double u, double x_lo = 0.0, double x_hi = 1e9) const;
+
+  /// Utility of a perfectly performing workload (x -> 0).
+  [[nodiscard]] virtual double max_utility() const { return value(0.0); }
+};
+
+/// Piecewise-linear utility through given (x, u) breakpoints, extrapolated
+/// with the first/last segment slopes (flat if a single point). This is
+/// the workhorse shape: e.g. {(0.5, 1.0), (1.0, 0.4), (1.5, 0.0)} —
+/// full utility when finishing within half the goal, 0.4 exactly on goal,
+/// 0 at 1.5× goal, increasingly negative beyond.
+class PiecewiseLinearUtility final : public UtilityFunction {
+ public:
+  using Point = std::pair<double, double>;  // (x, u)
+
+  /// Points must be strictly increasing in x and non-increasing in u;
+  /// throws std::invalid_argument otherwise.
+  explicit PiecewiseLinearUtility(std::vector<Point> points);
+
+  [[nodiscard]] double value(double x) const override;
+  [[nodiscard]] double inverse(double u, double x_lo = 0.0, double x_hi = 1e9) const override;
+  [[nodiscard]] double max_utility() const override;
+
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+
+ private:
+  std::vector<Point> points_;
+};
+
+/// Linear utility u = u0 − slope·x (slope >= 0).
+class LinearUtility final : public UtilityFunction {
+ public:
+  LinearUtility(double u0, double slope);
+  [[nodiscard]] double value(double x) const override;
+  [[nodiscard]] double inverse(double u, double x_lo = 0.0, double x_hi = 1e9) const override;
+
+ private:
+  double u0_;
+  double slope_;
+};
+
+/// Smooth sigmoid: u = lo + (hi−lo) / (1 + exp(k·(x − mid))), decreasing
+/// in x for k > 0. Models "soft deadline" satisfaction.
+class SigmoidUtility final : public UtilityFunction {
+ public:
+  SigmoidUtility(double lo, double hi, double mid, double steepness);
+  [[nodiscard]] double value(double x) const override;
+  [[nodiscard]] double inverse(double u, double x_lo = 0.0, double x_hi = 1e9) const override;
+  [[nodiscard]] double max_utility() const override { return value(0.0); }
+
+ private:
+  double lo_, hi_, mid_, k_;
+};
+
+/// Exponential decay: u = u0·exp(−rate·x), rate >= 0.
+class ExponentialUtility final : public UtilityFunction {
+ public:
+  ExponentialUtility(double u0, double rate);
+  [[nodiscard]] double value(double x) const override;
+  [[nodiscard]] double inverse(double u, double x_lo = 0.0, double x_hi = 1e9) const override;
+
+ private:
+  double u0_, rate_;
+};
+
+/// The default job utility shape used across examples and benches.
+[[nodiscard]] std::shared_ptr<const UtilityFunction> default_job_utility();
+
+/// Named factory for benches/config: "piecewise", "linear", "sigmoid",
+/// "exponential". Throws std::invalid_argument for unknown names.
+[[nodiscard]] std::shared_ptr<const UtilityFunction> make_utility(const std::string& name);
+
+}  // namespace heteroplace::utility

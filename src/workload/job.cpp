@@ -1,0 +1,64 @@
+#include "workload/job.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace heteroplace::workload {
+
+const char* to_string(JobPhase p) {
+  switch (p) {
+    case JobPhase::kPending:
+      return "pending";
+    case JobPhase::kStarting:
+      return "starting";
+    case JobPhase::kRunning:
+      return "running";
+    case JobPhase::kSuspending:
+      return "suspending";
+    case JobPhase::kSuspended:
+      return "suspended";
+    case JobPhase::kResuming:
+      return "resuming";
+    case JobPhase::kMigrating:
+      return "migrating";
+    case JobPhase::kCompleted:
+      return "completed";
+  }
+  return "?";
+}
+
+void Job::advance_to(util::Seconds now) {
+  if (now.get() < last_update_.get()) {
+    throw std::logic_error("Job::advance_to: time went backwards");
+  }
+  if (phase_ == JobPhase::kRunning && speed_.get() > 0.0) {
+    const util::Seconds dt = now - last_update_;
+    done_ += speed_ * dt;
+    if (done_.get() > spec_.work.get()) done_ = spec_.work;  // clamp FP overshoot
+  }
+  last_update_ = now;
+}
+
+void Job::set_speed(util::Seconds now, util::CpuMhz speed) {
+  if (speed.get() < -1e-9 || speed.get() > spec_.max_speed.get() + 1e-6) {
+    throw std::invalid_argument("Job::set_speed: speed outside [0, max_speed]");
+  }
+  advance_to(now);
+  speed_ = util::CpuMhz{std::clamp(speed.get(), 0.0, spec_.max_speed.get())};
+}
+
+void Job::set_phase(util::Seconds now, JobPhase phase) {
+  advance_to(now);
+  phase_ = phase;
+  if (phase != JobPhase::kRunning) speed_ = util::CpuMhz{0.0};
+}
+
+util::Seconds Job::predicted_completion(util::Seconds now, util::CpuMhz speed) const {
+  const util::MhzSeconds rem = remaining();
+  if (rem.get() <= 0.0) return now;
+  if (speed.get() <= 0.0) return util::Seconds{std::numeric_limits<double>::infinity()};
+  return now + rem / speed;
+}
+
+}  // namespace heteroplace::workload

@@ -1,0 +1,34 @@
+#include "workload/job_factory.hpp"
+
+#include <cmath>
+
+namespace heteroplace::workload {
+
+std::vector<JobSpec> generate_jobs(ArrivalProcess& arrivals, const JobTemplate& tmpl,
+                                   util::Rng& rng, util::JobId::underlying_type first_id) {
+  std::vector<JobSpec> jobs;
+  util::JobId::underlying_type next_id = first_id;
+  while (auto t = arrivals.next(rng)) {
+    JobSpec spec;
+    spec.id = util::JobId{next_id++};
+    spec.name = tmpl.name_prefix + "-" + std::to_string(spec.id.get());
+    if (tmpl.work_cv > 0.0) {
+      // Lognormal parameterized by mean = work, cv = work_cv.
+      const double cv2 = tmpl.work_cv * tmpl.work_cv;
+      const double sigma2 = std::log(1.0 + cv2);
+      const double mu = std::log(tmpl.work.get()) - 0.5 * sigma2;
+      spec.work = util::MhzSeconds{rng.lognormal(mu, std::sqrt(sigma2))};
+    } else {
+      spec.work = tmpl.work;
+    }
+    spec.max_speed = tmpl.max_speed;
+    spec.memory = tmpl.memory;
+    spec.submit_time = *t;
+    spec.completion_goal = util::Seconds{spec.nominal_length().get() * tmpl.goal_stretch};
+    spec.importance = tmpl.importance;
+    jobs.push_back(std::move(spec));
+  }
+  return jobs;
+}
+
+}  // namespace heteroplace::workload

@@ -1,0 +1,36 @@
+#pragma once
+
+// Batch job stream construction: combines an arrival process with a job
+// template (or a randomized size distribution) to produce the JobSpec
+// stream submitted to the system.
+
+#include <memory>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workload/arrival.hpp"
+#include "workload/job.hpp"
+
+namespace heteroplace::workload {
+
+/// Template for generated jobs; `work_cv` > 0 draws work from a lognormal
+/// with the given coefficient of variation around `work` (0 = identical
+/// jobs, as in the paper's evaluation).
+struct JobTemplate {
+  std::string name_prefix{"job"};
+  util::MhzSeconds work{3.0e7};
+  double work_cv{0.0};
+  util::CpuMhz max_speed{3000.0};
+  util::MemMb memory{1300.0};
+  /// Completion goal as a multiple of the job's nominal length.
+  double goal_stretch{2.0};
+  double importance{1.0};
+};
+
+/// Generate the full job stream: one JobSpec per arrival. Ids are assigned
+/// sequentially starting at `first_id`.
+[[nodiscard]] std::vector<JobSpec> generate_jobs(ArrivalProcess& arrivals, const JobTemplate& tmpl,
+                                                 util::Rng& rng,
+                                                 util::JobId::underlying_type first_id = 0);
+
+}  // namespace heteroplace::workload

@@ -1,0 +1,39 @@
+#include "workload/transactional.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace heteroplace::workload {
+
+void DemandTrace::add(util::Seconds from, double rate) {
+  if (rate < 0.0) throw std::invalid_argument("DemandTrace: negative rate");
+  if (!points_.empty() && from.get() < points_.back().from.get()) {
+    throw std::invalid_argument("DemandTrace: breakpoints must be nondecreasing in time");
+  }
+  points_.push_back({from, rate});
+}
+
+double DemandTrace::rate_at(util::Seconds t) const {
+  if (points_.empty()) return 0.0;
+  if (t.get() <= points_.front().from.get()) return points_.front().rate;
+  // Last point with from <= t.
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), t.get(),
+      [](double lhs, const Point& p) { return lhs < p.from.get(); });
+  return std::prev(it)->rate;
+}
+
+std::vector<util::Seconds> DemandTrace::change_times() const {
+  std::vector<util::Seconds> out;
+  out.reserve(points_.size());
+  for (const auto& p : points_) out.push_back(p.from);
+  return out;
+}
+
+double DemandTrace::peak_rate() const {
+  double peak = 0.0;
+  for (const auto& p : points_) peak = std::max(peak, p.rate);
+  return peak;
+}
+
+}  // namespace heteroplace::workload

@@ -1,0 +1,92 @@
+#pragma once
+
+// Transactional (clustered web) applications.
+//
+// A transactional app serves an open stream of requests at rate λ(t)
+// (requests/s), each consuming a mean service demand d (MHz·s of CPU).
+// It runs as a cluster of web-instance VMs — at most one instance per
+// node — and its response time depends on the *total* CPU the controller
+// grants across instances. SLA: mean response time below a goal T.
+
+#include <string>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/units.hpp"
+
+namespace heteroplace::workload {
+
+/// Piecewise-constant request-rate trace λ(t). Points are (from-time,
+/// rate); the rate holds until the next point. Rate before the first
+/// point is the first point's rate (so a single point means "constant").
+class DemandTrace {
+ public:
+  DemandTrace() = default;
+  /// Constant-rate convenience.
+  explicit DemandTrace(double rate) { add(util::Seconds{0.0}, rate); }
+
+  /// Add a (time, rate) breakpoint; times must be nondecreasing.
+  void add(util::Seconds from, double rate);
+
+  [[nodiscard]] double rate_at(util::Seconds t) const;
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+
+  /// Times at which the rate changes (for scheduling re-evaluation).
+  [[nodiscard]] std::vector<util::Seconds> change_times() const;
+
+  /// Peak rate over the whole trace.
+  [[nodiscard]] double peak_rate() const;
+
+ private:
+  struct Point {
+    util::Seconds from;
+    double rate;
+  };
+  std::vector<Point> points_;
+};
+
+/// Static description of a transactional application and its SLA.
+struct TxAppSpec {
+  util::AppId id{};
+  std::string name;
+
+  // --- SLA and performance model -----------------------------------------
+  util::Seconds rt_goal{1.0};        // T: mean response-time goal
+  double service_demand{600.0};      // d: MHz·s of CPU per request
+  double max_utilization{0.9};       // flow-control cap on utilization
+  double throughput_exponent{1.0};   // κ: utility penalty for shed load
+  double utility_cap{0.9};           // u_max: best achievable utility
+  double importance{1.0};            // utility weight (service classes)
+
+  // --- instance sizing -----------------------------------------------------
+  util::MemMb instance_memory{1024.0};
+  int min_instances{1};
+  int max_instances{64};
+
+  /// CPU the app can productively use per instance (an instance cannot
+  /// exceed its node's capacity; this caps it lower if desired).
+  util::CpuMhz max_cpu_per_instance{1.0e9};
+};
+
+/// A transactional app: spec plus its offered-load trace.
+class TxApp {
+ public:
+  TxApp(TxAppSpec spec, DemandTrace trace) : spec_(std::move(spec)), trace_(std::move(trace)) {}
+
+  [[nodiscard]] const TxAppSpec& spec() const { return spec_; }
+  [[nodiscard]] util::AppId id() const { return spec_.id; }
+  [[nodiscard]] const DemandTrace& trace() const { return trace_; }
+  [[nodiscard]] double arrival_rate(util::Seconds t) const { return trace_.rate_at(t); }
+
+  /// Offered CPU load λ(t)·d — the capacity that would be consumed if all
+  /// requests were admitted with zero queueing slack.
+  [[nodiscard]] util::CpuMhz offered_load(util::Seconds t) const {
+    return util::CpuMhz{arrival_rate(t) * spec_.service_demand};
+  }
+
+ private:
+  TxAppSpec spec_;
+  DemandTrace trace_;
+};
+
+}  // namespace heteroplace::workload

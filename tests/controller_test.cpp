@@ -1,0 +1,168 @@
+// Tests for the control loop: periodic evaluation, observer reports,
+// utility policy wiring, determinism.
+
+#include "core/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/utility_policy.hpp"
+#include "utility/utility_fn.hpp"
+
+using namespace heteroplace;
+using namespace heteroplace::util::literals;
+using cluster::Resources;
+using core::CycleReport;
+using core::PlacementController;
+using core::World;
+using util::Seconds;
+using workload::JobPhase;
+using workload::JobSpec;
+
+namespace {
+
+JobSpec make_spec(unsigned id, double submit, double work = 3.0e6) {
+  JobSpec s;
+  s.id = util::JobId{id};
+  s.work = util::MhzSeconds{work};
+  s.max_speed = 3000_mhz;
+  s.memory = 1300_mb;
+  s.submit_time = Seconds{submit};
+  s.completion_goal = Seconds{4000.0};
+  return s;
+}
+
+std::unique_ptr<core::UtilityDrivenPolicy> make_policy() {
+  return std::make_unique<core::UtilityDrivenPolicy>(
+      std::make_shared<utility::JobUtilityModel>(), std::make_shared<utility::TxUtilityModel>());
+}
+
+workload::TxApp make_app(double lambda = 4.0) {
+  workload::TxAppSpec spec;
+  spec.id = util::AppId{0};
+  spec.name = "web";
+  spec.rt_goal = Seconds{1.2};
+  spec.service_demand = 5000.0;
+  spec.instance_memory = 1024_mb;
+  spec.max_instances = 4;
+  spec.max_cpu_per_instance = 12000_mhz;
+  return workload::TxApp{spec, workload::DemandTrace{lambda}};
+}
+
+}  // namespace
+
+TEST(Controller, RunsCyclesAtConfiguredPeriod) {
+  sim::Engine engine;
+  World world;
+  world.cluster().add_nodes(2, Resources{12000_mhz, 4096_mb});
+  core::ControllerConfig cfg;
+  cfg.cycle = 600_s;
+  PlacementController ctrl(engine, world, make_policy(), {}, cfg);
+  std::vector<double> cycle_times;
+  ctrl.set_observer([&](const CycleReport& r) { cycle_times.push_back(r.t.get()); });
+  ctrl.start();
+  engine.run_until(2500_s);
+  EXPECT_EQ(cycle_times, (std::vector<double>{0.0, 600.0, 1200.0, 1800.0, 2400.0}));
+  EXPECT_EQ(ctrl.cycles_run(), 5);
+}
+
+TEST(Controller, PendingJobGetsStartedOnNextCycle) {
+  sim::Engine engine;
+  World world;
+  world.cluster().add_nodes(2, Resources{12000_mhz, 4096_mb});
+  PlacementController ctrl(engine, world, make_policy());
+  ctrl.start();
+  engine.schedule_at(700_s, sim::EventPriority::kWorkloadArrival,
+                     [&] { world.submit_job(make_spec(0, 700.0)); });
+  engine.run_until(1100_s);
+  // Cycle at 1200 has not run yet: job still pending.
+  EXPECT_EQ(world.job(util::JobId{0}).phase(), JobPhase::kPending);
+  engine.run_until(1210_s);  // cycle at 1200 started the boot (60 s long)
+  EXPECT_EQ(world.job(util::JobId{0}).phase(), JobPhase::kStarting);
+  engine.run_until(5000_s);
+  EXPECT_EQ(world.job(util::JobId{0}).phase(), JobPhase::kCompleted);
+}
+
+TEST(Controller, ReportContainsEqualizerDiagnostics) {
+  sim::Engine engine;
+  World world;
+  world.cluster().add_nodes(2, Resources{12000_mhz, 4096_mb});
+  world.add_app(make_app(4.0));
+  world.submit_job(make_spec(0, 0.0));
+  PlacementController ctrl(engine, world, make_policy());
+  CycleReport last;
+  ctrl.set_observer([&](const CycleReport& r) { last = r; });
+  ctrl.run_cycle();
+  EXPECT_EQ(last.diag.active_jobs, 1);
+  ASSERT_EQ(last.diag.apps.size(), 1u);
+  EXPECT_DOUBLE_EQ(last.diag.apps[0].lambda, 4.0);
+  EXPECT_GT(last.diag.apps[0].demand.get(), 0.0);
+  EXPECT_GT(last.diag.jobs_demand.get(), 0.0);
+  EXPECT_FALSE(std::isnan(last.diag.u_star));
+  EXPECT_EQ(last.actions.starts, 1);
+  EXPECT_GE(last.actions.instance_starts, 1);  // contended: may need several
+}
+
+TEST(Controller, UncontendedClusterGivesEveryoneDemand) {
+  sim::Engine engine;
+  World world;
+  // 6 nodes = 72000 MHz; app demand at λ=1 is 5000 + 5000/0.12 ≈ 46667,
+  // job demand 1500 ⇒ comfortably uncontended.
+  world.cluster().add_nodes(6, Resources{12000_mhz, 4096_mb});
+  world.add_app(make_app(1.0));
+  world.submit_job(make_spec(0, 0.0));
+  PlacementController ctrl(engine, world, make_policy());
+  CycleReport last;
+  ctrl.set_observer([&](const CycleReport& r) { last = r; });
+  ctrl.run_cycle();
+  EXPECT_FALSE(last.diag.contended);
+  // The job's target equals its demand (= its max speed at t=0 here).
+  EXPECT_NEAR(last.diag.jobs_target.get(), last.diag.jobs_demand.get(), 1e-6);
+}
+
+TEST(Controller, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    sim::Engine engine;
+    World world;
+    world.cluster().add_nodes(3, Resources{12000_mhz, 4096_mb});
+    world.add_app(make_app(6.0));
+    for (unsigned i = 0; i < 8; ++i) {
+      const double t = 100.0 * (i + 1);
+      engine.schedule_at(Seconds{t}, sim::EventPriority::kWorkloadArrival,
+                         [&world, i, t] { world.submit_job(make_spec(i, t)); });
+    }
+    PlacementController ctrl(engine, world, make_policy());
+    std::vector<double> u_stars;
+    ctrl.set_observer([&](const CycleReport& r) { u_stars.push_back(r.diag.u_star); });
+    ctrl.start();
+    engine.run_until(20000_s);
+    return std::make_pair(u_stars, world.completed_count());
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.second, b.second);
+  ASSERT_EQ(a.first.size(), b.first.size());
+  for (std::size_t i = 0; i < a.first.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.first[i], b.first[i]) << "cycle " << i;
+  }
+}
+
+TEST(Controller, InvariantsHoldEveryCycleUnderChurn) {
+  sim::Engine engine;
+  World world;
+  world.cluster().add_nodes(3, Resources{12000_mhz, 4096_mb});
+  world.add_app(make_app(10.0));  // sizable TX demand forces contention
+  for (unsigned i = 0; i < 15; ++i) {
+    const double t = 150.0 * i + 1.0;
+    engine.schedule_at(Seconds{t}, sim::EventPriority::kWorkloadArrival,
+                       [&world, i, t] { world.submit_job(make_spec(i, t, 2.0e6)); });
+  }
+  PlacementController ctrl(engine, world, make_policy());
+  long violations = 0;
+  ctrl.set_observer([&](const CycleReport&) {
+    violations += static_cast<long>(world.cluster().validate().size());
+  });
+  ctrl.start();
+  engine.run_until(30000_s);
+  EXPECT_EQ(violations, 0);
+  EXPECT_EQ(world.completed_count(), 15u);
+}

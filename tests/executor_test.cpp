@@ -1,0 +1,300 @@
+// Tests for the action executor: VM lifecycle on the simulation clock,
+// latencies, completion scheduling, suspend/resume/migrate mechanics.
+
+#include "core/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/world.hpp"
+#include "sim/engine.hpp"
+
+using namespace heteroplace;
+using namespace heteroplace::util::literals;
+using cluster::PlacementPlan;
+using cluster::Resources;
+using cluster::VmState;
+using core::ActionExecutor;
+using core::World;
+using util::NodeId;
+using util::Seconds;
+using workload::JobPhase;
+using workload::JobSpec;
+
+namespace {
+
+JobSpec make_spec(unsigned id, double work = 3.0e6) {
+  JobSpec s;
+  s.id = util::JobId{id};
+  s.work = util::MhzSeconds{work};
+  s.max_speed = 3000_mhz;
+  s.memory = 1300_mb;
+  s.submit_time = 0_s;
+  s.completion_goal = 4000_s;
+  return s;
+}
+
+struct Fixture {
+  sim::Engine engine;
+  World world;
+  ActionExecutor executor{engine, world};
+  std::vector<util::JobId> completed;
+
+  Fixture(int nodes = 2) {
+    world.cluster().add_nodes(nodes, Resources{12000_mhz, 4096_mb});
+    executor.set_completion_callback(
+        [this](const workload::Job& j) { completed.push_back(j.id()); });
+  }
+
+  PlacementPlan plan_one(unsigned job_id, unsigned node, double cpu) {
+    PlacementPlan p;
+    p.jobs.push_back({util::JobId{job_id}, NodeId{node}, util::CpuMhz{cpu}});
+    return p;
+  }
+};
+
+}  // namespace
+
+TEST(Executor, StartsJobWithBootLatency) {
+  Fixture f;
+  f.world.submit_job(make_spec(0));
+  f.executor.apply(f.plan_one(0, 0, 3000.0));
+  auto& job = f.world.job(util::JobId{0});
+  EXPECT_EQ(job.phase(), JobPhase::kStarting);
+  // Memory reserved immediately; no CPU yet.
+  EXPECT_DOUBLE_EQ(f.world.cluster().node(NodeId{0}).used().mem.get(), 1300.0);
+  EXPECT_DOUBLE_EQ(f.world.cluster().node(NodeId{0}).used().cpu.get(), 0.0);
+
+  f.engine.run_until(59_s);
+  EXPECT_EQ(job.phase(), JobPhase::kStarting);
+  f.engine.run_until(61_s);
+  EXPECT_EQ(job.phase(), JobPhase::kRunning);
+  EXPECT_DOUBLE_EQ(job.speed().get(), 3000.0);
+  EXPECT_EQ(f.executor.counts().starts, 1);
+}
+
+TEST(Executor, JobCompletesOnSchedule) {
+  Fixture f;
+  f.world.submit_job(make_spec(0, /*work=*/3.0e6));  // 1000 s at 3000 MHz
+  f.executor.apply(f.plan_one(0, 0, 3000.0));
+  f.engine.run_until(1059_s);  // 60 s boot + 1000 s run = 1060
+  EXPECT_TRUE(f.completed.empty());
+  f.engine.run_until(1061_s);
+  ASSERT_EQ(f.completed.size(), 1u);
+  auto& job = f.world.job(util::JobId{0});
+  EXPECT_EQ(job.phase(), JobPhase::kCompleted);
+  EXPECT_NEAR(job.completion_time().get(), 1060.0, 1e-6);
+  // Resources released.
+  EXPECT_DOUBLE_EQ(f.world.cluster().node(NodeId{0}).used().mem.get(), 0.0);
+  EXPECT_DOUBLE_EQ(f.world.cluster().node(NodeId{0}).used().cpu.get(), 0.0);
+  EXPECT_TRUE(f.world.cluster().validate().empty());
+}
+
+TEST(Executor, ResizeReschedulesCompletion) {
+  Fixture f;
+  f.world.submit_job(make_spec(0, 3.0e6));
+  f.executor.apply(f.plan_one(0, 0, 3000.0));
+  f.engine.run_until(560_s);  // 500 s of running: 1.5e6 done
+  // Halve the speed: remaining 1.5e6 at 1500 → 1000 s more.
+  f.executor.apply(f.plan_one(0, 0, 1500.0));
+  f.engine.run_until(5000_s);
+  ASSERT_EQ(f.completed.size(), 1u);
+  EXPECT_NEAR(f.world.job(util::JobId{0}).completion_time().get(), 1560.0, 1e-6);
+}
+
+TEST(Executor, SuspendFreesMemoryAfterLatency) {
+  Fixture f;
+  f.world.submit_job(make_spec(0));
+  f.executor.apply(f.plan_one(0, 0, 3000.0));
+  f.engine.run_until(600_s);
+  // Empty plan: the running job must be suspended.
+  f.executor.apply(PlacementPlan{});
+  auto& job = f.world.job(util::JobId{0});
+  EXPECT_EQ(job.phase(), JobPhase::kSuspending);
+  EXPECT_DOUBLE_EQ(job.speed().get(), 0.0);
+  // Memory still held during the suspend latency.
+  EXPECT_DOUBLE_EQ(f.world.cluster().node(NodeId{0}).used().mem.get(), 1300.0);
+  f.engine.run_until(616_s);
+  EXPECT_EQ(job.phase(), JobPhase::kSuspended);
+  EXPECT_DOUBLE_EQ(f.world.cluster().node(NodeId{0}).used().mem.get(), 0.0);
+  EXPECT_EQ(f.executor.counts().suspends, 1);
+  EXPECT_EQ(job.suspend_count(), 1);
+  EXPECT_TRUE(f.world.cluster().validate().empty());
+}
+
+TEST(Executor, SuspendedJobMakesNoProgress) {
+  Fixture f;
+  f.world.submit_job(make_spec(0, 3.0e6));
+  f.executor.apply(f.plan_one(0, 0, 3000.0));
+  f.engine.run_until(560_s);  // 500 s run: half done
+  f.executor.apply(PlacementPlan{});
+  f.engine.run_until(2000_s);
+  auto& job = f.world.job(util::JobId{0});
+  job.advance_to(2000_s);
+  EXPECT_NEAR(job.done().get(), 1.5e6, 1.0);
+  EXPECT_TRUE(f.completed.empty());
+}
+
+TEST(Executor, ResumePlacesOnNewNodeWithLatency) {
+  Fixture f;
+  f.world.submit_job(make_spec(0, 3.0e6));
+  f.executor.apply(f.plan_one(0, 0, 3000.0));
+  f.engine.run_until(560_s);
+  f.executor.apply(PlacementPlan{});  // suspend
+  f.engine.run_until(700_s);
+  f.executor.apply(f.plan_one(0, 1, 3000.0));  // resume on node 1
+  auto& job = f.world.job(util::JobId{0});
+  EXPECT_EQ(job.phase(), JobPhase::kResuming);
+  EXPECT_EQ(job.node().get(), 1u);
+  f.engine.run_until(800_s);  // resume latency 90 s
+  EXPECT_EQ(job.phase(), JobPhase::kRunning);
+  EXPECT_EQ(f.executor.counts().resumes, 1);
+  // Remaining 1.5e6 at 3000 → completes 500 s after 790.
+  f.engine.run_until(5000_s);
+  ASSERT_EQ(f.completed.size(), 1u);
+  EXPECT_NEAR(job.completion_time().get(), 1290.0, 1e-6);
+}
+
+TEST(Executor, MigrationMovesMemoryAndPausesProgress) {
+  Fixture f;
+  f.world.submit_job(make_spec(0, 3.0e6));
+  f.executor.apply(f.plan_one(0, 0, 3000.0));
+  f.engine.run_until(560_s);  // half done
+  f.executor.apply(f.plan_one(0, 1, 3000.0));  // move to node 1
+  auto& job = f.world.job(util::JobId{0});
+  EXPECT_EQ(job.phase(), JobPhase::kMigrating);
+  EXPECT_EQ(job.migrate_count(), 1);
+  EXPECT_DOUBLE_EQ(f.world.cluster().node(NodeId{0}).used().mem.get(), 0.0);
+  EXPECT_DOUBLE_EQ(f.world.cluster().node(NodeId{1}).used().mem.get(), 1300.0);
+  f.engine.run_until(681_s);  // migrate latency 120 s
+  EXPECT_EQ(job.phase(), JobPhase::kRunning);
+  // 120 s of no progress: completion pushed to 560+120+500 = 1180.
+  f.engine.run_until(5000_s);
+  ASSERT_EQ(f.completed.size(), 1u);
+  EXPECT_NEAR(job.completion_time().get(), 1180.0, 1e-6);
+  EXPECT_EQ(f.executor.counts().migrations, 1);
+}
+
+TEST(Executor, MigrationChainResolvesViaFixpoint) {
+  // Nodes sized so two jobs cannot coexist: each node fits one job.
+  sim::Engine engine;
+  World world;
+  world.cluster().add_nodes(3, Resources{12000_mhz, 1500_mb});
+  ActionExecutor executor{engine, world};
+  world.submit_job(make_spec(0));
+  world.submit_job(make_spec(1));
+  {
+    PlacementPlan p;
+    p.jobs.push_back({util::JobId{0}, NodeId{0}, 3000_mhz});
+    p.jobs.push_back({util::JobId{1}, NodeId{1}, 3000_mhz});
+    executor.apply(p);
+  }
+  engine.run_until(100_s);
+  // Chain: job0 → node 1 is blocked until job1 → node 2 frees it.
+  PlacementPlan p2;
+  p2.jobs.push_back({util::JobId{0}, NodeId{1}, 3000_mhz});
+  p2.jobs.push_back({util::JobId{1}, NodeId{2}, 3000_mhz});
+  executor.apply(p2);
+  EXPECT_EQ(world.job(util::JobId{0}).node().get(), 1u);
+  EXPECT_EQ(world.job(util::JobId{1}).node().get(), 2u);
+  EXPECT_EQ(executor.counts().migrations, 2);
+  EXPECT_TRUE(world.cluster().validate().empty());
+}
+
+TEST(Executor, StartRetriesWhenMemoryIsDraining) {
+  // One node; 3 jobs fill its memory. Suspend one and immediately start
+  // another: the start is blocked on the draining suspension, then the
+  // retry succeeds.
+  Fixture f(1);
+  for (unsigned i = 0; i < 4; ++i) f.world.submit_job(make_spec(i));
+  {
+    PlacementPlan p;
+    for (unsigned i = 0; i < 3; ++i) {
+      p.jobs.push_back({util::JobId{i}, NodeId{0}, 3000_mhz});
+    }
+    f.executor.apply(p);
+  }
+  f.engine.run_until(600_s);
+  // New plan: job 0 out, job 3 in.
+  PlacementPlan p2;
+  p2.jobs.push_back({util::JobId{1}, NodeId{0}, 3000_mhz});
+  p2.jobs.push_back({util::JobId{2}, NodeId{0}, 3000_mhz});
+  p2.jobs.push_back({util::JobId{3}, NodeId{0}, 3000_mhz});
+  f.executor.apply(p2);
+  // Immediately: job 3 could not be placed (memory still draining).
+  EXPECT_EQ(f.world.job(util::JobId{3}).phase(), JobPhase::kPending);
+  // After the suspend latency + retry margin, the start goes through.
+  f.engine.run_until(620_s);
+  EXPECT_EQ(f.world.job(util::JobId{3}).phase(), JobPhase::kStarting);
+  EXPECT_TRUE(f.world.cluster().validate().empty());
+}
+
+TEST(Executor, InstanceLifecycle) {
+  Fixture f;
+  workload::TxAppSpec spec;
+  spec.id = util::AppId{0};
+  spec.name = "web";
+  spec.instance_memory = 1024_mb;
+  f.world.add_app(workload::TxApp{spec, workload::DemandTrace{10.0}});
+
+  PlacementPlan p;
+  p.instances.push_back({util::AppId{0}, NodeId{0}, 6000_mhz});
+  f.executor.apply(p);
+  EXPECT_EQ(f.executor.counts().instance_starts, 1);
+  EXPECT_DOUBLE_EQ(f.world.cluster().node(NodeId{0}).used().mem.get(), 1024.0);
+  EXPECT_DOUBLE_EQ(f.world.cluster().allocated_cpu(cluster::VmKind::kWebInstance).get(), 0.0);
+
+  f.engine.run_until(121_s);  // instance start latency 120 s
+  EXPECT_DOUBLE_EQ(f.world.cluster().allocated_cpu(cluster::VmKind::kWebInstance).get(), 6000.0);
+
+  // Resize.
+  PlacementPlan p2;
+  p2.instances.push_back({util::AppId{0}, NodeId{0}, 9000_mhz});
+  f.executor.apply(p2);
+  EXPECT_DOUBLE_EQ(f.world.cluster().allocated_cpu(cluster::VmKind::kWebInstance).get(), 9000.0);
+
+  // Stop.
+  f.executor.apply(PlacementPlan{});
+  EXPECT_EQ(f.executor.counts().instance_stops, 1);
+  EXPECT_DOUBLE_EQ(f.world.cluster().node(NodeId{0}).used().mem.get(), 0.0);
+  EXPECT_TRUE(f.world.cluster().validate().empty());
+}
+
+TEST(Executor, StoppingABootingInstanceCancelsItsStart) {
+  Fixture f;
+  workload::TxAppSpec spec;
+  spec.id = util::AppId{0};
+  spec.instance_memory = 1024_mb;
+  f.world.add_app(workload::TxApp{spec, workload::DemandTrace{10.0}});
+
+  PlacementPlan p;
+  p.instances.push_back({util::AppId{0}, NodeId{0}, 6000_mhz});
+  f.executor.apply(p);
+  f.engine.run_until(50_s);  // mid-boot
+  f.executor.apply(PlacementPlan{});
+  f.engine.run_until(300_s);
+  // The cancelled boot must not grant CPU later.
+  EXPECT_DOUBLE_EQ(f.world.cluster().allocated_cpu(cluster::VmKind::kWebInstance).get(), 0.0);
+  EXPECT_TRUE(f.world.cluster().validate().empty());
+}
+
+TEST(Executor, MidTransitionShareUpdateAppliedOnCompletion) {
+  Fixture f;
+  f.world.submit_job(make_spec(0));
+  f.executor.apply(f.plan_one(0, 0, 3000.0));
+  f.engine.run_until(30_s);  // still booting
+  // Replan with a lower share while the job is starting.
+  f.executor.apply(f.plan_one(0, 0, 1000.0));
+  f.engine.run_until(100_s);
+  EXPECT_EQ(f.world.job(util::JobId{0}).phase(), JobPhase::kRunning);
+  EXPECT_DOUBLE_EQ(f.world.job(util::JobId{0}).speed().get(), 1000.0);
+}
+
+TEST(Executor, CountsDeltaResetsBetweenCycles) {
+  Fixture f;
+  f.world.submit_job(make_spec(0));
+  f.executor.apply(f.plan_one(0, 0, 3000.0));
+  auto d1 = f.executor.take_counts_delta();
+  EXPECT_EQ(d1.starts, 1);
+  auto d2 = f.executor.take_counts_delta();
+  EXPECT_EQ(d2.starts, 0);
+}

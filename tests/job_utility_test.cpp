@@ -1,0 +1,196 @@
+// Tests for the job utility model: hypothetical utility and its inverse —
+// the job side of the paper's common currency.
+
+#include "utility/job_utility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace heteroplace;
+using namespace heteroplace::util::literals;
+using utility::JobUtilityModel;
+using workload::Job;
+using workload::JobSpec;
+
+namespace {
+JobSpec spec_with(double work, double max_speed, double submit, double goal,
+                  double importance = 1.0) {
+  JobSpec s;
+  s.id = util::JobId{1};
+  s.work = util::MhzSeconds{work};
+  s.max_speed = util::CpuMhz{max_speed};
+  s.memory = 1300_mb;
+  s.submit_time = util::Seconds{submit};
+  s.completion_goal = util::Seconds{goal};
+  s.importance = importance;
+  return s;
+}
+}  // namespace
+
+TEST(JobUtility, UtilityAtCompletionFollowsTheShape) {
+  JobUtilityModel m;
+  // Goal 1000 s: finishing at +500 s is the plateau edge (u=1), at
+  // +1000 s exactly on goal (u=0.4), at +1500 s u=0.
+  const auto s = spec_with(3.0e6, 3000.0, 100.0, 1000.0);
+  EXPECT_DOUBLE_EQ(m.utility_at_completion(s, util::Seconds{600.0}), 1.0);
+  EXPECT_DOUBLE_EQ(m.utility_at_completion(s, util::Seconds{1100.0}), 0.4);
+  EXPECT_DOUBLE_EQ(m.utility_at_completion(s, util::Seconds{1600.0}), 0.0);
+  EXPECT_LT(m.utility_at_completion(s, util::Seconds{3000.0}), 0.0);
+}
+
+TEST(JobUtility, ImportanceIsAnEqualizationWeight) {
+  JobUtilityModel m;
+  const auto s = spec_with(3.0e6, 3000.0, 0.0, 1000.0, 2.0);
+  // Weighted utility = raw / importance: raw 0.4 on-goal → 0.2 weighted.
+  EXPECT_DOUBLE_EQ(m.utility_at_completion(s, util::Seconds{1000.0}), 0.2);
+  // To reach the same weighted level, the important job needs more speed
+  // than a unit-importance twin.
+  Job important{s};
+  Job plain{spec_with(3.0e6, 3000.0, 0.0, 1000.0, 1.0)};
+  EXPECT_GT(m.speed_for_utility(important, util::Seconds{0.0}, 0.3).get(),
+            m.speed_for_utility(plain, util::Seconds{0.0}, 0.3).get());
+}
+
+TEST(JobUtility, HypotheticalUtilityAtFullSpeedImmediately) {
+  JobUtilityModel m;
+  // Work 3e6 at 3000 → 1000 s nominal; goal 2000 s ⇒ ratio 0.5 ⇒ u=1.
+  const auto s = spec_with(3.0e6, 3000.0, 0.0, 2000.0);
+  Job j(s);
+  EXPECT_DOUBLE_EQ(m.hypothetical_utility(j, 0_s, 3000_mhz), 1.0);
+}
+
+TEST(JobUtility, HypotheticalUtilityFallsWithWaiting) {
+  JobUtilityModel m;
+  const auto s = spec_with(3.0e6, 3000.0, 0.0, 2000.0);
+  Job j(s);
+  const double u0 = m.hypothetical_utility(j, 0_s, 3000_mhz);
+  j.advance_to(1500_s);  // pending all along
+  const double u1 = m.hypothetical_utility(j, 1500_s, 3000_mhz);
+  j.advance_to(4000_s);
+  const double u2 = m.hypothetical_utility(j, 4000_s, 3000_mhz);
+  EXPECT_GT(u0, u1);
+  EXPECT_GT(u1, u2);
+  EXPECT_LT(u2, 0.0);  // goal blown even at max speed
+}
+
+TEST(JobUtility, HypotheticalUtilityMonotoneInSpeed) {
+  JobUtilityModel m;
+  const auto s = spec_with(3.0e6, 3000.0, 0.0, 2000.0);
+  Job j(s);
+  j.advance_to(500_s);
+  double last = -1e9;
+  for (double w = 100.0; w <= 3000.0; w += 100.0) {
+    const double u = m.hypothetical_utility(j, 500_s, util::CpuMhz{w});
+    ASSERT_GE(u, last - 1e-12);
+    last = u;
+  }
+}
+
+TEST(JobUtility, ZeroSpeedWithWorkLeftIsVeryNegative) {
+  JobUtilityModel m;
+  const auto s = spec_with(3.0e6, 3000.0, 0.0, 2000.0);
+  Job j(s);
+  EXPECT_LT(m.hypothetical_utility(j, 0_s, 0_mhz), -100.0);
+}
+
+TEST(JobUtility, FinishedJobUsesCompletionSemantics) {
+  JobUtilityModel m;
+  const auto s = spec_with(3.0e6, 3000.0, 0.0, 2000.0);
+  Job j(s);
+  j.set_phase(0_s, workload::JobPhase::kStarting);
+  j.set_phase(0_s, workload::JobPhase::kRunning);
+  j.set_speed(0_s, 3000_mhz);
+  j.advance_to(1000_s);
+  ASSERT_TRUE(j.finished());
+  // Hypothetical utility of a finished job = utility at "now".
+  EXPECT_DOUBLE_EQ(m.hypothetical_utility(j, 1000_s, 0_mhz), 1.0);
+}
+
+TEST(JobUtility, SpeedForUtilityRoundTrips) {
+  JobUtilityModel m;
+  const auto s = spec_with(3.0e6, 3000.0, 0.0, 4000.0);
+  Job j(s);
+  j.advance_to(200_s);
+  for (double u : {0.9, 0.7, 0.4, 0.1}) {
+    const util::CpuMhz w = m.speed_for_utility(j, 200_s, u);
+    if (w.get() > 0.0 && w.get() < 3000.0) {
+      EXPECT_NEAR(m.hypothetical_utility(j, 200_s, w), u, 1e-6) << "u=" << u;
+    }
+  }
+}
+
+TEST(JobUtility, SpeedForUnreachableUtilityIsMaxSpeed) {
+  JobUtilityModel m;
+  const auto s = spec_with(3.0e6, 3000.0, 0.0, 2000.0);
+  Job j(s);
+  j.advance_to(1800_s);  // even instant completion ⇒ ratio 0.9 ⇒ u≈0.46 max
+  EXPECT_DOUBLE_EQ(m.speed_for_utility(j, 1800_s, 0.9).get(), 3000.0);
+}
+
+TEST(JobUtility, SpeedForVeryLowUtilityIsTiny) {
+  JobUtilityModel m;
+  const auto s = spec_with(3.0e6, 3000.0, 0.0, 2000.0);
+  Job j(s);
+  const util::CpuMhz w = m.speed_for_utility(j, 0_s, -5.0);
+  EXPECT_LT(w.get(), 500.0);
+  EXPECT_GT(w.get(), 0.0);
+}
+
+TEST(JobUtility, MaxAchievableUtilityDecaysOverTime) {
+  JobUtilityModel m;
+  const auto s = spec_with(3.0e6, 3000.0, 0.0, 2000.0);
+  Job j(s);
+  EXPECT_DOUBLE_EQ(m.max_achievable_utility(j, 0_s), 1.0);
+  j.advance_to(3000_s);
+  EXPECT_LT(m.max_achievable_utility(j, 3000_s), 0.4);
+}
+
+TEST(JobUtility, DemandForMaxUtility) {
+  JobUtilityModel m;
+  const auto s = spec_with(3.0e6, 3000.0, 0.0, 2000.0);
+  Job j(s);
+  // At t=0 the plateau (ratio 0.5 ⇒ finish by 1000 s) needs exactly
+  // 3e6/1000 = 3000 MHz.
+  EXPECT_DOUBLE_EQ(m.demand_for_max_utility(j, 0_s).get(), 3000.0);
+  // Half the work done with plenty of time: needs less.
+  Job j2(s);
+  j2.set_phase(0_s, workload::JobPhase::kStarting);
+  j2.set_phase(0_s, workload::JobPhase::kRunning);
+  j2.set_speed(0_s, 3000_mhz);
+  j2.advance_to(500_s);
+  j2.set_speed(500_s, 0_mhz);
+  EXPECT_NEAR(m.demand_for_max_utility(j2, 500_s).get(), 1.5e6 / 500.0, 1e-9);
+  // Finished job demands nothing.
+  Job j3(s);
+  j3.set_phase(0_s, workload::JobPhase::kStarting);
+  j3.set_phase(0_s, workload::JobPhase::kRunning);
+  j3.set_speed(0_s, 3000_mhz);
+  j3.advance_to(1000_s);
+  EXPECT_DOUBLE_EQ(m.demand_for_max_utility(j3, 1000_s).get(), 0.0);
+}
+
+// Property sweep: inverse/forward consistency across waiting times.
+class JobUtilityRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(JobUtilityRoundTrip, SpeedForUtilityIsConsistent) {
+  JobUtilityModel m;
+  const auto s = spec_with(3.0e6, 3000.0, 0.0, 4000.0);
+  Job j(s);
+  const double wait = GetParam();
+  j.advance_to(util::Seconds{wait});
+  const double u_max = m.max_achievable_utility(j, util::Seconds{wait});
+  for (double frac : {0.95, 0.7, 0.4}) {
+    const double u = u_max * frac - (1.0 - frac);  // spans below u_max
+    const auto w = m.speed_for_utility(j, util::Seconds{wait}, u);
+    const double achieved = m.hypothetical_utility(j, util::Seconds{wait}, w);
+    // Achieved utility at the returned speed is at least u (or the speed
+    // is clamped at max and u is unreachable).
+    if (w.get() < 3000.0 - 1e-9) {
+      ASSERT_GE(achieved, u - 1e-6) << "wait=" << wait << " u=" << u;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WaitTimes, JobUtilityRoundTrip,
+                         ::testing::Values(0.0, 500.0, 1500.0, 3000.0, 6000.0));

@@ -1,0 +1,172 @@
+// Tests for the queueing performance model, including the request-level
+// DES validation of the analytic formulas.
+
+#include "perfmodel/mm1.hpp"
+#include "perfmodel/request_sim.hpp"
+#include "perfmodel/tx_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace heteroplace;
+using util::CpuMhz;
+using util::Seconds;
+
+// --- M/M/1 formulas -------------------------------------------------------------
+
+TEST(Mm1, KnownValues) {
+  // λ=8, μ=10: ρ=0.8, RT=1/(10-8)=0.5, L=4, Wq=0.4.
+  EXPECT_DOUBLE_EQ(perfmodel::mm1_utilization(8.0, 10.0), 0.8);
+  EXPECT_DOUBLE_EQ(perfmodel::mm1_response_time(8.0, 10.0), 0.5);
+  EXPECT_DOUBLE_EQ(perfmodel::mm1_number_in_system(8.0, 10.0), 4.0);
+  EXPECT_DOUBLE_EQ(perfmodel::mm1_wait_time(8.0, 10.0), 0.4);
+}
+
+TEST(Mm1, SaturationIsInfinite) {
+  EXPECT_TRUE(std::isinf(perfmodel::mm1_response_time(10.0, 10.0)));
+  EXPECT_TRUE(std::isinf(perfmodel::mm1_response_time(12.0, 10.0)));
+  EXPECT_TRUE(std::isinf(perfmodel::mm1_number_in_system(10.0, 10.0)));
+}
+
+TEST(Mm1, InverseRelationsRoundTrip) {
+  const double mu = 10.0;
+  const double rt = perfmodel::mm1_response_time(6.0, mu);
+  EXPECT_NEAR(perfmodel::mm1_lambda_for_response_time(mu, rt), 6.0, 1e-12);
+  EXPECT_NEAR(perfmodel::mm1_mu_for_response_time(6.0, rt), mu, 1e-12);
+}
+
+// --- Transactional model ----------------------------------------------------------
+
+TEST(TxModel, UnsaturatedMatchesMm1) {
+  // d=5000 MHz·s, ω=150000 ⇒ μ=30 req/s; λ=24 ⇒ RT=1/6.
+  const auto r = perfmodel::evaluate_tx(24.0, 5000.0, CpuMhz{150000.0}, 0.9);
+  EXPECT_FALSE(r.saturated);
+  EXPECT_DOUBLE_EQ(r.admitted_rate, 24.0);
+  EXPECT_DOUBLE_EQ(r.throughput_ratio, 1.0);
+  EXPECT_NEAR(r.response_time.get(), 1.0 / 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r.utilization, 0.8);
+}
+
+TEST(TxModel, FlowControlCapsAdmission) {
+  // ω=100000 ⇒ μ=20; cap 0.9 ⇒ admit 18 < λ=24.
+  const auto r = perfmodel::evaluate_tx(24.0, 5000.0, CpuMhz{100000.0}, 0.9);
+  EXPECT_TRUE(r.saturated);
+  EXPECT_DOUBLE_EQ(r.admitted_rate, 18.0);
+  EXPECT_DOUBLE_EQ(r.throughput_ratio, 0.75);
+  EXPECT_NEAR(r.response_time.get(), 1.0 / 2.0, 1e-12);  // 1/(20-18)
+  EXPECT_NEAR(r.utilization, 0.9, 1e-12);
+}
+
+TEST(TxModel, ZeroCapacityShedsEverything) {
+  const auto r = perfmodel::evaluate_tx(24.0, 5000.0, CpuMhz{0.0}, 0.9);
+  EXPECT_TRUE(r.saturated);
+  EXPECT_DOUBLE_EQ(r.admitted_rate, 0.0);
+  EXPECT_TRUE(std::isinf(r.response_time.get()));
+}
+
+TEST(TxModel, ZeroLoadIsInstantaneous) {
+  const auto r = perfmodel::evaluate_tx(0.0, 5000.0, CpuMhz{50000.0}, 0.9);
+  EXPECT_FALSE(r.saturated);
+  EXPECT_DOUBLE_EQ(r.throughput_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(r.response_time.get(), 5000.0 / 50000.0);  // bare service time
+}
+
+TEST(TxModel, CapacityForResponseTimeRoundTrips) {
+  const auto cap = perfmodel::capacity_for_response_time(24.0, 5000.0, Seconds{0.25});
+  const auto r = perfmodel::evaluate_tx(24.0, 5000.0, cap, 1.0);
+  EXPECT_NEAR(r.response_time.get(), 0.25, 1e-9);
+}
+
+// Property: response time is monotone decreasing in capacity across the
+// flow-control boundary, and continuous at it.
+class TxMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(TxMonotone, ResponseTimeDecreasesWithCapacity) {
+  const double lambda = GetParam();
+  double last_rt = 1e300;
+  for (double w = 20000.0; w <= 400000.0; w += 5000.0) {
+    const auto r = perfmodel::evaluate_tx(lambda, 5000.0, CpuMhz{w}, 0.9);
+    ASSERT_LE(r.response_time.get(), last_rt + 1e-9)
+        << "RT must not increase with capacity at ω=" << w;
+    last_rt = r.response_time.get();
+  }
+}
+
+TEST_P(TxMonotone, ThroughputRatioNondecreasingWithCapacity) {
+  const double lambda = GetParam();
+  double last = -1.0;
+  for (double w = 20000.0; w <= 400000.0; w += 5000.0) {
+    const auto r = perfmodel::evaluate_tx(lambda, 5000.0, CpuMhz{w}, 0.9);
+    ASSERT_GE(r.throughput_ratio, last - 1e-12);
+    last = r.throughput_ratio;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, TxMonotone, ::testing::Values(4.0, 12.0, 24.0, 48.0));
+
+// --- Request-level DES validation ----------------------------------------------------
+// The discrete-event M/M/1 simulation must agree with the closed form.
+// This validates both the analytic plant model and the sim engine.
+
+struct Mm1Case {
+  double lambda;
+  double capacity;
+};
+
+class RequestSimMatchesFormula : public ::testing::TestWithParam<Mm1Case> {};
+
+TEST_P(RequestSimMatchesFormula, MeanResponseTime) {
+  const auto [lambda, capacity] = GetParam();
+  perfmodel::RequestSimConfig cfg;
+  cfg.lambda = lambda;
+  cfg.service_demand = 600.0;
+  cfg.capacity_mhz = capacity;
+  cfg.rho_cap = 1.0;  // no admission control
+  cfg.horizon_s = 60000.0;
+  cfg.warmup_s = 2000.0;
+  cfg.seed = 1234;
+  const auto res = perfmodel::run_request_sim(cfg);
+
+  const double mu = capacity / 600.0;
+  const double expected = perfmodel::mm1_response_time(lambda, mu);
+  ASSERT_GT(res.response_time.count(), 1000u);
+  // 10% tolerance: M/M/1 RT estimators have heavy tails.
+  EXPECT_NEAR(res.response_time.mean(), expected, 0.10 * expected)
+      << "λ=" << lambda << " ω=" << capacity;
+  EXPECT_EQ(res.shed, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Loads, RequestSimMatchesFormula,
+    ::testing::Values(Mm1Case{5.0, 12000.0},   // ρ=0.25
+                      Mm1Case{10.0, 12000.0},  // ρ=0.5
+                      Mm1Case{15.0, 12000.0},  // ρ=0.75
+                      Mm1Case{10.0, 24000.0}   // ρ=0.25, faster server
+                      ));
+
+TEST(RequestSim, AdmissionControlShedsUnderOverload) {
+  perfmodel::RequestSimConfig cfg;
+  cfg.lambda = 40.0;           // demand 40 > μ=20: heavily overloaded
+  cfg.service_demand = 600.0;
+  cfg.capacity_mhz = 12000.0;
+  cfg.rho_cap = 0.9;
+  cfg.horizon_s = 20000.0;
+  cfg.seed = 7;
+  const auto res = perfmodel::run_request_sim(cfg);
+  EXPECT_GT(res.shed, 0);
+  // Completed throughput is near the admission cap, not the offered rate.
+  EXPECT_LT(res.throughput_ratio(), 0.65);
+  // Response times stay finite and bounded by the queue cap.
+  EXPECT_LT(res.response_time.mean(), 5.0);
+}
+
+TEST(RequestSim, DeterministicForSeed) {
+  perfmodel::RequestSimConfig cfg;
+  cfg.horizon_s = 5000.0;
+  const auto a = perfmodel::run_request_sim(cfg);
+  const auto b = perfmodel::run_request_sim(cfg);
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_DOUBLE_EQ(a.response_time.mean(), b.response_time.mean());
+}

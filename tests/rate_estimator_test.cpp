@@ -1,0 +1,121 @@
+// Tests for the EWMA arrival-rate estimator used by noisy-monitoring
+// experiments.
+
+#include "perfmodel/rate_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+using namespace heteroplace;
+using perfmodel::RateEstimator;
+using util::Seconds;
+
+TEST(RateEstimator, EmptyEstimateIsZero) {
+  RateEstimator e;
+  EXPECT_DOUBLE_EQ(e.estimate(), 0.0);
+  EXPECT_FALSE(e.has_observation());
+}
+
+TEST(RateEstimator, FirstObservationIsTakenVerbatim) {
+  RateEstimator e{600.0};
+  e.observe(Seconds{0.0}, 24.0);
+  EXPECT_DOUBLE_EQ(e.estimate(), 24.0);
+  EXPECT_EQ(e.observations(), 1u);
+}
+
+TEST(RateEstimator, HalfLifeSemantics) {
+  RateEstimator e{600.0};
+  e.observe(Seconds{0.0}, 10.0);
+  // One half-life later: old value weighs 50%.
+  e.observe(Seconds{600.0}, 20.0);
+  EXPECT_NEAR(e.estimate(), 15.0, 1e-9);
+  // Two half-lives later: old estimate weighs 25%.
+  e.observe(Seconds{1800.0}, 30.0);
+  EXPECT_NEAR(e.estimate(), 0.25 * 15.0 + 0.75 * 30.0, 1e-9);
+}
+
+TEST(RateEstimator, ZeroHalfLifeTracksLastSample) {
+  RateEstimator e{0.0};
+  e.observe(Seconds{0.0}, 5.0);
+  e.observe(Seconds{1.0}, 50.0);
+  EXPECT_DOUBLE_EQ(e.estimate(), 50.0);
+}
+
+TEST(RateEstimator, ConvergesToConstantSignal) {
+  RateEstimator e{600.0};
+  for (int i = 0; i < 100; ++i) e.observe(Seconds{i * 600.0}, 24.0);
+  EXPECT_NEAR(e.estimate(), 24.0, 1e-9);
+}
+
+TEST(RateEstimator, SmoothsZeroMeanNoise) {
+  util::Rng rng(99);
+  RateEstimator slow{3000.0};
+  double max_err = 0.0;
+  double err_sum = 0.0;
+  int counted = 0;
+  for (int i = 0; i < 500; ++i) {
+    const double noisy = 24.0 * rng.lognormal(-0.02, 0.2);  // ~cv 0.2
+    slow.observe(Seconds{i * 600.0}, noisy);
+    if (i > 50) {
+      max_err = std::max(max_err, std::fabs(slow.estimate() - 24.0));
+      err_sum += std::fabs(slow.estimate() - 24.0);
+      ++counted;
+    }
+  }
+  // Individual samples vary by ±20%; the EWMA (window ≈ 7 samples) keeps
+  // excursions well below that and the average error small.
+  EXPECT_LT(max_err, 24.0 * 0.20);
+  EXPECT_LT(err_sum / counted, 24.0 * 0.06);
+}
+
+TEST(RateEstimator, TracksStepChange) {
+  RateEstimator e{600.0};
+  for (int i = 0; i < 20; ++i) e.observe(Seconds{i * 600.0}, 10.0);
+  for (int i = 20; i < 40; ++i) e.observe(Seconds{i * 600.0}, 40.0);
+  // After 20 half-lives at the new level the estimate is ~40.
+  EXPECT_NEAR(e.estimate(), 40.0, 0.1);
+}
+
+TEST(RateEstimator, RejectsBadInput) {
+  RateEstimator e{600.0};
+  e.observe(Seconds{100.0}, 10.0);
+  EXPECT_THROW(e.observe(Seconds{50.0}, 10.0), std::invalid_argument);
+  EXPECT_THROW(e.observe(Seconds{200.0}, -1.0), std::invalid_argument);
+}
+
+TEST(RateEstimator, ResetClearsState) {
+  RateEstimator e{600.0};
+  e.observe(Seconds{0.0}, 10.0);
+  e.reset();
+  EXPECT_FALSE(e.has_observation());
+  EXPECT_DOUBLE_EQ(e.estimate(), 0.0);
+  e.observe(Seconds{0.0}, 33.0);  // time may restart after reset
+  EXPECT_DOUBLE_EQ(e.estimate(), 33.0);
+}
+
+// Property: estimate is always within the [min, max] of observations.
+class EstimatorBounds : public ::testing::TestWithParam<double> {};
+
+TEST_P(EstimatorBounds, EstimateStaysWithinObservedRange) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam() * 1000));
+  RateEstimator e{GetParam()};
+  double lo = 1e300;
+  double hi = -1e300;
+  double t = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const double r = rng.uniform(1.0, 100.0);
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+    t += rng.uniform(1.0, 900.0);
+    e.observe(Seconds{t}, r);
+    ASSERT_GE(e.estimate(), lo - 1e-9);
+    ASSERT_LE(e.estimate(), hi + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(HalfLives, EstimatorBounds,
+                         ::testing::Values(60.0, 600.0, 3600.0));

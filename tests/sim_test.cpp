@@ -1,0 +1,180 @@
+// Tests for the discrete-event engine: ordering, priorities, cancellation.
+
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hs = heteroplace::sim;
+namespace hu = heteroplace::util;
+using hu::Seconds;
+
+TEST(Engine, StartsAtZero) {
+  hs::Engine e;
+  EXPECT_DOUBLE_EQ(e.now().get(), 0.0);
+}
+
+TEST(Engine, EventsFireInTimeOrder) {
+  hs::Engine e;
+  std::vector<int> order;
+  e.schedule_at(Seconds{30.0}, hs::EventPriority::kStateTransition, [&] { order.push_back(3); });
+  e.schedule_at(Seconds{10.0}, hs::EventPriority::kStateTransition, [&] { order.push_back(1); });
+  e.schedule_at(Seconds{20.0}, hs::EventPriority::kStateTransition, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(e.now().get(), 30.0);
+}
+
+TEST(Engine, PriorityBreaksTimestampTies) {
+  hs::Engine e;
+  std::vector<std::string> order;
+  e.schedule_at(Seconds{5.0}, hs::EventPriority::kSampling, [&] { order.push_back("sample"); });
+  e.schedule_at(Seconds{5.0}, hs::EventPriority::kController, [&] { order.push_back("control"); });
+  e.schedule_at(Seconds{5.0}, hs::EventPriority::kWorkloadArrival,
+                [&] { order.push_back("arrival"); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"arrival", "control", "sample"}));
+}
+
+TEST(Engine, FifoWithinSamePriorityAndTime) {
+  hs::Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    e.schedule_at(Seconds{1.0}, hs::EventPriority::kStateTransition,
+                  [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, SchedulingInThePastThrows) {
+  hs::Engine e;
+  e.schedule_at(Seconds{10.0}, hs::EventPriority::kStateTransition, [] {});
+  e.run();
+  EXPECT_THROW(e.schedule_at(Seconds{5.0}, hs::EventPriority::kStateTransition, [] {}),
+               std::invalid_argument);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  hs::Engine e;
+  bool fired = false;
+  auto h = e.schedule_at(Seconds{1.0}, hs::EventPriority::kStateTransition,
+                         [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  EXPECT_TRUE(h.cancel());
+  EXPECT_FALSE(h.pending());
+  EXPECT_FALSE(h.cancel());  // idempotent
+  e.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelAfterFiringIsNoop) {
+  hs::Engine e;
+  auto h = e.schedule_at(Seconds{1.0}, hs::EventPriority::kStateTransition, [] {});
+  e.run();
+  EXPECT_FALSE(h.pending());
+  EXPECT_FALSE(h.cancel());
+}
+
+TEST(Engine, CallbackCanScheduleMoreEvents) {
+  hs::Engine e;
+  std::vector<double> times;
+  std::function<void()> tick = [&] {
+    times.push_back(e.now().get());
+    if (times.size() < 3) {
+      e.schedule_in(Seconds{10.0}, hs::EventPriority::kStateTransition, tick);
+    }
+  };
+  e.schedule_at(Seconds{0.0}, hs::EventPriority::kStateTransition, tick);
+  e.run();
+  EXPECT_EQ(times, (std::vector<double>{0.0, 10.0, 20.0}));
+}
+
+TEST(Engine, CallbackCanCancelAnotherEvent) {
+  hs::Engine e;
+  bool second_fired = false;
+  auto victim = e.schedule_at(Seconds{2.0}, hs::EventPriority::kStateTransition,
+                              [&] { second_fired = true; });
+  e.schedule_at(Seconds{1.0}, hs::EventPriority::kStateTransition, [&] { victim.cancel(); });
+  e.run();
+  EXPECT_FALSE(second_fired);
+}
+
+TEST(Engine, RunUntilStopsAtBoundaryInclusive) {
+  hs::Engine e;
+  int fired = 0;
+  e.schedule_at(Seconds{10.0}, hs::EventPriority::kStateTransition, [&] { ++fired; });
+  e.schedule_at(Seconds{20.0}, hs::EventPriority::kStateTransition, [&] { ++fired; });
+  e.schedule_at(Seconds{30.0}, hs::EventPriority::kStateTransition, [&] { ++fired; });
+  e.run_until(Seconds{20.0});
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(e.now().get(), 20.0);
+  e.run_until(Seconds{100.0});
+  EXPECT_EQ(fired, 3);
+  EXPECT_DOUBLE_EQ(e.now().get(), 100.0);  // clock advances to the horizon
+}
+
+TEST(Engine, StopAbortsRun) {
+  hs::Engine e;
+  int fired = 0;
+  e.schedule_at(Seconds{1.0}, hs::EventPriority::kStateTransition, [&] {
+    ++fired;
+    e.stop();
+  });
+  e.schedule_at(Seconds{2.0}, hs::EventPriority::kStateTransition, [&] { ++fired; });
+  e.run();
+  EXPECT_EQ(fired, 1);
+  e.run();  // resumes
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, StepExecutesExactlyOne) {
+  hs::Engine e;
+  int fired = 0;
+  e.schedule_at(Seconds{1.0}, hs::EventPriority::kStateTransition, [&] { ++fired; });
+  e.schedule_at(Seconds{2.0}, hs::EventPriority::kStateTransition, [&] { ++fired; });
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, CountsExecutedAndPending) {
+  hs::Engine e;
+  e.schedule_at(Seconds{1.0}, hs::EventPriority::kStateTransition, [] {});
+  e.schedule_at(Seconds{2.0}, hs::EventPriority::kStateTransition, [] {});
+  EXPECT_EQ(e.events_pending(), 2u);
+  e.run();
+  EXPECT_EQ(e.events_executed(), 2u);
+}
+
+// Property: random schedule/cancel workloads always execute in
+// nondecreasing time order and never run cancelled events.
+class EngineStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineStress, OrderAndCancellationInvariants) {
+  hu::Rng rng(GetParam());
+  hs::Engine e;
+  std::vector<double> fire_times;
+  std::vector<hs::EventHandle> handles;
+  for (int i = 0; i < 500; ++i) {
+    const double t = rng.uniform(0.0, 1000.0);
+    handles.push_back(e.schedule_at(Seconds{t}, hs::EventPriority::kStateTransition,
+                                    [&fire_times, &e] { fire_times.push_back(e.now().get()); }));
+  }
+  // Cancel ~30%.
+  int cancelled = 0;
+  for (auto& h : handles) {
+    if (rng.chance(0.3) && h.cancel()) ++cancelled;
+  }
+  e.run();
+  EXPECT_EQ(fire_times.size(), 500u - cancelled);
+  EXPECT_TRUE(std::is_sorted(fire_times.begin(), fire_times.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineStress, ::testing::Values(1u, 7u, 99u, 12345u));

@@ -1,0 +1,146 @@
+// Tests for the transactional utility model — the transactional side of
+// the paper's common currency.
+
+#include "utility/tx_utility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace heteroplace;
+using util::CpuMhz;
+using utility::TxUtilityModel;
+using workload::TxAppSpec;
+
+namespace {
+TxAppSpec web_spec() {
+  TxAppSpec s;
+  s.id = util::AppId{0};
+  s.name = "web";
+  s.rt_goal = util::Seconds{1.2};
+  s.service_demand = 5000.0;
+  s.max_utilization = 0.9;
+  s.throughput_exponent = 0.5;
+  s.utility_cap = 0.9;
+  return s;
+}
+}  // namespace
+
+TEST(TxUtility, CapReachedWithAmpleCapacity) {
+  TxUtilityModel m;
+  const auto s = web_spec();
+  const auto demand = m.demand_for_max_utility(s, 24.0);
+  EXPECT_NEAR(m.utility(s, 24.0, demand), 0.9, 1e-6);
+  // More capacity does not increase utility beyond the cap.
+  EXPECT_NEAR(m.utility(s, 24.0, demand * 2.0), 0.9, 1e-9);
+}
+
+TEST(TxUtility, DemandForMaxUtilityClosedForm) {
+  TxUtilityModel m;
+  const auto s = web_spec();
+  // ω = λ·d + d / (T(1-cap)) = 120000 + 5000/0.12
+  EXPECT_NEAR(m.demand_for_max_utility(s, 24.0).get(), 120000.0 + 5000.0 / 0.12, 1e-6);
+  EXPECT_DOUBLE_EQ(m.demand_for_max_utility(s, 0.0).get(), 0.0);
+}
+
+TEST(TxUtility, MonotoneNondecreasingInAllocation) {
+  TxUtilityModel m;
+  const auto s = web_spec();
+  double last = -1e9;
+  for (double w = 0.0; w <= 250000.0; w += 2500.0) {
+    const double u = m.utility(s, 24.0, CpuMhz{w});
+    ASSERT_GE(u, last - 1e-9) << "ω=" << w;
+    last = u;
+  }
+}
+
+TEST(TxUtility, StarvationIsStronglyNegative) {
+  TxUtilityModel m;
+  const auto s = web_spec();
+  EXPECT_LT(m.utility(s, 24.0, CpuMhz{0.0}), -100.0);
+}
+
+TEST(TxUtility, ZeroLoadIsFullySatisfied) {
+  TxUtilityModel m;
+  const auto s = web_spec();
+  EXPECT_DOUBLE_EQ(m.utility(s, 0.0, CpuMhz{0.0}), 0.9);
+  EXPECT_DOUBLE_EQ(m.alloc_for_utility(s, 0.0, 0.9).get(), 0.0);
+}
+
+TEST(TxUtility, SaturatedRegimePenalizesShedding) {
+  TxUtilityModel m;
+  const auto s = web_spec();
+  // ω=100000: μ=20, admit 18 of 24 ⇒ τ=0.75, RT=0.5.
+  // u_raw = (1.2-0.5)/1.2 = 0.5833…, u = u_raw·τ^0.5.
+  const double u = m.utility(s, 24.0, CpuMhz{100000.0});
+  EXPECT_NEAR(u, (0.7 / 1.2) * std::sqrt(0.75), 1e-9);
+}
+
+TEST(TxUtility, ImportanceIsAnEqualizationWeight) {
+  // Equalized quantity = raw/importance: a doubly-important app reports
+  // half the weighted utility at the same raw performance, so at a common
+  // equalized level it sustains twice the raw utility.
+  TxUtilityModel m;
+  auto s = web_spec();
+  s.importance = 2.0;
+  EXPECT_DOUBLE_EQ(m.max_utility(s), 0.45);
+  const auto demand = m.demand_for_max_utility(s, 24.0);
+  EXPECT_NEAR(m.utility(s, 24.0, demand), 0.45, 1e-6);
+  // At a fixed weighted level u, the important app needs the allocation
+  // that delivers raw utility 2u — more than the unit-importance app.
+  const auto plain = web_spec();
+  EXPECT_GT(m.alloc_for_utility(s, 24.0, 0.3).get(),
+            m.alloc_for_utility(plain, 24.0, 0.3).get());
+}
+
+TEST(TxUtility, AllocForUtilityRoundTrips) {
+  TxUtilityModel m;
+  const auto s = web_spec();
+  for (double u : {0.8, 0.5, 0.2, 0.0, -0.5}) {
+    const auto w = m.alloc_for_utility(s, 24.0, u);
+    EXPECT_NEAR(m.utility(s, 24.0, w), u, 1e-3) << "u=" << u;
+  }
+}
+
+TEST(TxUtility, AllocForUtilityAboveCapReturnsDemand) {
+  TxUtilityModel m;
+  const auto s = web_spec();
+  const auto demand = m.demand_for_max_utility(s, 24.0);
+  EXPECT_DOUBLE_EQ(m.alloc_for_utility(s, 24.0, 5.0).get(), demand.get());
+}
+
+TEST(TxUtility, AllocMonotoneInTargetUtility) {
+  TxUtilityModel m;
+  const auto s = web_spec();
+  double last = -1.0;
+  for (double u = -1.0; u <= 0.9; u += 0.05) {
+    const auto w = m.alloc_for_utility(s, 24.0, u);
+    ASSERT_GE(w.get(), last - 1e-6);
+    last = w.get();
+  }
+}
+
+// Property: round-trip holds across load levels.
+class TxRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(TxRoundTrip, InverseForwardConsistency) {
+  TxUtilityModel m;
+  const auto s = web_spec();
+  const double lambda = GetParam();
+  for (double u : {0.85, 0.6, 0.3, 0.05}) {
+    const auto w = m.alloc_for_utility(s, lambda, u);
+    EXPECT_NEAR(m.utility(s, lambda, w), u, 5e-3) << "λ=" << lambda << " u=" << u;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, TxRoundTrip, ::testing::Values(4.0, 12.0, 24.0, 48.0, 96.0));
+
+TEST(TxUtility, TighterGoalNeedsMoreCapacity) {
+  TxUtilityModel m;
+  auto tight = web_spec();
+  tight.rt_goal = util::Seconds{0.6};
+  const auto loose = web_spec();
+  const double u = 0.5;
+  EXPECT_GT(m.alloc_for_utility(tight, 24.0, u).get(),
+            m.alloc_for_utility(loose, 24.0, u).get());
+}

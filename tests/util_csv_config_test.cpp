@@ -1,0 +1,118 @@
+// Tests for util/csv and util/config.
+
+#include "util/config.hpp"
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hu = heteroplace::util;
+
+// --- CSV ---------------------------------------------------------------------
+
+TEST(CsvEscape, PlainFieldUnchanged) { EXPECT_EQ(hu::csv_escape("hello"), "hello"); }
+
+TEST(CsvEscape, QuotesFieldsWithCommas) { EXPECT_EQ(hu::csv_escape("a,b"), "\"a,b\""); }
+
+TEST(CsvEscape, DoublesEmbeddedQuotes) { EXPECT_EQ(hu::csv_escape("say \"hi\""), "\"say \"\"hi\"\"\""); }
+
+TEST(CsvEscape, QuotesNewlines) { EXPECT_EQ(hu::csv_escape("a\nb"), "\"a\nb\""); }
+
+TEST(CsvWriter, WritesRowsWithMixedTypes) {
+  std::ostringstream os;
+  hu::CsvWriter w(os);
+  w.cell("name").cell(3.5).cell(7).cell(static_cast<std::size_t>(2));
+  w.row();
+  w.cell("x,y").cell(1e-9);
+  w.row();
+  EXPECT_EQ(os.str(), "name,3.5,7,2\n\"x,y\",1e-09\n");
+}
+
+TEST(CsvWriter, DoubleRoundTripPrecision) {
+  std::ostringstream os;
+  hu::CsvWriter w(os);
+  w.cell(0.1 + 0.2);
+  w.row();
+  const double parsed = std::stod(os.str());
+  EXPECT_DOUBLE_EQ(parsed, 0.1 + 0.2);
+}
+
+TEST(CsvWriter, RowOfStrings) {
+  std::ostringstream os;
+  hu::CsvWriter w(os);
+  w.row({"a", "b", "c"});
+  EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+// --- Config -------------------------------------------------------------------
+
+TEST(Config, ParsesKeyValueLines) {
+  const auto cfg = hu::Config::from_string("a = 1\nb= hello\n# comment\n\nc =2.5 # tail\n");
+  EXPECT_EQ(cfg.get_int("a", 0), 1);
+  EXPECT_EQ(cfg.get_string("b", ""), "hello");
+  EXPECT_DOUBLE_EQ(cfg.get_double("c", 0.0), 2.5);
+}
+
+TEST(Config, LaterAssignmentWins) {
+  const auto cfg = hu::Config::from_string("x=1\nx=2\n");
+  EXPECT_EQ(cfg.get_int("x", 0), 2);
+}
+
+TEST(Config, MissingKeyGivesDefault) {
+  const hu::Config cfg;
+  EXPECT_EQ(cfg.get_int("nope", 42), 42);
+  EXPECT_EQ(cfg.get_string("nope", "d"), "d");
+  EXPECT_FALSE(cfg.has("nope"));
+}
+
+TEST(Config, MalformedLineThrows) {
+  EXPECT_THROW(hu::Config::from_string("just a line\n"), hu::ConfigError);
+  EXPECT_THROW(hu::Config::from_string("= value\n"), hu::ConfigError);
+}
+
+TEST(Config, TypeErrorsThrow) {
+  const auto cfg = hu::Config::from_string("x=abc\ny=1.5\n");
+  EXPECT_THROW((void)cfg.get_int("x", 0), hu::ConfigError);
+  EXPECT_THROW((void)cfg.get_double("x", 0.0), hu::ConfigError);
+  EXPECT_THROW((void)cfg.get_int("y", 0), hu::ConfigError);  // not an integer
+  EXPECT_THROW((void)cfg.get_bool("x", false), hu::ConfigError);
+}
+
+TEST(Config, BooleanSpellings) {
+  const auto cfg = hu::Config::from_string("a=true\nb=0\nc=YES\nd=off\n");
+  EXPECT_TRUE(cfg.get_bool("a", false));
+  EXPECT_FALSE(cfg.get_bool("b", true));
+  EXPECT_TRUE(cfg.get_bool("c", false));
+  EXPECT_FALSE(cfg.get_bool("d", true));
+}
+
+TEST(Config, FromArgsParsesFlags) {
+  const char* argv[] = {"prog", "--nodes=25", "--policy=utility", "--verbose"};
+  const auto cfg = hu::Config::from_args(4, argv);
+  EXPECT_EQ(cfg.get_int("nodes", 0), 25);
+  EXPECT_EQ(cfg.get_string("policy", ""), "utility");
+  EXPECT_TRUE(cfg.get_bool("verbose", false));
+}
+
+TEST(Config, FromArgsRejectsPositional) {
+  const char* argv[] = {"prog", "oops"};
+  EXPECT_THROW(hu::Config::from_args(2, argv), hu::ConfigError);
+}
+
+TEST(Config, MergeOverrides) {
+  auto base = hu::Config::from_string("a=1\nb=2\n");
+  const auto over = hu::Config::from_string("b=3\nc=4\n");
+  base.merge(over);
+  EXPECT_EQ(base.get_int("a", 0), 1);
+  EXPECT_EQ(base.get_int("b", 0), 3);
+  EXPECT_EQ(base.get_int("c", 0), 4);
+}
+
+TEST(Config, KeysAreSorted) {
+  const auto cfg = hu::Config::from_string("z=1\na=2\n");
+  const auto keys = cfg.keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "a");
+  EXPECT_EQ(keys[1], "z");
+}

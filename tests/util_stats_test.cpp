@@ -1,0 +1,152 @@
+// Tests for util/stats: Welford accumulator, percentiles, histograms.
+
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace hu = heteroplace::util;
+
+TEST(RunningStats, EmptyIsZero) {
+  hu::RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  hu::RunningStats s;
+  s.add(7.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 7.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.0);
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  hu::RunningStats s;
+  for (double x : xs) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum((x-5)^2) = 32, 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  hu::RunningStats a;
+  hu::RunningStats b;
+  hu::RunningStats all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i * 0.7) * 10.0;
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  hu::RunningStats a;
+  a.add(3.0);
+  a.add(5.0);
+  hu::RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 4.0);
+}
+
+TEST(RunningStats, NumericallyStableOnOffsetData) {
+  // Classic catastrophic-cancellation case: large offset, small variance.
+  hu::RunningStats s;
+  for (int i = 0; i < 1000; ++i) s.add(1e9 + (i % 2));
+  EXPECT_NEAR(s.variance(), 0.25025, 1e-3);
+}
+
+TEST(Percentile, EmptyReturnsZero) {
+  hu::PercentileEstimator p;
+  EXPECT_DOUBLE_EQ(p.quantile(0.5), 0.0);
+}
+
+TEST(Percentile, MedianOfOddCount) {
+  hu::PercentileEstimator p;
+  for (double x : {5.0, 1.0, 3.0}) p.add(x);
+  EXPECT_DOUBLE_EQ(p.median(), 3.0);
+}
+
+TEST(Percentile, InterpolatesBetweenOrderStatistics) {
+  hu::PercentileEstimator p;
+  for (double x : {0.0, 10.0}) p.add(x);
+  EXPECT_DOUBLE_EQ(p.quantile(0.25), 2.5);
+  EXPECT_DOUBLE_EQ(p.quantile(0.75), 7.5);
+}
+
+TEST(Percentile, ExtremesAndClamping) {
+  hu::PercentileEstimator p;
+  for (int i = 1; i <= 100; ++i) p.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(p.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(p.quantile(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(p.quantile(1.5), 100.0);
+}
+
+TEST(Percentile, AddAfterQueryStillSorts) {
+  hu::PercentileEstimator p;
+  p.add(10.0);
+  EXPECT_DOUBLE_EQ(p.median(), 10.0);
+  p.add(0.0);
+  p.add(20.0);
+  EXPECT_DOUBLE_EQ(p.median(), 10.0);
+  EXPECT_DOUBLE_EQ(p.quantile(0.0), 0.0);
+}
+
+TEST(Histogram, BinsCorrectly) {
+  hu::Histogram h(0.0, 10.0, 5);
+  h.add(0.0);   // bin 0
+  h.add(1.99);  // bin 0
+  h.add(2.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderAndOverflow) {
+  hu::Histogram h(0.0, 10.0, 2);
+  h.add(-1.0);
+  h.add(10.0);  // hi is exclusive
+  h.add(100.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BinEdges) {
+  hu::Histogram h(10.0, 20.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 12.5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 17.5);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 20.0);
+}
+
+TEST(Histogram, ToStringMentionsCounts) {
+  hu::Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(1.5);
+  const std::string s = h.to_string();
+  EXPECT_NE(s.find("0..1: 1"), std::string::npos);
+  EXPECT_NE(s.find("1..2: 1"), std::string::npos);
+}

@@ -1,0 +1,91 @@
+// Tests for util/time_series.
+
+#include "util/time_series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace hu = heteroplace::util;
+
+TEST(TimeSeries, ValueAtUsesZeroOrderHold) {
+  hu::TimeSeries s("x");
+  s.add(10.0, 1.0);
+  s.add(20.0, 2.0);
+  EXPECT_DOUBLE_EQ(s.value_at(5.0), 0.0);   // before first sample
+  EXPECT_DOUBLE_EQ(s.value_at(10.0), 1.0);  // exactly at sample
+  EXPECT_DOUBLE_EQ(s.value_at(15.0), 1.0);  // held
+  EXPECT_DOUBLE_EQ(s.value_at(20.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.value_at(99.0), 2.0);  // held after last
+}
+
+TEST(TimeSeries, MeanOverWindow) {
+  hu::TimeSeries s("x");
+  for (int i = 0; i < 10; ++i) s.add(i * 10.0, static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.mean_over(20.0, 40.0), 3.0);  // samples 2,3,4
+  EXPECT_DOUBLE_EQ(s.mean_over(1000.0, 2000.0), 0.0);
+}
+
+TEST(TimeSeries, SummaryStats) {
+  hu::TimeSeries s("x");
+  s.add(0.0, 1.0);
+  s.add(1.0, 3.0);
+  const auto stats = s.summary();
+  EXPECT_EQ(stats.count(), 2u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 2.0);
+}
+
+TEST(TimeSeriesSet, SeriesAreCreatedOnDemandAndKeepOrder) {
+  hu::TimeSeriesSet set;
+  set.add("b", 0.0, 1.0);
+  set.add("a", 0.0, 2.0);
+  set.add("b", 1.0, 3.0);
+  const auto names = set.names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "b");  // insertion order, not alphabetical
+  EXPECT_EQ(names[1], "a");
+  EXPECT_EQ(set.series("b").size(), 2u);
+}
+
+TEST(TimeSeriesSet, FindReturnsNullForUnknown) {
+  hu::TimeSeriesSet set;
+  EXPECT_EQ(set.find("nope"), nullptr);
+  set.add("x", 0.0, 0.0);
+  EXPECT_NE(set.find("x"), nullptr);
+}
+
+TEST(TimeSeriesSet, CsvUnionOfTimesWithHold) {
+  hu::TimeSeriesSet set;
+  set.add("a", 0.0, 1.0);
+  set.add("a", 10.0, 2.0);
+  set.add("b", 5.0, 7.0);
+  const std::string csv = set.to_csv();
+  std::istringstream in(csv);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "t,a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "0,1,0");  // b not yet sampled -> 0
+  std::getline(in, line);
+  EXPECT_EQ(line, "5,1,7");  // a held at 1
+  std::getline(in, line);
+  EXPECT_EQ(line, "10,2,7");  // b held at 7
+}
+
+TEST(TimeSeriesSet, SaveCsvWritesFile) {
+  hu::TimeSeriesSet set;
+  set.add("v", 1.0, 42.0);
+  const std::string path = ::testing::TempDir() + "/ts_test.csv";
+  ASSERT_TRUE(set.save_csv(path));
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "t,v");
+}
+
+TEST(TimeSeriesSet, SaveCsvFailsOnBadPath) {
+  hu::TimeSeriesSet set;
+  set.add("v", 1.0, 42.0);
+  EXPECT_FALSE(set.save_csv("/nonexistent-dir-xyz/out.csv"));
+}

@@ -1,0 +1,156 @@
+// Tests for the utility-function family: monotonicity, continuity,
+// inversion — the properties the equalizer depends on.
+
+#include "utility/utility_fn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+using namespace heteroplace;
+using utility::ExponentialUtility;
+using utility::LinearUtility;
+using utility::PiecewiseLinearUtility;
+using utility::SigmoidUtility;
+using utility::UtilityFunction;
+
+// --- PiecewiseLinearUtility ------------------------------------------------------
+
+TEST(Piecewise, DefaultJobShapeValues) {
+  const auto fn = utility::default_job_utility();
+  EXPECT_DOUBLE_EQ(fn->value(0.0), 1.0);   // saturated at best
+  EXPECT_DOUBLE_EQ(fn->value(0.5), 1.0);   // plateau edge
+  EXPECT_DOUBLE_EQ(fn->value(0.75), 0.7);  // midpoint of first slope
+  EXPECT_DOUBLE_EQ(fn->value(1.0), 0.4);   // exactly on goal
+  EXPECT_DOUBLE_EQ(fn->value(1.5), 0.0);   // 1.5× goal
+  EXPECT_DOUBLE_EQ(fn->value(2.0), -0.4);  // extrapolated with last slope
+  EXPECT_DOUBLE_EQ(fn->max_utility(), 1.0);
+}
+
+TEST(Piecewise, RejectsNonMonotonePoints) {
+  using P = PiecewiseLinearUtility::Point;
+  EXPECT_THROW(PiecewiseLinearUtility({P{1.0, 0.5}, P{0.5, 0.4}}), std::invalid_argument);
+  EXPECT_THROW(PiecewiseLinearUtility({P{0.5, 0.4}, P{1.0, 0.6}}), std::invalid_argument);
+  EXPECT_THROW(PiecewiseLinearUtility({}), std::invalid_argument);
+}
+
+TEST(Piecewise, SinglePointIsFlat) {
+  const PiecewiseLinearUtility fn({{1.0, 0.7}});
+  EXPECT_DOUBLE_EQ(fn.value(0.0), 0.7);
+  EXPECT_DOUBLE_EQ(fn.value(100.0), 0.7);
+}
+
+TEST(Piecewise, AnalyticInverseMatchesDefinition) {
+  const auto fn = utility::default_job_utility();
+  // inverse(u) = sup{x : value(x) >= u}
+  EXPECT_DOUBLE_EQ(fn->inverse(0.4), 1.0);
+  EXPECT_DOUBLE_EQ(fn->inverse(1.0), 0.5);  // plateau: largest x at u=1
+  EXPECT_DOUBLE_EQ(fn->inverse(0.0), 1.5);
+  EXPECT_DOUBLE_EQ(fn->inverse(-0.4), 2.0);  // extrapolated tail
+  EXPECT_DOUBLE_EQ(fn->inverse(2.0), 0.0);   // unreachable: clamps to x_lo
+}
+
+TEST(Piecewise, InverseRespectsBounds) {
+  const auto fn = utility::default_job_utility();
+  EXPECT_DOUBLE_EQ(fn->inverse(0.4, 0.0, 0.8), 0.8);  // clamped to hi
+  EXPECT_DOUBLE_EQ(fn->inverse(1.0, 0.6, 10.0), 0.6); // clamped to lo
+}
+
+// --- LinearUtility ------------------------------------------------------------------
+
+TEST(Linear, ValueAndInverse) {
+  const LinearUtility fn(1.0, 0.5);
+  EXPECT_DOUBLE_EQ(fn.value(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(fn.value(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(fn.inverse(0.5), 1.0);
+  EXPECT_THROW(LinearUtility(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(Linear, ZeroSlopeIsFlat) {
+  const LinearUtility fn(0.8, 0.0);
+  EXPECT_DOUBLE_EQ(fn.value(100.0), 0.8);
+  EXPECT_DOUBLE_EQ(fn.inverse(0.5, 0.0, 50.0), 50.0);  // any x works: sup = hi
+  EXPECT_DOUBLE_EQ(fn.inverse(0.9, 0.0, 50.0), 0.0);   // unreachable
+}
+
+// --- SigmoidUtility ------------------------------------------------------------------
+
+TEST(Sigmoid, ShapeAndLimits) {
+  const SigmoidUtility fn(0.0, 1.0, 1.0, 4.0);
+  EXPECT_NEAR(fn.value(1.0), 0.5, 1e-12);   // midpoint
+  EXPECT_GT(fn.value(0.0), 0.95);           // near hi
+  EXPECT_LT(fn.value(3.0), 0.05);           // near lo
+  EXPECT_THROW(SigmoidUtility(1.0, 0.5, 1.0, 4.0), std::invalid_argument);
+  EXPECT_THROW(SigmoidUtility(0.0, 1.0, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Sigmoid, InverseRoundTrips) {
+  const SigmoidUtility fn(-0.5, 1.0, 1.0, 4.0);
+  for (double u : {0.9, 0.5, 0.1, -0.2}) {
+    const double x = fn.inverse(u, 0.0, 100.0);
+    EXPECT_NEAR(fn.value(x), u, 1e-9) << "u=" << u;
+  }
+}
+
+// --- ExponentialUtility ----------------------------------------------------------------
+
+TEST(Exponential, ValueAndInverse) {
+  const ExponentialUtility fn(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(fn.value(0.0), 1.0);
+  EXPECT_NEAR(fn.value(1.0), std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(fn.inverse(0.5), std::log(2.0), 1e-12);
+  EXPECT_THROW(ExponentialUtility(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ExponentialUtility(1.0, -1.0), std::invalid_argument);
+}
+
+// --- factory ------------------------------------------------------------------------------
+
+TEST(Factory, KnownNames) {
+  EXPECT_NE(utility::make_utility("piecewise"), nullptr);
+  EXPECT_NE(utility::make_utility("linear"), nullptr);
+  EXPECT_NE(utility::make_utility("sigmoid"), nullptr);
+  EXPECT_NE(utility::make_utility("exponential"), nullptr);
+  EXPECT_THROW(utility::make_utility("bogus"), std::invalid_argument);
+}
+
+// --- properties shared by every shape ---------------------------------------------------
+
+class ShapeProperties : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::shared_ptr<const UtilityFunction> fn() const { return utility::make_utility(GetParam()); }
+};
+
+TEST_P(ShapeProperties, MonotoneNonIncreasing) {
+  const auto f = fn();
+  double last = f->value(0.0);
+  for (double x = 0.0; x <= 5.0; x += 0.01) {
+    const double u = f->value(x);
+    ASSERT_LE(u, last + 1e-12) << GetParam() << " not monotone at x=" << x;
+    last = u;
+  }
+}
+
+TEST_P(ShapeProperties, ContinuousOnDenseGrid) {
+  const auto f = fn();
+  // No jump bigger than what the steepest slope could produce over dx.
+  const double dx = 1e-4;
+  for (double x = 0.0; x <= 5.0; x += 0.05) {
+    const double jump = std::fabs(f->value(x + dx) - f->value(x));
+    ASSERT_LT(jump, 0.05) << GetParam() << " discontinuous near x=" << x;
+  }
+}
+
+TEST_P(ShapeProperties, InverseIsGeneralizedInverse) {
+  const auto f = fn();
+  const double u_hi = f->max_utility();
+  for (double frac : {0.9, 0.6, 0.3, 0.05}) {
+    const double u = u_hi * frac;
+    const double x = f->inverse(u, 0.0, 1e6);
+    // value(x) >= u (within tolerance), value(x + ε) < u + small
+    ASSERT_GE(f->value(x), u - 1e-6) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShapes, ShapeProperties,
+                         ::testing::Values("piecewise", "linear", "sigmoid", "exponential"));

@@ -1,0 +1,250 @@
+// Tests for the workload substrate: jobs, arrivals, demand traces.
+
+#include "workload/arrival.hpp"
+#include "workload/job.hpp"
+#include "workload/job_factory.hpp"
+#include "workload/transactional.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace heteroplace;
+using namespace heteroplace::util::literals;
+using util::Seconds;
+using workload::Job;
+using workload::JobPhase;
+using workload::JobSpec;
+
+namespace {
+JobSpec basic_spec() {
+  JobSpec s;
+  s.id = util::JobId{1};
+  s.work = util::MhzSeconds{3.0e6};
+  s.max_speed = 3000_mhz;
+  s.memory = 1300_mb;
+  s.submit_time = 100_s;
+  s.completion_goal = 2000_s;
+  return s;
+}
+}  // namespace
+
+// --- Job progress accounting ---------------------------------------------------
+
+TEST(Job, NominalLength) { EXPECT_DOUBLE_EQ(basic_spec().nominal_length().get(), 1000.0); }
+
+TEST(Job, AccumulatesWorkWhileRunning) {
+  Job j(basic_spec());
+  j.set_phase(100_s, JobPhase::kStarting);
+  j.set_phase(160_s, JobPhase::kRunning);
+  j.set_speed(160_s, 3000_mhz);
+  j.advance_to(260_s);
+  EXPECT_DOUBLE_EQ(j.done().get(), 3000.0 * 100.0);
+  EXPECT_DOUBLE_EQ(j.remaining().get(), 3.0e6 - 3.0e5);
+  EXPECT_FALSE(j.finished());
+}
+
+TEST(Job, NoProgressWhilePendingOrSuspended) {
+  Job j(basic_spec());
+  j.advance_to(500_s);
+  EXPECT_DOUBLE_EQ(j.done().get(), 0.0);
+  j.set_phase(500_s, JobPhase::kStarting);
+  j.set_phase(560_s, JobPhase::kRunning);
+  j.set_speed(560_s, 1000_mhz);
+  j.set_phase(660_s, JobPhase::kSuspending);  // speed zeroed
+  j.advance_to(1000_s);
+  EXPECT_DOUBLE_EQ(j.done().get(), 1000.0 * 100.0);
+}
+
+TEST(Job, SpeedChangeSplitsIntegration) {
+  Job j(basic_spec());
+  j.set_phase(100_s, JobPhase::kStarting);
+  j.set_phase(100_s, JobPhase::kRunning);
+  j.set_speed(100_s, 1000_mhz);
+  j.set_speed(200_s, 2000_mhz);  // after 100 s at 1000
+  j.advance_to(300_s);           // plus 100 s at 2000
+  EXPECT_DOUBLE_EQ(j.done().get(), 1000.0 * 100 + 2000.0 * 100);
+}
+
+TEST(Job, ProgressClampsAtTotalWork) {
+  Job j(basic_spec());
+  j.set_phase(100_s, JobPhase::kStarting);
+  j.set_phase(100_s, JobPhase::kRunning);
+  j.set_speed(100_s, 3000_mhz);
+  j.advance_to(100000_s);
+  EXPECT_DOUBLE_EQ(j.done().get(), 3.0e6);
+  EXPECT_TRUE(j.finished());
+}
+
+TEST(Job, SpeedAboveMaxRejected) {
+  Job j(basic_spec());
+  j.set_phase(100_s, JobPhase::kStarting);
+  j.set_phase(100_s, JobPhase::kRunning);
+  EXPECT_THROW(j.set_speed(100_s, 3500_mhz), std::invalid_argument);
+}
+
+TEST(Job, TimeBackwardsThrows) {
+  Job j(basic_spec());
+  j.advance_to(500_s);
+  EXPECT_THROW(j.advance_to(400_s), std::logic_error);
+}
+
+TEST(Job, PredictedCompletion) {
+  Job j(basic_spec());
+  EXPECT_DOUBLE_EQ(j.predicted_completion(100_s, 3000_mhz).get(), 1100.0);
+  EXPECT_DOUBLE_EQ(j.predicted_completion(100_s, 1000_mhz).get(), 3100.0);
+  EXPECT_TRUE(std::isinf(j.predicted_completion(100_s, 0_mhz).get()));
+}
+
+TEST(Job, GoalTimeIsSubmitPlusGoal) {
+  const Job j(basic_spec());
+  EXPECT_DOUBLE_EQ(j.goal_time().get(), 2100.0);
+}
+
+TEST(Job, ChurnCounters) {
+  Job j(basic_spec());
+  j.count_suspend();
+  j.count_suspend();
+  j.count_migrate();
+  EXPECT_EQ(j.suspend_count(), 2);
+  EXPECT_EQ(j.migrate_count(), 1);
+}
+
+// --- Arrival processes -----------------------------------------------------------
+
+TEST(Arrivals, PoissonCountAndMean) {
+  util::Rng rng(42);
+  workload::PoissonArrivals p(0_s, 260_s, 1000);
+  const auto times = workload::materialize(p, rng);
+  ASSERT_EQ(times.size(), 1000u);
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end(),
+                             [](Seconds a, Seconds b) { return a.get() < b.get(); }));
+  // Mean inter-arrival ≈ 260 (last/total).
+  EXPECT_NEAR(times.back().get() / 1000.0, 260.0, 30.0);
+}
+
+TEST(Arrivals, PoissonUnboundedKeepsProducing) {
+  util::Rng rng(1);
+  workload::PoissonArrivals p(0_s, 10_s, -1);
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(p.next(rng).has_value());
+}
+
+TEST(Arrivals, PhasedSwitchesRate) {
+  util::Rng rng(7);
+  workload::PhasedPoissonArrivals p(
+      0_s, {{Seconds{10.0}, 100}, {Seconds{1000.0}, 100}});
+  const auto times = workload::materialize(p, rng);
+  ASSERT_EQ(times.size(), 200u);
+  const double first_phase = times[99].get();
+  const double second_phase = times[199].get() - times[99].get();
+  EXPECT_LT(first_phase, 2500.0);     // ~100×10
+  EXPECT_GT(second_phase, 50000.0);   // ~100×1000
+}
+
+TEST(Arrivals, UniformIsDeterministic) {
+  util::Rng rng(0);
+  workload::UniformArrivals u(100_s, 50_s, 3);
+  EXPECT_DOUBLE_EQ(u.next(rng)->get(), 150.0);
+  EXPECT_DOUBLE_EQ(u.next(rng)->get(), 200.0);
+  EXPECT_DOUBLE_EQ(u.next(rng)->get(), 250.0);
+  EXPECT_FALSE(u.next(rng).has_value());
+}
+
+TEST(Arrivals, TracePlaysBack) {
+  util::Rng rng(0);
+  workload::TraceArrivals t({1_s, 5_s, 9_s});
+  EXPECT_DOUBLE_EQ(t.next(rng)->get(), 1.0);
+  EXPECT_DOUBLE_EQ(t.next(rng)->get(), 5.0);
+  EXPECT_DOUBLE_EQ(t.next(rng)->get(), 9.0);
+  EXPECT_FALSE(t.next(rng).has_value());
+}
+
+// --- Demand trace ------------------------------------------------------------------
+
+TEST(DemandTrace, ConstantRate) {
+  const workload::DemandTrace t(24.0);
+  EXPECT_DOUBLE_EQ(t.rate_at(0_s), 24.0);
+  EXPECT_DOUBLE_EQ(t.rate_at(1e6_s), 24.0);
+}
+
+TEST(DemandTrace, PiecewiseSteps) {
+  workload::DemandTrace t;
+  t.add(0_s, 10.0);
+  t.add(100_s, 20.0);
+  t.add(200_s, 5.0);
+  EXPECT_DOUBLE_EQ(t.rate_at(0_s), 10.0);
+  EXPECT_DOUBLE_EQ(t.rate_at(99_s), 10.0);
+  EXPECT_DOUBLE_EQ(t.rate_at(100_s), 20.0);
+  EXPECT_DOUBLE_EQ(t.rate_at(250_s), 5.0);
+  EXPECT_DOUBLE_EQ(t.peak_rate(), 20.0);
+  EXPECT_EQ(t.change_times().size(), 3u);
+}
+
+TEST(DemandTrace, RejectsNegativeRateAndBackwardsTime) {
+  workload::DemandTrace t;
+  t.add(10_s, 1.0);
+  EXPECT_THROW(t.add(5_s, 2.0), std::invalid_argument);
+  EXPECT_THROW(t.add(20_s, -1.0), std::invalid_argument);
+}
+
+TEST(DemandTrace, EmptyTraceIsZero) {
+  const workload::DemandTrace t;
+  EXPECT_DOUBLE_EQ(t.rate_at(0_s), 0.0);
+  EXPECT_TRUE(t.empty());
+}
+
+// --- TxApp ---------------------------------------------------------------------------
+
+TEST(TxApp, OfferedLoadIsLambdaTimesDemand) {
+  workload::TxAppSpec spec;
+  spec.id = util::AppId{0};
+  spec.service_demand = 5000.0;
+  const workload::TxApp app(spec, workload::DemandTrace{24.0});
+  EXPECT_DOUBLE_EQ(app.offered_load(0_s).get(), 120000.0);
+}
+
+// --- Job factory -------------------------------------------------------------------------
+
+TEST(JobFactory, GeneratesIdenticalJobsFromTemplate) {
+  util::Rng rng(42);
+  workload::UniformArrivals arrivals(0_s, 260_s, 10);
+  workload::JobTemplate tmpl;
+  tmpl.work = util::MhzSeconds{4.8e7};
+  tmpl.goal_stretch = 2.0;
+  const auto jobs = workload::generate_jobs(arrivals, tmpl, rng);
+  ASSERT_EQ(jobs.size(), 10u);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].id.get(), i);
+    EXPECT_DOUBLE_EQ(jobs[i].work.get(), 4.8e7);
+    EXPECT_DOUBLE_EQ(jobs[i].completion_goal.get(), 2.0 * 16000.0);
+    EXPECT_DOUBLE_EQ(jobs[i].submit_time.get(), 260.0 * (i + 1));
+  }
+}
+
+TEST(JobFactory, VariableWorkHasRequestedSpread) {
+  util::Rng rng(42);
+  workload::UniformArrivals arrivals(0_s, 1_s, 4000);
+  workload::JobTemplate tmpl;
+  tmpl.work = util::MhzSeconds{1.0e6};
+  tmpl.work_cv = 0.5;
+  const auto jobs = workload::generate_jobs(arrivals, tmpl, rng);
+  double sum = 0.0;
+  double sq = 0.0;
+  for (const auto& j : jobs) {
+    sum += j.work.get();
+    sq += j.work.get() * j.work.get();
+  }
+  const double mean = sum / jobs.size();
+  const double cv = std::sqrt(sq / jobs.size() - mean * mean) / mean;
+  EXPECT_NEAR(mean, 1.0e6, 0.05e6);
+  EXPECT_NEAR(cv, 0.5, 0.05);
+}
+
+TEST(JobFactory, FirstIdOffset) {
+  util::Rng rng(1);
+  workload::UniformArrivals arrivals(0_s, 1_s, 3);
+  const auto jobs = workload::generate_jobs(arrivals, workload::JobTemplate{}, rng, 100);
+  ASSERT_EQ(jobs.size(), 3u);
+  EXPECT_EQ(jobs[0].id.get(), 100u);
+  EXPECT_EQ(jobs[2].id.get(), 102u);
+}

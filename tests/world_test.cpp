@@ -1,0 +1,114 @@
+// Tests for core::World (job/app registry) and cluster::PlacementPlan
+// helpers.
+
+#include "core/world.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/actions.hpp"
+#include "cluster/placement.hpp"
+
+using namespace heteroplace;
+using namespace heteroplace::util::literals;
+using core::World;
+using workload::JobPhase;
+using workload::JobSpec;
+
+namespace {
+JobSpec spec(unsigned id, double submit = 0.0) {
+  JobSpec s;
+  s.id = util::JobId{id};
+  s.work = util::MhzSeconds{1e6};
+  s.max_speed = 3000_mhz;
+  s.memory = 1300_mb;
+  s.submit_time = util::Seconds{submit};
+  s.completion_goal = 1000_s;
+  return s;
+}
+}  // namespace
+
+TEST(World, SubmitAndLookup) {
+  World w;
+  w.submit_job(spec(5));
+  EXPECT_TRUE(w.job_exists(util::JobId{5}));
+  EXPECT_FALSE(w.job_exists(util::JobId{6}));
+  EXPECT_EQ(w.job(util::JobId{5}).id().get(), 5u);
+  EXPECT_THROW((void)w.job(util::JobId{6}), std::out_of_range);
+}
+
+TEST(World, DuplicateSubmissionRejected) {
+  World w;
+  w.submit_job(spec(1));
+  EXPECT_THROW(w.submit_job(spec(1)), std::invalid_argument);
+}
+
+TEST(World, ActiveJobsExcludeCompleted) {
+  World w;
+  w.submit_job(spec(1));
+  auto& j2 = w.submit_job(spec(2));
+  EXPECT_EQ(w.active_jobs().size(), 2u);
+  j2.set_phase(0_s, JobPhase::kCompleted);
+  EXPECT_EQ(w.active_jobs().size(), 1u);
+  EXPECT_EQ(w.completed_count(), 1u);
+  EXPECT_EQ(w.submitted_count(), 2u);
+}
+
+TEST(World, ActiveJobsPreserveSubmissionOrder) {
+  World w;
+  w.submit_job(spec(9, 10.0));
+  w.submit_job(spec(2, 20.0));
+  w.submit_job(spec(5, 30.0));
+  const auto active = w.active_jobs();
+  ASSERT_EQ(active.size(), 3u);
+  EXPECT_EQ(active[0]->id().get(), 9u);
+  EXPECT_EQ(active[1]->id().get(), 2u);
+  EXPECT_EQ(active[2]->id().get(), 5u);
+}
+
+TEST(World, AppLookup) {
+  World w;
+  workload::TxAppSpec app;
+  app.id = util::AppId{3};
+  app.name = "web";
+  w.add_app(workload::TxApp{app, workload::DemandTrace{5.0}});
+  EXPECT_EQ(w.app(util::AppId{3}).spec().name, "web");
+  EXPECT_THROW((void)w.app(util::AppId{9}), std::out_of_range);
+}
+
+TEST(PlacementPlan, FindJobAndTotals) {
+  cluster::PlacementPlan p;
+  p.jobs.push_back({util::JobId{1}, util::NodeId{0}, 2000_mhz});
+  p.jobs.push_back({util::JobId{2}, util::NodeId{1}, 1000_mhz});
+  p.instances.push_back({util::AppId{0}, util::NodeId{0}, 5000_mhz});
+  p.instances.push_back({util::AppId{0}, util::NodeId{1}, 4000_mhz});
+  p.instances.push_back({util::AppId{1}, util::NodeId{2}, 3000_mhz});
+
+  ASSERT_TRUE(p.find_job(util::JobId{1}).has_value());
+  EXPECT_EQ(p.find_job(util::JobId{1})->node.get(), 0u);
+  EXPECT_FALSE(p.find_job(util::JobId{7}).has_value());
+  EXPECT_DOUBLE_EQ(p.total_job_cpu().get(), 3000.0);
+  EXPECT_DOUBLE_EQ(p.app_cpu(util::AppId{0}).get(), 9000.0);
+  EXPECT_DOUBLE_EQ(p.app_cpu(util::AppId{1}).get(), 3000.0);
+  EXPECT_DOUBLE_EQ(p.app_cpu(util::AppId{5}).get(), 0.0);
+}
+
+TEST(ActionCounts, RecordAndTotals) {
+  cluster::ActionCounts c;
+  c.record(cluster::ActionType::kSuspendJob);
+  c.record(cluster::ActionType::kResumeJob);
+  c.record(cluster::ActionType::kMigrateJob);
+  c.record(cluster::ActionType::kStartJob);
+  c.record(cluster::ActionType::kResizeCpu);
+  EXPECT_EQ(c.total_disruptive(), 3);
+  EXPECT_EQ(c.starts, 1);
+  EXPECT_EQ(c.resizes, 1);
+}
+
+TEST(ActionLatencies, LatencyLookup) {
+  cluster::ActionLatencies lat;
+  EXPECT_DOUBLE_EQ(lat.latency_of(cluster::ActionType::kStartJob).get(), 60.0);
+  EXPECT_DOUBLE_EQ(lat.latency_of(cluster::ActionType::kSuspendJob).get(), 15.0);
+  EXPECT_DOUBLE_EQ(lat.latency_of(cluster::ActionType::kResumeJob).get(), 90.0);
+  EXPECT_DOUBLE_EQ(lat.latency_of(cluster::ActionType::kMigrateJob).get(), 120.0);
+  EXPECT_DOUBLE_EQ(lat.latency_of(cluster::ActionType::kResizeCpu).get(), 0.0);
+}
