@@ -1,0 +1,121 @@
+#pragma once
+
+// Verbatim snapshot of the seed (pre-optimization) event queue: a
+// std::priority_queue of shared_ptr records with weak_ptr handles.
+// Kept ONLY so perf_baseline can measure the optimized queue against the
+// implementation it replaced — the BENCH_eventqueue.json speedup column
+// is computed from this code, not from numbers copied out of an old run.
+//
+// Do not use outside bench/.
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/event_queue.hpp"  // EventPriority
+
+namespace heteroplace::bench::legacy {
+
+using EventCallback = std::function<void()>;
+
+namespace detail {
+struct EventRecord {
+  double time;
+  int priority;
+  std::uint64_t seq;
+  EventCallback callback;
+  bool cancelled{false};
+};
+}  // namespace detail
+
+class LegacyEventHandle {
+ public:
+  LegacyEventHandle() = default;
+
+  [[nodiscard]] bool pending() const {
+    auto rec = record_.lock();
+    return rec && !rec->cancelled;
+  }
+
+  bool cancel() {
+    auto rec = record_.lock();
+    if (!rec || rec->cancelled) return false;
+    rec->cancelled = true;
+    rec->callback = nullptr;
+    return true;
+  }
+
+ private:
+  friend class LegacyEventQueue;
+  explicit LegacyEventHandle(std::weak_ptr<detail::EventRecord> rec) : record_(std::move(rec)) {}
+  std::weak_ptr<detail::EventRecord> record_;
+};
+
+class LegacyEventQueue {
+ public:
+  LegacyEventHandle push(double time, sim::EventPriority priority, EventCallback cb) {
+    auto rec = std::make_shared<detail::EventRecord>();
+    rec->time = time;
+    rec->priority = static_cast<int>(priority);
+    rec->seq = next_seq_++;
+    rec->callback = std::move(cb);
+    LegacyEventHandle handle{std::weak_ptr<detail::EventRecord>{rec}};
+    heap_.push(std::move(rec));
+    ++live_;
+    return handle;
+  }
+
+  [[nodiscard]] bool empty() const {
+    drop_dead();
+    return heap_.empty();
+  }
+
+  [[nodiscard]] double next_time() const {
+    drop_dead();
+    assert(!heap_.empty());
+    return heap_.top()->time;
+  }
+
+  struct Popped {
+    double time;
+    EventCallback callback;
+  };
+
+  Popped pop() {
+    drop_dead();
+    assert(!heap_.empty());
+    auto rec = heap_.top();
+    heap_.pop();
+    --live_;
+    return Popped{rec->time, std::move(rec->callback)};
+  }
+
+  [[nodiscard]] std::size_t live_size() const { return live_; }
+
+ private:
+  struct Cmp {
+    bool operator()(const std::shared_ptr<detail::EventRecord>& a,
+                    const std::shared_ptr<detail::EventRecord>& b) const {
+      if (a->time != b->time) return a->time > b->time;
+      if (a->priority != b->priority) return a->priority > b->priority;
+      return a->seq > b->seq;
+    }
+  };
+
+  void drop_dead() const {
+    while (!heap_.empty() && heap_.top()->cancelled) {
+      heap_.pop();
+    }
+  }
+
+  mutable std::priority_queue<std::shared_ptr<detail::EventRecord>,
+                              std::vector<std::shared_ptr<detail::EventRecord>>, Cmp>
+      heap_;
+  mutable std::size_t live_{0};
+  std::uint64_t next_seq_{0};
+};
+
+}  // namespace heteroplace::bench::legacy

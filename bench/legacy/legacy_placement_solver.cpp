@@ -1,34 +1,31 @@
-#include "core/placement_solver.hpp"
+// Seed solver snapshot — see legacy_placement_solver.hpp for why this
+// copy exists. Verbatim from src/core/placement_solver.cpp at the time
+// the hot-path overhaul landed, except for the namespace and entry name.
+
+#include "legacy/legacy_placement_solver.hpp"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <cstdint>
 #include <limits>
+#include <map>
 #include <stdexcept>
 #include <vector>
 
-namespace heteroplace::core {
+namespace heteroplace::bench::legacy {
+
+using namespace heteroplace::core;
 
 namespace {
 
 constexpr double kEps = 1e-9;
-constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 
 /// Mutable per-node ledger used while the solver assembles the placement.
-///
-/// The per-node aggregates (target_sum, granted_sum) are maintained
-/// incrementally: the seed implementation re-summed residents inside
-/// target_headroom(), the instance-shortfall fixup, and the starvation
-/// rescue, which made those phases O(apps·nodes·residents) /
-/// O(jobs·nodes·residents) — the dominant cost at cluster scale.
 struct NodeScratch {
   util::NodeId id{};
   double cpu_cap{0.0};
   double mem_cap{0.0};
   double mem_free{0.0};
-  double target_sum{0.0};   // Σ residents' targets
-  double granted_sum{0.0};  // Σ residents' grants (valid from phase 5 on)
 
   struct Resident {
     bool is_job{true};
@@ -39,29 +36,13 @@ struct NodeScratch {
     double urgency{0.0};       // jobs only: eviction ranking
     bool evictable{false};     // jobs only
     double memory{0.0};
-    std::uint32_t seq{0};  // insertion order; survives swap-removal
   };
   std::vector<Resident> residents;
 
-  [[nodiscard]] double target_headroom() const { return cpu_cap - target_sum; }
-
-  void add_resident(Resident r) {
-    mem_free -= r.memory;
-    target_sum += r.target;
-    residents.push_back(r);
-  }
-
-  /// Swap-remove the resident at `pos` (O(1); does not preserve position
-  /// order — residents carry `seq` for the phases that need insertion
-  /// order). Releases its memory and target from the aggregates.
-  Resident take_resident(std::size_t pos) {
-    Resident r = residents[pos];
-    mem_free += r.memory;
-    target_sum -= r.target;
-    granted_sum -= r.grant;
-    residents[pos] = residents.back();
-    residents.pop_back();
-    return r;
+  [[nodiscard]] double target_headroom() const {
+    double t = 0.0;
+    for (const auto& r : residents) t += r.target;
+    return cpu_cap - t;
   }
 };
 
@@ -112,7 +93,6 @@ double proportional_fill(std::vector<NodeScratch::Resident*> active, double budg
 /// Without tiering, a proportional squeeze on a crowded node hits the
 /// steep transactional utility curve far harder than the jobs' shallow
 /// one and breaks the equalization that the continuous stage computed.
-/// Leaves granted_sum consistent with the assigned grants.
 void waterfill_node(NodeScratch& node, bool work_conserving) {
   for (auto& r : node.residents) r.grant = 0.0;
   std::vector<NodeScratch::Resident*> instances;
@@ -123,8 +103,6 @@ void waterfill_node(NodeScratch& node, bool work_conserving) {
   }
   const double after_instances = proportional_fill(std::move(instances), node.cpu_cap);
   proportional_fill(std::move(jobs), after_instances);
-  node.granted_sum = 0.0;
-  for (const auto& r : node.residents) node.granted_sum += r.grant;
   (void)work_conserving;
 }
 
@@ -134,7 +112,9 @@ void waterfill_node(NodeScratch& node, bool work_conserving) {
 /// target would push the app's utility above the equalized level and
 /// defeat the arbitration.
 void spread_leftover_to_jobs(NodeScratch& node) {
-  double remaining = node.cpu_cap - node.granted_sum;
+  double granted = 0.0;
+  for (const auto& r : node.residents) granted += r.grant;
+  double remaining = node.cpu_cap - granted;
   for (int pass = 0; pass < 64 && remaining > kEps; ++pass) {
     std::vector<NodeScratch::Resident*> open;
     for (auto& r : node.residents) {
@@ -148,7 +128,6 @@ void spread_leftover_to_jobs(NodeScratch& node) {
       remaining -= add;
     }
   }
-  node.granted_sum = node.cpu_cap - remaining;
 }
 
 [[nodiscard]] bool job_holds_memory(workload::JobPhase p) {
@@ -169,12 +148,13 @@ void spread_leftover_to_jobs(NodeScratch& node) {
 
 }  // namespace
 
-SolverResult solve_placement(const PlacementProblem& problem, const SolverConfig& config) {
+core::SolverResult solve_placement_legacy(const PlacementProblem& problem, const SolverConfig& config) {
   SolverResult result;
   auto& stats = result.stats;
 
   // ---- scratch construction ----------------------------------------------
   std::vector<NodeScratch> nodes(problem.nodes.size());
+  std::map<util::NodeId, std::size_t> node_index;
   double max_node_cpu = 0.0;
   for (std::size_t i = 0; i < problem.nodes.size(); ++i) {
     const auto& n = problem.nodes[i];
@@ -182,39 +162,16 @@ SolverResult solve_placement(const PlacementProblem& problem, const SolverConfig
     nodes[i].cpu_cap = n.cpu_capacity.get();
     nodes[i].mem_cap = n.mem_capacity.get();
     nodes[i].mem_free = n.mem_capacity.get();
+    node_index.emplace(n.id, i);
     max_node_cpu = std::max(max_node_cpu, n.cpu_capacity.get());
   }
 
-  // Flat id→index map (sorted array + binary search; the seed's
-  // std::map cost a red-black walk per residency lookup).
-  std::vector<std::pair<util::NodeId, std::size_t>> node_index;
-  node_index.reserve(nodes.size());
-  for (std::size_t i = 0; i < nodes.size(); ++i) node_index.emplace_back(nodes[i].id, i);
-  std::sort(node_index.begin(), node_index.end());
-  auto index_of = [&](util::NodeId id) -> std::size_t {
-    const auto it = std::lower_bound(node_index.begin(), node_index.end(),
-                                     std::make_pair(id, std::size_t{0}));
-    if (it == node_index.end() || it->first != id) {
+  auto scratch_of = [&](util::NodeId id) -> NodeScratch& {
+    auto it = node_index.find(id);
+    if (it == node_index.end()) {
       throw std::invalid_argument("solve_placement: VM references unknown node");
     }
-    return it->second;
-  };
-
-  std::uint32_t next_seq = 0;
-
-  // The job-packing phase asks "does any node have room?" once per
-  // waiting job; tracking the fleet-wide max free memory answers it in
-  // O(1) instead of scanning every node (the bound is recomputed lazily,
-  // only after a placement or eviction actually changes node memory).
-  double fleet_max_mem_free = 0.0;
-  bool fleet_mem_dirty = true;
-  auto max_mem_free = [&]() {
-    if (fleet_mem_dirty) {
-      fleet_max_mem_free = 0.0;
-      for (const auto& ns : nodes) fleet_max_mem_free = std::max(fleet_max_mem_free, ns.mem_free);
-      fleet_mem_dirty = false;
-    }
-    return fleet_max_mem_free;
+    return nodes[it->second];
   };
 
   // ---- Phase 1: decide per-app instance counts -----------------------------
@@ -290,22 +247,23 @@ SolverResult solve_placement(const PlacementProblem& problem, const SolverConfig
     const double provisional_target =
         app.target.get() / static_cast<double>(std::max(as.desired, 1));
     for (util::NodeId nid : as.kept_nodes) {
-      NodeScratch& ns = nodes[index_of(nid)];
+      NodeScratch& ns = scratch_of(nid);
+      ns.mem_free -= app.instance_memory.get();
       NodeScratch::Resident r;
       r.is_job = false;
       r.index = as.index;
       r.target = provisional_target;
       r.cap = as.per_inst_cap;
       r.memory = app.instance_memory.get();
-      r.seq = next_seq++;
-      ns.add_resident(r);
+      ns.residents.push_back(r);
     }
   }
   // Currently-placed jobs (memory holders).
   for (std::size_t ji = 0; ji < problem.jobs.size(); ++ji) {
     const SolverJob& job = problem.jobs[ji];
     if (!job.current_node.valid() || !job_holds_memory(job.phase)) continue;
-    NodeScratch& ns = nodes[index_of(job.current_node)];
+    NodeScratch& ns = scratch_of(job.current_node);
+    ns.mem_free -= job.memory.get();
     NodeScratch::Resident r;
     r.is_job = true;
     r.index = ji;
@@ -316,68 +274,55 @@ SolverResult solve_placement(const PlacementProblem& problem, const SolverConfig
     const bool protected_near_done =
         job.remaining.get() <= job.max_speed.get() * config.protect_completion_horizon_s;
     r.evictable = job.movable && !protected_near_done;
-    r.seq = next_seq++;
-    ns.add_resident(r);
+    ns.residents.push_back(r);
   }
-  fleet_mem_dirty = true;
 
   std::vector<std::size_t> displaced;  // running jobs pushed off their node
 
   auto evict_job_from = [&](NodeScratch& ns, std::size_t resident_pos) {
-    const NodeScratch::Resident r = ns.take_resident(resident_pos);
+    NodeScratch::Resident r = ns.residents[resident_pos];
     assert(r.is_job);
+    ns.mem_free += r.memory;
+    ns.residents.erase(ns.residents.begin() + static_cast<std::ptrdiff_t>(resident_pos));
     displaced.push_back(r.index);
     ++stats.jobs_evicted;
-    fleet_mem_dirty = true;
   };
 
   // ---- Phase 3: grow instance clusters, evicting jobs when needed ----------
-  // Instance presence per app is a bitset over node indices, so the
-  // "no instance of this app here yet" check is O(1) rather than a
-  // rescan of the candidate node's residents per placement attempt.
-  std::vector<std::uint64_t> presence((nodes.size() + 63) / 64);
   for (auto& as : app_scratch) {
-    if (as.to_add == 0) continue;
     const SolverApp& app = problem.apps[as.index];
-    std::fill(presence.begin(), presence.end(), 0);
-    for (util::NodeId nid : as.kept_nodes) {
-      const std::size_t ni = index_of(nid);
-      presence[ni / 64] |= std::uint64_t{1} << (ni % 64);
-    }
-    auto has_instance = [&](std::size_t ni) {
-      return (presence[ni / 64] >> (ni % 64)) & 1u;
-    };
-
     for (int k = 0; k < as.to_add; ++k) {
+      // Candidate nodes: no instance of this app yet.
+      auto has_instance = [&](const NodeScratch& ns) {
+        for (const auto& r : ns.residents) {
+          if (!r.is_job && r.index == as.index) return true;
+        }
+        return false;
+      };
+
       // First choice: free memory, most of it.
-      std::size_t best = kNone;
-      for (std::size_t ni = 0; ni < nodes.size(); ++ni) {
-        if (has_instance(ni)) continue;
-        if (nodes[ni].mem_free + kEps < app.instance_memory.get()) continue;
-        if (best == kNone || nodes[ni].mem_free > nodes[best].mem_free) best = ni;
+      NodeScratch* best = nullptr;
+      for (auto& ns : nodes) {
+        if (has_instance(ns)) continue;
+        if (ns.mem_free + kEps < app.instance_memory.get()) continue;
+        if (best == nullptr || ns.mem_free > best->mem_free) best = &ns;
       }
 
-      if (best == kNone) {
+      if (best == nullptr) {
         // Reclaim memory from the least-urgent evictable jobs: pick the
         // node where the evicted urgency mass is smallest.
         double best_cost = std::numeric_limits<double>::max();
-        std::size_t best_node = kNone;
+        NodeScratch* best_node = nullptr;
         std::vector<std::size_t> best_victims;
-        for (std::size_t ni = 0; ni < nodes.size(); ++ni) {
-          NodeScratch& ns = nodes[ni];
-          if (has_instance(ni)) continue;
+        for (auto& ns : nodes) {
+          if (has_instance(ns)) continue;
           // Greedily evict lowest-urgency jobs until the instance fits.
           std::vector<std::size_t> order;  // resident positions, jobs only
           for (std::size_t p = 0; p < ns.residents.size(); ++p) {
             if (ns.residents[p].is_job && ns.residents[p].evictable) order.push_back(p);
           }
-          // (urgency, insertion seq): deterministic regardless of how
-          // swap-removal has permuted resident positions.
           std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-            if (ns.residents[a].urgency != ns.residents[b].urgency) {
-              return ns.residents[a].urgency < ns.residents[b].urgency;
-            }
-            return ns.residents[a].seq < ns.residents[b].seq;
+            return ns.residents[a].urgency < ns.residents[b].urgency;
           });
           double freed = ns.mem_free;
           double cost = 0.0;
@@ -391,32 +336,29 @@ SolverResult solve_placement(const PlacementProblem& problem, const SolverConfig
           if (freed + kEps < app.instance_memory.get()) continue;  // still no room
           if (cost < best_cost) {
             best_cost = cost;
-            best_node = ni;
+            best_node = &ns;
             best_victims = std::move(victims);
           }
         }
-        if (best_node != kNone) {
-          // Evict from highest position first so swap-removal cannot
-          // disturb the positions still queued for eviction.
+        if (best_node != nullptr) {
+          // Evict from highest position first so indices stay valid.
           std::sort(best_victims.rbegin(), best_victims.rend());
-          for (std::size_t p : best_victims) evict_job_from(nodes[best_node], p);
+          for (std::size_t p : best_victims) evict_job_from(*best_node, p);
           best = best_node;
         }
       }
 
-      if (best == kNone) continue;  // cluster simply cannot host more
+      if (best == nullptr) continue;  // cluster simply cannot host more
 
+      best->mem_free -= app.instance_memory.get();
       NodeScratch::Resident r;
       r.is_job = false;
       r.index = as.index;
       r.target = app.target.get() / static_cast<double>(std::max(as.desired, 1));
       r.cap = as.per_inst_cap;
       r.memory = app.instance_memory.get();
-      r.seq = next_seq++;
-      nodes[best].add_resident(r);
-      presence[best / 64] |= std::uint64_t{1} << (best % 64);
-      as.kept_nodes.push_back(nodes[best].id);
-      fleet_mem_dirty = true;
+      best->residents.push_back(r);
+      as.kept_nodes.push_back(best->id);
       ++stats.instances_added;
     }
   }
@@ -436,49 +378,17 @@ SolverResult solve_placement(const PlacementProblem& problem, const SolverConfig
   }
   for (std::size_t ji : displaced) waiting.push_back({ji, true});
 
-  // Process in (urgency desc, id asc) order — a total order, so popping
-  // a max-heap visits jobs in exactly the sequence a full sort would,
-  // but the heap lets the loop stop as soon as no remaining job can fit:
-  // phase 4 only ever consumes memory, so once the fleet-wide max free
-  // falls below the smallest waiting footprint, every remaining job is
-  // waiting. At scale the waiting list dwarfs the slot count and the
-  // O(n log n) sort of it was the single largest cost of a solve.
-  struct WaitingKey {
-    double urgency;
-    util::JobId id;
-    std::uint32_t index;
-    bool was_running;
-  };
-  std::vector<WaitingKey> heap;
-  heap.reserve(waiting.size());
-  double min_waiting_mem = std::numeric_limits<double>::max();
-  for (const Waiting& w : waiting) {
-    const SolverJob& job = problem.jobs[w.index];
-    heap.push_back({job.urgency, job.id, static_cast<std::uint32_t>(w.index), w.was_running});
-    min_waiting_mem = std::min(min_waiting_mem, job.memory.get());
-  }
-  const auto heap_after = [](const WaitingKey& a, const WaitingKey& b) {
-    if (a.urgency != b.urgency) return a.urgency < b.urgency;  // max-heap on urgency
-    return a.id > b.id;                                        // then min on id
-  };
-  std::make_heap(heap.begin(), heap.end(), heap_after);
+  std::stable_sort(waiting.begin(), waiting.end(), [&](const Waiting& a, const Waiting& b) {
+    const SolverJob& ja = problem.jobs[a.index];
+    const SolverJob& jb = problem.jobs[b.index];
+    if (ja.urgency != jb.urgency) return ja.urgency > jb.urgency;
+    return ja.id < jb.id;
+  });
 
-  while (!heap.empty()) {
-    if (max_mem_free() + kEps < min_waiting_mem) {
-      // Nothing left can be admitted anywhere.
-      stats.jobs_waiting += static_cast<int>(heap.size());
-      break;
-    }
-    std::pop_heap(heap.begin(), heap.end(), heap_after);
-    const Waiting w{heap.back().index, heap.back().was_running};
-    heap.pop_back();
+  for (const Waiting& w : waiting) {
     const SolverJob& job = problem.jobs[w.index];
     if (w.was_running && !config.allow_migration) {
       ++stats.jobs_waiting;  // becomes a suspension downstream
-      continue;
-    }
-    if (max_mem_free() + kEps < job.memory.get()) {
-      ++stats.jobs_waiting;  // no node can hold it — skip the scan
       continue;
     }
     NodeScratch* best = nullptr;
@@ -491,10 +401,11 @@ SolverResult solve_placement(const PlacementProblem& problem, const SolverConfig
         best_headroom = headroom;
       }
     }
-    if (best == nullptr) {  // unreachable unless the cluster is empty
+    if (best == nullptr) {
       ++stats.jobs_waiting;
       continue;
     }
+    best->mem_free -= job.memory.get();
     NodeScratch::Resident r;
     r.is_job = true;
     r.index = w.index;
@@ -505,9 +416,7 @@ SolverResult solve_placement(const PlacementProblem& problem, const SolverConfig
     const bool protected_near_done =
         job.remaining.get() <= job.max_speed.get() * config.protect_completion_horizon_s;
     r.evictable = job.movable && !protected_near_done;
-    r.seq = next_seq++;
-    best->add_resident(r);
-    fleet_mem_dirty = true;
+    best->residents.push_back(r);
     // Landing back on its own node is not a migration (plan diff is a
     // plain resize there).
     if (w.was_running && best->id != job.current_node) ++stats.jobs_migrated;
@@ -515,18 +424,18 @@ SolverResult solve_placement(const PlacementProblem& problem, const SolverConfig
 
   // ---- Phase 5: per-node CPU distribution ----------------------------------
   // Instance targets: split each app's target equally across its placed
-  // instances (kept_nodes tracks exactly the placed set after phase 3).
+  // instances.
   std::vector<int> placed_instances(problem.apps.size(), 0);
-  for (const auto& as : app_scratch) {
-    placed_instances[as.index] = static_cast<int>(as.kept_nodes.size());
+  for (const auto& ns : nodes) {
+    for (const auto& r : ns.residents) {
+      if (!r.is_job) ++placed_instances[r.index];
+    }
   }
   for (auto& ns : nodes) {
     for (auto& r : ns.residents) {
       if (!r.is_job) {
         const int n = std::max(placed_instances[r.index], 1);
-        const double target = problem.apps[r.index].target.get() / static_cast<double>(n);
-        ns.target_sum += target - r.target;
-        r.target = target;
+        r.target = problem.apps[r.index].target.get() / static_cast<double>(n);
       }
     }
     waterfill_node(ns, config.work_conserving);
@@ -535,34 +444,30 @@ SolverResult solve_placement(const PlacementProblem& problem, const SolverConfig
   // Instance shortfall fixup: instances squeezed on crowded nodes leave
   // their app short of its target even when sibling instances sit next to
   // idle CPU. Raise sibling shares (never beyond the per-instance cap)
-  // until the target is met or slack runs out. A single sweep collects
-  // each app's granted total and its instance locations (node order), so
-  // the fixup touches only the app's own instances instead of rescanning
-  // every resident of every node per app.
-  std::vector<double> app_granted(problem.apps.size(), 0.0);
-  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> app_sites(problem.apps.size());
-  for (std::size_t ni = 0; ni < nodes.size(); ++ni) {
-    for (std::size_t p = 0; p < nodes[ni].residents.size(); ++p) {
-      const auto& r = nodes[ni].residents[p];
-      if (r.is_job) continue;
-      app_granted[r.index] += r.grant;
-      app_sites[r.index].emplace_back(ni, p);
-    }
-  }
+  // until the target is met or slack runs out.
   for (std::size_t ai = 0; ai < problem.apps.size(); ++ai) {
-    double shortfall = problem.apps[ai].target.get() - app_granted[ai];
+    double granted = 0.0;
+    for (const auto& ns : nodes) {
+      for (const auto& r : ns.residents) {
+        if (!r.is_job && r.index == ai) granted += r.grant;
+      }
+    }
+    double shortfall = problem.apps[ai].target.get() - granted;
     if (shortfall <= kEps) continue;
-    for (const auto& [ni, p] : app_sites[ai]) {
+    for (auto& ns : nodes) {
       if (shortfall <= kEps) break;
-      NodeScratch& ns = nodes[ni];
-      const double leftover = ns.cpu_cap - ns.granted_sum;
+      double node_granted = 0.0;
+      for (const auto& r : ns.residents) node_granted += r.grant;
+      double leftover = ns.cpu_cap - node_granted;
       if (leftover <= kEps) continue;
-      NodeScratch::Resident& r = ns.residents[p];
-      const double add = std::min({leftover, shortfall, r.cap - r.grant});
-      if (add > kEps) {
-        r.grant += add;
-        ns.granted_sum += add;
-        shortfall -= add;
+      for (auto& r : ns.residents) {
+        if (r.is_job || r.index != ai) continue;
+        const double add = std::min({leftover, shortfall, r.cap - r.grant});
+        if (add > kEps) {
+          r.grant += add;
+          leftover -= add;
+          shortfall -= add;
+        }
       }
     }
   }
@@ -577,44 +482,45 @@ SolverResult solve_placement(const PlacementProblem& problem, const SolverConfig
   // Left alone it would hold its memory slot forever without progressing.
   // Relocate it to a node with CPU leftover and a free memory slot, else
   // suspend it (dropping it from the plan) so a later cycle resumes it
-  // where it can actually run. Starved residents are handled in insertion
-  // (seq) order, matching the seed's positional scan.
+  // where it can actually run.
   for (auto& ns : nodes) {
-    for (;;) {
-      std::size_t pos = kNone;
-      for (std::size_t p = 0; p < ns.residents.size(); ++p) {
-        const NodeScratch::Resident& r = ns.residents[p];
-        const bool starved = r.is_job && r.grant <= 1.0 &&
-                             problem.jobs[r.index].movable &&
-                             problem.jobs[r.index].remaining.get() > 0.0;
-        if (starved && (pos == kNone || r.seq < ns.residents[pos].seq)) pos = p;
+    for (std::size_t p = 0; p < ns.residents.size();) {
+      NodeScratch::Resident& r = ns.residents[p];
+      const bool starved = r.is_job && r.grant <= 1.0 &&
+                           problem.jobs[r.index].movable &&
+                           problem.jobs[r.index].remaining.get() > 0.0;
+      if (!starved) {
+        ++p;
+        continue;
       }
-      if (pos == kNone) break;
-      const SolverJob& job = problem.jobs[ns.residents[pos].index];
+      const SolverJob& job = problem.jobs[r.index];
       // Find a destination with spare CPU and memory.
       NodeScratch* dest = nullptr;
       double best_leftover = 1.0;  // require strictly useful CPU
       for (auto& cand : nodes) {
         if (&cand == &ns) continue;
         if (cand.mem_free + kEps < job.memory.get()) continue;
-        const double leftover = cand.cpu_cap - cand.granted_sum;
+        double granted = 0.0;
+        for (const auto& cr : cand.residents) granted += cr.grant;
+        const double leftover = cand.cpu_cap - granted;
         if (leftover > best_leftover) {
           best_leftover = leftover;
           dest = &cand;
         }
       }
-      NodeScratch::Resident moved = ns.take_resident(pos);
-      fleet_mem_dirty = true;
+      NodeScratch::Resident moved = r;
+      ns.mem_free += moved.memory;
+      ns.residents.erase(ns.residents.begin() + static_cast<std::ptrdiff_t>(p));
       ++stats.jobs_evicted;
       if (dest != nullptr && config.allow_migration) {
         moved.grant = std::min(best_leftover, moved.cap);
-        moved.seq = next_seq++;
-        dest->add_resident(moved);
-        dest->granted_sum += moved.grant;
+        dest->mem_free -= moved.memory;
+        dest->residents.push_back(moved);
         if (dest->id != job.current_node) ++stats.jobs_migrated;
       } else {
         ++stats.jobs_waiting;  // suspended by the executor
       }
+      // Do not advance p: the erase shifted the next resident into place.
     }
   }
 
@@ -646,4 +552,4 @@ SolverResult solve_placement(const PlacementProblem& problem, const SolverConfig
   return result;
 }
 
-}  // namespace heteroplace::core
+}  // namespace heteroplace::bench::legacy

@@ -1,0 +1,17 @@
+#pragma once
+
+// Verbatim snapshot of the seed (pre-optimization) placement solver.
+// Kept so that (a) perf_baseline measures the optimized solver against
+// the exact code it replaced, and (b) solver tests can assert the
+// optimized plans match the seed plans on shared fixtures.
+//
+// Do not use outside bench/ and tests/.
+
+#include "core/placement_solver.hpp"
+
+namespace heteroplace::bench::legacy {
+
+[[nodiscard]] core::SolverResult solve_placement_legacy(const core::PlacementProblem& problem,
+                                                        const core::SolverConfig& config = {});
+
+}  // namespace heteroplace::bench::legacy

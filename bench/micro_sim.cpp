@@ -3,13 +3,64 @@
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "perfmodel/request_sim.hpp"
 #include "sim/engine.hpp"
+#include "sim/event_queue.hpp"
 #include "util/rng.hpp"
 
 namespace {
 
 using namespace heteroplace;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  // Raw queue throughput, no engine bookkeeping: the slab pool's
+  // zero-allocation push/pop against BENCH_eventqueue.json's seed column
+  // (bench/perf_baseline.cpp measures the retired shared_ptr queue).
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    util::Rng rng(3);
+    long fired = 0;
+    for (int i = 0; i < n; ++i) {
+      q.push(rng.uniform(0.0, 1e6), sim::EventPriority::kStateTransition, [&fired] { ++fired; });
+    }
+    while (!q.empty()) {
+      auto popped = q.pop();
+      popped.callback();
+    }
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_EventQueuePushPop)->RangeMultiplier(8)->Range(1024, 262144);
+
+void BM_EventQueueCancelChurn(benchmark::State& state) {
+  // The controller's reschedule pattern at queue scale: every pending
+  // completion is cancelled and re-pushed, then the queue drains.
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    util::Rng rng(13);
+    long fired = 0;
+    std::vector<sim::EventHandle> handles;
+    handles.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      handles.push_back(q.push(rng.uniform(0.0, 1e6), sim::EventPriority::kStateTransition,
+                               [&fired] { ++fired; }));
+    }
+    for (auto& h : handles) {
+      h.cancel();
+      h = q.push(rng.uniform(0.0, 1e6), sim::EventPriority::kStateTransition,
+                 [&fired] { ++fired; });
+    }
+    while (!q.empty()) q.pop();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * n);
+}
+BENCHMARK(BM_EventQueueCancelChurn)->RangeMultiplier(4)->Range(4096, 65536);
 
 void BM_EngineScheduleRun(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -26,7 +77,7 @@ void BM_EngineScheduleRun(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_EngineScheduleRun)->RangeMultiplier(8)->Range(1024, 65536);
+BENCHMARK(BM_EngineScheduleRun)->RangeMultiplier(8)->Range(1024, 262144);
 
 void BM_EngineCancellationHeavy(benchmark::State& state) {
   // The controller cancels/reschedules job completions constantly; this
@@ -49,7 +100,7 @@ void BM_EngineCancellationHeavy(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_EngineCancellationHeavy)->Arg(16384);
+BENCHMARK(BM_EngineCancellationHeavy)->Arg(16384)->Arg(65536);
 
 void BM_RequestLevelMm1(benchmark::State& state) {
   perfmodel::RequestSimConfig cfg;

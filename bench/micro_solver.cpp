@@ -13,6 +13,7 @@
 
 #include "core/equalizer.hpp"
 #include "core/placement_solver.hpp"
+#include "solver_shapes.hpp"
 #include "util/rng.hpp"
 #include "utility/job_utility.hpp"
 #include "utility/tx_utility.hpp"
@@ -72,47 +73,75 @@ void BM_EqualizeJobs(benchmark::State& state) {
   }
   state.SetComplexityN(n);
 }
-BENCHMARK(BM_EqualizeJobs)->RangeMultiplier(4)->Range(16, 1024)->Complexity();
+BENCHMARK(BM_EqualizeJobs)->RangeMultiplier(4)->Range(16, 4096)->Complexity();
+
+void BM_EqualizeJobsVirtualPath(benchmark::State& state) {
+  // The seed equalizer loop (per-consumer virtual dispatch, no curve
+  // cache), for the BENCH_equalizer.json trajectory.
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(7);
+  const auto jobs = make_jobs(n, rng);
+  const auto app = make_app();
+  const utility::JobUtilityModel job_model;
+  const utility::TxUtilityModel tx_model;
+  const util::Seconds now{60000.0};
+
+  std::vector<core::JobConsumer> jc;
+  jc.reserve(jobs.size());
+  for (const auto& j : jobs) jc.emplace_back(j, job_model, now);
+  core::TxConsumer tc(app, tx_model, now);
+  std::vector<const core::UtilityConsumer*> consumers;
+  for (const auto& c : jc) consumers.push_back(&c);
+  consumers.push_back(&tc);
+
+  core::EqualizerOptions opts;
+  opts.use_curve_cache = false;
+  const util::CpuMhz capacity{300000.0};
+  for (auto _ : state) {
+    auto result = core::equalize(consumers, capacity, opts);
+    benchmark::DoNotOptimize(result.u_star);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_EqualizeJobsVirtualPath)->RangeMultiplier(4)->Range(16, 4096)->Complexity();
 
 void BM_SolvePlacement(benchmark::State& state) {
   const int nodes = static_cast<int>(state.range(0));
-  const int jobs_n = nodes * 4;  // oversubscribed: 4 candidates per node
-  util::Rng rng(11);
-
-  core::PlacementProblem problem;
-  for (int i = 0; i < nodes; ++i) {
-    problem.nodes.push_back(
-        {util::NodeId{static_cast<unsigned>(i)}, util::CpuMhz{12000.0}, util::MemMb{4096.0}});
-  }
-  for (int i = 0; i < jobs_n; ++i) {
-    core::SolverJob j;
-    j.id = util::JobId{static_cast<unsigned>(i)};
-    j.memory = util::MemMb{1300.0};
-    j.max_speed = util::CpuMhz{3000.0};
-    j.target = util::CpuMhz{rng.uniform(500.0, 3000.0)};
-    j.urgency = j.target.get();
-    j.remaining = util::MhzSeconds{1e8};
-    if (i < nodes * 2) {  // half the candidates are already running
-      j.phase = workload::JobPhase::kRunning;
-      j.current_node = util::NodeId{static_cast<unsigned>(i % nodes)};
-    }
-    problem.jobs.push_back(j);
-  }
-  core::SolverApp app;
-  app.id = util::AppId{0};
-  app.instance_memory = util::MemMb{1024.0};
-  app.max_instances = nodes;
-  app.max_cpu_per_instance = util::CpuMhz{12000.0};
-  app.target = util::CpuMhz{nodes * 4000.0};
-  problem.apps.push_back(app);
-
+  const int jobs_n = static_cast<int>(state.range(1));
+  const auto problem = bench::make_placement_problem(nodes, jobs_n);
   for (auto _ : state) {
     auto result = core::solve_placement(problem);
     benchmark::DoNotOptimize(result.plan.jobs.size());
   }
   state.SetComplexityN(nodes);
 }
-BENCHMARK(BM_SolvePlacement)->RangeMultiplier(2)->Range(25, 400)->Complexity();
+// Oversubscribed scaling: 4 job candidates per node (the seed shapes).
+// One shape family per benchmark — the Complexity() fit is only
+// meaningful when jobs grow proportionally with N.
+BENCHMARK(BM_SolvePlacement)
+    ->Args({25, 100})
+    ->Args({50, 200})
+    ->Args({100, 400})
+    ->Args({200, 800})
+    ->Args({400, 1600})
+    ->Complexity();
+
+void BM_SolvePlacementDenseQueue(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  const int jobs_n = static_cast<int>(state.range(1));
+  const auto problem = bench::make_placement_problem(nodes, jobs_n);
+  for (auto _ : state) {
+    auto result = core::solve_placement(problem);
+    benchmark::DoNotOptimize(result.plan.jobs.size());
+  }
+}
+// Dense queues (~31 candidates per node, up to 128 nodes / 4000 jobs):
+// the waiting list dwarfs the slot count and admission dominates.
+// Same shapes as BENCH_solver.json (bench/perf_baseline.cpp).
+BENCHMARK(BM_SolvePlacementDenseQueue)
+    ->Args({16, 500})
+    ->Args({64, 2000})
+    ->Args({128, 4000});
 
 void BM_TxInverse(benchmark::State& state) {
   const utility::TxUtilityModel model;

@@ -22,6 +22,48 @@ namespace heteroplace::core {
 
 enum class ConsumerKind { kJob, kTxApp };
 
+/// Flattened description of a consumer's CPU-for-utility curve.
+///
+/// The equalizer evaluates Σ alloc_for_utility(u) dozens of times per
+/// control cycle over thousands of consumers; going through the virtual
+/// interface each time (and, for transactional apps, re-running an inner
+/// bisection through std::function) dominates the cycle cost. A consumer
+/// that can describe its inverse curve in closed parameters exports them
+/// here once per equalize() call, and the equalizer evaluates the curve
+/// from flat arrays. `kGeneric` consumers simply keep the virtual path.
+struct CurveParams {
+  enum class Form {
+    kGeneric,     // no closed form: call alloc_for_utility(u) virtually
+    kZero,        // alloc_for_utility(u) == 0 for all u (finished / idle)
+    kJobInverse,  // job curve: see JobUtilityModel::speed_for_utility
+    kTxQueueing,  // transactional curve: see TxUtilityModel::alloc_for_utility
+  };
+  Form form{Form::kGeneric};
+
+  // kJobInverse — alloc(u) = clamp(remaining / (submit + fn⁻¹(u·w)·goal − now),
+  //                                0, max_speed), max_speed if the horizon
+  // has passed. Consumers sharing (fn, importance) also share fn⁻¹(u·w),
+  // which the equalizer therefore solves once per group per iteration.
+  const utility::UtilityFunction* fn{nullptr};
+  double importance{1.0};
+  double remaining{0.0};
+  double max_speed{0.0};
+  double submit{0.0};
+  double goal{0.0};
+  double now{0.0};
+
+  // kTxQueueing — inverse of the M/G/1-PS + flow-control utility, solved
+  // by the same bisection as TxUtilityModel::alloc_for_utility but with
+  // the model composition inlined and the demand ceiling precomputed.
+  double lambda{0.0};
+  double service_demand{0.0};
+  double rt_goal{0.0};
+  double utility_cap{0.0};
+  double rho_cap{0.0};
+  double throughput_exponent{0.0};
+  double demand_hi{0.0};
+};
+
 class UtilityConsumer {
  public:
   virtual ~UtilityConsumer() = default;
@@ -44,6 +86,14 @@ class UtilityConsumer {
   [[nodiscard]] virtual ConsumerKind kind() const = 0;
   [[nodiscard]] virtual util::JobId job_id() const { return util::JobId{}; }
   [[nodiscard]] virtual util::AppId app_id() const { return util::AppId{}; }
+
+  /// Flat curve parameters for the equalizer's hot loop. The default is
+  /// the generic (virtual-dispatch) form. Per-consumer inverses must be
+  /// identical either way — the params are a performance contract, not a
+  /// policy — though the equalizer's totals may differ in the last ulp
+  /// because the cache sums by consumer kind rather than input order
+  /// (u* agrees within the bisection tolerance; see EqualizerOptions).
+  [[nodiscard]] virtual CurveParams curve_params() const { return {}; }
 };
 
 /// Consumer view of a long-running job at a specific controller instant.
@@ -66,6 +116,24 @@ class JobConsumer final : public UtilityConsumer {
   }
   [[nodiscard]] ConsumerKind kind() const override { return ConsumerKind::kJob; }
   [[nodiscard]] util::JobId job_id() const override { return job_->id(); }
+
+  [[nodiscard]] CurveParams curve_params() const override {
+    CurveParams p;
+    if (job_->finished()) {  // speed_for_utility returns 0 for finished jobs
+      p.form = CurveParams::Form::kZero;
+      return p;
+    }
+    const auto& spec = job_->spec();
+    p.form = CurveParams::Form::kJobInverse;
+    p.fn = &model_->fn();
+    p.importance = spec.importance > 0.0 ? spec.importance : 1.0;
+    p.remaining = job_->remaining().get();
+    p.max_speed = spec.max_speed.get();
+    p.submit = spec.submit_time.get();
+    p.goal = spec.completion_goal.get();
+    p.now = now_.get();
+    return p;
+  }
 
   [[nodiscard]] const workload::Job& job() const { return *job_; }
 
@@ -98,6 +166,25 @@ class TxConsumer final : public UtilityConsumer {
   [[nodiscard]] double utility_max() const override { return model_->max_utility(app_->spec()); }
   [[nodiscard]] ConsumerKind kind() const override { return ConsumerKind::kTxApp; }
   [[nodiscard]] util::AppId app_id() const override { return app_->id(); }
+
+  [[nodiscard]] CurveParams curve_params() const override {
+    CurveParams p;
+    if (lambda_ <= 0.0) {  // unloaded app: alloc_for_utility returns 0
+      p.form = CurveParams::Form::kZero;
+      return p;
+    }
+    const auto& spec = app_->spec();
+    p.form = CurveParams::Form::kTxQueueing;
+    p.importance = spec.importance > 0.0 ? spec.importance : 1.0;
+    p.lambda = lambda_;
+    p.service_demand = spec.service_demand;
+    p.rt_goal = spec.rt_goal.get();
+    p.utility_cap = spec.utility_cap;
+    p.rho_cap = spec.max_utilization;
+    p.throughput_exponent = spec.throughput_exponent;
+    p.demand_hi = model_->demand_for_max_utility(spec, lambda_).get();
+    return p;
+  }
 
   [[nodiscard]] double lambda() const { return lambda_; }
 

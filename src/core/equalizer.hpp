@@ -29,6 +29,12 @@ struct EqualizerOptions {
   /// Bisection tolerance on u*.
   double u_tolerance{1.0e-5};
   int max_iterations{120};
+  /// Evaluate Σ alloc_for_utility(u) from flattened curve parameters
+  /// (see CurveParams) instead of per-consumer virtual dispatch. Results
+  /// agree to within the bisection tolerance; the flag exists so
+  /// bench/perf_baseline can measure the seed path and tests can assert
+  /// the equivalence.
+  bool use_curve_cache{true};
 };
 
 struct ConsumerAllocation {

@@ -1,25 +1,117 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace heteroplace::sim {
 
-EventHandle EventQueue::push(double time, EventPriority priority, EventCallback cb) {
-  auto rec = std::make_shared<detail::EventRecord>();
-  rec->time = time;
-  rec->priority = static_cast<int>(priority);
-  rec->seq = next_seq_++;
-  rec->callback = std::move(cb);
-  EventHandle handle{std::weak_ptr<detail::EventRecord>{rec}};
-  heap_.push(std::move(rec));
-  ++live_;
-  return handle;
+EventQueue::EventQueue() {
+  auto& reg = detail::QueueRegistry::instance();
+  queue_id_ = reg.next_id++;
+  reg.live.emplace_back(this, queue_id_);
+}
+
+EventQueue::~EventQueue() {
+  auto& live = detail::QueueRegistry::instance().live;
+  bool found = false;
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    if (live[i].first == this) {
+      live[i] = live.back();
+      live.pop_back();
+      found = true;
+      break;
+    }
+  }
+  // Not found ⇒ the queue is being destroyed on a different thread than
+  // it was created on, which would leave a dangling registry entry on
+  // the creating thread (handles there would pass the liveness check
+  // and touch freed memory). A queue and its handles belong to one
+  // thread — fail loudly rather than corrupt silently.
+  assert(found && "EventQueue destroyed on a different thread than it was created");
+  (void)found;
+}
+
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ != kNil) {
+    const std::uint32_t idx = free_head_;
+    free_head_ = slots_[idx].next_free;
+    slots_[idx].next_free = kNil;
+    return idx;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t idx) const {
+  Slot& s = slots_[idx];
+  s.callback = nullptr;
+  s.in_use = false;
+  s.cancelled = false;
+  ++s.generation;  // invalidate outstanding handles
+  s.next_free = free_head_;
+  free_head_ = idx;
+}
+
+void EventQueue::sift_up(std::size_t pos) const {
+  const HeapEntry moving = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 4;
+    if (!moving.fires_before(heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    pos = parent;
+  }
+  heap_[pos] = moving;
+}
+
+void EventQueue::sift_down(std::size_t pos) const {
+  const std::size_t n = heap_.size();
+  const HeapEntry moving = heap_[pos];
+  for (;;) {
+    const std::size_t first = 4 * pos + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (heap_[c].fires_before(heap_[best])) best = c;
+    }
+    if (!heap_[best].fires_before(moving)) break;
+    heap_[pos] = heap_[best];
+    pos = best;
+  }
+  heap_[pos] = moving;
+}
+
+void EventQueue::heap_remove_top() const {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
 }
 
 void EventQueue::drop_dead() const {
-  while (!heap_.empty() && heap_.top()->cancelled) {
-    heap_.pop();
+  if (dead_ == 0) return;
+  while (!heap_.empty() && slots_[heap_.front().slot].cancelled) {
+    const std::uint32_t idx = heap_.front().slot;
+    heap_remove_top();
+    release_slot(idx);
+    --dead_;
   }
+}
+
+EventHandle EventQueue::push(double time, EventPriority priority, EventCallback cb) {
+  const std::uint32_t idx = acquire_slot();
+  Slot& s = slots_[idx];
+  const std::uint64_t seq = next_seq_++;
+  s.callback = std::move(cb);
+  s.in_use = true;
+  s.cancelled = false;
+  const std::uint64_t order =
+      (static_cast<std::uint64_t>(static_cast<std::uint16_t>(static_cast<int>(priority))) << 48) |
+      (seq & kSeqMask);
+  heap_.push_back(HeapEntry{time, order, idx});
+  sift_up(heap_.size() - 1);
+  ++live_;
+  return EventHandle{this, queue_id_, idx, s.generation};
 }
 
 bool EventQueue::empty() const {
@@ -30,16 +122,34 @@ bool EventQueue::empty() const {
 double EventQueue::next_time() const {
   drop_dead();
   assert(!heap_.empty());
-  return heap_.top()->time;
+  return heap_.front().time;
 }
 
 EventQueue::Popped EventQueue::pop() {
   drop_dead();
   assert(!heap_.empty());
-  auto rec = heap_.top();
-  heap_.pop();
+  const std::uint32_t idx = heap_.front().slot;
+  Popped out{heap_.front().time, std::move(slots_[idx].callback)};
+  heap_remove_top();
+  release_slot(idx);
   --live_;
-  return Popped{rec->time, std::move(rec->callback)};
+  return out;
+}
+
+bool EventQueue::handle_pending(std::uint32_t slot, std::uint32_t generation) const {
+  if (slot >= slots_.size()) return false;
+  const Slot& s = slots_[slot];
+  return s.in_use && s.generation == generation && !s.cancelled;
+}
+
+bool EventQueue::handle_cancel(std::uint32_t slot, std::uint32_t generation) {
+  if (!handle_pending(slot, generation)) return false;
+  Slot& s = slots_[slot];
+  s.cancelled = true;
+  s.callback = nullptr;  // release captured state eagerly
+  ++dead_;
+  --live_;  // a cancelled event is no longer live (the heap entry is swept lazily)
+  return true;
 }
 
 }  // namespace heteroplace::sim

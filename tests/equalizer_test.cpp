@@ -193,3 +193,98 @@ TEST_P(EqualizerFuzz, FeasibleAndEqualized) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EqualizerFuzz,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 42u));
+
+// ---- Curve-cache vs. virtual-dispatch equivalence ---------------------------
+// The flat-array hot loop (EqualizerOptions::use_curve_cache, the
+// default) mirrors JobUtilityModel::speed_for_utility and
+// TxUtilityModel::alloc_for_utility operation for operation, so with
+// jobs preceding apps in the consumer vector the two paths sum in the
+// same order and must agree exactly.
+
+#include "utility/job_utility.hpp"
+#include "utility/tx_utility.hpp"
+#include "workload/job.hpp"
+#include "workload/transactional.hpp"
+
+namespace {
+
+struct RealPopulation {
+  std::vector<heteroplace::workload::Job> jobs;
+  std::vector<heteroplace::workload::TxApp> apps;
+  heteroplace::utility::JobUtilityModel job_model;
+  heteroplace::utility::TxUtilityModel tx_model;
+  std::vector<heteroplace::core::JobConsumer> jc;
+  std::vector<heteroplace::core::TxConsumer> tc;
+  std::vector<const UtilityConsumer*> consumers;
+
+  RealPopulation(int n_jobs, int n_apps, std::uint64_t seed) {
+    using namespace heteroplace;
+    util::Rng rng(seed);
+    const util::Seconds now{60000.0};
+    for (int i = 0; i < n_jobs; ++i) {
+      workload::JobSpec spec;
+      spec.id = util::JobId{static_cast<unsigned>(i)};
+      spec.work = util::MhzSeconds{rng.uniform(1.0e7, 6.0e7)};
+      spec.max_speed = CpuMhz{3000.0};
+      spec.importance = rng.chance(0.3) ? 2.0 : 1.0;
+      spec.submit_time = util::Seconds{rng.uniform(0.0, 50000.0)};
+      spec.completion_goal = util::Seconds{2.0 * spec.nominal_length().get()};
+      jobs.emplace_back(std::move(spec));
+    }
+    for (int a = 0; a < n_apps; ++a) {
+      workload::TxAppSpec spec;
+      spec.id = util::AppId{static_cast<unsigned>(a)};
+      spec.rt_goal = util::Seconds{rng.uniform(0.5, 2.0)};
+      spec.service_demand = rng.uniform(2000.0, 8000.0);
+      spec.importance = rng.chance(0.5) ? 1.5 : 1.0;
+      apps.emplace_back(spec, workload::DemandTrace{rng.uniform(5.0, 40.0)});
+    }
+    jc.reserve(jobs.size());
+    tc.reserve(apps.size());
+    for (const auto& j : jobs) jc.emplace_back(j, job_model, now);
+    for (const auto& app : apps) tc.emplace_back(app, tx_model, now);
+    for (const auto& c : jc) consumers.push_back(&c);
+    for (const auto& c : tc) consumers.push_back(&c);
+  }
+};
+
+}  // namespace
+
+TEST(EqualizerCurveCache, MatchesVirtualPathExactlyOnRealConsumers) {
+  RealPopulation pop(/*n_jobs=*/60, /*n_apps=*/4, /*seed=*/91u);
+  for (const double capacity : {20000.0, 60000.0, 120000.0}) {
+    core::EqualizerOptions fast;
+    fast.use_curve_cache = true;
+    core::EqualizerOptions slow;
+    slow.use_curve_cache = false;
+    const auto rf = core::equalize(pop.consumers, CpuMhz{capacity}, fast);
+    const auto rs = core::equalize(pop.consumers, CpuMhz{capacity}, slow);
+    EXPECT_DOUBLE_EQ(rf.u_star, rs.u_star) << "capacity " << capacity;
+    EXPECT_EQ(rf.contended, rs.contended);
+    EXPECT_EQ(rf.iterations, rs.iterations);
+    ASSERT_EQ(rf.allocations.size(), rs.allocations.size());
+    for (std::size_t i = 0; i < rf.allocations.size(); ++i) {
+      EXPECT_DOUBLE_EQ(rf.allocations[i].alloc.get(), rs.allocations[i].alloc.get())
+          << "capacity " << capacity << " consumer " << i;
+      EXPECT_DOUBLE_EQ(rf.allocations[i].utility, rs.allocations[i].utility)
+          << "capacity " << capacity << " consumer " << i;
+    }
+    EXPECT_DOUBLE_EQ(rf.total.get(), rs.total.get());
+  }
+}
+
+TEST(EqualizerCurveCache, GenericConsumersKeepVirtualSemantics) {
+  // Consumers that export no closed form (like this file's
+  // LinearConsumer) must behave identically under both flags.
+  std::vector<LinearConsumer> cs = {{3000.0, 0.9, 1.5}, {1000.0, 0.8, 3.0}, {2000.0, 1.0, 2.0}};
+  core::EqualizerOptions fast;
+  fast.use_curve_cache = true;
+  core::EqualizerOptions slow;
+  slow.use_curve_cache = false;
+  const auto rf = core::equalize(ptrs(cs), CpuMhz{3000.0}, fast);
+  const auto rs = core::equalize(ptrs(cs), CpuMhz{3000.0}, slow);
+  EXPECT_DOUBLE_EQ(rf.u_star, rs.u_star);
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(rf.allocations[i].alloc.get(), rs.allocations[i].alloc.get());
+  }
+}

@@ -178,3 +178,71 @@ TEST_P(EngineStress, OrderAndCancellationInvariants) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineStress, ::testing::Values(1u, 7u, 99u, 12345u));
+
+// Regression: the pre-pool queue never decremented the live count on
+// cancellation, so events_pending() over-reported after any reschedule.
+TEST(Engine, PendingCountDropsOnCancel) {
+  hs::Engine e;
+  e.schedule_at(Seconds{1.0}, hs::EventPriority::kStateTransition, [] {});
+  auto victim = e.schedule_at(Seconds{2.0}, hs::EventPriority::kStateTransition, [] {});
+  e.schedule_at(Seconds{3.0}, hs::EventPriority::kStateTransition, [] {});
+  EXPECT_EQ(e.events_pending(), 3u);
+  EXPECT_TRUE(victim.cancel());
+  EXPECT_EQ(e.events_pending(), 2u);
+  EXPECT_FALSE(victim.cancel());  // idempotent: no double decrement
+  EXPECT_EQ(e.events_pending(), 2u);
+  e.run();
+  EXPECT_EQ(e.events_pending(), 0u);
+  EXPECT_EQ(e.events_executed(), 2u);
+}
+
+TEST(Engine, PendingCountStableUnderReschedule) {
+  // The controller's completion-event pattern: cancel + re-push every
+  // cycle. The live count must stay at one throughout.
+  hs::Engine e;
+  int fired = 0;
+  auto h = e.schedule_at(Seconds{1000.0}, hs::EventPriority::kStateTransition,
+                         [&fired] { ++fired; });
+  for (int i = 1; i <= 200; ++i) {
+    EXPECT_EQ(e.events_pending(), 1u) << "iteration " << i;
+    h.cancel();
+    h = e.schedule_at(Seconds{1000.0 + i}, hs::EventPriority::kStateTransition,
+                      [&fired] { ++fired; });
+  }
+  EXPECT_EQ(e.events_pending(), 1u);
+  e.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.events_pending(), 0u);
+}
+
+TEST(Engine, HandleIsSafeAfterEngineDestruction) {
+  hs::EventHandle h;
+  {
+    hs::Engine e;
+    h = e.schedule_at(Seconds{1.0}, hs::EventPriority::kStateTransition, [] {});
+    EXPECT_TRUE(h.pending());
+  }
+  // The queue (and its record pool) are gone; the handle must degrade
+  // to "not pending" rather than touch freed memory.
+  EXPECT_FALSE(h.pending());
+  EXPECT_FALSE(h.cancel());
+}
+
+TEST(Engine, StaleHandleCannotTouchRecycledSlot) {
+  hs::Engine e;
+  bool first_fired = false;
+  auto h1 = e.schedule_at(Seconds{1.0}, hs::EventPriority::kStateTransition,
+                          [&first_fired] { first_fired = true; });
+  e.run();  // fires h1; its pool slot is recycled for the next push
+  EXPECT_TRUE(first_fired);
+  bool second_fired = false;
+  auto h2 = e.schedule_at(Seconds{2.0}, hs::EventPriority::kStateTransition,
+                          [&second_fired] { second_fired = true; });
+  // The stale handle points at the recycled slot but carries the old
+  // generation: it must not cancel the new event.
+  EXPECT_FALSE(h1.pending());
+  EXPECT_FALSE(h1.cancel());
+  EXPECT_TRUE(h2.pending());
+  e.run();
+  EXPECT_TRUE(second_fired);
+}

@@ -389,3 +389,90 @@ TEST_P(SolverFuzz, RandomProblemsAreFeasible) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SolverFuzz, ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+// ---- Edge paths the hot-path rewrite must preserve --------------------------
+
+TEST(Solver, StarvationRescueRelocatesToNodeWithSlack) {
+  // Node 0: a kept instance whose target consumes the whole node; the
+  // collocated running job gets a zero grant and must be rescued to
+  // node 1 (free memory, idle CPU) rather than starve in place.
+  auto p = small_cluster(2);
+  p.jobs.push_back(running_job(0, 0, 2000.0));
+  auto a = app(0, 12000.0, 1024.0, /*max_inst=*/1);
+  a.current.push_back({NodeId{0}, /*movable=*/true});
+  p.apps.push_back(a);
+  const auto r = core::solve_placement(p);
+  assert_feasible(p, r.plan);
+  ASSERT_EQ(r.plan.jobs.size(), 1u);
+  EXPECT_EQ(r.plan.jobs[0].node.get(), 1u);
+  EXPECT_GT(r.plan.jobs[0].cpu.get(), 1.0);
+  EXPECT_GE(r.stats.jobs_evicted, 1);
+  EXPECT_EQ(r.stats.jobs_migrated, 1);
+}
+
+TEST(Solver, StarvationRescueSuspendsWithoutDestination) {
+  // Single node: the starved job has nowhere to go and is suspended
+  // (dropped from the plan) instead of holding memory at zero speed.
+  auto p = small_cluster(1);
+  p.jobs.push_back(running_job(0, 0, 2000.0));
+  auto a = app(0, 12000.0, 1024.0, /*max_inst=*/1);
+  a.current.push_back({NodeId{0}, /*movable=*/true});
+  p.apps.push_back(a);
+  const auto r = core::solve_placement(p);
+  assert_feasible(p, r.plan);
+  EXPECT_TRUE(r.plan.jobs.empty());
+  EXPECT_GE(r.stats.jobs_evicted, 1);
+  EXPECT_EQ(r.stats.jobs_migrated, 0);
+  EXPECT_GE(r.stats.jobs_waiting, 1);
+}
+
+TEST(Solver, StarvationRescueSuspendsWhenMigrationDisabled) {
+  auto p = small_cluster(2);
+  p.jobs.push_back(running_job(0, 0, 2000.0));
+  auto a = app(0, 12000.0, 1024.0, /*max_inst=*/1);
+  a.current.push_back({NodeId{0}, /*movable=*/true});
+  p.apps.push_back(a);
+  SolverConfig cfg;
+  cfg.allow_migration = false;
+  const auto r = core::solve_placement(p, cfg);
+  assert_feasible(p, r.plan);
+  EXPECT_TRUE(r.plan.jobs.empty());
+  EXPECT_EQ(r.stats.jobs_migrated, 0);
+  EXPECT_GE(r.stats.jobs_waiting, 1);
+}
+
+TEST(Solver, WorkConservingSpreadsLeftoverUpToEachJobsCap) {
+  // Two jobs with different max speeds: the equal-share spread must stop
+  // at each job's cap and re-spread the remainder to the open job.
+  auto p = small_cluster(1);
+  p.jobs.push_back(job(0, 500.0, 1300.0, /*max_speed=*/2000.0));
+  p.jobs.push_back(job(1, 500.0, 1300.0, /*max_speed=*/3000.0));
+  const auto r = core::solve_placement(p);
+  assert_feasible(p, r.plan);
+  ASSERT_EQ(r.plan.jobs.size(), 2u);
+  for (const auto& jp : r.plan.jobs) {
+    if (jp.job.get() == 0) {
+      EXPECT_NEAR(jp.cpu.get(), 2000.0, 1e-6);
+    }
+    if (jp.job.get() == 1) {
+      EXPECT_NEAR(jp.cpu.get(), 3000.0, 1e-6);
+    }
+  }
+}
+
+TEST(Solver, InstanceGrowthEvictsInUrgencyOrder) {
+  // The instance needs two memory slots freed: the two least-urgent jobs
+  // go (suspended — single node), the most urgent survives in place.
+  auto p = small_cluster(1);
+  p.jobs.push_back(running_job(0, 0, 500.0));
+  p.jobs.push_back(running_job(1, 0, 1500.0));
+  p.jobs.push_back(running_job(2, 0, 3000.0));
+  p.apps.push_back(app(0, 6000.0, /*inst_mem=*/2500.0));
+  const auto r = core::solve_placement(p);
+  assert_feasible(p, r.plan);
+  ASSERT_EQ(r.plan.instances.size(), 1u);
+  EXPECT_EQ(r.stats.jobs_evicted, 2);
+  ASSERT_EQ(r.plan.jobs.size(), 1u);
+  EXPECT_EQ(r.plan.jobs[0].job.get(), 2u);  // highest urgency survives
+  EXPECT_EQ(r.stats.jobs_waiting, 2);
+}
