@@ -1,12 +1,18 @@
 #include "core/controller.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+
 namespace heteroplace::core {
 
 void PlacementController::start() {
-  const util::Seconds first =
-      std::max(config_.first_cycle_at.get(), engine_.now().get()) == config_.first_cycle_at.get()
-          ? config_.first_cycle_at
-          : engine_.now();
+  if (config_.cycle.get() <= 0.0) {
+    throw std::invalid_argument("PlacementController: cycle must be positive");
+  }
+  if (config_.first_cycle_at.get() < 0.0) {
+    throw std::invalid_argument("PlacementController: first_cycle_at must be nonnegative");
+  }
+  const util::Seconds first = std::max(config_.first_cycle_at, engine_.now());
   engine_.schedule_at(first, sim::EventPriority::kController, [this] {
     run_cycle();
     schedule_next();

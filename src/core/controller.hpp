@@ -21,7 +21,9 @@ namespace heteroplace::core {
 
 struct ControllerConfig {
   util::Seconds cycle{600.0};
-  /// Time of the first control evaluation.
+  /// Time of the first control evaluation (clamped up to now() at
+  /// start()). Federated deployments stagger their domains through this
+  /// hook so controllers do not fire in lockstep.
   util::Seconds first_cycle_at{0.0};
 };
 
@@ -46,8 +48,15 @@ class PlacementController {
 
   void set_observer(CycleObserver observer) { observer_ = std::move(observer); }
 
+  [[nodiscard]] const ControllerConfig& config() const { return config_; }
+
+  /// Adjust the first-evaluation time (phase offset). Must be called
+  /// before start(); the federation layer uses it to stagger domains.
+  void set_first_cycle_at(util::Seconds t) { config_.first_cycle_at = t; }
+
   /// Schedule the periodic control loop on the engine. Call once, before
-  /// Engine::run().
+  /// Engine::run(). Throws std::invalid_argument on a nonpositive cycle
+  /// or a negative first_cycle_at.
   void start();
 
   /// Run one control evaluation immediately (tests / manual stepping).

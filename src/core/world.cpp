@@ -2,11 +2,23 @@
 
 namespace heteroplace::core {
 
+void World::add_app(workload::TxApp app) {
+  const util::AppId id = app.id();
+  if (app_index_.count(id) > 0) throw std::invalid_argument("World::add_app: duplicate app id");
+  app_index_.emplace(id, apps_.size());
+  apps_.push_back(std::move(app));
+}
+
 const workload::TxApp& World::app(util::AppId id) const {
-  for (const auto& a : apps_) {
-    if (a.id() == id) return a;
-  }
-  throw std::out_of_range("World::app: unknown app id");
+  auto it = app_index_.find(id);
+  if (it == app_index_.end()) throw std::out_of_range("World::app: unknown app id");
+  return apps_[it->second];
+}
+
+workload::TxApp& World::app_mut(util::AppId id) {
+  auto it = app_index_.find(id);
+  if (it == app_index_.end()) throw std::out_of_range("World::app_mut: unknown app id");
+  return apps_[it->second];
 }
 
 workload::Job& World::submit_job(workload::JobSpec spec) {

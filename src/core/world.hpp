@@ -24,9 +24,13 @@ class World {
   [[nodiscard]] const cluster::Cluster& cluster() const { return cluster_; }
 
   /// Register a transactional application (before the run starts).
-  void add_app(workload::TxApp app) { apps_.push_back(std::move(app)); }
+  void add_app(workload::TxApp app);
   [[nodiscard]] const std::vector<workload::TxApp>& apps() const { return apps_; }
+  [[nodiscard]] bool app_exists(util::AppId id) const { return app_index_.count(id) > 0; }
   [[nodiscard]] const workload::TxApp& app(util::AppId id) const;
+  /// Mutable access, used by the federation layer to re-split an app's
+  /// demand trace across domains (e.g. on a brownout).
+  [[nodiscard]] workload::TxApp& app_mut(util::AppId id);
 
   /// Submit a job (typically from an arrival event). The job starts in
   /// phase kPending with no VM.
@@ -49,6 +53,7 @@ class World {
  private:
   cluster::Cluster cluster_;
   std::vector<workload::TxApp> apps_;
+  std::map<util::AppId, std::size_t> app_index_;  // id → position in apps_
   std::map<util::JobId, workload::Job> jobs_;
   std::vector<util::JobId> job_order_;
 };

@@ -1,0 +1,20 @@
+#include "federation/domain.hpp"
+
+namespace heteroplace::federation {
+
+util::CpuMhz Domain::offered_cpu_load(util::Seconds now) const {
+  util::CpuMhz load{0.0};
+  for (const workload::Job* job : world_.active_jobs()) {
+    load += job->spec().max_speed;
+  }
+  for (const workload::TxApp& app : world_.apps()) {
+    load += app.offered_load(now);
+  }
+  return load;
+}
+
+std::size_t Domain::active_job_count() const {
+  return world_.submitted_count() - world_.completed_count();
+}
+
+}  // namespace heteroplace::federation

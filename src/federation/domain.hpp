@@ -1,0 +1,74 @@
+#pragma once
+
+// A controller domain: one shard of a federated cluster.
+//
+// A domain is a datacenter / availability zone with its own World (node
+// pool, locally-routed jobs, locally-split transactional demand) and its
+// own PlacementController + executor, all sharing the federation's single
+// deterministic engine. The per-domain control path — equalizer, solver,
+// executor — is exactly the single-cluster code, unchanged; the federation
+// only decides which domain each unit of work lands in.
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/controller.hpp"
+#include "core/world.hpp"
+#include "sim/engine.hpp"
+
+namespace heteroplace::federation {
+
+class Domain {
+ public:
+  Domain(std::size_t index, std::string name, sim::Engine& engine,
+         std::unique_ptr<core::PlacementPolicy> policy, cluster::ActionLatencies latencies = {},
+         core::ControllerConfig config = {}, bool auto_stagger = true)
+      : index_(index),
+        name_(std::move(name)),
+        auto_stagger_(auto_stagger),
+        controller_(std::make_unique<core::PlacementController>(engine, world_, std::move(policy),
+                                                                latencies, config)) {}
+
+  Domain(const Domain&) = delete;
+  Domain& operator=(const Domain&) = delete;
+
+  [[nodiscard]] std::size_t index() const { return index_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  [[nodiscard]] core::World& world() { return world_; }
+  [[nodiscard]] const core::World& world() const { return world_; }
+  [[nodiscard]] core::PlacementController& controller() { return *controller_; }
+  [[nodiscard]] const core::PlacementController& controller() const { return *controller_; }
+
+  /// Router health multiplier in [0, 1]: 1 = healthy, 0 = drained.
+  /// Brownouts are modeled by lowering it (see Federation::set_domain_weight).
+  [[nodiscard]] double weight() const { return weight_; }
+  void set_weight(double w) { weight_ = w; }
+
+  /// Raw cluster CPU capacity.
+  [[nodiscard]] util::CpuMhz total_cpu() const { return world_.cluster().total_capacity().cpu; }
+  /// Weight-scaled capacity — what routers treat as available.
+  [[nodiscard]] util::CpuMhz effective_cpu() const { return total_cpu() * weight_; }
+
+  /// CPU the domain's current workload could consume: active jobs at
+  /// their speed caps plus the transactional offered load λ(t)·d.
+  [[nodiscard]] util::CpuMhz offered_cpu_load(util::Seconds now) const;
+
+  [[nodiscard]] std::size_t active_job_count() const;
+
+  /// Whether Federation::start may assign this domain its default phase
+  /// offset. False when the caller fixed first_cycle_at explicitly
+  /// (including an explicit zero).
+  [[nodiscard]] bool auto_stagger() const { return auto_stagger_; }
+
+ private:
+  std::size_t index_;
+  std::string name_;
+  double weight_{1.0};
+  bool auto_stagger_;
+  core::World world_;  // must outlive controller_ (which holds a reference)
+  std::unique_ptr<core::PlacementController> controller_;
+};
+
+}  // namespace heteroplace::federation

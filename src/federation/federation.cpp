@@ -1,0 +1,158 @@
+#include "federation/federation.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace heteroplace::federation {
+
+Federation::Federation(sim::Engine& engine, std::unique_ptr<DomainRouter> router)
+    : engine_(engine), router_(std::move(router)) {
+  if (!router_) throw std::invalid_argument("Federation: router must not be null");
+}
+
+Domain& Federation::add_domain(std::string name, std::unique_ptr<core::PlacementPolicy> policy,
+                               cluster::ActionLatencies latencies, core::ControllerConfig config,
+                               bool auto_stagger) {
+  if (started_) throw std::logic_error("Federation::add_domain: federation already started");
+  if (!apps_.empty()) {
+    throw std::logic_error("Federation::add_domain: add all domains before apps");
+  }
+  const std::size_t index = domains_.size();
+  domains_.push_back(std::make_unique<Domain>(index, std::move(name), engine_, std::move(policy),
+                                              latencies, config, auto_stagger));
+  Domain& d = *domains_.back();
+  d.controller().set_observer([this, &d](const core::CycleReport& report) {
+    if (observer_) observer_(d, report);
+  });
+  return d;
+}
+
+std::vector<double> Federation::normalized_shares(const workload::TxAppSpec& spec,
+                                                  const std::vector<DomainStatus>& st) {
+  std::vector<double> shares = router_->demand_shares(spec, st);
+  if (shares.size() != domains_.size()) {
+    throw std::logic_error("DomainRouter::demand_shares: wrong share count");
+  }
+  double total = 0.0;
+  for (double s : shares) {
+    if (s < 0.0) throw std::logic_error("DomainRouter::demand_shares: negative share");
+    total += s;
+  }
+  if (total <= 0.0) {
+    // Every domain drained: fall back to an even split so demand is
+    // never silently dropped.
+    shares.assign(domains_.size(), 1.0 / static_cast<double>(domains_.size()));
+    return shares;
+  }
+  for (double& s : shares) s /= total;
+  return shares;
+}
+
+void Federation::add_app(workload::TxAppSpec spec, workload::DemandTrace trace) {
+  if (domains_.empty()) throw std::logic_error("Federation::add_app: no domains");
+  std::vector<double> shares = normalized_shares(spec, status(engine_.now()));
+  FederatedApp app{std::move(spec), std::move(trace), std::move(shares)};
+  for (auto& domain : domains_) {
+    domain->world().add_app(
+        workload::TxApp{app.spec, app.trace.scaled(app.shares[domain->index()])});
+  }
+  apps_.push_back(std::move(app));
+}
+
+Domain& Federation::submit_job(workload::JobSpec spec) {
+  if (domains_.empty()) throw std::logic_error("Federation::submit_job: no domains");
+  if (job_domain_.count(spec.id) > 0) {
+    throw std::invalid_argument("Federation::submit_job: duplicate job id");
+  }
+  std::size_t index = router_->route_job(spec, status(engine_.now()));
+  if (index >= domains_.size()) {
+    throw std::logic_error("DomainRouter::route_job: index out of range");
+  }
+  const util::JobId id = spec.id;
+  Domain& d = *domains_[index];
+  d.world().submit_job(std::move(spec));
+  job_domain_.emplace(id, index);
+  return d;
+}
+
+std::size_t Federation::job_domain(util::JobId id) const {
+  auto it = job_domain_.find(id);
+  if (it == job_domain_.end()) {
+    throw std::out_of_range("Federation::job_domain: unknown job id");
+  }
+  return it->second;
+}
+
+std::vector<long> Federation::jobs_per_domain() const {
+  std::vector<long> counts(domains_.size(), 0);
+  for (const auto& kv : job_domain_) ++counts[kv.second];
+  return counts;
+}
+
+void Federation::set_domain_weight(std::size_t i, double weight) {
+  if (weight < 0.0 || weight > 1.0) {
+    throw std::invalid_argument("Federation::set_domain_weight: weight must be in [0, 1]");
+  }
+  domain(i).set_weight(weight);
+  // Re-split every app's demand under the new weights (one status
+  // snapshot serves all apps). Local controllers pick the change up at
+  // their next cycle, each at its own phase.
+  const std::vector<DomainStatus> st = status(engine_.now());
+  for (auto& app : apps_) {
+    app.shares = normalized_shares(app.spec, st);
+    for (auto& d : domains_) {
+      d->world().app_mut(app.spec.id).set_trace(app.trace.scaled(app.shares[d->index()]));
+    }
+  }
+}
+
+void Federation::start() {
+  if (started_) throw std::logic_error("Federation::start: already started");
+  started_ = true;
+  const auto n = static_cast<double>(domains_.size());
+  for (auto& d : domains_) {
+    core::PlacementController& ctrl = d->controller();
+    if (d->auto_stagger() && ctrl.config().first_cycle_at.get() == 0.0 && d->index() > 0) {
+      const util::Seconds offset =
+          ctrl.config().cycle * (static_cast<double>(d->index()) / n);
+      ctrl.set_first_cycle_at(engine_.now() + offset);
+    }
+    ctrl.start();
+  }
+}
+
+std::size_t Federation::total_submitted() const {
+  std::size_t n = 0;
+  for (const auto& d : domains_) n += d->world().submitted_count();
+  return n;
+}
+
+std::size_t Federation::total_completed() const {
+  std::size_t n = 0;
+  for (const auto& d : domains_) n += d->world().completed_count();
+  return n;
+}
+
+util::CpuMhz Federation::total_capacity() const {
+  util::CpuMhz total{0.0};
+  for (const auto& d : domains_) total += d->total_cpu();
+  return total;
+}
+
+std::vector<DomainStatus> Federation::status(util::Seconds now) const {
+  std::vector<DomainStatus> out;
+  out.reserve(domains_.size());
+  for (const auto& d : domains_) {
+    DomainStatus s;
+    s.index = d->index();
+    s.weight = d->weight();
+    s.capacity = d->total_cpu();
+    s.effective = d->effective_cpu();
+    s.offered_load = d->offered_cpu_load(now);
+    s.active_jobs = d->active_job_count();
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace heteroplace::federation

@@ -1,0 +1,111 @@
+#pragma once
+
+// Federation: N controller domains on one shared deterministic engine.
+//
+// The federation owns the global registries a multi-datacenter deployment
+// needs — which domain hosts each job, and how each transactional app's
+// demand is split — while each Domain keeps the full single-cluster
+// control stack (World, controller, executor) unchanged. Incoming work is
+// assigned by a pluggable DomainRouter; controller cycles are staggered
+// across domains by default so N control loops do not fire in lockstep on
+// the shared clock.
+//
+// A 1-domain federation is behaviorally identical to the plain
+// single-World path (pinned by tests/federation_test.cpp): the router has
+// one choice, the demand split is the identity, and the stagger offset of
+// domain 0 is zero.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "federation/domain.hpp"
+#include "federation/router.hpp"
+
+namespace heteroplace::federation {
+
+class Federation {
+ public:
+  /// Observer of every domain's control cycles (metrics aggregation).
+  using CycleObserver = std::function<void(const Domain&, const core::CycleReport&)>;
+
+  Federation(sim::Engine& engine, std::unique_ptr<DomainRouter> router);
+
+  /// Create a domain (before add_app/submit_job/start). The returned
+  /// reference is stable for the federation's lifetime; populate its
+  /// cluster through domain.world().cluster(). Pass auto_stagger = false
+  /// to pin the controller phase to config.first_cycle_at exactly
+  /// (including an explicit zero); otherwise start() may stagger it.
+  Domain& add_domain(std::string name, std::unique_ptr<core::PlacementPolicy> policy,
+                     cluster::ActionLatencies latencies = {}, core::ControllerConfig config = {},
+                     bool auto_stagger = true);
+
+  [[nodiscard]] std::size_t domain_count() const { return domains_.size(); }
+  [[nodiscard]] Domain& domain(std::size_t i) { return *domains_.at(i); }
+  [[nodiscard]] const Domain& domain(std::size_t i) const { return *domains_.at(i); }
+
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] const DomainRouter& router() const { return *router_; }
+
+  /// Register a transactional app federation-wide: the router's demand
+  /// shares split its offered load into one scaled trace per domain.
+  /// Every domain receives the app (possibly with a zero-rate trace) so
+  /// local controllers and metrics see a consistent app registry.
+  void add_app(workload::TxAppSpec spec, workload::DemandTrace trace);
+
+  /// Route `spec` to exactly one domain's world; returns that domain.
+  /// Throws if the job id was already submitted anywhere in the federation.
+  Domain& submit_job(workload::JobSpec spec);
+
+  [[nodiscard]] bool job_routed(util::JobId id) const { return job_domain_.count(id) > 0; }
+  /// Domain index owning a previously submitted job.
+  [[nodiscard]] std::size_t job_domain(util::JobId id) const;
+  /// Jobs routed to each domain so far.
+  [[nodiscard]] std::vector<long> jobs_per_domain() const;
+
+  /// Update a domain's health weight (brownout/drain/recovery) and
+  /// re-split every app's demand under the new weights. Safe mid-run:
+  /// traces are piecewise by absolute time, and consumers only query
+  /// rates at or after the current time.
+  void set_domain_weight(std::size_t i, double weight);
+
+  /// Start every domain's control loop. Domains added with
+  /// auto_stagger = false (or with a nonzero first_cycle_at) keep their
+  /// configured phase; the rest are staggered at index × cycle /
+  /// domain_count (domain 0 keeps phase 0).
+  void start();
+
+  void set_cycle_observer(CycleObserver observer) { observer_ = std::move(observer); }
+
+  // --- federation-wide aggregates -------------------------------------------
+
+  [[nodiscard]] std::size_t total_submitted() const;
+  [[nodiscard]] std::size_t total_completed() const;
+  [[nodiscard]] util::CpuMhz total_capacity() const;
+
+  /// Router-facing snapshot of every domain at time `now`.
+  [[nodiscard]] std::vector<DomainStatus> status(util::Seconds now) const;
+
+ private:
+  /// Normalized demand shares for `spec` given a status snapshot.
+  [[nodiscard]] std::vector<double> normalized_shares(const workload::TxAppSpec& spec,
+                                                      const std::vector<DomainStatus>& st);
+
+  struct FederatedApp {
+    workload::TxAppSpec spec;
+    workload::DemandTrace trace;  // the global, unsplit offered load
+    std::vector<double> shares;   // current per-domain split (sums to 1)
+  };
+
+  sim::Engine& engine_;
+  std::unique_ptr<DomainRouter> router_;
+  std::vector<std::unique_ptr<Domain>> domains_;
+  std::vector<FederatedApp> apps_;
+  std::map<util::JobId, std::size_t> job_domain_;  // global job registry
+  CycleObserver observer_;
+  bool started_{false};
+};
+
+}  // namespace heteroplace::federation

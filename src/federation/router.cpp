@@ -1,0 +1,120 @@
+#include "federation/router.hpp"
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+namespace heteroplace::federation {
+
+namespace {
+
+/// Effective-capacity-proportional shares; all-zero when every domain is
+/// drained (the federation's normalizer then falls back to an even split).
+std::vector<double> capacity_shares(const std::vector<DomainStatus>& domains) {
+  std::vector<double> shares(domains.size(), 0.0);
+  double total = 0.0;
+  for (const auto& d : domains) total += d.effective.get();
+  if (total <= 0.0) return shares;
+  for (std::size_t i = 0; i < domains.size(); ++i) {
+    shares[i] = domains[i].effective.get() / total;
+  }
+  return shares;
+}
+
+/// SplitMix64 finalizer: a stable, well-mixed hash of a job id.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::size_t LeastLoadedRouter::route_job(const workload::JobSpec&,
+                                         const std::vector<DomainStatus>& domains) {
+  std::size_t best = 0;
+  double best_load = std::numeric_limits<double>::infinity();
+  bool any_healthy = false;
+  for (const auto& d : domains) {
+    if (d.effective.get() <= 0.0) continue;  // drained: skip unless all are
+    any_healthy = true;
+    const double load = d.offered_load.get() / d.effective.get();
+    if (load < best_load) {
+      best_load = load;
+      best = d.index;
+    }
+  }
+  if (!any_healthy) return 0;  // everything drained: keep determinism
+  return best;
+}
+
+std::vector<double> LeastLoadedRouter::demand_shares(const workload::TxAppSpec&,
+                                                     const std::vector<DomainStatus>& domains) {
+  return capacity_shares(domains);
+}
+
+std::size_t CapacityWeightedRouter::route_job(const workload::JobSpec&,
+                                              const std::vector<DomainStatus>& domains) {
+  credit_.resize(domains.size(), 0.0);
+  const auto shares = capacity_shares(domains);
+  double total_share = 0.0;
+  for (double s : shares) total_share += s;
+  if (total_share <= 0.0) return 0;  // everything drained
+  std::size_t best = domains.size();
+  for (std::size_t i = 0; i < domains.size(); ++i) {
+    if (shares[i] <= 0.0) {
+      // Drained: forfeit any accumulated entitlement so stale credit
+      // cannot route work here, and start fresh on recovery.
+      credit_[i] = 0.0;
+      continue;
+    }
+    credit_[i] += shares[i];
+    if (best == domains.size() || credit_[i] > credit_[best]) best = i;
+  }
+  credit_[best] -= 1.0;
+  return best;
+}
+
+std::vector<double> CapacityWeightedRouter::demand_shares(
+    const workload::TxAppSpec&, const std::vector<DomainStatus>& domains) {
+  return capacity_shares(domains);
+}
+
+std::size_t StickyRouter::route_job(const workload::JobSpec& spec,
+                                    const std::vector<DomainStatus>& domains) {
+  const std::size_t n = domains.size();
+  const std::size_t home = static_cast<std::size_t>(mix(spec.id.get()) % n);
+  // Linear probe from the home index so a drained domain's jobs land on a
+  // stable fallback rather than scattering.
+  for (std::size_t probe = 0; probe < n; ++probe) {
+    const std::size_t i = (home + probe) % n;
+    if (domains[i].effective.get() > 0.0) return i;
+  }
+  return home;  // everything drained
+}
+
+std::vector<double> StickyRouter::demand_shares(const workload::TxAppSpec& app,
+                                                const std::vector<DomainStatus>& domains) {
+  const std::size_t n = domains.size();
+  std::vector<double> shares(n, 0.0);
+  const std::size_t home = static_cast<std::size_t>(app.id.get() % n);
+  for (std::size_t probe = 0; probe < n; ++probe) {
+    const std::size_t i = (home + probe) % n;
+    if (domains[i].effective.get() > 0.0) {
+      shares[i] = 1.0;
+      return shares;
+    }
+  }
+  shares[home] = 1.0;  // everything drained
+  return shares;
+}
+
+std::unique_ptr<DomainRouter> make_router(const std::string& name) {
+  if (name == "least-loaded") return std::make_unique<LeastLoadedRouter>();
+  if (name == "capacity-weighted") return std::make_unique<CapacityWeightedRouter>();
+  if (name == "sticky") return std::make_unique<StickyRouter>();
+  throw std::invalid_argument("unknown domain router: " + name);
+}
+
+}  // namespace heteroplace::federation

@@ -2,6 +2,9 @@
 
 #include <set>
 #include <sstream>
+#include <stdexcept>
+
+#include "federation/router.hpp"
 
 namespace heteroplace::scenario {
 
@@ -42,10 +45,67 @@ class KeyedConfig {
   std::set<std::string> used_;
 };
 
+Scenario scenario_from_keyed(KeyedConfig& k);
+
 }  // namespace
 
 Scenario scenario_from_config(const util::Config& cfg) {
   KeyedConfig k(cfg);
+  Scenario s = scenario_from_keyed(k);
+  k.reject_unknown();
+  return s;
+}
+
+FederatedScenario federated_scenario_from_config(const util::Config& cfg) {
+  KeyedConfig k(cfg);
+  const Scenario base = scenario_from_keyed(k);
+
+  const auto n_domains = k.integer("domains", 1);
+  if (n_domains < 1 || n_domains > 64) throw util::ConfigError("domains: out of range [1, 64]");
+
+  FederatedScenario fs;
+  fs.name = base.name;
+  fs.apps = base.apps;
+  fs.jobs = base.jobs;
+  fs.controller = base.controller;
+  fs.horizon_s = base.horizon_s;
+  fs.sample_interval_s = base.sample_interval_s;
+  fs.seed = base.seed;
+  fs.router = k.str("router", "least-loaded");
+  try {
+    (void)federation::make_router(fs.router);
+  } catch (const std::invalid_argument& e) {
+    throw util::ConfigError(std::string("router: ") + e.what());
+  }
+
+  // Default split of the global pool is even (remainder to the earliest
+  // domains) and may leave later domains with zero nodes; explicit
+  // domain.<i>.nodes overrides apply before the positivity check so
+  // "2 nodes, 4 domains, 1 node each by override" is a valid config.
+  const int base_nodes = base.cluster.nodes / static_cast<int>(n_domains);
+  const int remainder = base.cluster.nodes % static_cast<int>(n_domains);
+  for (long long i = 0; i < n_domains; ++i) {
+    const std::string p = "domain." + std::to_string(i) + ".";
+    DomainSpec d;
+    d.name = "dc" + std::to_string(i);
+    d.cluster = base.cluster;
+    d.cluster.nodes = base_nodes + (i < remainder ? 1 : 0);
+    d.name = k.str(p + "name", d.name);
+    d.cluster.nodes = static_cast<int>(k.integer(p + "nodes", d.cluster.nodes));
+    if (d.cluster.nodes < 1) throw util::ConfigError(p + "nodes: must be positive");
+    d.cluster.cpu_per_node_mhz = k.num(p + "cpu_per_node_mhz", d.cluster.cpu_per_node_mhz);
+    d.cluster.mem_per_node_mb = k.num(p + "mem_per_node_mb", d.cluster.mem_per_node_mb);
+    d.first_cycle_at_s = k.num(p + "first_cycle_at_s", d.first_cycle_at_s);
+    fs.domains.push_back(std::move(d));
+  }
+
+  k.reject_unknown();
+  return fs;
+}
+
+namespace {
+
+Scenario scenario_from_keyed(KeyedConfig& k) {
   const Scenario defaults = section3_scenario();
   Scenario s;
 
@@ -116,9 +176,10 @@ Scenario scenario_from_config(const util::Config& cfg) {
     s.apps.push_back(std::move(app));
   }
 
-  k.reject_unknown();
   return s;
 }
+
+}  // namespace
 
 std::string scenario_to_config(const Scenario& s) {
   std::ostringstream os;

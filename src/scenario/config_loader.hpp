@@ -24,8 +24,19 @@
 //   app.<i>.max_instances, app.<i>.utility_cap, app.<i>.max_utilization,
 //   app.<i>.throughput_exponent
 //
+// Federated (multi-domain) scenarios additionally recognize:
+//
+//   domains                    — number of controller domains (default 1)
+//   router                     — least-loaded | capacity-weighted | sticky
+//   domain.<i>.name, domain.<i>.nodes, domain.<i>.cpu_per_node_mhz,
+//   domain.<i>.mem_per_node_mb, domain.<i>.first_cycle_at_s
+//
+// Per-domain keys default to an even split of the global `nodes` pool and
+// auto-staggered control cycles (first_cycle_at_s = -1).
+//
 // Unknown keys raise util::ConfigError so typos fail loudly.
 
+#include "scenario/federation_experiment.hpp"
 #include "scenario/scenario.hpp"
 #include "util/config.hpp"
 
@@ -39,5 +50,11 @@ namespace heteroplace::scenario {
 /// Render a scenario back into config text (round-trips through
 /// scenario_from_config); handy for archiving exactly what a bench ran.
 [[nodiscard]] std::string scenario_to_config(const Scenario& scenario);
+
+/// Build a federated (multi-domain) scenario: the shared keys define the
+/// workload and controller, `domains`/`router`/`domain.<i>.*` shard the
+/// cluster into controller domains. `domains = 1` (the default) yields
+/// the single-cluster scenario's exact federated equivalent.
+[[nodiscard]] FederatedScenario federated_scenario_from_config(const util::Config& cfg);
 
 }  // namespace heteroplace::scenario

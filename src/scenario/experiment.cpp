@@ -1,15 +1,9 @@
 #include "scenario/experiment.hpp"
 
-#include <cmath>
-#include <map>
 #include <stdexcept>
 
-#include "perfmodel/rate_estimator.hpp"
-
-#include "baselines/proportional_share.hpp"
-#include "baselines/static_partition.hpp"
 #include "core/controller.hpp"
-#include "core/utility_policy.hpp"
+#include "scenario/policy_factory.hpp"
 #include "sim/engine.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
@@ -68,54 +62,8 @@ ExperimentResult run_experiment(const Scenario& scenario, const ExperimentOption
   auto tx_model = std::make_shared<utility::TxUtilityModel>();
 
   // --- policy ----------------------------------------------------------------
-  // Noisy-monitoring state must outlive the policy: one estimator and one
-  // noise stream per app (keyed by app id).
-  auto estimators = std::make_shared<std::map<util::AppId, perfmodel::RateEstimator>>();
-  auto noise_rng = std::make_shared<util::Rng>(scenario.seed ^ 0xD1CEBA5EULL);
-
-  std::unique_ptr<core::PlacementPolicy> policy;
-  switch (options.policy) {
-    case PolicyKind::kUtilityDriven: {
-      auto up = std::make_unique<core::UtilityDrivenPolicy>(job_model, tx_model,
-                                                            scenario.controller.solver);
-      if (options.lambda_noise_cv > 0.0) {
-        const double cv = options.lambda_noise_cv;
-        const double half_life = options.lambda_estimator_half_life_s;
-        // LogNormal with mean 1 and the requested coefficient of variation.
-        const double sigma2 = std::log(1.0 + cv * cv);
-        const double mu = -0.5 * sigma2;
-        const double sigma = std::sqrt(sigma2);
-        up->set_lambda_provider(
-            [estimators, noise_rng, mu, sigma, half_life](const workload::TxApp& app,
-                                                          util::Seconds now) {
-              auto [it, inserted] =
-                  estimators->try_emplace(app.id(), perfmodel::RateEstimator{half_life});
-              const double observed =
-                  app.arrival_rate(now) * noise_rng->lognormal(mu, sigma);
-              it->second.observe(now, observed);
-              return it->second.estimate();
-            });
-      }
-      policy = std::move(up);
-      break;
-    }
-    case PolicyKind::kStaticPartition: {
-      baselines::StaticPartitionConfig cfg;
-      cfg.tx_node_fraction = options.static_tx_fraction;
-      policy = std::make_unique<baselines::StaticPartitionPolicy>(cfg);
-      break;
-    }
-    case PolicyKind::kProportionalEqual:
-    case PolicyKind::kProportionalDemand: {
-      baselines::ProportionalShareConfig cfg;
-      cfg.mode = options.policy == PolicyKind::kProportionalEqual
-                     ? baselines::ShareMode::kEqualPerWorkload
-                     : baselines::ShareMode::kDemandProportional;
-      cfg.solver = scenario.controller.solver;
-      policy = std::make_unique<baselines::ProportionalSharePolicy>(job_model, tx_model, cfg);
-      break;
-    }
-  }
+  std::unique_ptr<core::PlacementPolicy> policy = make_experiment_policy(
+      options, scenario.controller.solver, job_model, tx_model, scenario.seed ^ 0xD1CEBA5EULL);
 
   // --- controller & metrics ---------------------------------------------------
   core::ControllerConfig ctrl_cfg;

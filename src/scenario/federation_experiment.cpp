@@ -1,0 +1,203 @@
+#include "scenario/federation_experiment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "federation/federation.hpp"
+#include "scenario/metrics.hpp"
+#include "scenario/policy_factory.hpp"
+#include "sim/engine.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "utility/utility_fn.hpp"
+
+namespace heteroplace::scenario {
+
+FederatedScenario federate(const Scenario& single, int n_domains, const std::string& router) {
+  if (n_domains < 1) throw std::invalid_argument("federate: need at least one domain");
+  FederatedScenario fs;
+  fs.name = n_domains == 1 ? single.name : single.name + "-federated";
+  fs.apps = single.apps;
+  fs.jobs = single.jobs;
+  fs.controller = single.controller;
+  fs.router = router;
+  fs.horizon_s = single.horizon_s;
+  fs.sample_interval_s = single.sample_interval_s;
+  fs.seed = single.seed;
+
+  const int base = single.cluster.nodes / n_domains;
+  const int remainder = single.cluster.nodes % n_domains;
+  for (int i = 0; i < n_domains; ++i) {
+    DomainSpec d;
+    d.name = "dc" + std::to_string(i);
+    d.cluster = single.cluster;
+    d.cluster.nodes = base + (i < remainder ? 1 : 0);
+    if (d.cluster.nodes < 1) throw std::invalid_argument("federate: more domains than nodes");
+    fs.domains.push_back(std::move(d));
+  }
+  return fs;
+}
+
+FederatedResult run_federated_experiment(const FederatedScenario& fs,
+                                         const ExperimentOptions& options) {
+  if (fs.domains.empty()) {
+    throw std::invalid_argument("run_federated_experiment: no domains");
+  }
+  sim::Engine engine;
+  federation::Federation fed(engine, federation::make_router(fs.router));
+
+  // --- models (shared across domains) ----------------------------------------
+  auto job_model = std::make_shared<utility::JobUtilityModel>(
+      utility::make_utility(fs.jobs.utility_shape));
+  auto tx_model = std::make_shared<utility::TxUtilityModel>();
+
+  // --- domains ----------------------------------------------------------------
+  core::ControllerConfig ctrl_cfg;
+  ctrl_cfg.cycle = util::Seconds{fs.controller.cycle_s};
+  for (std::size_t i = 0; i < fs.domains.size(); ++i) {
+    const DomainSpec& spec = fs.domains[i];
+    // Domain 0 reuses the single-cluster noise seed so a 1-domain
+    // federation reproduces run_experiment's λ-observation stream; later
+    // domains get independent streams.
+    const std::uint64_t noise_seed =
+        (fs.seed ^ 0xD1CEBA5EULL) + 0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(i);
+    core::ControllerConfig cfg = ctrl_cfg;
+    const bool explicit_phase = spec.first_cycle_at_s >= 0.0;
+    if (explicit_phase) cfg.first_cycle_at = util::Seconds{spec.first_cycle_at_s};
+    federation::Domain& d = fed.add_domain(
+        spec.name,
+        make_experiment_policy(options, fs.controller.solver, job_model, tx_model, noise_seed),
+        fs.controller.latencies, cfg, /*auto_stagger=*/!explicit_phase);
+    d.world().cluster().add_nodes(
+        spec.cluster.nodes, cluster::Resources{util::CpuMhz{spec.cluster.cpu_per_node_mhz},
+                                               util::MemMb{spec.cluster.mem_per_node_mb}});
+  }
+
+  // --- apps (router splits demand across domains) -----------------------------
+  for (const auto& app : fs.apps) {
+    fed.add_app(app.spec, app.trace);
+  }
+
+  // --- job stream (one global stream, routed at arrival time) -----------------
+  util::Rng rng(fs.seed);
+  std::vector<workload::PhasedPoissonArrivals::Phase> phases;
+  phases.push_back({util::Seconds{fs.jobs.mean_interarrival_s}, fs.jobs.count});
+  if (fs.jobs.tail_count > 0 && fs.jobs.tail_mean_interarrival_s > 0.0) {
+    phases.push_back({util::Seconds{fs.jobs.tail_mean_interarrival_s}, fs.jobs.tail_count});
+  }
+  workload::PhasedPoissonArrivals arrivals{util::Seconds{0.0}, std::move(phases)};
+  const auto job_specs = workload::generate_jobs(arrivals, fs.jobs.tmpl, rng);
+
+  // --- per-domain metrics ------------------------------------------------------
+  std::vector<MetricsRecorder> recorders;
+  recorders.reserve(fed.domain_count());
+  std::vector<long> violations(fed.domain_count(), 0);
+  for (std::size_t i = 0; i < fed.domain_count(); ++i) {
+    recorders.emplace_back(fed.domain(i).world(), job_model, tx_model);
+    recorders.back().summary().scenario = fs.name + "/" + fed.domain(i).name();
+    recorders.back().summary().policy = to_string(options.policy);
+    fed.domain(i).controller().executor().set_completion_callback(
+        [&recorders, i](const workload::Job& job) { recorders[i].on_job_completed(job); });
+  }
+  fed.set_cycle_observer([&](const federation::Domain& d, const core::CycleReport& report) {
+    recorders[d.index()].on_cycle(report);
+    if (options.validate_invariants) {
+      const auto issues = d.world().cluster().validate();
+      violations[d.index()] += static_cast<long>(issues.size());
+      for (const auto& msg : issues) util::log_warn() << "invariant[" << d.name() << "]: " << msg;
+    }
+  });
+
+  // --- schedule arrivals, weight events, sampling, control loops --------------
+  for (const auto& spec : job_specs) {
+    engine.schedule_at(spec.submit_time, sim::EventPriority::kWorkloadArrival,
+                       [&fed, spec] { fed.submit_job(spec); });
+  }
+  for (const auto& ev : fs.weight_events) {
+    if (ev.domain >= fed.domain_count()) {
+      throw std::invalid_argument("run_federated_experiment: weight event domain out of range");
+    }
+    engine.schedule_at(util::Seconds{ev.at_s}, sim::EventPriority::kWorkloadArrival,
+                       [&fed, ev] { fed.set_domain_weight(ev.domain, ev.weight); });
+  }
+
+  // Per-domain and federation-aggregated samples share one
+  // AllocationSample per domain per tick: the fed_* series are the sum
+  // of exactly the values the per-domain recorders record, bit for bit
+  // (asserted by the integration tests).
+  FederatedResult out;
+  auto sample_all = [&](util::Seconds now) {
+    const double t = now.get();
+    double tx_alloc = 0.0;
+    double lr_alloc = 0.0;
+    int running = 0;
+    int active = 0;
+    double completed = 0.0;
+    for (std::size_t i = 0; i < fed.domain_count(); ++i) {
+      const core::World& world = fed.domain(i).world();
+      const AllocationSample sample = sample_allocations(world);
+      recorders[i].sample(now, sample);
+      tx_alloc += sample.tx_alloc_mhz;
+      lr_alloc += sample.lr_alloc_mhz;
+      running += sample.jobs_running;
+      active += sample.active_jobs;
+      completed += static_cast<double>(world.completed_count());
+      out.series.add("weight_" + fed.domain(i).name(), t, fed.domain(i).weight());
+    }
+    out.series.add("fed_tx_alloc_mhz", t, tx_alloc);
+    out.series.add("fed_lr_alloc_mhz", t, lr_alloc);
+    out.series.add("fed_jobs_running", t, running);
+    out.series.add("fed_active_jobs", t, active);
+    out.series.add("fed_jobs_completed", t, completed);
+  };
+
+  const util::Seconds sample_dt{fs.sample_interval_s};
+  std::function<void()> sample_tick = [&] {
+    sample_all(engine.now());
+    engine.schedule_in(sample_dt, sim::EventPriority::kSampling, sample_tick);
+  };
+  engine.schedule_in(sample_dt, sim::EventPriority::kSampling, sample_tick);
+  fed.start();
+
+  // --- run ---------------------------------------------------------------------
+  const double horizon = options.horizon_override_s > 0.0 ? options.horizon_override_s
+                                                          : fs.horizon_s;
+  const std::size_t total_jobs = job_specs.size();
+  if (horizon > 0.0) {
+    engine.run_until(util::Seconds{horizon});
+  } else {
+    // Run until every job completes (chunked so the perpetual control
+    // loops do not spin forever), capped for safety.
+    const double chunk = std::max(10.0 * fs.controller.cycle_s, 6000.0);
+    while (fed.total_completed() < total_jobs && engine.now().get() < options.max_sim_time_s) {
+      engine.run_until(engine.now() + util::Seconds{chunk});
+    }
+  }
+
+  // --- finalize -----------------------------------------------------------------
+  sample_all(engine.now());  // final sample, mirroring run_experiment
+  const auto routed = fed.jobs_per_domain();
+  std::vector<ExperimentSummary> summaries;
+  for (std::size_t i = 0; i < fed.domain_count(); ++i) {
+    DomainResult dr;
+    dr.name = fed.domain(i).name();
+    dr.jobs_routed = routed[i];
+    dr.result.summary = recorders[i].summary();
+    dr.result.summary.jobs_submitted =
+        static_cast<long>(fed.domain(i).world().submitted_count());
+    dr.result.summary.sim_end_time_s = engine.now().get();
+    dr.result.summary.invariant_violations = violations[i];
+    if (dr.result.summary.jobs_completed > 0) {
+      dr.result.summary.goal_met_fraction /=
+          static_cast<double>(dr.result.summary.jobs_completed);
+    }
+    dr.result.series = std::move(recorders[i].series());
+    summaries.push_back(dr.result.summary);
+    out.domains.push_back(std::move(dr));
+  }
+  out.summary = merge_summaries(summaries);
+  out.summary.scenario = fs.name;
+  return out;
+}
+
+}  // namespace heteroplace::scenario

@@ -1,0 +1,80 @@
+#pragma once
+
+// Federated (multi-datacenter) experiments: N controller domains on one
+// engine, one shared workload stream routed across them.
+//
+// The federated runner mirrors run_experiment exactly — same event
+// ordering, same seeds — so a 1-domain FederatedScenario reproduces the
+// single-World trajectories bit for bit (pinned by
+// tests/federation_test.cpp).
+
+#include <string>
+#include <vector>
+
+#include "scenario/experiment.hpp"
+#include "scenario/scenario.hpp"
+
+namespace heteroplace::scenario {
+
+/// One controller domain's shard of the federation.
+struct DomainSpec {
+  std::string name{"domain"};
+  ClusterSpec cluster;
+  /// First control evaluation for this domain's controller; < 0 means
+  /// auto-stagger (index × cycle / domain_count, domain 0 at phase 0).
+  double first_cycle_at_s{-1.0};
+};
+
+/// Scheduled health change: at `at_s`, set the domain's router weight
+/// (brownout < 1, drain = 0, recovery = 1). The router re-splits every
+/// app's demand under the new weights immediately.
+struct WeightEvent {
+  std::size_t domain{0};
+  double at_s{0.0};
+  double weight{1.0};
+};
+
+struct FederatedScenario {
+  std::string name{"federated"};
+  std::vector<DomainSpec> domains;
+  std::vector<TxAppScenario> apps;
+  JobStreamSpec jobs;
+  ControllerSpec controller;
+  /// Router choice: "least-loaded", "capacity-weighted", or "sticky".
+  std::string router{"least-loaded"};
+  std::vector<WeightEvent> weight_events;
+  double horizon_s{0.0};
+  double sample_interval_s{600.0};
+  std::uint64_t seed{42};
+};
+
+/// Shard a single-cluster scenario into `n_domains` equal domains (nodes
+/// split as evenly as possible, remainder to the earliest domains); apps,
+/// jobs, controller and seeds carry over unchanged. n_domains = 1 yields
+/// the scenario's exact single-cluster equivalent.
+[[nodiscard]] FederatedScenario federate(const Scenario& single, int n_domains,
+                                         const std::string& router = "least-loaded");
+
+/// Per-domain outcome: the same series + summary a single-cluster run
+/// produces, plus how many jobs the router sent here.
+struct DomainResult {
+  std::string name;
+  ExperimentResult result;
+  long jobs_routed{0};
+};
+
+struct FederatedResult {
+  std::vector<DomainResult> domains;
+  /// Federation-aggregated samples (fed_* series: summed allocations,
+  /// job counts) on the shared sampling clock.
+  util::TimeSeriesSet series;
+  /// merge_summaries over the per-domain summaries.
+  ExperimentSummary summary;
+};
+
+/// Run a federated scenario. Deterministic for a fixed (scenario, options)
+/// pair. options.policy selects every domain's local policy.
+[[nodiscard]] FederatedResult run_federated_experiment(const FederatedScenario& scenario,
+                                                       const ExperimentOptions& options = {});
+
+}  // namespace heteroplace::scenario

@@ -1,10 +1,79 @@
 #include "scenario/metrics.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "perfmodel/tx_model.hpp"
 
 namespace heteroplace::scenario {
+
+AllocationSample sample_allocations(const core::World& world) {
+  AllocationSample out;
+  const auto& cl = world.cluster();
+  out.tx_alloc_per_app.reserve(world.apps().size());
+  for (const auto& app : world.apps()) {
+    double alloc = 0.0;
+    for (util::VmId vm_id : cl.vm_ids()) {
+      const auto& vm = cl.vm(vm_id);
+      if (vm.kind == cluster::VmKind::kWebInstance && vm.app == app.id() &&
+          vm.state == cluster::VmState::kRunning) {
+        alloc += vm.cpu_share.get();
+      }
+    }
+    out.tx_alloc_per_app.push_back(alloc);
+    out.tx_alloc_mhz += alloc;
+  }
+  for (const workload::Job* job : world.active_jobs()) {
+    ++out.active_jobs;
+    switch (job->phase()) {
+      case workload::JobPhase::kRunning:
+        out.lr_alloc_mhz += job->speed().get();
+        ++out.jobs_running;
+        break;
+      case workload::JobPhase::kPending:
+        ++out.jobs_pending;
+        break;
+      case workload::JobPhase::kSuspended:
+        ++out.jobs_suspended;
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+ExperimentSummary merge_summaries(const std::vector<ExperimentSummary>& parts) {
+  ExperimentSummary out;
+  if (parts.empty()) return out;
+  out.scenario = parts.front().scenario;
+  out.policy = parts.front().policy;
+  double goal_met_weighted = 0.0;
+  for (const auto& p : parts) {
+    out.jobs_submitted += p.jobs_submitted;
+    out.jobs_completed += p.jobs_completed;
+    goal_met_weighted += p.goal_met_fraction * static_cast<double>(p.jobs_completed);
+    out.completion_ratio.merge(p.completion_ratio);
+    out.job_utility.merge(p.job_utility);
+    out.tx_utility.merge(p.tx_utility);
+    out.lr_utility.merge(p.lr_utility);
+    out.equalization_gap.merge(p.equalization_gap);
+    out.actions.starts += p.actions.starts;
+    out.actions.suspends += p.actions.suspends;
+    out.actions.resumes += p.actions.resumes;
+    out.actions.migrations += p.actions.migrations;
+    out.actions.instance_starts += p.actions.instance_starts;
+    out.actions.instance_stops += p.actions.instance_stops;
+    out.actions.resizes += p.actions.resizes;
+    out.cycles += p.cycles;
+    out.sim_end_time_s = std::max(out.sim_end_time_s, p.sim_end_time_s);
+    out.invariant_violations += p.invariant_violations;
+  }
+  if (out.jobs_completed > 0) {
+    out.goal_met_fraction = goal_met_weighted / static_cast<double>(out.jobs_completed);
+  }
+  return out;
+}
 
 void MetricsRecorder::on_cycle(const core::CycleReport& report) {
   const double t = report.t.get();
@@ -51,36 +120,29 @@ void MetricsRecorder::on_cycle(const core::CycleReport& report) {
   ++summary_.cycles;
 }
 
-void MetricsRecorder::sample(util::Seconds now) {
+void MetricsRecorder::sample(util::Seconds now) { sample(now, sample_allocations(*world_)); }
+
+void MetricsRecorder::sample(util::Seconds now, const AllocationSample& alloc) {
   const double t = now.get();
-  const auto& cl = world_->cluster();
 
   // Measured allocations (Figure 2 "satisfied demand" curves).
-  double tx_alloc = 0.0;
   double u_tx_weighted = 0.0;
   double importance_total = 0.0;
-  for (const auto& app : world_->apps()) {
-    double alloc = 0.0;
-    for (util::VmId vm_id : cl.vm_ids()) {
-      const auto& vm = cl.vm(vm_id);
-      if (vm.kind == cluster::VmKind::kWebInstance && vm.app == app.id() &&
-          vm.state == cluster::VmState::kRunning) {
-        alloc += vm.cpu_share.get();
-      }
-    }
-    tx_alloc += alloc;
+  for (std::size_t i = 0; i < world_->apps().size(); ++i) {
+    const auto& app = world_->apps()[i];
+    const double app_alloc = alloc.tx_alloc_per_app[i];
     const double lambda = app.arrival_rate(now);
     // Report *raw* utility (the equalizer works on raw/importance).
     const double w = app.spec().importance > 0.0 ? app.spec().importance : 1.0;
-    const double u = tx_model_->utility(app.spec(), lambda, util::CpuMhz{alloc}) * w;
+    const double u = tx_model_->utility(app.spec(), lambda, util::CpuMhz{app_alloc}) * w;
     series_.add("tx_utility_" + app.spec().name, t, u);
-    series_.add("tx_alloc_mhz_" + app.spec().name, t, alloc);
-    const auto perf = perfmodel::evaluate_tx_app(app, now, util::CpuMhz{alloc});
+    series_.add("tx_alloc_mhz_" + app.spec().name, t, app_alloc);
+    const auto perf = perfmodel::evaluate_tx_app(app, now, util::CpuMhz{app_alloc});
     series_.add("tx_rt_" + app.spec().name, t, perf.response_time.get());
     u_tx_weighted += u;
     importance_total += 1.0;
   }
-  series_.add("tx_alloc_mhz", t, tx_alloc);
+  series_.add("tx_alloc_mhz", t, alloc.tx_alloc_mhz);
   if (importance_total > 0.0) {
     const double u_tx = u_tx_weighted / importance_total;
     series_.add("tx_utility", t, u_tx);
@@ -89,31 +151,10 @@ void MetricsRecorder::sample(util::Seconds now) {
     have_tx_utility_ = true;
   }
 
-  // Long-running measured allocation = sum of running job speeds.
-  double lr_alloc = 0.0;
-  int n_running = 0;
-  int n_pending = 0;
-  int n_suspended = 0;
-  for (const workload::Job* job : world_->active_jobs()) {
-    switch (job->phase()) {
-      case workload::JobPhase::kRunning:
-        lr_alloc += job->speed().get();
-        ++n_running;
-        break;
-      case workload::JobPhase::kPending:
-        ++n_pending;
-        break;
-      case workload::JobPhase::kSuspended:
-        ++n_suspended;
-        break;
-      default:
-        break;
-    }
-  }
-  series_.add("lr_alloc_mhz", t, lr_alloc);
-  series_.add("jobs_running", t, n_running);
-  series_.add("jobs_pending", t, n_pending);
-  series_.add("jobs_suspended", t, n_suspended);
+  series_.add("lr_alloc_mhz", t, alloc.lr_alloc_mhz);
+  series_.add("jobs_running", t, alloc.jobs_running);
+  series_.add("jobs_pending", t, alloc.jobs_pending);
+  series_.add("jobs_suspended", t, alloc.jobs_suspended);
   series_.add("jobs_completed", t, static_cast<double>(world_->completed_count()));
 }
 

@@ -50,6 +50,27 @@ struct ExperimentSummary {
   long invariant_violations{0};
 };
 
+/// Merge finalized per-domain summaries into one federation-level
+/// summary: counts and actions sum, running stats merge, and
+/// goal_met_fraction is re-weighted by each domain's completed jobs.
+[[nodiscard]] ExperimentSummary merge_summaries(const std::vector<ExperimentSummary>& parts);
+
+/// Instantaneous measured allocation state of one world. Both
+/// MetricsRecorder::sample and the federation-level aggregator read
+/// through this, so a federation's summed fed_* series equal the sum of
+/// the per-domain series bit for bit.
+struct AllocationSample {
+  std::vector<double> tx_alloc_per_app;  // app-registry order
+  double tx_alloc_mhz{0.0};              // sum of the above
+  double lr_alloc_mhz{0.0};              // running job speeds
+  int jobs_running{0};
+  int jobs_pending{0};
+  int jobs_suspended{0};
+  int active_jobs{0};
+};
+
+[[nodiscard]] AllocationSample sample_allocations(const core::World& world);
+
 /// Streams controller cycles and periodic samples into a TimeSeriesSet
 /// and accumulates the summary.
 class MetricsRecorder {
@@ -65,6 +86,11 @@ class MetricsRecorder {
   /// Periodic sampling of measured cluster state (allocations, actual
   /// utilities). Scheduled by the experiment runner.
   void sample(util::Seconds now);
+
+  /// Same, from a precomputed allocation snapshot of this recorder's
+  /// world — the federated runner computes each domain's sample once and
+  /// shares it between the recorder and the fed_* aggregator.
+  void sample(util::Seconds now, const AllocationSample& alloc);
 
   /// Hook for ActionExecutor::set_completion_callback.
   void on_job_completed(const workload::Job& job);

@@ -1,0 +1,29 @@
+#pragma once
+
+// Shared policy construction for the experiment runners.
+//
+// The single-cluster runner builds one policy; the federated runner builds
+// one per domain. Both must wire the identical noisy-monitoring state
+// (per-app rate estimators seeded deterministically), so the construction
+// lives here once.
+
+#include <cstdint>
+#include <memory>
+
+#include "core/policy.hpp"
+#include "scenario/experiment.hpp"
+#include "utility/job_utility.hpp"
+#include "utility/tx_utility.hpp"
+
+namespace heteroplace::scenario {
+
+/// Build the policy selected by `options`. `solver` comes from the
+/// scenario's controller spec; `noise_seed` seeds the λ-observation noise
+/// stream when options.lambda_noise_cv > 0 (each controller instance gets
+/// its own estimator state).
+[[nodiscard]] std::unique_ptr<core::PlacementPolicy> make_experiment_policy(
+    const ExperimentOptions& options, const core::SolverConfig& solver,
+    std::shared_ptr<utility::JobUtilityModel> job_model,
+    std::shared_ptr<utility::TxUtilityModel> tx_model, std::uint64_t noise_seed);
+
+}  // namespace heteroplace::scenario

@@ -30,6 +30,14 @@ std::vector<util::Seconds> DemandTrace::change_times() const {
   return out;
 }
 
+DemandTrace DemandTrace::scaled(double factor) const {
+  if (factor < 0.0) throw std::invalid_argument("DemandTrace::scaled: negative factor");
+  DemandTrace out;
+  out.points_.reserve(points_.size());
+  for (const auto& p : points_) out.points_.push_back({p.from, p.rate * factor});
+  return out;
+}
+
 double DemandTrace::peak_rate() const {
   double peak = 0.0;
   for (const auto& p : points_) peak = std::max(peak, p.rate);

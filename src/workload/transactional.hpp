@@ -9,6 +9,7 @@
 // grants across instances. SLA: mean response time below a goal T.
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/ids.hpp"
@@ -36,6 +37,11 @@ class DemandTrace {
 
   /// Peak rate over the whole trace.
   [[nodiscard]] double peak_rate() const;
+
+  /// Copy of this trace with every rate multiplied by `factor` (>= 0).
+  /// The federation layer uses this to split one offered-load stream
+  /// across controller domains; factor 1 reproduces the trace exactly.
+  [[nodiscard]] DemandTrace scaled(double factor) const;
 
  private:
   struct Point {
@@ -76,6 +82,8 @@ class TxApp {
   [[nodiscard]] const TxAppSpec& spec() const { return spec_; }
   [[nodiscard]] util::AppId id() const { return spec_.id; }
   [[nodiscard]] const DemandTrace& trace() const { return trace_; }
+  /// Replace the offered-load trace (federation demand re-splits).
+  void set_trace(DemandTrace trace) { trace_ = std::move(trace); }
   [[nodiscard]] double arrival_rate(util::Seconds t) const { return trace_.rate_at(t); }
 
   /// Offered CPU load λ(t)·d — the capacity that would be consumed if all

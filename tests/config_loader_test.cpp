@@ -116,6 +116,90 @@ TEST(ConfigLoader, LoadedScenarioActuallyRuns) {
   EXPECT_EQ(r.summary.invariant_violations, 0);
 }
 
+TEST(ConfigLoader, FederatedDefaultsToOneDomain) {
+  const auto fs = scenario::federated_scenario_from_config(util::Config{});
+  ASSERT_EQ(fs.domains.size(), 1u);
+  EXPECT_EQ(fs.domains[0].cluster.nodes, scenario::section3_scenario().cluster.nodes);
+  EXPECT_EQ(fs.router, "least-loaded");
+  EXPECT_DOUBLE_EQ(fs.domains[0].first_cycle_at_s, -1.0);  // auto-stagger
+}
+
+TEST(ConfigLoader, FederatedDomainsSplitAndOverride) {
+  const auto cfg = util::Config::from_string(
+      "nodes = 10\n"
+      "domains = 3\n"
+      "router = sticky\n"
+      "domain.0.name = primary\n"
+      "domain.0.nodes = 6\n"
+      "domain.1.cpu_per_node_mhz = 6000\n"
+      "domain.2.first_cycle_at_s = 150\n");
+  const auto fs = scenario::federated_scenario_from_config(cfg);
+  ASSERT_EQ(fs.domains.size(), 3u);
+  EXPECT_EQ(fs.router, "sticky");
+  EXPECT_EQ(fs.domains[0].name, "primary");
+  EXPECT_EQ(fs.domains[0].cluster.nodes, 6);
+  // Unoverridden domains keep the even split of the global pool (10 → 4/3/3).
+  EXPECT_EQ(fs.domains[1].cluster.nodes, 3);
+  EXPECT_DOUBLE_EQ(fs.domains[1].cluster.cpu_per_node_mhz, 6000.0);
+  EXPECT_EQ(fs.domains[2].cluster.nodes, 3);
+  EXPECT_DOUBLE_EQ(fs.domains[2].first_cycle_at_s, 150.0);
+}
+
+TEST(ConfigLoader, FederatedExplicitNodesBeatTheEvenSplit) {
+  // Regression: 2 global nodes over 4 domains is fine when every domain
+  // gets an explicit node count — the even-split default must not be
+  // validated before the overrides apply.
+  const auto fs = scenario::federated_scenario_from_config(util::Config::from_string(
+      "nodes = 2\n"
+      "domains = 4\n"
+      "domain.0.nodes = 1\n"
+      "domain.1.nodes = 1\n"
+      "domain.2.nodes = 1\n"
+      "domain.3.nodes = 1\n"));
+  ASSERT_EQ(fs.domains.size(), 4u);
+  for (const auto& d : fs.domains) EXPECT_EQ(d.cluster.nodes, 1);
+  // And a domain left at zero nodes fails loudly, as a ConfigError.
+  EXPECT_THROW((void)scenario::federated_scenario_from_config(
+                   util::Config::from_string("nodes = 2\ndomains = 4\n")),
+               util::ConfigError);
+}
+
+TEST(ConfigLoader, FederatedRejectsUnknownRouterAtLoadTime) {
+  EXPECT_THROW((void)scenario::federated_scenario_from_config(
+                   util::Config::from_string("domains = 2\nrouter = stickyy\n")),
+               util::ConfigError);
+}
+
+TEST(ConfigLoader, FederatedRejectsBadDomainKeys) {
+  EXPECT_THROW((void)scenario::federated_scenario_from_config(
+                   util::Config::from_string("domains = 0\n")),
+               util::ConfigError);
+  EXPECT_THROW((void)scenario::federated_scenario_from_config(
+                   util::Config::from_string("domains = 2\ndomain.0.nodez = 1\n")),
+               util::ConfigError);
+  // Domain keys are not part of the single-cluster schema.
+  EXPECT_THROW((void)scenario::scenario_from_config(
+                   util::Config::from_string("domains = 2\n")),
+               util::ConfigError);
+}
+
+TEST(ConfigLoader, FederatedScenarioActuallyRuns) {
+  const auto cfg = util::Config::from_string(
+      "name = mini-fed\n"
+      "nodes = 4\n"
+      "domains = 2\n"
+      "jobs.count = 6\n"
+      "jobs.work_mhz_s = 3e6\n"
+      "app.0.lambda = 2\n"
+      "app.0.rt_goal_s = 6\n");
+  const auto fs = scenario::federated_scenario_from_config(cfg);
+  scenario::ExperimentOptions opt;
+  opt.validate_invariants = true;
+  const auto r = scenario::run_federated_experiment(fs, opt);
+  EXPECT_EQ(r.summary.jobs_completed, 6);
+  EXPECT_EQ(r.summary.invariant_violations, 0);
+}
+
 TEST(NoisyMonitoring, EqualizationSurvivesMeasurementNoise) {
   // The controller sees λ through a noisy monitor + EWMA; equalization
   // quality degrades gracefully rather than collapsing.

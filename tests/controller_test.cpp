@@ -65,6 +65,54 @@ TEST(Controller, RunsCyclesAtConfiguredPeriod) {
   EXPECT_EQ(ctrl.cycles_run(), 5);
 }
 
+TEST(Controller, FirstCycleAtIsHonoredAsPhaseOffset) {
+  // The federation staggers domains through first_cycle_at; a nonzero
+  // offset must shift the whole cadence, not just the first evaluation.
+  sim::Engine engine;
+  World world;
+  world.cluster().add_nodes(2, Resources{12000_mhz, 4096_mb});
+  core::ControllerConfig cfg;
+  cfg.cycle = 600_s;
+  cfg.first_cycle_at = 250_s;
+  PlacementController ctrl(engine, world, make_policy(), {}, cfg);
+  std::vector<double> cycle_times;
+  ctrl.set_observer([&](const CycleReport& r) { cycle_times.push_back(r.t.get()); });
+  ctrl.start();
+  engine.run_until(2500_s);
+  EXPECT_EQ(cycle_times, (std::vector<double>{250.0, 850.0, 1450.0, 2050.0}));
+}
+
+TEST(Controller, FirstCycleAtInThePastClampsToNow) {
+  sim::Engine engine;
+  engine.schedule_at(1000_s, sim::EventPriority::kStateTransition, [] {});
+  engine.run();  // now = 1000
+  World world;
+  world.cluster().add_nodes(1, Resources{12000_mhz, 4096_mb});
+  core::ControllerConfig cfg;
+  cfg.cycle = 600_s;
+  cfg.first_cycle_at = 400_s;  // already in the past
+  PlacementController ctrl(engine, world, make_policy(), {}, cfg);
+  std::vector<double> cycle_times;
+  ctrl.set_observer([&](const CycleReport& r) { cycle_times.push_back(r.t.get()); });
+  ctrl.start();
+  engine.run_until(2300_s);
+  EXPECT_EQ(cycle_times, (std::vector<double>{1000.0, 1600.0, 2200.0}));
+}
+
+TEST(Controller, StartRejectsInvalidConfig) {
+  sim::Engine engine;
+  World world;
+  world.cluster().add_nodes(1, Resources{12000_mhz, 4096_mb});
+  core::ControllerConfig bad_cycle;
+  bad_cycle.cycle = 0_s;
+  PlacementController c1(engine, world, make_policy(), {}, bad_cycle);
+  EXPECT_THROW(c1.start(), std::invalid_argument);
+  core::ControllerConfig bad_first;
+  bad_first.first_cycle_at = util::Seconds{-1.0};
+  PlacementController c2(engine, world, make_policy(), {}, bad_first);
+  EXPECT_THROW(c2.start(), std::invalid_argument);
+}
+
 TEST(Controller, PendingJobGetsStartedOnNextCycle) {
   sim::Engine engine;
   World world;

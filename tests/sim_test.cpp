@@ -118,6 +118,74 @@ TEST(Engine, RunUntilStopsAtBoundaryInclusive) {
   EXPECT_DOUBLE_EQ(e.now().get(), 100.0);  // clock advances to the horizon
 }
 
+TEST(Engine, RunUntilFiresEventExactlyAtBoundary) {
+  hs::Engine e;
+  std::vector<double> fired;
+  e.schedule_at(Seconds{20.0}, hs::EventPriority::kStateTransition,
+                [&] { fired.push_back(20.0); });
+  // An event scheduled *by a boundary event* at the same boundary time
+  // must also fire within the same run_until call.
+  e.schedule_at(Seconds{10.0}, hs::EventPriority::kStateTransition, [&] {
+    fired.push_back(10.0);
+    e.schedule_at(Seconds{20.0}, hs::EventPriority::kStateTransition,
+                  [&] { fired.push_back(20.5); });
+  });
+  e.run_until(Seconds{20.0});
+  EXPECT_EQ(fired, (std::vector<double>{10.0, 20.0, 20.5}));
+  EXPECT_DOUBLE_EQ(e.now().get(), 20.0);
+  // An event just past the boundary stays pending and the clock still
+  // lands exactly on t_end.
+  e.schedule_at(Seconds{20.0 + 1e-9}, hs::EventPriority::kStateTransition,
+                [&] { fired.push_back(21.0); });
+  e.run_until(Seconds{20.0});
+  EXPECT_EQ(fired.size(), 3u);
+  EXPECT_EQ(e.events_pending(), 1u);
+}
+
+TEST(Engine, StopInsideCallbackHaltsRunUntil) {
+  hs::Engine e;
+  std::vector<double> fired;
+  e.schedule_at(Seconds{10.0}, hs::EventPriority::kStateTransition, [&] {
+    fired.push_back(10.0);
+    e.stop();
+  });
+  e.schedule_at(Seconds{20.0}, hs::EventPriority::kStateTransition,
+                [&] { fired.push_back(20.0); });
+  e.run_until(Seconds{100.0});
+  // The run halts after the stopping callback: the later event is still
+  // pending and the clock does NOT jump to the horizon.
+  EXPECT_EQ(fired, (std::vector<double>{10.0}));
+  EXPECT_DOUBLE_EQ(e.now().get(), 10.0);
+  EXPECT_EQ(e.events_pending(), 1u);
+  // A subsequent run_until resumes cleanly.
+  e.run_until(Seconds{100.0});
+  EXPECT_EQ(fired, (std::vector<double>{10.0, 20.0}));
+  EXPECT_DOUBLE_EQ(e.now().get(), 100.0);
+}
+
+TEST(Engine, TwoInterleavedPeriodicLoopsKeepTheirPhases) {
+  // The federation's usage pattern: N self-rescheduling control loops
+  // with staggered phase offsets on one engine. Each must keep its own
+  // cadence exactly, interleaved in time order.
+  hs::Engine e;
+  std::vector<std::pair<char, double>> fired;
+  std::function<void()> loop_a = [&] {
+    fired.push_back({'a', e.now().get()});
+    e.schedule_in(Seconds{600.0}, hs::EventPriority::kController, loop_a);
+  };
+  std::function<void()> loop_b = [&] {
+    fired.push_back({'b', e.now().get()});
+    e.schedule_in(Seconds{600.0}, hs::EventPriority::kController, loop_b);
+  };
+  e.schedule_at(Seconds{0.0}, hs::EventPriority::kController, loop_a);
+  e.schedule_at(Seconds{200.0}, hs::EventPriority::kController, loop_b);
+  e.run_until(Seconds{1500.0});
+  const std::vector<std::pair<char, double>> expected{
+      {'a', 0.0}, {'b', 200.0}, {'a', 600.0}, {'b', 800.0}, {'a', 1200.0}, {'b', 1400.0}};
+  EXPECT_EQ(fired, expected);
+  EXPECT_EQ(e.events_pending(), 2u);  // both loops still alive
+}
+
 TEST(Engine, StopAbortsRun) {
   hs::Engine e;
   int fired = 0;

@@ -193,6 +193,23 @@ TEST(DemandTrace, EmptyTraceIsZero) {
   EXPECT_TRUE(t.empty());
 }
 
+TEST(DemandTrace, ScaledMultipliesEveryRate) {
+  workload::DemandTrace t;
+  t.add(0_s, 10.0);
+  t.add(100_s, 20.0);
+  const auto half = t.scaled(0.5);
+  EXPECT_DOUBLE_EQ(half.rate_at(0_s), 5.0);
+  EXPECT_DOUBLE_EQ(half.rate_at(150_s), 10.0);
+  EXPECT_EQ(half.change_times().size(), 2u);
+  // Factor 1 reproduces the trace exactly (the federation's 1-domain case).
+  const auto same = t.scaled(1.0);
+  EXPECT_DOUBLE_EQ(same.rate_at(0_s), 10.0);
+  EXPECT_DOUBLE_EQ(same.rate_at(100_s), 20.0);
+  // Factor 0 drains the trace without dropping breakpoints.
+  EXPECT_DOUBLE_EQ(t.scaled(0.0).rate_at(100_s), 0.0);
+  EXPECT_THROW((void)t.scaled(-0.1), std::invalid_argument);
+}
+
 // --- TxApp ---------------------------------------------------------------------------
 
 TEST(TxApp, OfferedLoadIsLambdaTimesDemand) {

@@ -71,8 +71,40 @@ TEST(World, AppLookup) {
   app.id = util::AppId{3};
   app.name = "web";
   w.add_app(workload::TxApp{app, workload::DemandTrace{5.0}});
+  EXPECT_TRUE(w.app_exists(util::AppId{3}));
+  EXPECT_FALSE(w.app_exists(util::AppId{9}));
   EXPECT_EQ(w.app(util::AppId{3}).spec().name, "web");
   EXPECT_THROW((void)w.app(util::AppId{9}), std::out_of_range);
+}
+
+TEST(World, AppLookupByIdNotByPosition) {
+  // Ids are looked up through the index map, independent of insertion
+  // order; duplicates are rejected like duplicate job ids.
+  World w;
+  for (unsigned id : {7u, 2u, 5u}) {
+    workload::TxAppSpec app;
+    app.id = util::AppId{id};
+    app.name = "app" + std::to_string(id);
+    w.add_app(workload::TxApp{app, workload::DemandTrace{1.0}});
+  }
+  EXPECT_EQ(w.app(util::AppId{2}).spec().name, "app2");
+  EXPECT_EQ(w.app(util::AppId{7}).spec().name, "app7");
+  EXPECT_EQ(w.app(util::AppId{5}).spec().name, "app5");
+  workload::TxAppSpec dup;
+  dup.id = util::AppId{2};
+  EXPECT_THROW(w.add_app(workload::TxApp{dup, workload::DemandTrace{1.0}}),
+               std::invalid_argument);
+}
+
+TEST(World, AppMutSwapsDemandTrace) {
+  // The federation re-splits app demand mid-run through app_mut.
+  World w;
+  workload::TxAppSpec app;
+  app.id = util::AppId{0};
+  w.add_app(workload::TxApp{app, workload::DemandTrace{8.0}});
+  w.app_mut(util::AppId{0}).set_trace(workload::DemandTrace{2.0});
+  EXPECT_DOUBLE_EQ(w.app(util::AppId{0}).arrival_rate(0_s), 2.0);
+  EXPECT_THROW((void)w.app_mut(util::AppId{1}), std::out_of_range);
 }
 
 TEST(PlacementPlan, FindJobAndTotals) {
