@@ -37,7 +37,9 @@ const char* to_string(VmKind k) {
 bool vm_transition_allowed(VmState from, VmState to) {
   switch (from) {
     case VmState::kPending:
-      return to == VmState::kStarting || to == VmState::kStopped;
+      // kSuspended: the VM is defined directly from a checkpoint image
+      // landed on disk (cross-domain migration restore).
+      return to == VmState::kStarting || to == VmState::kSuspended || to == VmState::kStopped;
     case VmState::kStarting:
       return to == VmState::kRunning || to == VmState::kStopped;
     case VmState::kRunning:

@@ -84,8 +84,9 @@ void ActionExecutor::start_job(workload::Job& job, util::NodeId node, util::CpuM
       const util::Seconds retry_at =
           engine_.now() + latencies_.suspend_job + util::Seconds{1.0};
       engine_.schedule_at(retry_at, sim::EventPriority::kStateTransition, [this, id, node, cpu] {
+        if (!world_.job_exists(id)) return;  // handed off to another domain meanwhile
         workload::Job& j = world_.job(id);
-        if (j.phase() == JobPhase::kPending) start_job(j, node, cpu, /*is_retry=*/true);
+        if (j.phase() == JobPhase::kPending && !j.held()) start_job(j, node, cpu, /*is_retry=*/true);
       });
     }
     return;
@@ -109,8 +110,11 @@ void ActionExecutor::resume_job(workload::Job& job, util::NodeId node, util::Cpu
       const util::Seconds retry_at =
           engine_.now() + latencies_.suspend_job + util::Seconds{1.0};
       engine_.schedule_at(retry_at, sim::EventPriority::kStateTransition, [this, id, node, cpu] {
+        if (!world_.job_exists(id)) return;  // handed off to another domain meanwhile
         workload::Job& j = world_.job(id);
-        if (j.phase() == JobPhase::kSuspended) resume_job(j, node, cpu, /*is_retry=*/true);
+        if (j.phase() == JobPhase::kSuspended && !j.held()) {
+          resume_job(j, node, cpu, /*is_retry=*/true);
+        }
       });
     }
     return;
@@ -177,6 +181,20 @@ void ActionExecutor::suspend_job(workload::Job& job) {
                             j.set_node(util::NodeId{});
                             j.set_phase(engine_.now(), JobPhase::kSuspended);
                           });
+}
+
+void ActionExecutor::suspend_job_for_migration(util::JobId id) {
+  workload::Job& job = world_.job(id);
+  if (job.phase() != JobPhase::kRunning) return;
+  suspend_job(job);
+}
+
+void ActionExecutor::forget_job(util::JobId id) {
+  auto it = job_rt_.find(id);
+  if (it == job_rt_.end()) return;
+  it->second.completion.cancel();
+  it->second.transition.cancel();
+  job_rt_.erase(it);
 }
 
 void ActionExecutor::apply(const cluster::PlacementPlan& plan) {

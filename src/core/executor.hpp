@@ -43,6 +43,18 @@ class ActionExecutor {
   /// Converge toward `plan`. Called once per control cycle.
   void apply(const cluster::PlacementPlan& plan);
 
+  /// Begin suspending a running job outside the plan-convergence path —
+  /// the migration manager's checkpoint step. No-op unless the job is
+  /// currently running. Costs the normal suspend latency and counts as a
+  /// suspend action.
+  void suspend_job_for_migration(util::JobId id);
+
+  /// Drop all runtime bookkeeping (pending completion / transition
+  /// events) for a job leaving this world via cross-domain handoff.
+  void forget_job(util::JobId id);
+
+  [[nodiscard]] const cluster::ActionLatencies& latencies() const { return latencies_; }
+
   [[nodiscard]] const cluster::ActionCounts& counts() const { return counts_; }
 
   /// Actions executed since the last call (per-cycle deltas for metrics).

@@ -73,7 +73,7 @@ PolicyOutput UtilityDrivenPolicy::decide(const World& world, util::Seconds now) 
 
   // --- 2. equalize hypothetical utility ------------------------------------
   const util::CpuMhz capacity = world.cluster().total_capacity().cpu;
-  const EqualizeResult eq = equalize(consumers, capacity, eq_options_);
+  const EqualizeResult eq = equalize(consumers, capacity, eq_options_, &eq_state_);
 
   out.diag.u_star = eq.u_star;
   out.diag.contended = eq.contended;

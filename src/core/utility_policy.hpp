@@ -41,6 +41,7 @@ class UtilityDrivenPolicy final : public PlacementPolicy {
   std::shared_ptr<const utility::TxUtilityModel> tx_model_;
   SolverConfig solver_config_;
   EqualizerOptions eq_options_;
+  EqualizerState eq_state_;  // previous-cycle u* for warm starts
   LambdaProvider lambda_provider_;
 };
 

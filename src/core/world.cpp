@@ -1,5 +1,7 @@
 #include "core/world.hpp"
 
+#include <algorithm>
+
 namespace heteroplace::core {
 
 void World::add_app(workload::TxApp app) {
@@ -29,6 +31,23 @@ workload::Job& World::submit_job(workload::JobSpec spec) {
   return it->second;
 }
 
+workload::Job& World::adopt_job(workload::Job job) {
+  const util::JobId id = job.id();
+  if (jobs_.count(id) > 0) throw std::invalid_argument("World::adopt_job: duplicate job id");
+  auto [it, _] = jobs_.emplace(id, std::move(job));
+  job_order_.push_back(id);
+  return it->second;
+}
+
+workload::Job World::extract_job(util::JobId id) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) throw std::out_of_range("World::extract_job: unknown job id");
+  workload::Job out = std::move(it->second);
+  jobs_.erase(it);
+  job_order_.erase(std::remove(job_order_.begin(), job_order_.end(), id), job_order_.end());
+  return out;
+}
+
 workload::Job& World::job(util::JobId id) {
   auto it = jobs_.find(id);
   if (it == jobs_.end()) throw std::out_of_range("World::job: unknown job id");
@@ -43,7 +62,7 @@ std::vector<workload::Job*> World::active_jobs() {
   std::vector<workload::Job*> out;
   for (util::JobId id : job_order_) {
     workload::Job& j = jobs_.at(id);
-    if (j.phase() != workload::JobPhase::kCompleted) out.push_back(&j);
+    if (j.phase() != workload::JobPhase::kCompleted && !j.held()) out.push_back(&j);
   }
   return out;
 }
@@ -52,7 +71,7 @@ std::vector<const workload::Job*> World::active_jobs() const {
   std::vector<const workload::Job*> out;
   for (util::JobId id : job_order_) {
     const workload::Job& j = jobs_.at(id);
-    if (j.phase() != workload::JobPhase::kCompleted) out.push_back(&j);
+    if (j.phase() != workload::JobPhase::kCompleted && !j.held()) out.push_back(&j);
   }
   return out;
 }

@@ -36,6 +36,15 @@ class World {
   /// phase kPending with no VM.
   workload::Job& submit_job(workload::JobSpec spec);
 
+  /// Insert a job that already carries runtime state (progress, phase,
+  /// churn counters) — the receiving half of a cross-domain handoff.
+  workload::Job& adopt_job(workload::Job job);
+
+  /// Remove a job from this world and hand its state to the caller — the
+  /// sending half of a cross-domain handoff. The caller is responsible
+  /// for retiring the job's VM and executor bookkeeping first.
+  [[nodiscard]] workload::Job extract_job(util::JobId id);
+
   [[nodiscard]] bool job_exists(util::JobId id) const { return jobs_.count(id) > 0; }
   [[nodiscard]] workload::Job& job(util::JobId id);
   [[nodiscard]] const workload::Job& job(util::JobId id) const;
@@ -44,6 +53,8 @@ class World {
   [[nodiscard]] const std::vector<util::JobId>& job_order() const { return job_order_; }
 
   /// Jobs that are submitted and not yet completed, in submission order.
+  /// Held jobs (mid-migration, see workload::Job::held) are excluded so
+  /// every policy, executor pass and sampler treats them as already gone.
   [[nodiscard]] std::vector<workload::Job*> active_jobs();
   [[nodiscard]] std::vector<const workload::Job*> active_jobs() const;
 

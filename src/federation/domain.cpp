@@ -1,11 +1,29 @@
 #include "federation/domain.hpp"
 
+#include <stdexcept>
+
 namespace heteroplace::federation {
 
 util::CpuMhz Domain::offered_cpu_load(util::Seconds now) const {
+  double jobs = 0.0;
+  for (const auto& [speed, count] : speed_hist_) {
+    jobs += speed * static_cast<double>(count);
+  }
+  util::CpuMhz load{jobs};
+  for (const workload::TxApp& app : world_.apps()) {
+    load += app.offered_load(now);
+  }
+  return load;
+}
+
+util::CpuMhz Domain::offered_cpu_load_recomputed(util::Seconds now) const {
+  // Reference implementation (the seed's per-arrival rescan). Counts held
+  // jobs too: they still occupy this world until the handoff detaches
+  // them, matching when account_job_removed fires.
   util::CpuMhz load{0.0};
-  for (const workload::Job* job : world_.active_jobs()) {
-    load += job->spec().max_speed;
+  for (util::JobId id : world_.job_order()) {
+    const workload::Job& job = world_.job(id);
+    if (job.phase() != workload::JobPhase::kCompleted) load += job.spec().max_speed;
   }
   for (const workload::TxApp& app : world_.apps()) {
     load += app.offered_load(now);
@@ -13,8 +31,18 @@ util::CpuMhz Domain::offered_cpu_load(util::Seconds now) const {
   return load;
 }
 
-std::size_t Domain::active_job_count() const {
-  return world_.submitted_count() - world_.completed_count();
+void Domain::account_job_added(util::CpuMhz max_speed) {
+  ++active_jobs_;
+  ++speed_hist_[max_speed.get()];
+}
+
+void Domain::account_job_removed(util::CpuMhz max_speed) {
+  auto it = speed_hist_.find(max_speed.get());
+  if (it == speed_hist_.end() || active_jobs_ <= 0) {
+    throw std::logic_error("Domain::account_job_removed: aggregate underflow");
+  }
+  --active_jobs_;
+  if (--it->second == 0) speed_hist_.erase(it);
 }
 
 }  // namespace heteroplace::federation

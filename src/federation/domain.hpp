@@ -9,6 +9,7 @@
 // executor — is exactly the single-cluster code, unchanged; the federation
 // only decides which domain each unit of work lands in.
 
+#include <map>
 #include <memory>
 #include <string>
 #include <utility>
@@ -52,10 +53,34 @@ class Domain {
   [[nodiscard]] util::CpuMhz effective_cpu() const { return total_cpu() * weight_; }
 
   /// CPU the domain's current workload could consume: active jobs at
-  /// their speed caps plus the transactional offered load λ(t)·d.
+  /// their speed caps plus the transactional offered load λ(t)·d. The
+  /// job part is answered from incrementally maintained aggregates
+  /// (updated on submit / completion / cross-domain handoff) so the
+  /// router's per-arrival status snapshot does not rescan every job.
   [[nodiscard]] util::CpuMhz offered_cpu_load(util::Seconds now) const;
 
-  [[nodiscard]] std::size_t active_job_count() const;
+  /// Same quantity recomputed from scratch over the job population —
+  /// the reference the incremental aggregates are pinned against in
+  /// tests (and nothing else should call; it is O(jobs)).
+  [[nodiscard]] util::CpuMhz offered_cpu_load_recomputed(util::Seconds now) const;
+
+  [[nodiscard]] std::size_t active_job_count() const {
+    return static_cast<std::size_t>(active_jobs_);
+  }
+
+  /// Completion hook for experiment drivers. The executor's raw callback
+  /// slot is owned by the federation (it maintains the load aggregates);
+  /// user callbacks register here and are forwarded synchronously.
+  void set_completion_callback(core::ActionExecutor::JobCompletionCallback cb) {
+    user_completion_ = std::move(cb);
+  }
+
+  // --- incremental load accounting (maintained by Federation) ---------------
+
+  /// A job entered this domain's world (routed arrival or migration attach).
+  void account_job_added(util::CpuMhz max_speed);
+  /// A job left this domain's world (completion or migration detach).
+  void account_job_removed(util::CpuMhz max_speed);
 
   /// Whether Federation::start may assign this domain its default phase
   /// offset. False when the caller fixed first_cycle_at explicitly
@@ -63,12 +88,22 @@ class Domain {
   [[nodiscard]] bool auto_stagger() const { return auto_stagger_; }
 
  private:
+  friend class Federation;  // wires the executor completion slot
+
   std::size_t index_;
   std::string name_;
   double weight_{1.0};
   bool auto_stagger_;
   core::World world_;  // must outlive controller_ (which holds a reference)
   std::unique_ptr<core::PlacementController> controller_;
+  core::ActionExecutor::JobCompletionCallback user_completion_;
+
+  // Incrementally maintained job-load aggregates. The speed histogram
+  // (distinct max_speed → active count) makes the offered-load sum exact
+  // — removing a job cannot perturb the low-order bits of the remaining
+  // sum the way running subtraction on a double accumulator would.
+  long active_jobs_{0};
+  std::map<double, long> speed_hist_;
 };
 
 }  // namespace heteroplace::federation

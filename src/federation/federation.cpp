@@ -24,6 +24,13 @@ Domain& Federation::add_domain(std::string name, std::unique_ptr<core::Placement
   d.controller().set_observer([this, &d](const core::CycleReport& report) {
     if (observer_) observer_(d, report);
   });
+  // The federation owns the executor's completion slot: it keeps the
+  // per-domain load aggregates current, then forwards to whatever the
+  // experiment driver registered on the domain.
+  d.controller().executor().set_completion_callback([&d](const workload::Job& job) {
+    d.account_job_removed(job.spec().max_speed);
+    if (d.user_completion_) d.user_completion_(job);
+  });
   return d;
 }
 
@@ -69,10 +76,32 @@ Domain& Federation::submit_job(workload::JobSpec spec) {
     throw std::logic_error("DomainRouter::route_job: index out of range");
   }
   const util::JobId id = spec.id;
+  const util::CpuMhz max_speed = spec.max_speed;
   Domain& d = *domains_[index];
   d.world().submit_job(std::move(spec));
+  d.account_job_added(max_speed);
   job_domain_.emplace(id, index);
   return d;
+}
+
+workload::Job Federation::detach_job(util::JobId id) {
+  const std::size_t from = job_domain(id);
+  Domain& d = *domains_[from];
+  workload::Job job = d.world().extract_job(id);
+  d.account_job_removed(job.spec().max_speed);
+  return job;
+}
+
+void Federation::attach_job(std::size_t to, workload::Job job) {
+  if (to >= domains_.size()) {
+    throw std::out_of_range("Federation::attach_job: domain index out of range");
+  }
+  const util::JobId id = job.id();
+  const util::CpuMhz max_speed = job.spec().max_speed;
+  Domain& d = *domains_[to];
+  d.world().adopt_job(std::move(job));
+  d.account_job_added(max_speed);
+  job_domain_[id] = to;
 }
 
 std::size_t Federation::job_domain(util::JobId id) const {

@@ -65,6 +65,22 @@ class Federation {
   /// Jobs routed to each domain so far.
   [[nodiscard]] std::vector<long> jobs_per_domain() const;
 
+  // --- cross-domain job handoff (migration subsystem) -----------------------
+  //
+  // detach_job removes a job from its owner domain's world and updates
+  // that domain's load aggregates; the job stays in the global registry
+  // (pointing at the source) until attach_job lands it elsewhere. The
+  // caller (migration::MigrationManager) is responsible for the VM-level
+  // bookkeeping — retiring the source VM image and cancelling executor
+  // events — before detaching.
+
+  /// Remove a routed job from its current domain and return its state.
+  [[nodiscard]] workload::Job detach_job(util::JobId id);
+
+  /// Insert a job (typically restored from a checkpoint) into domain `to`
+  /// and repoint the global registry at it.
+  void attach_job(std::size_t to, workload::Job job);
+
   /// Update a domain's health weight (brownout/drain/recovery) and
   /// re-split every app's demand under the new weights. Safe mid-run:
   /// traces are piecewise by absolute time, and consumers only query

@@ -1,0 +1,32 @@
+#include "migration/checkpoint.hpp"
+
+#include <stdexcept>
+
+namespace heteroplace::migration {
+
+JobCheckpoint checkpoint_job(const workload::Job& job, std::size_t from_domain,
+                             util::Seconds now) {
+  const workload::JobPhase phase = job.phase();
+  if (phase != workload::JobPhase::kSuspended && phase != workload::JobPhase::kPending) {
+    throw std::logic_error("checkpoint_job: job must be suspended or pending");
+  }
+  JobCheckpoint ckpt;
+  ckpt.spec = job.spec();
+  ckpt.done = job.done();
+  ckpt.suspend_count = job.suspend_count();
+  ckpt.migrate_count = job.migrate_count();
+  ckpt.has_image = phase == workload::JobPhase::kSuspended;
+  ckpt.image_size = ckpt.has_image ? job.spec().memory : util::MemMb{0.0};
+  ckpt.taken_at = now;
+  ckpt.from_domain = from_domain;
+  return ckpt;
+}
+
+workload::Job restore_job(const JobCheckpoint& ckpt, util::Seconds now) {
+  workload::Job job{ckpt.spec};
+  job.restore_progress(ckpt.done, ckpt.suspend_count, ckpt.migrate_count, now);
+  if (ckpt.has_image) job.set_phase(now, workload::JobPhase::kSuspended);
+  return job;
+}
+
+}  // namespace heteroplace::migration

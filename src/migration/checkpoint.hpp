@@ -1,0 +1,45 @@
+#pragma once
+
+// Job checkpoint/restore: the detachable representation of job-VM state.
+//
+// A checkpoint captures everything another controller domain needs to
+// continue a long-running job — the immutable spec (work, SLA goal,
+// importance: the utility bookkeeping), the progress made so far, churn
+// counters, and the size of the VM image that must cross the wire. It is
+// deliberately a plain value type: once taken, it has no pointers into
+// the source World, so the source can forget the job while the image is
+// in flight and the destination can rebuild it wholesale.
+
+#include <cstddef>
+
+#include "util/units.hpp"
+#include "workload/job.hpp"
+
+namespace heteroplace::migration {
+
+struct JobCheckpoint {
+  workload::JobSpec spec;
+  util::MhzSeconds done{0.0};  // progress preserved across the handoff
+  int suspend_count{0};
+  int migrate_count{0};
+  /// True when the job had a VM image on disk (it ran at least once);
+  /// the transfer then moves `image_size` bytes. A never-started job has
+  /// no image and moves for free.
+  bool has_image{false};
+  util::MemMb image_size{0.0};
+  util::Seconds taken_at{0.0};
+  std::size_t from_domain{0};
+};
+
+/// Capture a checkpoint of `job` (which must be kSuspended — image parked
+/// on disk — or kPending — never started). Throws std::logic_error for
+/// any other phase: running/transitioning state cannot be detached.
+[[nodiscard]] JobCheckpoint checkpoint_job(const workload::Job& job, std::size_t from_domain,
+                                           util::Seconds now);
+
+/// Rebuild a job from its checkpoint at time `now`, in phase kPending
+/// (no image) or kSuspended (image landed on the destination's disk).
+/// The caller binds a destination VM record for suspended restores.
+[[nodiscard]] workload::Job restore_job(const JobCheckpoint& ckpt, util::Seconds now);
+
+}  // namespace heteroplace::migration

@@ -1,0 +1,175 @@
+#include "migration/manager.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/log.hpp"
+
+namespace heteroplace::migration {
+
+namespace {
+using workload::JobPhase;
+}  // namespace
+
+MigrationManager::MigrationManager(federation::Federation& fed, TransferModel model,
+                                   std::unique_ptr<MigrationPolicy> policy,
+                                   MigrationOptions options)
+    : fed_(fed), model_(std::move(model)), policy_(std::move(policy)), options_(options) {
+  if (!policy_) throw std::invalid_argument("MigrationManager: policy must not be null");
+  if (options_.check_interval.get() <= 0.0) {
+    throw std::invalid_argument("MigrationManager: check_interval must be positive");
+  }
+  if (options_.max_moves_per_tick < 1) {
+    throw std::invalid_argument("MigrationManager: max_moves_per_tick must be >= 1");
+  }
+}
+
+void MigrationManager::start() {
+  if (started_) throw std::logic_error("MigrationManager::start: already started");
+  started_ = true;
+  // Perpetual evaluation loop, running after the controllers at each
+  // shared timestamp (kMigration > kController).
+  tick_loop_ = [this] {
+    tick();
+    fed_.engine().schedule_in(options_.check_interval, sim::EventPriority::kMigration,
+                              tick_loop_);
+  };
+  fed_.engine().schedule_in(options_.check_interval, sim::EventPriority::kMigration, tick_loop_);
+}
+
+void MigrationManager::tick() {
+  const util::Seconds now = fed_.engine().now();
+  const int budget = options_.max_moves_per_tick - static_cast<int>(flights_.size());
+  if (budget <= 0) return;
+  const auto status = fed_.status(now);
+  for (const MigrationRequest& req : policy_->propose(fed_, status, now, budget)) {
+    execute(req);
+  }
+}
+
+void MigrationManager::execute(const MigrationRequest& req) {
+  // Re-validate everything: the policy proposed against a snapshot, and
+  // eligibility is the manager's responsibility.
+  if (flights_.count(req.job) > 0) return;
+  if (req.from == req.to || req.to >= fed_.domain_count()) return;
+  if (!fed_.job_routed(req.job) || fed_.job_domain(req.job) != req.from) return;
+  if (fed_.domain(req.to).weight() <= 0.0) return;  // never move into a drained domain
+
+  core::World& world = fed_.domain(req.from).world();
+  if (!world.job_exists(req.job)) return;
+  workload::Job& job = world.job(req.job);
+  if (job.held()) return;
+
+  const util::Seconds now = fed_.engine().now();
+  switch (job.phase()) {
+    case JobPhase::kPending: {
+      // Never started: nothing to checkpoint, re-route instantly.
+      ++stats_.started;
+      ++stats_.in_flight;
+      job.set_held(true);
+      flights_.emplace(req.job, Flight{req.from, req.to, MigrationStage::kCheckpointed,
+                                       checkpoint_job(job, req.from, now)});
+      begin_transfer(req.job);
+      break;
+    }
+    case JobPhase::kRunning: {
+      // Hold first so no controller pass resumes or replans the job,
+      // then suspend through the source executor (normal latency and
+      // action accounting — the modeled checkpoint cost).
+      ++stats_.started;
+      ++stats_.in_flight;
+      job.set_held(true);
+      core::ActionExecutor& exec = fed_.domain(req.from).controller().executor();
+      exec.suspend_job_for_migration(req.job);
+      flights_.emplace(req.job, Flight{req.from, req.to, MigrationStage::kSuspending, {}});
+      const util::JobId id = req.job;
+      fed_.engine().schedule_in(exec.latencies().suspend_job, sim::EventPriority::kMigration,
+                                [this, id] { begin_transfer(id); });
+      break;
+    }
+    case JobPhase::kSuspended: {
+      ++stats_.started;
+      ++stats_.in_flight;
+      job.set_held(true);
+      flights_.emplace(req.job, Flight{req.from, req.to, MigrationStage::kCheckpointed,
+                                       checkpoint_job(job, req.from, now)});
+      begin_transfer(req.job);
+      break;
+    }
+    default:
+      // Mid-transition: a later tick will re-propose once stable.
+      break;
+  }
+}
+
+void MigrationManager::begin_transfer(util::JobId id) {
+  auto it = flights_.find(id);
+  if (it == flights_.end()) return;
+  Flight& flight = it->second;
+  core::World& world = fed_.domain(flight.from).world();
+  if (!world.job_exists(id)) {
+    flights_.erase(it);
+    return;
+  }
+  workload::Job& job = world.job(id);
+
+  if (flight.stage == MigrationStage::kSuspending) {
+    if (job.phase() != JobPhase::kSuspended) {
+      // Suspend did not land (should not happen: suspends cannot fail).
+      util::log_warn() << "migration: job " << id << " not suspended at checkpoint time, abort";
+      job.set_held(false);
+      --stats_.in_flight;
+      flights_.erase(it);
+      return;
+    }
+    flight.ckpt = checkpoint_job(job, flight.from, fed_.engine().now());
+  }
+  flight.stage = MigrationStage::kTransferring;
+
+  // Progress-fidelity accounting: exact checkpointing loses nothing, but
+  // the metric keeps the claim honest.
+  stats_.work_lost_mhz_s += job.done().get() - flight.ckpt.done.get();
+
+  // Retire the source-side VM image and executor bookkeeping, then
+  // detach the job from the source world.
+  if (job.vm().valid()) {
+    world.cluster().set_vm_state(job.vm(), cluster::VmState::kStopped);
+  }
+  fed_.domain(flight.from).controller().executor().forget_job(id);
+  (void)fed_.detach_job(id);  // state travels via the checkpoint
+
+  const util::Seconds wire =
+      model_.transfer_time(flight.from, flight.to, flight.ckpt.image_size);
+  stats_.bytes_moved_mb += flight.ckpt.image_size.get();
+  stats_.transfer_seconds += wire.get();
+  if (wire.get() <= 0.0) {
+    complete_transfer(id);
+  } else {
+    fed_.engine().schedule_in(wire, sim::EventPriority::kMigration,
+                              [this, id] { complete_transfer(id); });
+  }
+}
+
+void MigrationManager::complete_transfer(util::JobId id) {
+  auto it = flights_.find(id);
+  if (it == flights_.end()) return;
+  const Flight flight = it->second;
+  flights_.erase(it);
+
+  const util::Seconds now = fed_.engine().now();
+  workload::Job job = restore_job(flight.ckpt, now);
+  if (flight.ckpt.has_image) {
+    // Land the image on the destination's disk: a suspended VM record
+    // the destination controller resumes through its ordinary path.
+    core::World& world = fed_.domain(flight.to).world();
+    const util::VmId vm = world.cluster().create_job_vm(id, flight.ckpt.spec.memory);
+    world.cluster().set_vm_state(vm, cluster::VmState::kSuspended);
+    job.bind_vm(vm);
+    job.count_migrate();
+  }
+  fed_.attach_job(flight.to, std::move(job));
+  ++stats_.completed;
+  --stats_.in_flight;
+}
+
+}  // namespace heteroplace::migration

@@ -1,0 +1,103 @@
+#pragma once
+
+// MigrationManager: executes cross-domain job moves on the shared engine.
+//
+// Per-job lifecycle of a move (the checkpoint/suspend/resume machine):
+//
+//   running ──suspend (source executor, suspend latency)──▶ suspending
+//   suspending ──image parked on disk──▶ checkpointed (detached from the
+//       source World; the source controller no longer sees the job)
+//   checkpointed ──TransferModel wire time──▶ transferring
+//   transferring ──attach: restored kSuspended in the destination──▶
+//       resuming (the destination controller resumes it in its next
+//       cycle through the ordinary executor path) ──▶ running
+//
+// Pending (never-started) jobs short-circuit: no image, no wire time —
+// they are simply re-routed. All scheduling runs at EventPriority::
+// kMigration, so at a shared timestamp the manager observes completed
+// state transitions and finished controller cycles, and samplers observe
+// the manager's effects.
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "migration/checkpoint.hpp"
+#include "migration/policy.hpp"
+#include "migration/transfer_model.hpp"
+
+namespace heteroplace::migration {
+
+struct MigrationOptions {
+  /// Policy evaluation period.
+  util::Seconds check_interval{60.0};
+  /// Max moves initiated per evaluation (bounds churn per tick).
+  int max_moves_per_tick{8};
+};
+
+/// Cumulative counters, sampled into the mig_* metric series.
+struct MigrationStats {
+  long started{0};     // moves initiated (including instant pending moves)
+  long completed{0};   // moves attached at their destination
+  long in_flight{0};   // started − completed
+  double bytes_moved_mb{0.0};     // checkpoint images shipped
+  double transfer_seconds{0.0};   // cumulative modeled wire time
+  /// Progress lost across handoffs: work done at suspend time minus work
+  /// restored at the destination. Exact checkpointing keeps this at zero
+  /// — the only SLA cost is the modeled suspend + transfer dead time.
+  double work_lost_mhz_s{0.0};
+};
+
+/// Per-move stage, exposed for tests and diagnostics.
+enum class MigrationStage {
+  kSuspending,    // waiting for the source executor's suspend to land
+  kCheckpointed,  // detached, image about to ship
+  kTransferring,  // on the wire
+};
+
+class MigrationManager {
+ public:
+  MigrationManager(federation::Federation& fed, TransferModel model,
+                   std::unique_ptr<MigrationPolicy> policy, MigrationOptions options = {});
+
+  MigrationManager(const MigrationManager&) = delete;
+  MigrationManager& operator=(const MigrationManager&) = delete;
+
+  /// Schedule the periodic policy evaluation. Call once, after
+  /// Federation::start().
+  void start();
+
+  /// One policy evaluation right now (tests / manual stepping).
+  void tick();
+
+  [[nodiscard]] const MigrationStats& stats() const { return stats_; }
+  [[nodiscard]] const MigrationPolicy& policy() const { return *policy_; }
+  [[nodiscard]] const TransferModel& transfer_model() const { return model_; }
+  [[nodiscard]] bool job_in_flight(util::JobId id) const { return flights_.count(id) > 0; }
+
+ private:
+  struct Flight {
+    std::size_t from{0};
+    std::size_t to{0};
+    MigrationStage stage{MigrationStage::kSuspending};
+    JobCheckpoint ckpt;
+  };
+
+  void execute(const MigrationRequest& req);
+  /// Suspend landed (or should have): checkpoint, detach, ship.
+  void begin_transfer(util::JobId id);
+  /// Image arrived: restore into the destination world.
+  void complete_transfer(util::JobId id);
+
+  federation::Federation& fed_;
+  TransferModel model_;
+  std::unique_ptr<MigrationPolicy> policy_;
+  MigrationOptions options_;
+  MigrationStats stats_;
+  std::map<util::JobId, Flight> flights_;
+  std::function<void()> tick_loop_;  // self-rescheduling periodic evaluation
+  bool started_{false};
+};
+
+}  // namespace heteroplace::migration

@@ -1,0 +1,170 @@
+#include "migration/policy.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace heteroplace::migration {
+
+namespace {
+
+/// Movable phases: anything stable. Transitioning jobs (starting,
+/// suspending, resuming, migrating) are left for a later tick.
+bool movable_phase(workload::JobPhase p) {
+  return p == workload::JobPhase::kPending || p == workload::JobPhase::kRunning ||
+         p == workload::JobPhase::kSuspended;
+}
+
+/// Destination with the most absolute headroom (effective − projected
+/// load) among healthy domains, excluding `avoid`. Ties break toward the
+/// lowest index. Returns status.size() when every candidate is drained
+/// or already at/over capacity would still be accepted — headroom may go
+/// negative; only weight/effective gate eligibility.
+std::size_t best_destination(const std::vector<federation::DomainStatus>& status,
+                             const std::vector<double>& projected, std::size_t avoid) {
+  std::size_t best = status.size();
+  double best_headroom = -std::numeric_limits<double>::infinity();
+  for (const auto& d : status) {
+    if (d.index == avoid) continue;
+    if (d.weight <= 0.0 || d.effective.get() <= 0.0) continue;  // never a drained domain
+    const double headroom = d.effective.get() - projected[d.index];
+    if (headroom > best_headroom) {
+      best_headroom = headroom;
+      best = d.index;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<MigrationRequest> DrainPolicy::propose(
+    const federation::Federation& fed, const std::vector<federation::DomainStatus>& status,
+    util::Seconds /*now*/, int budget) {
+  std::vector<MigrationRequest> out;
+  // Projected offered loads, updated per assignment so one tick's
+  // evacuees spread across destinations instead of piling on one.
+  std::vector<double> projected(status.size(), 0.0);
+  for (const auto& d : status) projected[d.index] = d.offered_load.get();
+
+  for (const auto& d : status) {
+    if (d.weight > 0.0) continue;  // only fully drained domains evacuate
+    for (const workload::Job* job : fed.domain(d.index).world().active_jobs()) {
+      if (static_cast<int>(out.size()) >= budget) return out;
+      if (!movable_phase(job->phase())) continue;
+      const std::size_t to = best_destination(status, projected, d.index);
+      if (to >= status.size()) return out;  // nowhere healthy to go
+      out.push_back({job->id(), d.index, to});
+      projected[to] += job->spec().max_speed.get();
+      projected[d.index] -= job->spec().max_speed.get();
+    }
+  }
+  return out;
+}
+
+std::vector<MigrationRequest> RebalancePolicy::propose(
+    const federation::Federation& fed, const std::vector<federation::DomainStatus>& status,
+    util::Seconds /*now*/, int budget) {
+  std::vector<MigrationRequest> out;
+  std::vector<double> projected(status.size(), 0.0);
+  for (const auto& d : status) projected[d.index] = d.offered_load.get();
+
+  // Per-domain cursor over the (stable) active-job list so repeated
+  // source picks walk forward instead of re-proposing the same job.
+  std::vector<std::vector<const workload::Job*>> jobs(status.size());
+  std::vector<std::size_t> cursor(status.size(), 0);
+
+  auto rel_load = [&](std::size_t i) {
+    const double eff = status[i].effective.get();
+    return eff > 0.0 ? projected[i] / eff : std::numeric_limits<double>::infinity();
+  };
+
+  while (static_cast<int>(out.size()) < budget) {
+    // Most-overloaded healthy source above the high watermark.
+    std::size_t src = status.size();
+    double src_load = config_.high_watermark;
+    for (const auto& d : status) {
+      if (d.weight <= 0.0 || d.effective.get() <= 0.0) continue;  // drain policy's business
+      const double load = rel_load(d.index);
+      if (load > src_load) {
+        src_load = load;
+        src = d.index;
+      }
+    }
+    if (src >= status.size()) break;
+
+    // Least-loaded destination below the low watermark.
+    std::size_t dst = status.size();
+    double dst_load = config_.low_watermark;
+    for (const auto& d : status) {
+      if (d.index == src || d.weight <= 0.0 || d.effective.get() <= 0.0) continue;
+      const double load = rel_load(d.index);
+      if (load < dst_load) {
+        dst_load = load;
+        dst = d.index;
+      }
+    }
+    if (dst >= status.size()) break;
+
+    if (jobs[src].empty()) jobs[src] = fed.domain(src).world().active_jobs();
+    const workload::Job* pick = nullptr;
+    while (cursor[src] < jobs[src].size()) {
+      const workload::Job* candidate = jobs[src][cursor[src]++];
+      if (movable_phase(candidate->phase())) {
+        pick = candidate;
+        break;
+      }
+    }
+    if (pick == nullptr) break;  // source exhausted; stop rather than thrash
+
+    out.push_back({pick->id(), src, dst});
+    projected[src] -= pick->spec().max_speed.get();
+    projected[dst] += pick->spec().max_speed.get();
+  }
+  return out;
+}
+
+std::vector<MigrationRequest> CompositePolicy::propose(
+    const federation::Federation& fed, const std::vector<federation::DomainStatus>& status,
+    util::Seconds now, int budget) {
+  std::vector<MigrationRequest> out = first_->propose(fed, status, now, budget);
+  const int remaining = budget - static_cast<int>(out.size());
+  if (remaining <= 0) return out;
+
+  // Reflect the first stage's moves in the snapshot (and skip its jobs)
+  // so the second stage does not double-book destination headroom — a
+  // drain wave landing on a below-watermark domain would otherwise look
+  // like untouched capacity and attract rebalance moves on top, only to
+  // be rebalanced away again next tick.
+  std::vector<federation::DomainStatus> adjusted = status;
+  for (const auto& req : out) {
+    const core::World& world = fed.domain(req.from).world();
+    if (!world.job_exists(req.job)) continue;
+    const util::CpuMhz speed = world.job(req.job).spec().max_speed;
+    adjusted[req.from].offered_load -= speed;
+    adjusted[req.to].offered_load += speed;
+  }
+  for (auto& req : second_->propose(fed, adjusted, now, remaining)) {
+    bool duplicate = false;
+    for (const auto& first_req : out) {
+      if (first_req.job == req.job) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) out.push_back(req);
+  }
+  return out;
+}
+
+std::unique_ptr<MigrationPolicy> make_migration_policy(const std::string& name,
+                                                       PolicyConfig config) {
+  if (name == "drain") return std::make_unique<DrainPolicy>(config);
+  if (name == "rebalance") return std::make_unique<RebalancePolicy>(config);
+  if (name == "drain+rebalance") {
+    return std::make_unique<CompositePolicy>(std::make_unique<DrainPolicy>(config),
+                                             std::make_unique<RebalancePolicy>(config));
+  }
+  throw std::invalid_argument("unknown migration policy: " + name);
+}
+
+}  // namespace heteroplace::migration

@@ -1,0 +1,44 @@
+#include "migration/transfer_model.hpp"
+
+#include <stdexcept>
+
+namespace heteroplace::migration {
+
+TransferModel::TransferModel(double default_bandwidth_mbps, double default_latency_s)
+    : default_bandwidth_mbps_(default_bandwidth_mbps), default_latency_s_(default_latency_s) {
+  if (default_bandwidth_mbps <= 0.0) {
+    throw std::invalid_argument("TransferModel: bandwidth must be positive");
+  }
+  if (default_latency_s < 0.0) {
+    throw std::invalid_argument("TransferModel: latency must be nonnegative");
+  }
+}
+
+void TransferModel::set_link(std::size_t from, std::size_t to, double bandwidth_mbps,
+                             double latency_s) {
+  if (from == to) throw std::invalid_argument("TransferModel::set_link: from == to");
+  if (bandwidth_mbps == 0.0) {
+    throw std::invalid_argument("TransferModel::set_link: zero bandwidth");
+  }
+  links_[{from, to}] = Link{bandwidth_mbps, latency_s};
+}
+
+double TransferModel::bandwidth_mbps(std::size_t from, std::size_t to) const {
+  auto it = links_.find({from, to});
+  if (it != links_.end() && it->second.bandwidth_mbps > 0.0) return it->second.bandwidth_mbps;
+  return default_bandwidth_mbps_;
+}
+
+double TransferModel::latency_s(std::size_t from, std::size_t to) const {
+  auto it = links_.find({from, to});
+  if (it != links_.end() && it->second.latency_s >= 0.0) return it->second.latency_s;
+  return default_latency_s_;
+}
+
+util::Seconds TransferModel::transfer_time(std::size_t from, std::size_t to,
+                                           util::MemMb image_size) const {
+  if (from == to || image_size.get() <= 0.0) return util::Seconds{0.0};
+  return util::Seconds{latency_s(from, to) + image_size.get() / bandwidth_mbps(from, to)};
+}
+
+}  // namespace heteroplace::migration

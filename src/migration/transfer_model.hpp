@@ -1,0 +1,50 @@
+#pragma once
+
+// Deterministic cost model for cross-domain job handoff.
+//
+// Moving a checkpointed job between controller domains costs (a) the
+// suspend/checkpoint latency charged by the source executor and (b) wire
+// time from this model: a per-link propagation latency plus the VM image
+// size over the link bandwidth. Links are configured as a sparse matrix
+// over domain-index pairs; unset pairs fall back to the model defaults.
+// The dynamic-VM-placement literature treats this term as first-class in
+// the placement objective — policies here read it the same way.
+
+#include <cstddef>
+#include <map>
+#include <utility>
+
+#include "util/units.hpp"
+
+namespace heteroplace::migration {
+
+class TransferModel {
+ public:
+  TransferModel() = default;
+  TransferModel(double default_bandwidth_mbps, double default_latency_s);
+
+  /// Override one directed link's characteristics (from ≠ to). Negative
+  /// values keep the model default for that component.
+  void set_link(std::size_t from, std::size_t to, double bandwidth_mbps, double latency_s);
+
+  [[nodiscard]] double bandwidth_mbps(std::size_t from, std::size_t to) const;
+  [[nodiscard]] double latency_s(std::size_t from, std::size_t to) const;
+
+  /// Wall-clock seconds to move an `image_size` checkpoint image from
+  /// domain `from` to domain `to`. Zero for an intra-domain "move" and
+  /// for an empty image (never-started jobs have no VM state to ship).
+  [[nodiscard]] util::Seconds transfer_time(std::size_t from, std::size_t to,
+                                            util::MemMb image_size) const;
+
+ private:
+  struct Link {
+    double bandwidth_mbps{-1.0};
+    double latency_s{-1.0};
+  };
+
+  double default_bandwidth_mbps_{125.0};  // ~1 Gbit/s in MB/s
+  double default_latency_s_{2.0};         // checkpoint registration + RTTs
+  std::map<std::pair<std::size_t, std::size_t>, Link> links_;
+};
+
+}  // namespace heteroplace::migration

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "federation/router.hpp"
+#include "migration/policy.hpp"
 
 namespace heteroplace::scenario {
 
@@ -31,6 +32,7 @@ class KeyedConfig {
     used_.insert(key);
     return cfg_.get_string(key, def);
   }
+  [[nodiscard]] bool has(const std::string& key) const { return cfg_.has(key); }
 
   void reject_unknown() const {
     for (const auto& key : cfg_.keys()) {
@@ -97,6 +99,62 @@ FederatedScenario federated_scenario_from_config(const util::Config& cfg) {
     d.cluster.mem_per_node_mb = k.num(p + "mem_per_node_mb", d.cluster.mem_per_node_mb);
     d.first_cycle_at_s = k.num(p + "first_cycle_at_s", d.first_cycle_at_s);
     fs.domains.push_back(std::move(d));
+  }
+
+  // --- live migration ---------------------------------------------------------
+  MigrationSpec& m = fs.migration;
+  m.enabled = k.boolean("migration.enabled", m.enabled);
+  m.policy = k.str("migration.policy", m.policy);
+  try {
+    (void)migration::make_migration_policy(m.policy);
+  } catch (const std::invalid_argument& e) {
+    throw util::ConfigError(std::string("migration.policy: ") + e.what());
+  }
+  m.check_interval_s = k.num("migration.check_interval_s", m.check_interval_s);
+  if (m.check_interval_s <= 0.0) {
+    throw util::ConfigError("migration.check_interval_s: must be positive");
+  }
+  m.max_moves_per_tick =
+      static_cast<int>(k.integer("migration.max_moves_per_tick", m.max_moves_per_tick));
+  if (m.max_moves_per_tick < 1) {
+    throw util::ConfigError("migration.max_moves_per_tick: must be >= 1");
+  }
+  m.high_watermark = k.num("migration.high_watermark", m.high_watermark);
+  m.low_watermark = k.num("migration.low_watermark", m.low_watermark);
+  m.default_bandwidth_mbps = k.num("migration.default_bandwidth_mbps", m.default_bandwidth_mbps);
+  if (m.default_bandwidth_mbps <= 0.0) {
+    throw util::ConfigError("migration.default_bandwidth_mbps: must be positive");
+  }
+  m.default_latency_s = k.num("migration.default_latency_s", m.default_latency_s);
+  if (m.default_latency_s < 0.0) {
+    throw util::ConfigError("migration.default_latency_s: must be nonnegative");
+  }
+  // Sparse inter-domain link overrides: bandwidth.<i>.<j> (MB/s) and
+  // link_latency.<i>.<j> (s) for every ordered domain pair. Presence is
+  // tested explicitly so an out-of-range value fails loudly instead of
+  // masquerading as "unset".
+  for (long long i = 0; i < n_domains; ++i) {
+    for (long long j = 0; j < n_domains; ++j) {
+      if (i == j) continue;
+      const std::string suffix = std::to_string(i) + "." + std::to_string(j);
+      const bool has_bw = k.has("bandwidth." + suffix);
+      const bool has_lat = k.has("link_latency." + suffix);
+      const double bw = k.num("bandwidth." + suffix, -1.0);
+      const double lat = k.num("link_latency." + suffix, -1.0);
+      if (has_bw && bw <= 0.0) {
+        throw util::ConfigError("bandwidth." + suffix + ": must be positive");
+      }
+      if (has_lat && lat < 0.0) {
+        throw util::ConfigError("link_latency." + suffix + ": must be nonnegative");
+      }
+      if (!has_bw && !has_lat) continue;
+      LinkSpec link;
+      link.from = static_cast<std::size_t>(i);
+      link.to = static_cast<std::size_t>(j);
+      link.bandwidth_mbps = has_bw ? bw : -1.0;
+      link.latency_s = has_lat ? lat : -1.0;
+      m.links.push_back(link);
+    }
   }
 
   k.reject_unknown();

@@ -34,6 +34,16 @@
 // Per-domain keys default to an even split of the global `nodes` pool and
 // auto-staggered control cycles (first_cycle_at_s = -1).
 //
+// Live-migration keys (all under migration.*, disabled by default):
+//
+//   migration.enabled          — turn the MigrationManager on (default false)
+//   migration.policy           — drain | rebalance | drain+rebalance
+//   migration.check_interval_s, migration.max_moves_per_tick
+//   migration.high_watermark, migration.low_watermark
+//   migration.default_bandwidth_mbps, migration.default_latency_s
+//   bandwidth.<i>.<j>          — directed link bandwidth override (MB/s)
+//   link_latency.<i>.<j>       — directed link latency override (s)
+//
 // Unknown keys raise util::ConfigError so typos fail loudly.
 
 #include "scenario/federation_experiment.hpp"

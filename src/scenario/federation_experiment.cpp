@@ -1,6 +1,7 @@
 #include "scenario/federation_experiment.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 
 #include "federation/federation.hpp"
@@ -96,7 +97,9 @@ FederatedResult run_federated_experiment(const FederatedScenario& fs,
     recorders.emplace_back(fed.domain(i).world(), job_model, tx_model);
     recorders.back().summary().scenario = fs.name + "/" + fed.domain(i).name();
     recorders.back().summary().policy = to_string(options.policy);
-    fed.domain(i).controller().executor().set_completion_callback(
+    // Domain-level hook (not the raw executor slot, which the federation
+    // owns for its load aggregates).
+    fed.domain(i).set_completion_callback(
         [&recorders, i](const workload::Job& job) { recorders[i].on_job_completed(job); });
   }
   fed.set_cycle_observer([&](const federation::Domain& d, const core::CycleReport& report) {
@@ -119,6 +122,28 @@ FederatedResult run_federated_experiment(const FederatedScenario& fs,
     }
     engine.schedule_at(util::Seconds{ev.at_s}, sim::EventPriority::kWorkloadArrival,
                        [&fed, ev] { fed.set_domain_weight(ev.domain, ev.weight); });
+  }
+
+  // --- migration subsystem (optional) -----------------------------------------
+  std::optional<migration::MigrationManager> migration_mgr;
+  if (fs.migration.enabled) {
+    migration::TransferModel transfer{fs.migration.default_bandwidth_mbps,
+                                      fs.migration.default_latency_s};
+    for (const LinkSpec& link : fs.migration.links) {
+      if (link.from >= fed.domain_count() || link.to >= fed.domain_count()) {
+        throw std::invalid_argument("run_federated_experiment: link domain out of range");
+      }
+      transfer.set_link(link.from, link.to, link.bandwidth_mbps, link.latency_s);
+    }
+    migration::PolicyConfig pol_cfg;
+    pol_cfg.high_watermark = fs.migration.high_watermark;
+    pol_cfg.low_watermark = fs.migration.low_watermark;
+    migration::MigrationOptions mig_opts;
+    mig_opts.check_interval = util::Seconds{fs.migration.check_interval_s};
+    mig_opts.max_moves_per_tick = fs.migration.max_moves_per_tick;
+    migration_mgr.emplace(fed, std::move(transfer),
+                          migration::make_migration_policy(fs.migration.policy, pol_cfg),
+                          mig_opts);
   }
 
   // Per-domain and federation-aggregated samples share one
@@ -149,6 +174,15 @@ FederatedResult run_federated_experiment(const FederatedScenario& fs,
     out.series.add("fed_jobs_running", t, running);
     out.series.add("fed_active_jobs", t, active);
     out.series.add("fed_jobs_completed", t, completed);
+    if (migration_mgr) {
+      const migration::MigrationStats& ms = migration_mgr->stats();
+      out.series.add("mig_started", t, static_cast<double>(ms.started));
+      out.series.add("mig_completed", t, static_cast<double>(ms.completed));
+      out.series.add("mig_in_flight", t, static_cast<double>(ms.in_flight));
+      out.series.add("mig_bytes_mb", t, ms.bytes_moved_mb);
+      out.series.add("mig_transfer_s", t, ms.transfer_seconds);
+      out.series.add("mig_work_lost_mhz_s", t, ms.work_lost_mhz_s);
+    }
   };
 
   const util::Seconds sample_dt{fs.sample_interval_s};
@@ -158,6 +192,7 @@ FederatedResult run_federated_experiment(const FederatedScenario& fs,
   };
   engine.schedule_in(sample_dt, sim::EventPriority::kSampling, sample_tick);
   fed.start();
+  if (migration_mgr) migration_mgr->start();
 
   // --- run ---------------------------------------------------------------------
   const double horizon = options.horizon_override_s > 0.0 ? options.horizon_override_s
@@ -197,6 +232,7 @@ FederatedResult run_federated_experiment(const FederatedScenario& fs,
   }
   out.summary = merge_summaries(summaries);
   out.summary.scenario = fs.name;
+  if (migration_mgr) out.migration = migration_mgr->stats();
   return out;
 }
 

@@ -8,9 +8,11 @@
 // single-World trajectories bit for bit (pinned by
 // tests/federation_test.cpp).
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
+#include "migration/manager.hpp"
 #include "scenario/experiment.hpp"
 #include "scenario/scenario.hpp"
 
@@ -34,6 +36,31 @@ struct WeightEvent {
   double weight{1.0};
 };
 
+/// One directed inter-domain link override for the TransferModel.
+/// Negative components keep the model default.
+struct LinkSpec {
+  std::size_t from{0};
+  std::size_t to{0};
+  double bandwidth_mbps{-1.0};
+  double latency_s{-1.0};
+};
+
+/// Live-migration subsystem configuration. Disabled by default: a
+/// migration-disabled run takes exactly the pre-migration code path and
+/// reproduces its output bit for bit (pinned by tests/migration_test.cpp).
+struct MigrationSpec {
+  bool enabled{false};
+  /// "drain", "rebalance", or "drain+rebalance".
+  std::string policy{"drain"};
+  double check_interval_s{60.0};
+  int max_moves_per_tick{8};
+  double high_watermark{1.1};
+  double low_watermark{0.8};
+  double default_bandwidth_mbps{125.0};
+  double default_latency_s{2.0};
+  std::vector<LinkSpec> links;
+};
+
 struct FederatedScenario {
   std::string name{"federated"};
   std::vector<DomainSpec> domains;
@@ -43,6 +70,7 @@ struct FederatedScenario {
   /// Router choice: "least-loaded", "capacity-weighted", or "sticky".
   std::string router{"least-loaded"};
   std::vector<WeightEvent> weight_events;
+  MigrationSpec migration;
   double horizon_s{0.0};
   double sample_interval_s{600.0};
   std::uint64_t seed{42};
@@ -66,10 +94,13 @@ struct DomainResult {
 struct FederatedResult {
   std::vector<DomainResult> domains;
   /// Federation-aggregated samples (fed_* series: summed allocations,
-  /// job counts) on the shared sampling clock.
+  /// job counts; mig_* series when migration is enabled) on the shared
+  /// sampling clock.
   util::TimeSeriesSet series;
   /// merge_summaries over the per-domain summaries.
   ExperimentSummary summary;
+  /// End-of-run migration counters (all zero when migration is disabled).
+  migration::MigrationStats migration;
 };
 
 /// Run a federated scenario. Deterministic for a fixed (scenario, options)

@@ -46,6 +46,8 @@ enum class EventPriority : int {
   kWorkloadArrival = 0,   // job submissions, demand-trace changes
   kStateTransition = 10,  // action completions, job completions
   kController = 20,       // control-cycle evaluation (sees arrivals at t)
+  kMigration = 25,        // migration-manager ticks (see controller output;
+                          // suspend-complete checks fire after transitions)
   kSampling = 30,         // metric sampling (sees the controller's output)
 };
 

@@ -54,6 +54,16 @@ void Job::set_phase(util::Seconds now, JobPhase phase) {
   if (phase != JobPhase::kRunning) speed_ = util::CpuMhz{0.0};
 }
 
+void Job::restore_progress(util::MhzSeconds done, int suspends, int migrates, util::Seconds now) {
+  if (done.get() < 0.0 || done.get() > spec_.work.get() + 1e-6) {
+    throw std::invalid_argument("Job::restore_progress: done outside [0, work]");
+  }
+  done_ = util::MhzSeconds{std::min(done.get(), spec_.work.get())};
+  suspend_count_ = suspends;
+  migrate_count_ = migrates;
+  last_update_ = now;
+}
+
 util::Seconds Job::predicted_completion(util::Seconds now, util::CpuMhz speed) const {
   const util::MhzSeconds rem = remaining();
   if (rem.get() <= 0.0) return now;

@@ -61,6 +61,13 @@ class Job {
   [[nodiscard]] util::VmId vm() const { return vm_; }
   [[nodiscard]] util::NodeId node() const { return node_; }
 
+  /// Held jobs are detached from the local control plane: the migration
+  /// manager sets this while it checkpoints and transfers the job to
+  /// another domain, and World::active_jobs hides held jobs so no policy
+  /// or executor pass plans (or resumes) them mid-handoff.
+  [[nodiscard]] bool held() const { return held_; }
+  void set_held(bool held) { held_ = held; }
+
   void bind_vm(util::VmId vm) { vm_ = vm; }
   void set_node(util::NodeId node) { node_ = node; }
 
@@ -88,6 +95,11 @@ class Job {
     return spec_.submit_time + spec_.completion_goal;
   }
 
+  /// Reinstate progress bookkeeping from a checkpoint image (see
+  /// migration::JobCheckpoint). Resets the progress clock to `now` so no
+  /// phantom work accrues over the transfer window.
+  void restore_progress(util::MhzSeconds done, int suspends, int migrates, util::Seconds now);
+
   /// Set on completion by the experiment driver.
   void mark_completed(util::Seconds t) { completion_time_ = t; }
   [[nodiscard]] util::Seconds completion_time() const { return completion_time_; }
@@ -109,6 +121,7 @@ class Job {
   util::Seconds completion_time_{-1.0};
   int suspend_count_{0};
   int migrate_count_{0};
+  bool held_{false};
 };
 
 }  // namespace heteroplace::workload

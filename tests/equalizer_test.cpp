@@ -288,3 +288,95 @@ TEST(EqualizerCurveCache, GenericConsumersKeepVirtualSemantics) {
     EXPECT_DOUBLE_EQ(rf.allocations[i].alloc.get(), rs.allocations[i].alloc.get());
   }
 }
+
+// --- warm start --------------------------------------------------------------
+
+// Warm-starting the outer bisection from the previous cycle's u* must
+// agree with the cold start to within the bisection tolerance and must
+// converge in fewer iterations under slowly varying load.
+TEST(EqualizerWarmStart, MatchesColdStartWithinToleranceAndConvergesFaster) {
+  RealPopulation pop(/*n_jobs=*/60, /*n_apps=*/4, /*seed=*/91u);
+
+  core::EqualizerOptions cold;
+  core::EqualizerOptions warm;
+  warm.warm_start = true;
+  core::EqualizerState state;
+
+  // A slowly drifting capacity sequence, as a stable cluster between
+  // control cycles would see (small churn, per-mille scale shifts).
+  const std::vector<double> capacities = {60000.0, 59950.0, 59900.0, 59980.0,
+                                          60050.0, 60020.0, 60000.0};
+  long cold_iters = 0;
+  long warm_iters = 0;
+  bool first = true;
+  for (const double capacity : capacities) {
+    const auto rc = core::equalize(pop.consumers, CpuMhz{capacity}, cold);
+    const auto rw = core::equalize(pop.consumers, CpuMhz{capacity}, warm, &state);
+    ASSERT_TRUE(rc.contended);
+    EXPECT_TRUE(rw.contended);
+    EXPECT_NEAR(rw.u_star, rc.u_star, 2.0 * cold.u_tolerance) << "capacity " << capacity;
+    ASSERT_EQ(rw.allocations.size(), rc.allocations.size());
+    for (std::size_t i = 0; i < rw.allocations.size(); ++i) {
+      // Allocations move smoothly with u*; a tolerance-sized u* gap can
+      // only produce a small allocation gap.
+      EXPECT_NEAR(rw.allocations[i].alloc.get(), rc.allocations[i].alloc.get(),
+                  1.0 + 1e-3 * rc.allocations[i].alloc.get())
+          << "capacity " << capacity << " consumer " << i;
+    }
+    if (!first) {  // the first warm call has no previous u* and runs cold
+      cold_iters += rc.iterations;
+      warm_iters += rw.iterations;
+    }
+    first = false;
+  }
+  EXPECT_LT(warm_iters, cold_iters / 2) << "warm start did not pay off";
+}
+
+// The flag off is the cold path bit for bit, state threading or not.
+TEST(EqualizerWarmStart, DisabledFlagIsBitIdenticalToColdPath) {
+  RealPopulation pop(/*n_jobs=*/40, /*n_apps=*/3, /*seed=*/17u);
+  core::EqualizerOptions opts;  // warm_start defaults to false
+  core::EqualizerState state;
+  for (const double capacity : {30000.0, 28000.0, 26000.0}) {
+    const auto plain = core::equalize(pop.consumers, CpuMhz{capacity}, opts);
+    const auto threaded = core::equalize(pop.consumers, CpuMhz{capacity}, opts, &state);
+    EXPECT_DOUBLE_EQ(plain.u_star, threaded.u_star);
+    EXPECT_EQ(plain.iterations, threaded.iterations);
+    for (std::size_t i = 0; i < plain.allocations.size(); ++i) {
+      EXPECT_DOUBLE_EQ(plain.allocations[i].alloc.get(), threaded.allocations[i].alloc.get());
+    }
+  }
+}
+
+// An uncontended cycle invalidates the carried u*: the next contended
+// cycle must fall back to a cold bracket, not warm-start from stale data.
+TEST(EqualizerWarmStart, UncontendedCycleInvalidatesCarriedState) {
+  std::vector<LinearConsumer> cs = {{2000.0, 1.0, 2.0}, {2000.0, 1.0, 2.0}};
+  core::EqualizerOptions warm;
+  warm.warm_start = true;
+  core::EqualizerState state;
+
+  (void)core::equalize(ptrs(cs), CpuMhz{2000.0}, warm, &state);
+  EXPECT_TRUE(state.valid);
+  (void)core::equalize(ptrs(cs), CpuMhz{10000.0}, warm, &state);  // uncontended
+  EXPECT_FALSE(state.valid);
+  // And the next contended call still lands on the correct u*.
+  const auto cold = core::equalize(ptrs(cs), CpuMhz{2000.0}, core::EqualizerOptions{});
+  const auto rewarmed = core::equalize(ptrs(cs), CpuMhz{2000.0}, warm, &state);
+  EXPECT_NEAR(rewarmed.u_star, cold.u_star, 2.0 * warm.u_tolerance);
+}
+
+// u_tolerance = 0 is legal (the cold path stops on max_iterations); the
+// warm-start walks must not spin on a zero step.
+TEST(EqualizerWarmStart, ZeroToleranceTerminates) {
+  std::vector<LinearConsumer> cs = {{2000.0, 1.0, 2.0}, {2000.0, 1.0, 2.0}};
+  core::EqualizerOptions opts;
+  opts.warm_start = true;
+  opts.u_tolerance = 0.0;
+  core::EqualizerState state;
+  const auto first = core::equalize(ptrs(cs), CpuMhz{2000.0}, opts, &state);
+  const auto second = core::equalize(ptrs(cs), CpuMhz{2000.0}, opts, &state);
+  EXPECT_LE(first.iterations, opts.max_iterations);
+  EXPECT_LE(second.iterations, opts.max_iterations);
+  EXPECT_NEAR(second.u_star, first.u_star, 1e-6);
+}

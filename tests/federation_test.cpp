@@ -433,3 +433,55 @@ TEST(Routers, FactoryRejectsUnknownNames) {
   EXPECT_THROW(federation::make_router("round-robin-2000"), std::invalid_argument);
   EXPECT_EQ(federation::make_router("sticky")->name(), "sticky");
 }
+
+// --- drain + re-route regression ---------------------------------------------
+
+// Regression for the sticky-affinity drain interplay: once a drained
+// (weight-0) domain's jobs are migrated away, it must receive no further
+// sticky hits — not from new arrivals (the router probes past it), not
+// from the migration manager (evacuees must never bounce back) — until
+// it recovers, after which sticky homes flow there again.
+TEST(FederationIntegration, DrainedStickyDomainHostsNothingUntilRecovery) {
+  auto base = scenario::section3_scaled(0.2);
+  base.seed = 42;
+  scenario::FederatedScenario fs = scenario::federate(base, 3, "sticky");
+  fs.weight_events.push_back({1, 12000.0, 0.0});
+  fs.weight_events.push_back({1, 30000.0, 1.0});
+  fs.migration.enabled = true;
+  fs.migration.policy = "drain";
+  fs.migration.check_interval_s = 120.0;
+
+  scenario::ExperimentOptions opt;
+  opt.validate_invariants = true;
+  opt.max_sim_time_s = 2.0e6;
+  const auto r = scenario::run_federated_experiment(fs, opt);
+
+  EXPECT_EQ(r.summary.jobs_completed, 160);
+  EXPECT_EQ(r.summary.invariant_violations, 0);
+  EXPECT_GT(r.migration.started, 0);
+  EXPECT_EQ(r.migration.started, r.migration.completed);
+
+  // Inside the drain window (allowing the evacuation a couple of
+  // manager ticks), the drained domain hosts nothing at all.
+  const auto* running = r.domains[1].result.series.find("jobs_running");
+  const auto* active = r.domains[1].result.series.find("active_jobs");
+  ASSERT_NE(running, nullptr);
+  ASSERT_NE(active, nullptr);
+  for (const auto& p : running->points()) {
+    if (p.t >= 14400.0 && p.t < 30000.0) {
+      EXPECT_EQ(p.v, 0.0) << "sticky hit on a drained domain at t=" << p.t;
+    }
+  }
+  for (const auto& p : active->points()) {
+    if (p.t >= 14400.0 && p.t < 30000.0) {
+      EXPECT_EQ(p.v, 0.0) << "job stuck in a drained domain at t=" << p.t;
+    }
+  }
+
+  // After recovery the domain's sticky homes route there again.
+  bool hosted_after_recovery = false;
+  for (const auto& p : running->points()) {
+    if (p.t > 30600.0 && p.v > 0.0) hosted_after_recovery = true;
+  }
+  EXPECT_TRUE(hosted_after_recovery) << "recovered domain never received work again";
+}

@@ -1,0 +1,548 @@
+// Migration subsystem tests: checkpoint/restore fidelity, the transfer
+// cost model, drain/rebalance policy proposals, the end-to-end drain of
+// a domain (suspend → checkpoint → transfer → resume elsewhere, zero
+// work lost), migration determinism across reruns, and the pin that a
+// migration-disabled federated run is bit-identical to the
+// pre-migration runner output.
+
+#include "migration/manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/utility_policy.hpp"
+#include "migration/checkpoint.hpp"
+#include "migration/policy.hpp"
+#include "migration/transfer_model.hpp"
+#include "scenario/config_loader.hpp"
+#include "scenario/federation_experiment.hpp"
+#include "util/config.hpp"
+#include "utility/utility_fn.hpp"
+
+using namespace heteroplace;
+using namespace heteroplace::util::literals;
+
+namespace {
+
+std::unique_ptr<core::UtilityDrivenPolicy> make_policy() {
+  return std::make_unique<core::UtilityDrivenPolicy>(
+      std::make_shared<utility::JobUtilityModel>(), std::make_shared<utility::TxUtilityModel>());
+}
+
+workload::JobSpec make_job(unsigned id, double submit = 0.0) {
+  workload::JobSpec s;
+  s.id = util::JobId{id};
+  s.work = util::MhzSeconds{3.0e6};  // 1000 s at full speed
+  s.max_speed = 3000_mhz;
+  s.memory = 1300_mb;
+  s.submit_time = util::Seconds{submit};
+  s.completion_goal = util::Seconds{8000.0};
+  return s;
+}
+
+void add_nodes(federation::Domain& d, int n) {
+  d.world().cluster().add_nodes(n, cluster::Resources{12000_mhz, 4096_mb});
+}
+
+}  // namespace
+
+// --- transfer model ----------------------------------------------------------
+
+TEST(TransferModel, DefaultsAndOverrides) {
+  migration::TransferModel m{100.0, 4.0};
+  // Default link: latency + size / bandwidth.
+  EXPECT_DOUBLE_EQ(m.transfer_time(0, 1, 1000_mb).get(), 4.0 + 10.0);
+  // Directed override applies one way only.
+  m.set_link(0, 1, 500.0, 1.0);
+  EXPECT_DOUBLE_EQ(m.transfer_time(0, 1, 1000_mb).get(), 1.0 + 2.0);
+  EXPECT_DOUBLE_EQ(m.transfer_time(1, 0, 1000_mb).get(), 4.0 + 10.0);
+  // Partial override: negative components keep the default.
+  m.set_link(1, 2, -1.0, 0.5);
+  EXPECT_DOUBLE_EQ(m.transfer_time(1, 2, 200_mb).get(), 0.5 + 2.0);
+}
+
+TEST(TransferModel, IntraDomainAndEmptyImagesAreFree) {
+  migration::TransferModel m;
+  EXPECT_DOUBLE_EQ(m.transfer_time(2, 2, 4096_mb).get(), 0.0);
+  EXPECT_DOUBLE_EQ(m.transfer_time(0, 1, 0_mb).get(), 0.0);
+}
+
+TEST(TransferModel, RejectsBadParameters) {
+  EXPECT_THROW(migration::TransferModel(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(migration::TransferModel(10.0, -1.0), std::invalid_argument);
+  migration::TransferModel m;
+  EXPECT_THROW(m.set_link(1, 1, 10.0, 0.0), std::invalid_argument);
+}
+
+// --- checkpoint/restore ------------------------------------------------------
+
+TEST(Checkpoint, RoundTripPreservesProgressAndBookkeeping) {
+  workload::Job job{make_job(7)};
+  job.set_phase(0_s, workload::JobPhase::kRunning);
+  job.set_speed(0_s, 3000_mhz);
+  job.advance_to(util::Seconds{400.0});  // 1.2e6 MHz·s done
+  job.set_phase(util::Seconds{400.0}, workload::JobPhase::kSuspended);
+  job.count_suspend();
+
+  const auto ckpt = migration::checkpoint_job(job, /*from_domain=*/1, util::Seconds{415.0});
+  EXPECT_TRUE(ckpt.has_image);
+  EXPECT_DOUBLE_EQ(ckpt.image_size.get(), 1300.0);
+  EXPECT_DOUBLE_EQ(ckpt.done.get(), 1.2e6);
+  EXPECT_EQ(ckpt.from_domain, 1u);
+
+  workload::Job restored = migration::restore_job(ckpt, util::Seconds{500.0});
+  EXPECT_EQ(restored.phase(), workload::JobPhase::kSuspended);
+  EXPECT_DOUBLE_EQ(restored.done().get(), job.done().get());
+  EXPECT_DOUBLE_EQ(restored.remaining().get(), job.remaining().get());
+  EXPECT_EQ(restored.suspend_count(), 1);
+  EXPECT_EQ(restored.id(), job.id());
+  // No phantom progress accrues over the dead time.
+  restored.advance_to(util::Seconds{2000.0});
+  EXPECT_DOUBLE_EQ(restored.done().get(), 1.2e6);
+}
+
+TEST(Checkpoint, PendingJobHasNoImage) {
+  workload::Job job{make_job(3)};
+  const auto ckpt = migration::checkpoint_job(job, 0, 0_s);
+  EXPECT_FALSE(ckpt.has_image);
+  EXPECT_DOUBLE_EQ(ckpt.image_size.get(), 0.0);
+  workload::Job restored = migration::restore_job(ckpt, 10_s);
+  EXPECT_EQ(restored.phase(), workload::JobPhase::kPending);
+}
+
+TEST(Checkpoint, RejectsTransitioningJobs) {
+  workload::Job job{make_job(4)};
+  job.set_phase(0_s, workload::JobPhase::kStarting);
+  EXPECT_THROW((void)migration::checkpoint_job(job, 0, 0_s), std::logic_error);
+}
+
+// --- policies ----------------------------------------------------------------
+
+namespace {
+
+/// Federation with three 2-node domains and `jobs` pending jobs routed in.
+struct PolicyFixture {
+  sim::Engine engine;
+  federation::Federation fed;
+
+  explicit PolicyFixture(int jobs) : fed(engine, federation::make_router("capacity-weighted")) {
+    for (int i = 0; i < 3; ++i) {
+      add_nodes(fed.add_domain("d" + std::to_string(i), make_policy()), 2);
+    }
+    for (int id = 0; id < jobs; ++id) fed.submit_job(make_job(static_cast<unsigned>(id)));
+  }
+};
+
+}  // namespace
+
+TEST(DrainPolicy, EvacuatesOnlyDrainedDomainsToHealthyOnes) {
+  PolicyFixture fx{9};  // 3 jobs per domain (equal capacity round-robin)
+  fx.fed.set_domain_weight(1, 0.0);
+
+  migration::DrainPolicy policy;
+  const auto status = fx.fed.status(0_s);
+  const auto moves = policy.propose(fx.fed, status, 0_s, /*budget=*/100);
+
+  ASSERT_EQ(moves.size(), 3u);  // exactly domain 1's jobs
+  for (const auto& mv : moves) {
+    EXPECT_EQ(mv.from, 1u);
+    EXPECT_NE(mv.to, 1u);
+    EXPECT_GT(fx.fed.domain(mv.to).weight(), 0.0) << "moved into a drained domain";
+    EXPECT_EQ(fx.fed.job_domain(mv.job), 1u);
+  }
+  // Assignments spread over both healthy destinations.
+  std::set<std::size_t> dests;
+  for (const auto& mv : moves) dests.insert(mv.to);
+  EXPECT_EQ(dests.size(), 2u);
+}
+
+TEST(DrainPolicy, RespectsBudgetAndHealthyFederationIsQuiet) {
+  PolicyFixture fx{9};
+  migration::DrainPolicy policy;
+  EXPECT_TRUE(policy.propose(fx.fed, fx.fed.status(0_s), 0_s, 100).empty());
+
+  fx.fed.set_domain_weight(0, 0.0);
+  EXPECT_EQ(policy.propose(fx.fed, fx.fed.status(0_s), 0_s, 2).size(), 2u);
+}
+
+TEST(DrainPolicy, NoHealthyDestinationProposesNothing) {
+  PolicyFixture fx{6};
+  for (int i = 0; i < 3; ++i) fx.fed.set_domain_weight(i, 0.0);
+  migration::DrainPolicy policy;
+  EXPECT_TRUE(policy.propose(fx.fed, fx.fed.status(0_s), 0_s, 100).empty());
+}
+
+TEST(RebalancePolicy, MovesFromOverloadedToUnderloadedOnly) {
+  // Lopsided: all 9 jobs in domain 0 (route before others exist is not
+  // possible through the router, so craft via sticky... simpler: three
+  // domains, drain 1 and 2 while submitting so everything lands on 0).
+  sim::Engine engine;
+  federation::Federation fed(engine, federation::make_router("least-loaded"));
+  for (int i = 0; i < 3; ++i) add_nodes(fed.add_domain("d" + std::to_string(i), make_policy()), 2);
+  fed.set_domain_weight(1, 0.0);
+  fed.set_domain_weight(2, 0.0);
+  for (unsigned id = 0; id < 9; ++id) fed.submit_job(make_job(id));
+  fed.set_domain_weight(1, 1.0);
+  fed.set_domain_weight(2, 1.0);
+
+  // Domain 0: 9 × 3000 MHz offered on 24000 MHz effective → 1.125 > 1.1.
+  migration::PolicyConfig cfg;
+  const auto moves =
+      migration::RebalancePolicy{cfg}.propose(fed, fed.status(0_s), 0_s, /*budget=*/100);
+  ASSERT_FALSE(moves.empty());
+  for (const auto& mv : moves) {
+    EXPECT_EQ(mv.from, 0u);
+    EXPECT_NE(mv.to, 0u);
+  }
+  // It stops once the source dips below the high watermark: moving one
+  // job leaves 8 × 3000 / 24000 = 1.0 < 1.1.
+  EXPECT_EQ(moves.size(), 1u);
+}
+
+TEST(MigrationPolicyFactory, NamesAndComposite) {
+  EXPECT_EQ(migration::make_migration_policy("drain")->name(), "drain");
+  EXPECT_EQ(migration::make_migration_policy("rebalance")->name(), "rebalance");
+  EXPECT_EQ(migration::make_migration_policy("drain+rebalance")->name(), "drain+rebalance");
+  EXPECT_THROW(migration::make_migration_policy("teleport"), std::invalid_argument);
+}
+
+// --- end-to-end drain (direct federation) ------------------------------------
+
+TEST(MigrationIntegration, DrainEvacuatesRunningJobsWithZeroWorkLost) {
+  sim::Engine engine;
+  federation::Federation fed(engine, federation::make_router("least-loaded"));
+  for (int i = 0; i < 3; ++i) add_nodes(fed.add_domain("d" + std::to_string(i), make_policy()), 2);
+
+  migration::MigrationOptions opts;
+  opts.check_interval = util::Seconds{60.0};
+  migration::MigrationManager mgr(fed, migration::TransferModel{},
+                                  migration::make_migration_policy("drain"), opts);
+
+  for (unsigned id = 0; id < 6; ++id) {
+    const auto spec = make_job(id);
+    engine.schedule_at(0_s, sim::EventPriority::kWorkloadArrival,
+                       [&fed, spec] { fed.submit_job(spec); });
+  }
+  // Drain whatever domain owns job 0 mid-execution (jobs run from ~60 s
+  // to ~1060 s at full speed).
+  std::size_t drained = 99;
+  engine.schedule_at(util::Seconds{500.0}, sim::EventPriority::kWorkloadArrival, [&] {
+    drained = fed.job_domain(util::JobId{0});
+    fed.set_domain_weight(drained, 0.0);
+  });
+
+  fed.start();
+  mgr.start();
+  while (fed.total_completed() < 6 && engine.now().get() < 1.0e5) {
+    engine.run_until(engine.now() + util::Seconds{1000.0});
+  }
+
+  ASSERT_EQ(fed.total_completed(), 6u);
+  ASSERT_LT(drained, 3u);
+
+  // The drained domain evacuated everything it was running.
+  EXPECT_GT(mgr.stats().started, 0);
+  EXPECT_EQ(mgr.stats().started, mgr.stats().completed);
+  EXPECT_EQ(mgr.stats().in_flight, 0);
+  // Exact checkpoints: nothing beyond the modeled suspend/transfer cost.
+  EXPECT_DOUBLE_EQ(mgr.stats().work_lost_mhz_s, 0.0);
+  EXPECT_GT(mgr.stats().bytes_moved_mb, 0.0);
+  EXPECT_GT(mgr.stats().transfer_seconds, 0.0);
+
+  // Registry ↔ world consistency: every job completed inside the domain
+  // the registry points at, and nowhere else.
+  std::size_t migrated = 0;
+  for (unsigned id = 0; id < 6; ++id) {
+    const std::size_t owner = fed.job_domain(util::JobId{id});
+    for (std::size_t d = 0; d < 3; ++d) {
+      EXPECT_EQ(fed.domain(d).world().job_exists(util::JobId{id}), d == owner);
+    }
+    const auto& job = fed.domain(owner).world().job(util::JobId{id});
+    EXPECT_EQ(job.phase(), workload::JobPhase::kCompleted);
+    EXPECT_GE(job.done().get(), job.spec().work.get() - 1e-6) << "work lost for job " << id;
+    if (job.migrate_count() > 0) ++migrated;
+    EXPECT_NE(owner, drained) << "job " << id << " finished inside the drained domain";
+  }
+  EXPECT_GT(migrated, 0u);
+  EXPECT_EQ(fed.domain(drained).world().active_jobs().size(), 0u);
+
+  // Cluster invariants hold everywhere after the handoffs.
+  for (std::size_t d = 0; d < 3; ++d) {
+    EXPECT_TRUE(fed.domain(d).world().cluster().validate().empty()) << "domain " << d;
+  }
+
+  // Satellite pin: the incrementally maintained router aggregates match
+  // a from-scratch recomputation after submissions, completions and
+  // cross-domain handoffs.
+  for (std::size_t d = 0; d < 3; ++d) {
+    EXPECT_DOUBLE_EQ(fed.domain(d).offered_cpu_load(engine.now()).get(),
+                     fed.domain(d).offered_cpu_load_recomputed(engine.now()).get())
+        << "domain " << d;
+    std::size_t recount = 0;
+    for (util::JobId id : fed.domain(d).world().job_order()) {
+      if (fed.domain(d).world().job(id).phase() != workload::JobPhase::kCompleted) ++recount;
+    }
+    EXPECT_EQ(fed.domain(d).active_job_count(), recount) << "domain " << d;
+  }
+}
+
+// --- runner-level scenarios --------------------------------------------------
+
+namespace {
+
+scenario::FederatedScenario drain_scenario() {
+  auto base = scenario::section3_scaled(0.2);  // 5 nodes, 160 jobs
+  base.seed = 42;
+  scenario::FederatedScenario fs = scenario::federate(base, 3);
+  fs.weight_events.push_back({0, 15000.0, 0.0});
+  fs.weight_events.push_back({0, 35000.0, 1.0});
+  fs.migration.enabled = true;
+  fs.migration.policy = "drain";
+  fs.migration.check_interval_s = 120.0;
+  return fs;
+}
+
+const scenario::FederatedResult& drain_run() {
+  static const scenario::FederatedResult r = [] {
+    scenario::ExperimentOptions opt;
+    opt.validate_invariants = true;
+    opt.max_sim_time_s = 2.0e6;
+    return scenario::run_federated_experiment(drain_scenario(), opt);
+  }();
+  return r;
+}
+
+void expect_same_series(const util::TimeSeriesSet& a, const util::TimeSeriesSet& b,
+                        const std::string& name) {
+  const auto* sa = a.find(name);
+  const auto* sb = b.find(name);
+  ASSERT_NE(sa, nullptr) << name;
+  ASSERT_NE(sb, nullptr) << name;
+  ASSERT_EQ(sa->size(), sb->size()) << name;
+  for (std::size_t i = 0; i < sa->size(); ++i) {
+    EXPECT_DOUBLE_EQ(sa->points()[i].t, sb->points()[i].t) << name << " point " << i;
+    EXPECT_DOUBLE_EQ(sa->points()[i].v, sb->points()[i].v) << name << " point " << i;
+  }
+}
+
+}  // namespace
+
+TEST(MigrationScenario, DrainScenarioCompletesEverythingAndMigStatsAreConsistent) {
+  const auto& r = drain_run();
+  EXPECT_EQ(r.summary.jobs_completed, 160);
+  EXPECT_EQ(r.summary.invariant_violations, 0);
+
+  EXPECT_GT(r.migration.started, 0);
+  EXPECT_EQ(r.migration.started, r.migration.completed);
+  EXPECT_EQ(r.migration.in_flight, 0);
+  EXPECT_DOUBLE_EQ(r.migration.work_lost_mhz_s, 0.0);
+
+  // End-of-run ownership is consistent: the registry count equals the
+  // jobs each world actually holds, federation-wide.
+  long routed = 0;
+  long submitted = 0;
+  for (const auto& d : r.domains) {
+    routed += d.jobs_routed;
+    submitted += d.result.summary.jobs_submitted;
+    EXPECT_EQ(d.jobs_routed, d.result.summary.jobs_submitted) << d.name;
+  }
+  EXPECT_EQ(routed, 160);
+  EXPECT_EQ(submitted, 160);
+
+  // The sampled mig_* series are cumulative and end at the summary values.
+  const auto* started = r.series.find("mig_started");
+  const auto* completed = r.series.find("mig_completed");
+  const auto* lost = r.series.find("mig_work_lost_mhz_s");
+  ASSERT_NE(started, nullptr);
+  ASSERT_NE(completed, nullptr);
+  ASSERT_NE(lost, nullptr);
+  EXPECT_DOUBLE_EQ(started->points().back().v, static_cast<double>(r.migration.started));
+  EXPECT_DOUBLE_EQ(completed->points().back().v, static_cast<double>(r.migration.completed));
+  for (std::size_t i = 1; i < started->size(); ++i) {
+    EXPECT_GE(started->points()[i].v, started->points()[i - 1].v) << "not cumulative";
+    EXPECT_GE(started->points()[i].v, completed->points()[i].v) << "completed before started";
+  }
+  for (const auto& p : lost->points()) EXPECT_DOUBLE_EQ(p.v, 0.0);
+}
+
+TEST(MigrationScenario, IdenticalSeedsGiveIdenticalMigSeries) {
+  // Determinism: a fresh rerun of the same scenario reproduces every
+  // mig_* sample and summary counter bit for bit.
+  scenario::ExperimentOptions opt;
+  opt.validate_invariants = true;
+  opt.max_sim_time_s = 2.0e6;
+  const auto rerun = scenario::run_federated_experiment(drain_scenario(), opt);
+  const auto& first = drain_run();
+
+  EXPECT_EQ(rerun.migration.started, first.migration.started);
+  EXPECT_EQ(rerun.migration.completed, first.migration.completed);
+  EXPECT_DOUBLE_EQ(rerun.migration.bytes_moved_mb, first.migration.bytes_moved_mb);
+  EXPECT_DOUBLE_EQ(rerun.migration.transfer_seconds, first.migration.transfer_seconds);
+  for (const char* name : {"mig_started", "mig_completed", "mig_in_flight", "mig_bytes_mb",
+                           "mig_transfer_s", "mig_work_lost_mhz_s", "fed_jobs_running",
+                           "fed_jobs_completed"}) {
+    expect_same_series(rerun.series, first.series, name);
+  }
+  EXPECT_EQ(rerun.summary.jobs_completed, first.summary.jobs_completed);
+  EXPECT_DOUBLE_EQ(rerun.summary.tx_utility.mean(), first.summary.tx_utility.mean());
+  EXPECT_DOUBLE_EQ(rerun.summary.job_utility.mean(), first.summary.job_utility.mean());
+}
+
+TEST(MigrationScenario, DisabledRunsAreBitIdenticalToEnabledIdleRuns) {
+  // A migration-enabled run whose policy never proposes anything (drain
+  // policy, no drained domains) must reproduce the migration-disabled
+  // run exactly: manager ticks observe but never mutate. This pins
+  // "migration disabled == pre-migration output" from the other side.
+  auto base = scenario::section3_scaled(0.2);
+  base.seed = 42;
+  scenario::FederatedScenario off = scenario::federate(base, 3);
+  scenario::FederatedScenario idle = off;
+  idle.migration.enabled = true;
+  idle.migration.policy = "drain";
+
+  scenario::ExperimentOptions opt;
+  opt.max_sim_time_s = 2.0e6;
+  const auto r_off = scenario::run_federated_experiment(off, opt);
+  const auto r_idle = scenario::run_federated_experiment(idle, opt);
+
+  // Disabled runs carry no mig_* series at all; idle runs carry flat zeros.
+  EXPECT_EQ(r_off.series.find("mig_started"), nullptr);
+  ASSERT_NE(r_idle.series.find("mig_started"), nullptr);
+  EXPECT_EQ(r_idle.migration.started, 0);
+
+  ASSERT_EQ(r_off.domains.size(), r_idle.domains.size());
+  for (const char* name :
+       {"fed_tx_alloc_mhz", "fed_lr_alloc_mhz", "fed_jobs_running", "fed_jobs_completed"}) {
+    expect_same_series(r_off.series, r_idle.series, name);
+  }
+  for (std::size_t d = 0; d < r_off.domains.size(); ++d) {
+    for (const char* name : {"u_star", "tx_alloc_mhz", "lr_alloc_mhz", "active_jobs",
+                             "suspends", "migrations", "jobs_completed"}) {
+      expect_same_series(r_off.domains[d].result.series, r_idle.domains[d].result.series, name);
+    }
+    EXPECT_EQ(r_off.domains[d].result.summary.jobs_completed,
+              r_idle.domains[d].result.summary.jobs_completed);
+    EXPECT_DOUBLE_EQ(r_off.domains[d].result.summary.tx_utility.mean(),
+                     r_idle.domains[d].result.summary.tx_utility.mean());
+  }
+}
+
+TEST(MigrationScenario, ConfigKeysRoundTripThroughLoader) {
+  util::Config cfg;
+  cfg.set("domains", "3");
+  cfg.set("migration.enabled", "true");
+  cfg.set("migration.policy", "drain+rebalance");
+  cfg.set("migration.check_interval_s", "45");
+  cfg.set("migration.max_moves_per_tick", "3");
+  cfg.set("migration.default_bandwidth_mbps", "250");
+  cfg.set("bandwidth.0.1", "500");
+  cfg.set("link_latency.2.0", "9.5");
+  const auto fs = scenario::federated_scenario_from_config(cfg);
+  EXPECT_TRUE(fs.migration.enabled);
+  EXPECT_EQ(fs.migration.policy, "drain+rebalance");
+  EXPECT_DOUBLE_EQ(fs.migration.check_interval_s, 45.0);
+  EXPECT_EQ(fs.migration.max_moves_per_tick, 3);
+  EXPECT_DOUBLE_EQ(fs.migration.default_bandwidth_mbps, 250.0);
+  ASSERT_EQ(fs.migration.links.size(), 2u);
+  EXPECT_EQ(fs.migration.links[0].from, 0u);
+  EXPECT_EQ(fs.migration.links[0].to, 1u);
+  EXPECT_DOUBLE_EQ(fs.migration.links[0].bandwidth_mbps, 500.0);
+  EXPECT_DOUBLE_EQ(fs.migration.links[0].latency_s, -1.0);
+  EXPECT_EQ(fs.migration.links[1].from, 2u);
+  EXPECT_EQ(fs.migration.links[1].to, 0u);
+  EXPECT_DOUBLE_EQ(fs.migration.links[1].latency_s, 9.5);
+
+  util::Config bad;
+  bad.set("migration.policy", "teleport");
+  EXPECT_THROW((void)scenario::federated_scenario_from_config(bad), util::ConfigError);
+}
+
+TEST(MigrationIntegration, RebalanceMovesPendingJobsInstantly) {
+  // Pending (never-started) jobs carry no VM image: a rebalance move
+  // re-routes them synchronously — no suspend, no wire time, no bytes.
+  sim::Engine engine;
+  federation::Federation fed(engine, federation::make_router("least-loaded"));
+  for (int i = 0; i < 3; ++i) add_nodes(fed.add_domain("d" + std::to_string(i), make_policy()), 2);
+  fed.set_domain_weight(1, 0.0);
+  fed.set_domain_weight(2, 0.0);
+  for (unsigned id = 0; id < 9; ++id) fed.submit_job(make_job(id));  // all land on d0
+  fed.set_domain_weight(1, 1.0);
+  fed.set_domain_weight(2, 1.0);
+  ASSERT_EQ(fed.jobs_per_domain()[0], 9);
+
+  migration::MigrationManager mgr(fed, migration::TransferModel{},
+                                  migration::make_migration_policy("rebalance"),
+                                  migration::MigrationOptions{});
+  mgr.tick();
+
+  EXPECT_EQ(mgr.stats().started, 1);
+  EXPECT_EQ(mgr.stats().completed, 1);  // instant: no image to ship
+  EXPECT_EQ(mgr.stats().in_flight, 0);
+  EXPECT_DOUBLE_EQ(mgr.stats().bytes_moved_mb, 0.0);
+  EXPECT_DOUBLE_EQ(mgr.stats().transfer_seconds, 0.0);
+  EXPECT_EQ(fed.jobs_per_domain()[0], 8);
+  // The moved job lives in its new world, in phase pending, unheld.
+  const std::size_t owner = fed.job_domain(util::JobId{0});
+  EXPECT_NE(owner, 0u);
+  const auto& job = fed.domain(owner).world().job(util::JobId{0});
+  EXPECT_EQ(job.phase(), workload::JobPhase::kPending);
+  EXPECT_FALSE(job.held());
+  // Aggregates followed the move.
+  for (std::size_t d = 0; d < 3; ++d) {
+    EXPECT_DOUBLE_EQ(fed.domain(d).offered_cpu_load(engine.now()).get(),
+                     fed.domain(d).offered_cpu_load_recomputed(engine.now()).get());
+  }
+}
+
+TEST(MigrationScenario, NegativeLinkOverridesFailLoudly) {
+  util::Config bw;
+  bw.set("domains", "2");
+  bw.set("bandwidth.0.1", "-400");  // sign typo must not read as "unset"
+  EXPECT_THROW((void)scenario::federated_scenario_from_config(bw), util::ConfigError);
+
+  util::Config lat;
+  lat.set("domains", "2");
+  lat.set("link_latency.1.0", "-3");
+  EXPECT_THROW((void)scenario::federated_scenario_from_config(lat), util::ConfigError);
+}
+
+TEST(CompositePolicy, RebalanceSeesDrainStageLoadShifts) {
+  // d0 drained with 2 jobs, d1 lightly loaded, d2 overloaded. The drain
+  // wave lands on d1 and pushes it past the rebalance low watermark —
+  // the rebalance stage must see that and stay quiet, instead of piling
+  // d2's jobs onto d1 from the stale snapshot.
+  sim::Engine engine;
+  federation::Federation fed(engine, federation::make_router("least-loaded"));
+  for (int i = 0; i < 3; ++i) add_nodes(fed.add_domain("d" + std::to_string(i), make_policy()), 2);
+  unsigned id = 0;
+  auto submit_to = [&](std::size_t target, int count) {
+    for (std::size_t d = 0; d < 3; ++d) fed.set_domain_weight(d, d == target ? 1.0 : 0.0);
+    for (int n = 0; n < count; ++n) fed.submit_job(make_job(id++));
+  };
+  submit_to(0, 2);  // 6000 MHz offered
+  submit_to(1, 5);  // 15000 MHz on 24000 effective → 0.625
+  submit_to(2, 9);  // 27000 MHz on 24000 effective → 1.125
+  fed.set_domain_weight(0, 0.0);
+  fed.set_domain_weight(1, 1.0);
+  fed.set_domain_weight(2, 1.0);
+
+  const auto status = fed.status(0_s);
+  // The rebalance stage alone, on the raw snapshot, would move work to d1.
+  const auto naive = migration::RebalancePolicy{}.propose(fed, status, 0_s, 100);
+  ASSERT_FALSE(naive.empty());
+  EXPECT_EQ(naive.front().to, 1u);
+
+  // Composite: drain's two evacuees land on d1 (21000 → 0.875 > 0.8),
+  // leaving the rebalance stage no destination.
+  auto composite = migration::make_migration_policy("drain+rebalance");
+  const auto moves = composite->propose(fed, status, 0_s, 100);
+  ASSERT_EQ(moves.size(), 2u);
+  for (const auto& mv : moves) {
+    EXPECT_EQ(mv.from, 0u);
+    EXPECT_EQ(mv.to, 1u);
+  }
+}
