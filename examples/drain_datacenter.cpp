@@ -10,6 +10,7 @@
 // Options:       --router=least-loaded|capacity-weighted|sticky
 //                --jobs=N --horizon=SECONDS --seed=N
 //                --policy=drain|rebalance|drain+rebalance
+//                --link_mode=p2p|uplink --selection=fifo|cost
 
 #include <iostream>
 
@@ -52,11 +53,28 @@ int main(int argc, char** argv) {
 
   fs.migration.enabled = true;
   fs.migration.policy = cfg.get_string("policy", "drain");
+  fs.migration.link_mode = cfg.get_string("link_mode", "p2p");
+  fs.migration.selection = cfg.get_string("selection", "fifo");
+  try {
+    scenario::validate_migration_modes(fs.migration);
+  } catch (const util::ConfigError& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
   fs.migration.check_interval_s = 120.0;
   fs.migration.max_moves_per_tick = 6;
-  // Asymmetric links: east is close (fat pipe), west is far.
-  fs.migration.links.push_back({0, 1, 400.0, 1.0});
-  fs.migration.links.push_back({0, 2, 80.0, 6.0});
+  // Asymmetric links: east is close (fat pipe), west is far. In uplink
+  // mode per-pair bandwidth is meaningless (one shared pool leaves the
+  // primary), so only the propagation latencies carry over and the pool
+  // gets the mean of the two pipes.
+  if (fs.migration.link_mode == "uplink") {
+    fs.migration.links.push_back({0, 1, -1.0, 1.0});
+    fs.migration.links.push_back({0, 2, -1.0, 6.0});
+    fs.migration.uplinks.push_back({0, 240.0});
+  } else {
+    fs.migration.links.push_back({0, 1, 400.0, 1.0});
+    fs.migration.links.push_back({0, 2, 80.0, 6.0});
+  }
 
   fs.horizon_s = cfg.get_double("horizon", 80000.0);
 

@@ -179,6 +179,7 @@ std::vector<DomainStatus> Federation::status(util::Seconds now) const {
     s.effective = d->effective_cpu();
     s.offered_load = d->offered_cpu_load(now);
     s.active_jobs = d->active_job_count();
+    if (transfer_queue_probe_) s.outbound_transfers_queued = transfer_queue_probe_(d->index());
     out.push_back(s);
   }
   return out;

@@ -95,6 +95,15 @@ class Federation {
 
   void set_cycle_observer(CycleObserver observer) { observer_ = std::move(observer); }
 
+  /// Probe for per-domain outbound migration-transfer queue depth,
+  /// registered by the migration manager (its LinkScheduler owns the
+  /// link pools). When set, status() fills
+  /// DomainStatus::outbound_transfers_queued from it.
+  using TransferQueueProbe = std::function<std::size_t(std::size_t domain)>;
+  void set_transfer_queue_probe(TransferQueueProbe probe) {
+    transfer_queue_probe_ = std::move(probe);
+  }
+
   // --- federation-wide aggregates -------------------------------------------
 
   [[nodiscard]] std::size_t total_submitted() const;
@@ -121,6 +130,7 @@ class Federation {
   std::vector<FederatedApp> apps_;
   std::map<util::JobId, std::size_t> job_domain_;  // global job registry
   CycleObserver observer_;
+  TransferQueueProbe transfer_queue_probe_;
   bool started_{false};
 };
 

@@ -32,6 +32,9 @@ struct DomainStatus {
   util::CpuMhz effective{0.0};     // capacity × weight
   util::CpuMhz offered_load{0.0};  // active-job speed caps + tx offered CPU
   std::size_t active_jobs{0};
+  /// Outbound migration transfers queued behind this domain's contended
+  /// links (0 when migration is off; see Federation::set_transfer_queue_probe).
+  std::size_t outbound_transfers_queued{0};
 };
 
 class DomainRouter {

@@ -1,0 +1,104 @@
+#pragma once
+
+// Contended inter-domain links: FIFO bandwidth pools on the sim engine.
+//
+// PR 3's transfer model priced every handoff with a closed-form divide,
+// so N simultaneous transfers over one link each saw the full bandwidth
+// and a mass drain finished unrealistically fast. The LinkScheduler
+// makes link capacity a shared, contended resource (the
+// workload-engineering treatment of WAN links): each bandwidth pool
+// serves transfers strictly FIFO — a transfer occupies the wire for
+// image/bandwidth seconds, queued transfers start when the wire frees,
+// and per-link propagation latency rides on top of the wire time
+// (pipelined, so it delays delivery but does not occupy the pool).
+//
+// Pool granularity is the link mode:
+//   p2p    — every ordered domain pair (from, to) is its own pool, using
+//            the pair's TransferModel bandwidth. Transfers on different
+//            pairs never contend.
+//   uplink — every transfer leaving a domain contends for that domain's
+//            single uplink pool (TransferModel uplink bandwidth);
+//            per-pair bandwidth overrides are ignored, per-pair latency
+//            still applies.
+//
+// Determinism: FIFO over submission order with known image sizes is
+// fully predictable, so submit() computes the wire-start and delivery
+// times analytically and schedules them as kMigration events. An
+// uncontended submission in p2p mode delivers at exactly
+// now + TransferModel::transfer_time(from, to, image) — bit-identical to
+// the PR 3 closed form (pinned in tests/link_scheduler_test.cpp).
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "migration/transfer_model.hpp"
+#include "sim/engine.hpp"
+
+namespace heteroplace::migration {
+
+enum class LinkMode {
+  kP2p,     // per ordered domain pair
+  kUplink,  // shared per-source-domain pool
+};
+
+/// "p2p" | "uplink"; throws std::invalid_argument otherwise.
+[[nodiscard]] LinkMode link_mode_from_string(const std::string& name);
+
+class LinkScheduler {
+ public:
+  LinkScheduler(sim::Engine& engine, TransferModel model, LinkMode mode = LinkMode::kP2p);
+
+  LinkScheduler(const LinkScheduler&) = delete;
+  LinkScheduler& operator=(const LinkScheduler&) = delete;
+
+  /// Everything the caller needs to account for one granted transfer,
+  /// fixed at submission time (FIFO makes the schedule predictable).
+  struct Grant {
+    util::Seconds wire_start;  // when the image starts moving
+    util::Seconds delivery;    // when on_delivered fires
+    double transfer_s{0.0};    // modeled uncontended time: latency + image/bw
+    double queue_wait_s{0.0};  // wire_start − submission time
+  };
+
+  /// Queue an image transfer on the (from, to) link's pool; `on_delivered`
+  /// fires at the returned delivery time (kMigration priority). Requires
+  /// from ≠ to and a nonempty image — free moves never reach the wire
+  /// (the MigrationManager completes them synchronously, as before).
+  Grant submit(std::size_t from, std::size_t to, util::MemMb image_size,
+               sim::EventCallback on_delivered);
+
+  /// Transfers waiting for a pool (submitted, wire not started).
+  [[nodiscard]] std::size_t queued_transfers() const { return queued_; }
+  /// Waiting transfers whose source is `domain` (federation status plumbing).
+  [[nodiscard]] std::size_t queued_from(std::size_t domain) const;
+  /// Transfers currently occupying a wire.
+  [[nodiscard]] std::size_t active_transfers() const { return active_; }
+  /// Cumulative seconds of queue wait actually served so far: each
+  /// transfer's wait is credited when its wire starts, so this never
+  /// reports time that has not elapsed yet.
+  [[nodiscard]] double total_queue_wait_s() const { return total_queue_wait_s_; }
+
+  [[nodiscard]] const TransferModel& model() const { return model_; }
+  [[nodiscard]] LinkMode mode() const { return mode_; }
+
+ private:
+  /// Pool key: (from, to) in p2p mode, (from, npos) in uplink mode.
+  using PoolKey = std::pair<std::size_t, std::size_t>;
+  struct Pool {
+    double busy_until{0.0};  // when the last granted transfer leaves the wire
+  };
+
+  sim::Engine& engine_;
+  TransferModel model_;
+  LinkMode mode_;
+  std::map<PoolKey, Pool> pools_;
+  std::size_t queued_{0};
+  std::size_t active_{0};
+  std::map<std::size_t, std::size_t> queued_by_source_;
+  double total_queue_wait_s_{0.0};
+};
+
+}  // namespace heteroplace::migration

@@ -14,7 +14,10 @@ using workload::JobPhase;
 MigrationManager::MigrationManager(federation::Federation& fed, TransferModel model,
                                    std::unique_ptr<MigrationPolicy> policy,
                                    MigrationOptions options)
-    : fed_(fed), model_(std::move(model)), policy_(std::move(policy)), options_(options) {
+    : fed_(fed),
+      scheduler_(fed.engine(), std::move(model), options.link_mode),
+      policy_(std::move(policy)),
+      options_(options) {
   if (!policy_) throw std::invalid_argument("MigrationManager: policy must not be null");
   if (options_.check_interval.get() <= 0.0) {
     throw std::invalid_argument("MigrationManager: check_interval must be positive");
@@ -22,7 +25,13 @@ MigrationManager::MigrationManager(federation::Federation& fed, TransferModel mo
   if (options_.max_moves_per_tick < 1) {
     throw std::invalid_argument("MigrationManager: max_moves_per_tick must be >= 1");
   }
+  // Surface per-domain outbound transfer queues in Federation::status so
+  // routers/policies (and the fed_* samplers) can observe congestion.
+  fed_.set_transfer_queue_probe(
+      [this](std::size_t domain) { return scheduler_.queued_from(domain); });
 }
+
+MigrationManager::~MigrationManager() { fed_.set_transfer_queue_probe(nullptr); }
 
 void MigrationManager::start() {
   if (started_) throw std::logic_error("MigrationManager::start: already started");
@@ -138,15 +147,15 @@ void MigrationManager::begin_transfer(util::JobId id) {
   fed_.domain(flight.from).controller().executor().forget_job(id);
   (void)fed_.detach_job(id);  // state travels via the checkpoint
 
-  const util::Seconds wire =
-      model_.transfer_time(flight.from, flight.to, flight.ckpt.image_size);
   stats_.bytes_moved_mb += flight.ckpt.image_size.get();
-  stats_.transfer_seconds += wire.get();
-  if (wire.get() <= 0.0) {
+  if (flight.ckpt.image_size.get() <= 0.0) {
+    // Never-started jobs ship no image: re-routed synchronously, exactly
+    // as the closed-form model priced them (transfer time zero).
     complete_transfer(id);
   } else {
-    fed_.engine().schedule_in(wire, sim::EventPriority::kMigration,
-                              [this, id] { complete_transfer(id); });
+    const LinkScheduler::Grant grant = scheduler_.submit(
+        flight.from, flight.to, flight.ckpt.image_size, [this, id] { complete_transfer(id); });
+    stats_.transfer_seconds += grant.transfer_s;
   }
 }
 

@@ -7,7 +7,7 @@
 //   running ──suspend (source executor, suspend latency)──▶ suspending
 //   suspending ──image parked on disk──▶ checkpointed (detached from the
 //       source World; the source controller no longer sees the job)
-//   checkpointed ──TransferModel wire time──▶ transferring
+//   checkpointed ──LinkScheduler grant (FIFO bandwidth pool)──▶ transferring
 //   transferring ──attach: restored kSuspended in the destination──▶
 //       resuming (the destination controller resumes it in its next
 //       cycle through the ordinary executor path) ──▶ running
@@ -24,6 +24,7 @@
 #include <memory>
 
 #include "migration/checkpoint.hpp"
+#include "migration/link_scheduler.hpp"
 #include "migration/policy.hpp"
 #include "migration/transfer_model.hpp"
 
@@ -34,6 +35,9 @@ struct MigrationOptions {
   util::Seconds check_interval{60.0};
   /// Max moves initiated per evaluation (bounds churn per tick).
   int max_moves_per_tick{8};
+  /// Link contention granularity (see LinkScheduler): per ordered domain
+  /// pair (p2p) or one shared uplink pool per source domain.
+  LinkMode link_mode{LinkMode::kP2p};
 };
 
 /// Cumulative counters, sampled into the mig_* metric series.
@@ -42,7 +46,12 @@ struct MigrationStats {
   long completed{0};   // moves attached at their destination
   long in_flight{0};   // started − completed
   double bytes_moved_mb{0.0};     // checkpoint images shipped
-  double transfer_seconds{0.0};   // cumulative modeled wire time
+  double transfer_seconds{0.0};   // cumulative modeled uncontended wire time
+  /// Cumulative seconds transfers spent waiting for a contended link
+  /// pool before reaching the wire (0 when links are never contended).
+  /// The LinkScheduler owns this count; stats() copies it in so the two
+  /// can never diverge.
+  double queue_wait_seconds{0.0};
   /// Progress lost across handoffs: work done at suspend time minus work
   /// restored at the destination. Exact checkpointing keeps this at zero
   /// — the only SLA cost is the modeled suspend + transfer dead time.
@@ -60,6 +69,7 @@ class MigrationManager {
  public:
   MigrationManager(federation::Federation& fed, TransferModel model,
                    std::unique_ptr<MigrationPolicy> policy, MigrationOptions options = {});
+  ~MigrationManager();
 
   MigrationManager(const MigrationManager&) = delete;
   MigrationManager& operator=(const MigrationManager&) = delete;
@@ -71,9 +81,14 @@ class MigrationManager {
   /// One policy evaluation right now (tests / manual stepping).
   void tick();
 
-  [[nodiscard]] const MigrationStats& stats() const { return stats_; }
+  [[nodiscard]] MigrationStats stats() const {
+    MigrationStats out = stats_;
+    out.queue_wait_seconds = scheduler_.total_queue_wait_s();
+    return out;
+  }
   [[nodiscard]] const MigrationPolicy& policy() const { return *policy_; }
-  [[nodiscard]] const TransferModel& transfer_model() const { return model_; }
+  [[nodiscard]] const TransferModel& transfer_model() const { return scheduler_.model(); }
+  [[nodiscard]] const LinkScheduler& link_scheduler() const { return scheduler_; }
   [[nodiscard]] bool job_in_flight(util::JobId id) const { return flights_.count(id) > 0; }
 
  private:
@@ -91,7 +106,7 @@ class MigrationManager {
   void complete_transfer(util::JobId id);
 
   federation::Federation& fed_;
-  TransferModel model_;
+  LinkScheduler scheduler_;
   std::unique_ptr<MigrationPolicy> policy_;
   MigrationOptions options_;
   MigrationStats stats_;

@@ -1,9 +1,16 @@
 #include "migration/policy.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 
 namespace heteroplace::migration {
+
+SelectionMode selection_from_string(const std::string& name) {
+  if (name == "fifo") return SelectionMode::kFifo;
+  if (name == "cost") return SelectionMode::kCost;
+  throw std::invalid_argument("unknown selection mode: " + name + " (expected fifo|cost)");
+}
 
 namespace {
 
@@ -14,11 +21,66 @@ bool movable_phase(workload::JobPhase p) {
          p == workload::JobPhase::kSuspended;
 }
 
+/// Ortigoza-style migration cost ranking. The wire occupancy of a move is
+/// proportional to the VM image (≈ the memory reservation; pending jobs
+/// have no image and move for free), while the benefit of moving early
+/// scales with the work left to run at the destination — so the primary
+/// key is image MB per remaining second of full-speed work, ascending.
+/// Ties break toward the job with the least SLA slack (it can least
+/// afford to wait for a later tick), then toward the lower id so the
+/// ranking is a strict total order and proposals replay exactly.
+struct CostKey {
+  double cost_per_benefit{0.0};
+  double slack_s{0.0};
+  util::JobId id{};
+
+  bool operator<(const CostKey& o) const {
+    if (cost_per_benefit != o.cost_per_benefit) return cost_per_benefit < o.cost_per_benefit;
+    if (slack_s != o.slack_s) return slack_s < o.slack_s;
+    return id < o.id;
+  }
+};
+
+CostKey cost_key(const workload::Job& job, util::Seconds now) {
+  CostKey key;
+  key.id = job.id();
+  const double remaining_s =
+      job.spec().max_speed.get() > 0.0 ? job.remaining().get() / job.spec().max_speed.get() : 0.0;
+  const double image_mb =
+      job.phase() == workload::JobPhase::kPending ? 0.0 : job.spec().memory.get();
+  key.cost_per_benefit = image_mb / std::max(remaining_s, 1e-9);
+  key.slack_s = job.goal_time().get() - now.get() - remaining_s;
+  return key;
+}
+
+/// A source domain's movable jobs in proposal order: active-job list
+/// order for fifo, cost-ranked for cost.
+std::vector<const workload::Job*> movable_jobs(const federation::Federation& fed,
+                                               std::size_t domain, SelectionMode selection,
+                                               util::Seconds now) {
+  std::vector<const workload::Job*> jobs;
+  for (const workload::Job* job : fed.domain(domain).world().active_jobs()) {
+    if (movable_phase(job->phase())) jobs.push_back(job);
+  }
+  if (selection == SelectionMode::kCost) {
+    // Decorate-sort-undecorate: one key per job, not one per comparison.
+    std::vector<std::pair<CostKey, const workload::Job*>> ranked;
+    ranked.reserve(jobs.size());
+    for (const workload::Job* job : jobs) ranked.emplace_back(cost_key(*job, now), job);
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (std::size_t i = 0; i < ranked.size(); ++i) jobs[i] = ranked[i].second;
+  }
+  return jobs;
+}
+
 /// Destination with the most absolute headroom (effective − projected
-/// load) among healthy domains, excluding `avoid`. Ties break toward the
-/// lowest index. Returns status.size() when every candidate is drained
-/// or already at/over capacity would still be accepted — headroom may go
-/// negative; only weight/effective gate eligibility.
+/// load) among healthy domains, excluding `avoid`; ties break toward the
+/// lowest index. Headroom may go negative — a domain already at or over
+/// capacity is still accepted, since only weight/effective gate
+/// eligibility (evacuation beats staying in a drained domain). Returns
+/// status.size() when every candidate is drained or has no effective
+/// capacity.
 std::size_t best_destination(const std::vector<federation::DomainStatus>& status,
                              const std::vector<double>& projected, std::size_t avoid) {
   std::size_t best = status.size();
@@ -39,7 +101,7 @@ std::size_t best_destination(const std::vector<federation::DomainStatus>& status
 
 std::vector<MigrationRequest> DrainPolicy::propose(
     const federation::Federation& fed, const std::vector<federation::DomainStatus>& status,
-    util::Seconds /*now*/, int budget) {
+    util::Seconds now, int budget) {
   std::vector<MigrationRequest> out;
   // Projected offered loads, updated per assignment so one tick's
   // evacuees spread across destinations instead of piling on one.
@@ -48,11 +110,16 @@ std::vector<MigrationRequest> DrainPolicy::propose(
 
   for (const auto& d : status) {
     if (d.weight > 0.0) continue;  // only fully drained domains evacuate
-    for (const workload::Job* job : fed.domain(d.index).world().active_jobs()) {
+    for (const workload::Job* job : movable_jobs(fed, d.index, config_.selection, now)) {
       if (static_cast<int>(out.size()) >= budget) return out;
-      if (!movable_phase(job->phase())) continue;
       const std::size_t to = best_destination(status, projected, d.index);
-      if (to >= status.size()) return out;  // nowhere healthy to go
+      // Nowhere healthy for this domain's jobs: give up on this domain
+      // only, not the whole pass. Today destination eligibility is
+      // source-independent (drained sources are never candidates), so
+      // this is equivalent to returning — the break keeps later drained
+      // domains from being starved if destination choice ever becomes
+      // job- or source-dependent (e.g. memory-fit or per-link gating).
+      if (to >= status.size()) break;
       out.push_back({job->id(), d.index, to});
       projected[to] += job->spec().max_speed.get();
       projected[d.index] -= job->spec().max_speed.get();
@@ -63,14 +130,16 @@ std::vector<MigrationRequest> DrainPolicy::propose(
 
 std::vector<MigrationRequest> RebalancePolicy::propose(
     const federation::Federation& fed, const std::vector<federation::DomainStatus>& status,
-    util::Seconds /*now*/, int budget) {
+    util::Seconds now, int budget) {
   std::vector<MigrationRequest> out;
   std::vector<double> projected(status.size(), 0.0);
   for (const auto& d : status) projected[d.index] = d.offered_load.get();
 
-  // Per-domain cursor over the (stable) active-job list so repeated
-  // source picks walk forward instead of re-proposing the same job.
+  // Per-domain cursor over the (stable) per-source candidate ranking so
+  // repeated source picks walk forward instead of re-proposing the same
+  // job. Fifo keeps the raw active-job order; cost walks the ranking.
   std::vector<std::vector<const workload::Job*>> jobs(status.size());
+  std::vector<bool> jobs_filled(status.size(), false);
   std::vector<std::size_t> cursor(status.size(), 0);
 
   auto rel_load = [&](std::size_t i) {
@@ -105,16 +174,12 @@ std::vector<MigrationRequest> RebalancePolicy::propose(
     }
     if (dst >= status.size()) break;
 
-    if (jobs[src].empty()) jobs[src] = fed.domain(src).world().active_jobs();
-    const workload::Job* pick = nullptr;
-    while (cursor[src] < jobs[src].size()) {
-      const workload::Job* candidate = jobs[src][cursor[src]++];
-      if (movable_phase(candidate->phase())) {
-        pick = candidate;
-        break;
-      }
+    if (!jobs_filled[src]) {
+      jobs[src] = movable_jobs(fed, src, config_.selection, now);
+      jobs_filled[src] = true;
     }
-    if (pick == nullptr) break;  // source exhausted; stop rather than thrash
+    if (cursor[src] >= jobs[src].size()) break;  // source exhausted; stop rather than thrash
+    const workload::Job* pick = jobs[src][cursor[src]++];
 
     out.push_back({pick->id(), src, dst});
     projected[src] -= pick->spec().max_speed.get();

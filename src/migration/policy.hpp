@@ -29,6 +29,20 @@ struct MigrationRequest {
   std::size_t to{0};
 };
 
+/// How a policy orders movable jobs when it cannot move them all.
+enum class SelectionMode {
+  /// Active-job list order — the pre-cost-aware behavior, preserved
+  /// bit-identical for equivalence pins.
+  kFifo,
+  /// Ortigoza-style cost ranking: cheapest image per remaining second of
+  /// work moves first, ties broken toward the least SLA slack, then the
+  /// lower job id. Pending jobs (no image) are free and always lead.
+  kCost,
+};
+
+/// "fifo" | "cost"; throws std::invalid_argument otherwise.
+[[nodiscard]] SelectionMode selection_from_string(const std::string& name);
+
 /// Tuning knobs shared by the built-in policies.
 struct PolicyConfig {
   /// Rebalance source threshold: offered_load / effective above this
@@ -37,6 +51,8 @@ struct PolicyConfig {
   /// Rebalance destination threshold: only domains below this relative
   /// load receive moves.
   double low_watermark{0.8};
+  /// Movable-job ordering within a source domain.
+  SelectionMode selection{SelectionMode::kFifo};
 };
 
 class MigrationPolicy {

@@ -1,32 +1,72 @@
 #include "migration/transfer_model.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace heteroplace::migration {
 
-TransferModel::TransferModel(double default_bandwidth_mbps, double default_latency_s)
-    : default_bandwidth_mbps_(default_bandwidth_mbps), default_latency_s_(default_latency_s) {
-  if (default_bandwidth_mbps <= 0.0) {
-    throw std::invalid_argument("TransferModel: bandwidth must be positive");
-  }
-  if (default_latency_s < 0.0) {
-    throw std::invalid_argument("TransferModel: latency must be nonnegative");
+namespace {
+
+void check_bandwidth(double bandwidth_mb_per_s, const char* where) {
+  if (bandwidth_mb_per_s <= 0.0) {
+    throw std::invalid_argument(std::string(where) + ": bandwidth must be positive, got " +
+                                std::to_string(bandwidth_mb_per_s));
   }
 }
 
-void TransferModel::set_link(std::size_t from, std::size_t to, double bandwidth_mbps,
+void check_latency(double latency_s, const char* where) {
+  if (latency_s < 0.0) {
+    throw std::invalid_argument(std::string(where) + ": latency must be nonnegative, got " +
+                                std::to_string(latency_s));
+  }
+}
+
+}  // namespace
+
+TransferModel::TransferModel(double default_bandwidth_mb_per_s, double default_latency_s)
+    : default_bandwidth_mb_per_s_(default_bandwidth_mb_per_s),
+      default_latency_s_(default_latency_s) {
+  check_bandwidth(default_bandwidth_mb_per_s, "TransferModel");
+  check_latency(default_latency_s, "TransferModel");
+}
+
+void TransferModel::set_link(std::size_t from, std::size_t to, double bandwidth_mb_per_s,
                              double latency_s) {
   if (from == to) throw std::invalid_argument("TransferModel::set_link: from == to");
-  if (bandwidth_mbps == 0.0) {
-    throw std::invalid_argument("TransferModel::set_link: zero bandwidth");
-  }
-  links_[{from, to}] = Link{bandwidth_mbps, latency_s};
+  check_bandwidth(bandwidth_mb_per_s, "TransferModel::set_link");
+  check_latency(latency_s, "TransferModel::set_link");
+  links_[{from, to}] = Link{bandwidth_mb_per_s, latency_s};
 }
 
-double TransferModel::bandwidth_mbps(std::size_t from, std::size_t to) const {
+void TransferModel::set_link_bandwidth(std::size_t from, std::size_t to,
+                                       double bandwidth_mb_per_s) {
+  if (from == to) throw std::invalid_argument("TransferModel::set_link_bandwidth: from == to");
+  check_bandwidth(bandwidth_mb_per_s, "TransferModel::set_link_bandwidth");
+  links_[{from, to}].bandwidth_mb_per_s = bandwidth_mb_per_s;
+}
+
+void TransferModel::set_link_latency(std::size_t from, std::size_t to, double latency_s) {
+  if (from == to) throw std::invalid_argument("TransferModel::set_link_latency: from == to");
+  check_latency(latency_s, "TransferModel::set_link_latency");
+  links_[{from, to}].latency_s = latency_s;
+}
+
+void TransferModel::set_uplink_bandwidth(std::size_t domain, double bandwidth_mb_per_s) {
+  check_bandwidth(bandwidth_mb_per_s, "TransferModel::set_uplink_bandwidth");
+  uplinks_[domain] = bandwidth_mb_per_s;
+}
+
+double TransferModel::uplink_bandwidth_mb_per_s(std::size_t domain) const {
+  auto it = uplinks_.find(domain);
+  return it != uplinks_.end() ? it->second : default_bandwidth_mb_per_s_;
+}
+
+double TransferModel::bandwidth_mb_per_s(std::size_t from, std::size_t to) const {
   auto it = links_.find({from, to});
-  if (it != links_.end() && it->second.bandwidth_mbps > 0.0) return it->second.bandwidth_mbps;
-  return default_bandwidth_mbps_;
+  if (it != links_.end() && it->second.bandwidth_mb_per_s > 0.0) {
+    return it->second.bandwidth_mb_per_s;
+  }
+  return default_bandwidth_mb_per_s_;
 }
 
 double TransferModel::latency_s(std::size_t from, std::size_t to) const {
@@ -38,7 +78,7 @@ double TransferModel::latency_s(std::size_t from, std::size_t to) const {
 util::Seconds TransferModel::transfer_time(std::size_t from, std::size_t to,
                                            util::MemMb image_size) const {
   if (from == to || image_size.get() <= 0.0) return util::Seconds{0.0};
-  return util::Seconds{latency_s(from, to) + image_size.get() / bandwidth_mbps(from, to)};
+  return util::Seconds{latency_s(from, to) + image_size.get() / bandwidth_mb_per_s(from, to)};
 }
 
 }  // namespace heteroplace::migration

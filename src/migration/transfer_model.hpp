@@ -1,14 +1,18 @@
 #pragma once
 
-// Deterministic cost model for cross-domain job handoff.
+// Link parameters for cross-domain job handoff.
 //
 // Moving a checkpointed job between controller domains costs (a) the
 // suspend/checkpoint latency charged by the source executor and (b) wire
-// time from this model: a per-link propagation latency plus the VM image
-// size over the link bandwidth. Links are configured as a sparse matrix
-// over domain-index pairs; unset pairs fall back to the model defaults.
-// The dynamic-VM-placement literature treats this term as first-class in
-// the placement objective — policies here read it the same way.
+// time derived from this model: a per-link propagation latency plus the
+// VM image size over the link bandwidth. Links are configured as a sparse
+// matrix over domain-index pairs; unset pairs fall back to the model
+// defaults. Bandwidth is in MB/s throughout (images are util::MemMb and
+// divide directly by it).
+//
+// The model itself is stateless — it only answers "what does this link
+// look like". Contention between concurrent transfers lives in
+// migration::LinkScheduler, which consumes these parameters.
 
 #include <cstddef>
 #include <map>
@@ -21,30 +25,47 @@ namespace heteroplace::migration {
 class TransferModel {
  public:
   TransferModel() = default;
-  TransferModel(double default_bandwidth_mbps, double default_latency_s);
+  TransferModel(double default_bandwidth_mb_per_s, double default_latency_s);
 
-  /// Override one directed link's characteristics (from ≠ to). Negative
-  /// values keep the model default for that component.
-  void set_link(std::size_t from, std::size_t to, double bandwidth_mbps, double latency_s);
+  /// Override one directed link's characteristics (from ≠ to). Both
+  /// components are validated at set time: bandwidth must be positive,
+  /// latency nonnegative — a negative value is a configuration error,
+  /// never an implicit "keep the default". Use the single-component
+  /// setters to override only one side of a link.
+  void set_link(std::size_t from, std::size_t to, double bandwidth_mb_per_s, double latency_s);
+  void set_link_bandwidth(std::size_t from, std::size_t to, double bandwidth_mb_per_s);
+  void set_link_latency(std::size_t from, std::size_t to, double latency_s);
 
-  [[nodiscard]] double bandwidth_mbps(std::size_t from, std::size_t to) const;
+  /// Shared per-domain uplink capacity (MB/s), used by LinkScheduler in
+  /// uplink mode where every transfer leaving `domain` contends for one
+  /// pool. Defaults to the model default bandwidth when unset.
+  void set_uplink_bandwidth(std::size_t domain, double bandwidth_mb_per_s);
+  [[nodiscard]] double uplink_bandwidth_mb_per_s(std::size_t domain) const;
+
+  [[nodiscard]] double bandwidth_mb_per_s(std::size_t from, std::size_t to) const;
   [[nodiscard]] double latency_s(std::size_t from, std::size_t to) const;
 
-  /// Wall-clock seconds to move an `image_size` checkpoint image from
-  /// domain `from` to domain `to`. Zero for an intra-domain "move" and
-  /// for an empty image (never-started jobs have no VM state to ship).
+  /// Closed-form wall-clock seconds to move an `image_size` checkpoint
+  /// image from domain `from` to domain `to` over an otherwise idle
+  /// link. Zero for an intra-domain "move" and for an empty image
+  /// (never-started jobs have no VM state to ship). This is the
+  /// uncontended reference the LinkScheduler is equivalence-pinned
+  /// against in tests/link_scheduler_test.cpp.
   [[nodiscard]] util::Seconds transfer_time(std::size_t from, std::size_t to,
                                             util::MemMb image_size) const;
 
  private:
+  // Unset components use a negative sentinel internally; the setters
+  // reject negative user values, so a sentinel can only mean "never set".
   struct Link {
-    double bandwidth_mbps{-1.0};
+    double bandwidth_mb_per_s{-1.0};
     double latency_s{-1.0};
   };
 
-  double default_bandwidth_mbps_{125.0};  // ~1 Gbit/s in MB/s
-  double default_latency_s_{2.0};         // checkpoint registration + RTTs
+  double default_bandwidth_mb_per_s_{125.0};  // ~1 Gbit/s in MB/s
+  double default_latency_s_{2.0};             // checkpoint registration + RTTs
   std::map<std::pair<std::size_t, std::size_t>, Link> links_;
+  std::map<std::size_t, double> uplinks_;
 };
 
 }  // namespace heteroplace::migration

@@ -121,9 +121,25 @@ FederatedScenario federated_scenario_from_config(const util::Config& cfg) {
   }
   m.high_watermark = k.num("migration.high_watermark", m.high_watermark);
   m.low_watermark = k.num("migration.low_watermark", m.low_watermark);
-  m.default_bandwidth_mbps = k.num("migration.default_bandwidth_mbps", m.default_bandwidth_mbps);
-  if (m.default_bandwidth_mbps <= 0.0) {
-    throw util::ConfigError("migration.default_bandwidth_mbps: must be positive");
+  m.link_mode = k.str("migration.link_mode", m.link_mode);
+  m.selection = k.str("migration.selection", m.selection);
+  validate_migration_modes(m);
+  // Bandwidths have always been MB/s (images divide directly by them);
+  // the preferred key now says so. The old *_mbps spelling is a
+  // deprecated alias — same meaning, same units. Diagnostics name the
+  // key the user actually wrote.
+  if (k.has("migration.default_bandwidth_mb_per_s") &&
+      k.has("migration.default_bandwidth_mbps")) {
+    throw util::ConfigError(
+        "migration.default_bandwidth_mb_per_s and the deprecated "
+        "migration.default_bandwidth_mbps are both set; keep one");
+  }
+  const std::string bw_key = k.has("migration.default_bandwidth_mbps")
+                                 ? "migration.default_bandwidth_mbps"
+                                 : "migration.default_bandwidth_mb_per_s";
+  m.default_bandwidth_mb_per_s = k.num(bw_key, m.default_bandwidth_mb_per_s);
+  if (m.default_bandwidth_mb_per_s <= 0.0) {
+    throw util::ConfigError(bw_key + ": must be positive");
   }
   m.default_latency_s = k.num("migration.default_latency_s", m.default_latency_s);
   if (m.default_latency_s < 0.0) {
@@ -144,6 +160,11 @@ FederatedScenario federated_scenario_from_config(const util::Config& cfg) {
       if (has_bw && bw <= 0.0) {
         throw util::ConfigError("bandwidth." + suffix + ": must be positive");
       }
+      if (has_bw && m.link_mode == "uplink") {
+        throw util::ConfigError("bandwidth." + suffix +
+                                ": has no effect with migration.link_mode = uplink; "
+                                "use uplink_bandwidth.<i> (per-pair latency still applies)");
+      }
       if (has_lat && lat < 0.0) {
         throw util::ConfigError("link_latency." + suffix + ": must be nonnegative");
       }
@@ -151,10 +172,24 @@ FederatedScenario federated_scenario_from_config(const util::Config& cfg) {
       LinkSpec link;
       link.from = static_cast<std::size_t>(i);
       link.to = static_cast<std::size_t>(j);
-      link.bandwidth_mbps = has_bw ? bw : -1.0;
+      link.bandwidth_mb_per_s = has_bw ? bw : -1.0;
       link.latency_s = has_lat ? lat : -1.0;
       m.links.push_back(link);
     }
+  }
+  // Shared-uplink pool capacities: uplink_bandwidth.<i> (MB/s), used in
+  // link_mode = uplink. Same fail-loud presence test as the pair links.
+  for (long long i = 0; i < n_domains; ++i) {
+    const std::string key = "uplink_bandwidth." + std::to_string(i);
+    const bool has_uplink = k.has(key);
+    const double uplink = k.num(key, -1.0);
+    if (!has_uplink) continue;
+    if (uplink <= 0.0) throw util::ConfigError(key + ": must be positive");
+    if (m.link_mode != "uplink") {
+      throw util::ConfigError(key + ": has no effect with migration.link_mode = " +
+                              m.link_mode + "; set migration.link_mode = uplink");
+    }
+    m.uplinks.push_back({static_cast<std::size_t>(i), uplink});
   }
 
   k.reject_unknown();

@@ -40,9 +40,16 @@
 //   migration.policy           — drain | rebalance | drain+rebalance
 //   migration.check_interval_s, migration.max_moves_per_tick
 //   migration.high_watermark, migration.low_watermark
-//   migration.default_bandwidth_mbps, migration.default_latency_s
-//   bandwidth.<i>.<j>          — directed link bandwidth override (MB/s)
+//   migration.link_mode        — p2p | uplink (link contention pools)
+//   migration.selection        — fifo | cost (movable-job ordering)
+//   migration.default_bandwidth_mb_per_s, migration.default_latency_s
+//     (migration.default_bandwidth_mbps is a deprecated alias — the value
+//      was always MB/s; old configs still load)
+//   bandwidth.<i>.<j>          — directed link bandwidth override (MB/s;
+//                                 p2p mode only — rejected under uplink)
 //   link_latency.<i>.<j>       — directed link latency override (s)
+//   uplink_bandwidth.<i>       — shared uplink pool capacity (MB/s;
+//                                 uplink mode only — rejected under p2p)
 //
 // Unknown keys raise util::ConfigError so typos fail loudly.
 

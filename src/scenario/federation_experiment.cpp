@@ -8,11 +8,25 @@
 #include "scenario/metrics.hpp"
 #include "scenario/policy_factory.hpp"
 #include "sim/engine.hpp"
+#include "util/config.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "utility/utility_fn.hpp"
 
 namespace heteroplace::scenario {
+
+void validate_migration_modes(const MigrationSpec& spec) {
+  try {
+    (void)migration::link_mode_from_string(spec.link_mode);
+  } catch (const std::invalid_argument& e) {
+    throw util::ConfigError(std::string("migration.link_mode: ") + e.what());
+  }
+  try {
+    (void)migration::selection_from_string(spec.selection);
+  } catch (const std::invalid_argument& e) {
+    throw util::ConfigError(std::string("migration.selection: ") + e.what());
+  }
+}
 
 FederatedScenario federate(const Scenario& single, int n_domains, const std::string& router) {
   if (n_domains < 1) throw std::invalid_argument("federate: need at least one domain");
@@ -127,20 +141,53 @@ FederatedResult run_federated_experiment(const FederatedScenario& fs,
   // --- migration subsystem (optional) -----------------------------------------
   std::optional<migration::MigrationManager> migration_mgr;
   if (fs.migration.enabled) {
-    migration::TransferModel transfer{fs.migration.default_bandwidth_mbps,
+    validate_migration_modes(fs.migration);
+    const bool uplink_mode =
+        migration::link_mode_from_string(fs.migration.link_mode) == migration::LinkMode::kUplink;
+    migration::TransferModel transfer{fs.migration.default_bandwidth_mb_per_s,
                                       fs.migration.default_latency_s};
     for (const LinkSpec& link : fs.migration.links) {
       if (link.from >= fed.domain_count() || link.to >= fed.domain_count()) {
         throw std::invalid_argument("run_federated_experiment: link domain out of range");
       }
-      transfer.set_link(link.from, link.to, link.bandwidth_mbps, link.latency_s);
+      // -1.0 is the documented "keep the model default" sentinel; any
+      // other out-of-range value is a mistake and must not pass silently
+      // — and neither may a setting the selected link mode never reads.
+      if (link.bandwidth_mb_per_s > 0.0) {
+        if (uplink_mode) {
+          throw std::invalid_argument(
+              "run_federated_experiment: per-pair link bandwidth has no effect in uplink "
+              "mode; use MigrationSpec::uplinks (per-pair latency still applies)");
+        }
+        transfer.set_link_bandwidth(link.from, link.to, link.bandwidth_mb_per_s);
+      } else if (link.bandwidth_mb_per_s != -1.0) {
+        throw std::invalid_argument("run_federated_experiment: link bandwidth must be positive");
+      }
+      if (link.latency_s >= 0.0) {
+        transfer.set_link_latency(link.from, link.to, link.latency_s);
+      } else if (link.latency_s != -1.0) {
+        throw std::invalid_argument("run_federated_experiment: link latency must be nonnegative");
+      }
+    }
+    if (!uplink_mode && !fs.migration.uplinks.empty()) {
+      throw std::invalid_argument(
+          "run_federated_experiment: uplink overrides have no effect with link_mode = p2p; "
+          "set migration.link_mode = uplink");
+    }
+    for (const UplinkSpec& uplink : fs.migration.uplinks) {
+      if (uplink.domain >= fed.domain_count()) {
+        throw std::invalid_argument("run_federated_experiment: uplink domain out of range");
+      }
+      transfer.set_uplink_bandwidth(uplink.domain, uplink.bandwidth_mb_per_s);
     }
     migration::PolicyConfig pol_cfg;
     pol_cfg.high_watermark = fs.migration.high_watermark;
     pol_cfg.low_watermark = fs.migration.low_watermark;
+    pol_cfg.selection = migration::selection_from_string(fs.migration.selection);
     migration::MigrationOptions mig_opts;
     mig_opts.check_interval = util::Seconds{fs.migration.check_interval_s};
     mig_opts.max_moves_per_tick = fs.migration.max_moves_per_tick;
+    mig_opts.link_mode = migration::link_mode_from_string(fs.migration.link_mode);
     migration_mgr.emplace(fed, std::move(transfer),
                           migration::make_migration_policy(fs.migration.policy, pol_cfg),
                           mig_opts);
@@ -182,6 +229,10 @@ FederatedResult run_federated_experiment(const FederatedScenario& fs,
       out.series.add("mig_bytes_mb", t, ms.bytes_moved_mb);
       out.series.add("mig_transfer_s", t, ms.transfer_seconds);
       out.series.add("mig_work_lost_mhz_s", t, ms.work_lost_mhz_s);
+      const migration::LinkScheduler& links = migration_mgr->link_scheduler();
+      out.series.add("mig_queue_depth", t, static_cast<double>(links.queued_transfers()));
+      out.series.add("mig_queue_wait_s", t, ms.queue_wait_seconds);
+      out.series.add("mig_active_transfers", t, static_cast<double>(links.active_transfers()));
     }
   };
 

@@ -36,13 +36,21 @@ struct WeightEvent {
   double weight{1.0};
 };
 
-/// One directed inter-domain link override for the TransferModel.
-/// Negative components keep the model default.
+/// One directed inter-domain link override for the TransferModel. A
+/// component left at exactly -1.0 (the "unset" default) keeps the model
+/// default; any other negative value is rejected loudly by the runner.
+/// Bandwidths are MB/s.
 struct LinkSpec {
   std::size_t from{0};
   std::size_t to{0};
-  double bandwidth_mbps{-1.0};
+  double bandwidth_mb_per_s{-1.0};
   double latency_s{-1.0};
+};
+
+/// Shared-uplink capacity override for one domain (uplink link mode).
+struct UplinkSpec {
+  std::size_t domain{0};
+  double bandwidth_mb_per_s{0.0};
 };
 
 /// Live-migration subsystem configuration. Disabled by default: a
@@ -56,9 +64,16 @@ struct MigrationSpec {
   int max_moves_per_tick{8};
   double high_watermark{1.1};
   double low_watermark{0.8};
-  double default_bandwidth_mbps{125.0};
+  /// Link contention granularity: "p2p" (per ordered domain pair) or
+  /// "uplink" (one shared pool per source domain).
+  std::string link_mode{"p2p"};
+  /// Movable-job ordering: "fifo" (list order, the pre-cost-aware
+  /// behavior) or "cost" (image/remaining-work/SLA-slack ranking).
+  std::string selection{"fifo"};
+  double default_bandwidth_mb_per_s{125.0};
   double default_latency_s{2.0};
   std::vector<LinkSpec> links;
+  std::vector<UplinkSpec> uplinks;
 };
 
 struct FederatedScenario {
@@ -75,6 +90,13 @@ struct FederatedScenario {
   double sample_interval_s{600.0};
   std::uint64_t seed{42};
 };
+
+/// Throw util::ConfigError naming the offending key if the spec's
+/// link_mode / selection strings are invalid. The config loader and the
+/// federated runner both call this; CLI front-ends that fill the strings
+/// from flags call it early for a clean usage-style failure instead of
+/// an uncaught exception mid-run.
+void validate_migration_modes(const MigrationSpec& spec);
 
 /// Shard a single-cluster scenario into `n_domains` equal domains (nodes
 /// split as evenly as possible, remainder to the earliest domains); apps,
