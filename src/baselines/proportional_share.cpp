@@ -11,7 +11,7 @@ core::PolicyOutput ProportionalSharePolicy::decide(const core::World& world, uti
   core::PolicyOutput out;
   core::PlacementProblem problem = core::build_problem_skeleton(world);
 
-  const double capacity = world.cluster().total_capacity().cpu.get();
+  const double capacity = world.cluster().placeable_capacity().cpu.get();
   const auto jobs = world.active_jobs();
 
   // --- weights ---------------------------------------------------------------

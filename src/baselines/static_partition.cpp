@@ -22,6 +22,7 @@ core::PolicyOutput StaticPartitionPolicy::decide(const core::World& world, util:
   const auto n_apps = world.apps().size();
   for (int ni = 0; ni < n_tx; ++ni) {
     const auto& node = nodes[ni];
+    if (!node.placeable()) continue;  // parked by the power manager
     double mem_free = node.capacity().mem.get();
     std::size_t hosted = 0;
     for (const auto& app : world.apps()) {
@@ -30,7 +31,7 @@ core::PolicyOutput StaticPartitionPolicy::decide(const core::World& world, util:
       ++hosted;
     }
     if (hosted == 0) continue;
-    const double share = node.capacity().cpu.get() / static_cast<double>(hosted);
+    const double share = node.placeable_cpu().get() / static_cast<double>(hosted);
     double mem_check = node.capacity().mem.get();
     for (const auto& app : world.apps()) {
       if (mem_check < app.spec().instance_memory.get()) continue;
@@ -48,7 +49,8 @@ core::PolicyOutput StaticPartitionPolicy::decide(const core::World& world, util:
   };
   std::vector<NodeScratch> job_nodes;
   for (int ni = n_tx; ni < n_nodes; ++ni) {
-    job_nodes.push_back({nodes[ni].id(), nodes[ni].capacity().cpu.get(),
+    if (!nodes[ni].placeable()) continue;  // parked by the power manager
+    job_nodes.push_back({nodes[ni].id(), nodes[ni].placeable_cpu().get(),
                          nodes[ni].capacity().mem.get()});
   }
   auto scratch_of = [&](util::NodeId id) -> NodeScratch* {

@@ -33,6 +33,15 @@ Resources Cluster::total_capacity() const {
   return total;
 }
 
+Resources Cluster::placeable_capacity() const {
+  Resources total{};
+  for (const auto& n : nodes_) {
+    if (!n.placeable()) continue;
+    total += Resources{n.placeable_cpu(), n.capacity().mem};
+  }
+  return total;
+}
+
 Resources Cluster::total_used() const {
   Resources total{};
   for (const auto& n : nodes_) total += n.used();
@@ -143,6 +152,9 @@ std::vector<std::string> Cluster::validate() const {
   auto complain = [&](const std::string& msg) { issues.push_back(msg); };
 
   for (const auto& n : nodes_) {
+    if (!n.placeable() && n.resident_count() > 0) {
+      complain("non-active node still hosts VMs");
+    }
     Resources sum{};
     for (const auto& [vm_id, r] : n.residents()) {
       sum += r;

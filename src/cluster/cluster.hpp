@@ -36,6 +36,11 @@ class Cluster {
   [[nodiscard]] Resources total_capacity() const;
   [[nodiscard]] Resources total_used() const;
 
+  /// Capacity placement may use right now: active nodes only, CPU scaled
+  /// by each node's P-state. With every node active at full speed this is
+  /// bit-identical to total_capacity() (the power-disabled invariant).
+  [[nodiscard]] Resources placeable_capacity() const;
+
   // --- VM lifecycle --------------------------------------------------------
 
   /// Define a job-container VM (state kPending, not placed).

@@ -18,6 +18,9 @@ namespace heteroplace::core {
 
 struct SolverNode {
   util::NodeId id{};
+  /// Effective CPU the solver may plan with: the physical capacity scaled
+  /// by the node's current P-state. Nodes parked by the power subsystem
+  /// do not appear in the problem at all.
   util::CpuMhz cpu_capacity{0.0};
   util::MemMb mem_capacity{0.0};
 };

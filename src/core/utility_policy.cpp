@@ -10,7 +10,12 @@ PlacementProblem build_problem_skeleton(const World& world) {
 
   problem.nodes.reserve(cl.node_count());
   for (const auto& n : cl.nodes()) {
-    problem.nodes.push_back({n.id(), n.capacity().cpu, n.capacity().mem});
+    // Parked and transitioning nodes are invisible to placement: zero
+    // capacity would still attract zero-share placements, so they are
+    // omitted outright. A waking node rejoins the problem only once its
+    // wake latency has elapsed (PowerManager flips it back to active).
+    if (!n.placeable()) continue;
+    problem.nodes.push_back({n.id(), n.placeable_cpu(), n.capacity().mem});
   }
 
   for (const workload::Job* job : world.active_jobs()) {
@@ -72,7 +77,10 @@ PolicyOutput UtilityDrivenPolicy::decide(const World& world, util::Seconds now) 
   for (const auto& c : tx_consumers) consumers.push_back(&c);
 
   // --- 2. equalize hypothetical utility ------------------------------------
-  const util::CpuMhz capacity = world.cluster().total_capacity().cpu;
+  // Parked capacity is not real capacity: the equalizer divides what the
+  // solver can actually place (bit-identical to total_capacity when the
+  // power subsystem is idle or disabled).
+  const util::CpuMhz capacity = world.cluster().placeable_capacity().cpu;
   const EqualizeResult eq = equalize(consumers, capacity, eq_options_, &eq_state_);
 
   out.diag.u_star = eq.u_star;

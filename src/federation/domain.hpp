@@ -47,10 +47,19 @@ class Domain {
   [[nodiscard]] double weight() const { return weight_; }
   void set_weight(double w) { weight_ = w; }
 
-  /// Raw cluster CPU capacity.
+  /// Raw cluster CPU capacity (parked nodes included).
   [[nodiscard]] util::CpuMhz total_cpu() const { return world_.cluster().total_capacity().cpu; }
-  /// Weight-scaled capacity — what routers treat as available.
-  [[nodiscard]] util::CpuMhz effective_cpu() const { return total_cpu() * weight_; }
+  /// CPU placement can actually use right now: active nodes only,
+  /// P-state-scaled. Bit-identical to total_cpu() while the power
+  /// subsystem is idle or disabled.
+  [[nodiscard]] util::CpuMhz placeable_cpu() const {
+    return world_.cluster().placeable_capacity().cpu;
+  }
+  /// Weight-scaled placeable capacity — what routers treat as available.
+  /// Parked capacity is excluded: a mostly-asleep domain must not look
+  /// like headroom to the router or the rebalance policy (its wake
+  /// latency is the consolidation policy's business, not theirs).
+  [[nodiscard]] util::CpuMhz effective_cpu() const { return placeable_cpu() * weight_; }
 
   /// CPU the domain's current workload could consume: active jobs at
   /// their speed caps plus the transactional offered load λ(t)·d. The

@@ -122,6 +122,7 @@ void Federation::set_domain_weight(std::size_t i, double weight) {
   if (weight < 0.0 || weight > 1.0) {
     throw std::invalid_argument("Federation::set_domain_weight: weight must be in [0, 1]");
   }
+  const double old_weight = domain(i).weight();
   domain(i).set_weight(weight);
   // Re-split every app's demand under the new weights (one status
   // snapshot serves all apps). Local controllers pick the change up at
@@ -133,6 +134,7 @@ void Federation::set_domain_weight(std::size_t i, double weight) {
       d->world().app_mut(app.spec.id).set_trace(app.trace.scaled(app.shares[d->index()]));
     }
   }
+  if (weight_observer_) weight_observer_(i, old_weight, weight);
 }
 
 void Federation::start() {
@@ -180,6 +182,7 @@ std::vector<DomainStatus> Federation::status(util::Seconds now) const {
     s.offered_load = d->offered_cpu_load(now);
     s.active_jobs = d->active_job_count();
     if (transfer_queue_probe_) s.outbound_transfers_queued = transfer_queue_probe_(d->index());
+    if (power_probe_) s.power_draw_w = power_probe_(d->index());
     out.push_back(s);
   }
   return out;

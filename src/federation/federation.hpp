@@ -104,6 +104,20 @@ class Federation {
     transfer_queue_probe_ = std::move(probe);
   }
 
+  /// Probe for per-domain live power draw (W), registered by the
+  /// experiment runner when the power subsystem is enabled (each domain's
+  /// PowerManager owns its EnergyMeter). When set, status() fills
+  /// DomainStatus::power_draw_w from it.
+  using PowerProbe = std::function<double(std::size_t domain)>;
+  void set_power_probe(PowerProbe probe) { power_probe_ = std::move(probe); }
+
+  /// Observer of domain weight changes (old weight, new weight), invoked
+  /// after the weight is applied and demand re-split. The migration
+  /// manager uses it to cancel queued evacuation transfers when a
+  /// drained domain recovers.
+  using WeightObserver = std::function<void(std::size_t domain, double old_w, double new_w)>;
+  void set_weight_observer(WeightObserver observer) { weight_observer_ = std::move(observer); }
+
   // --- federation-wide aggregates -------------------------------------------
 
   [[nodiscard]] std::size_t total_submitted() const;
@@ -131,6 +145,8 @@ class Federation {
   std::map<util::JobId, std::size_t> job_domain_;  // global job registry
   CycleObserver observer_;
   TransferQueueProbe transfer_queue_probe_;
+  PowerProbe power_probe_;
+  WeightObserver weight_observer_;
   bool started_{false};
 };
 

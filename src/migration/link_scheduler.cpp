@@ -15,6 +15,11 @@ LinkMode link_mode_from_string(const std::string& name) {
 LinkScheduler::LinkScheduler(sim::Engine& engine, TransferModel model, LinkMode mode)
     : engine_(engine), model_(std::move(model)), mode_(mode) {}
 
+LinkScheduler::PoolKey LinkScheduler::pool_key(std::size_t from, std::size_t to) const {
+  return mode_ == LinkMode::kUplink ? PoolKey{from, std::numeric_limits<std::size_t>::max()}
+                                    : PoolKey{from, to};
+}
+
 LinkScheduler::Grant LinkScheduler::submit(std::size_t from, std::size_t to,
                                            util::MemMb image_size,
                                            sim::EventCallback on_delivered) {
@@ -30,43 +35,82 @@ LinkScheduler::Grant LinkScheduler::submit(std::size_t from, std::size_t to,
   const double latency = model_.latency_s(from, to);
 
   const double now = engine_.now().get();
-  Pool& pool =
-      pools_[mode_ == LinkMode::kUplink
-                 ? PoolKey{from, std::numeric_limits<std::size_t>::max()}
-                 : PoolKey{from, to}];
-  const double start = std::max(now, pool.busy_until);
-  pool.busy_until = start + wire;
+  const PoolKey key = pool_key(from, to);
+  Pool& pool = pools_[key];
 
   Grant grant;
-  grant.wire_start = util::Seconds{start};
-  grant.queue_wait_s = start - now;
+  grant.id = next_transfer_++;
   grant.transfer_s = latency + wire;
-  // An idle pool grants start == now, so delivery is now + (latency +
-  // wire) — the exact floating-point sum the closed-form model produced,
-  // keeping uncontended p2p runs bit-identical to the pre-scheduler code.
-  grant.delivery = util::Seconds{start + (latency + wire)};
+  Waiting entry{key, from, wire, latency, now, std::move(on_delivered)};
 
-  if (start > now) {
+  if (!pool.busy) {
+    // Idle pool ⇒ empty queue (the wire-done handler starts the next
+    // waiter immediately): the wire starts now and delivery is
+    // now + (latency + wire) — the exact floating-point sum the
+    // closed-form model produced, keeping uncontended p2p runs
+    // bit-identical to the pre-scheduler code.
+    grant.wire_start = util::Seconds{now};
+    grant.queue_wait_s = 0.0;
+    grant.delivery = util::Seconds{now + (latency + wire)};
+    start_wire(key, std::move(entry), now);
+  } else {
+    // Predicted schedule: chain the wire times of everything ahead, in
+    // FIFO order (the same left-to-right accumulation the events will
+    // perform, so the prediction is bit-exact absent cancellations).
+    double start = pool.wire_free_at;
+    for (TransferId qid : pool.waiting) start += waiting_.at(qid).wire_s;
+    grant.wire_start = util::Seconds{start};
+    grant.queue_wait_s = start - now;
+    grant.delivery = util::Seconds{start + (latency + wire)};
+    pool.waiting.push_back(grant.id);
+    waiting_.emplace(grant.id, std::move(entry));
     ++queued_;
     ++queued_by_source_[from];
-    // The wait is credited when it has actually been served (the wire
-    // starts), so samples mid-run never report time that has not
-    // elapsed yet and a transfer still queued at the horizon counts
-    // nothing.
-    const double wait = grant.queue_wait_s;
-    engine_.schedule_at(grant.wire_start, sim::EventPriority::kMigration, [this, from, wait] {
-      --queued_;
-      --queued_by_source_[from];
-      ++active_;
-      total_queue_wait_s_ += wait;
-    });
-  } else {
-    ++active_;
   }
-  engine_.schedule_at(util::Seconds{pool.busy_until}, sim::EventPriority::kMigration,
-                      [this] { --active_; });
-  engine_.schedule_at(grant.delivery, sim::EventPriority::kMigration, std::move(on_delivered));
   return grant;
+}
+
+void LinkScheduler::start_wire(PoolKey key, Waiting entry, double now) {
+  Pool& pool = pools_[key];
+  pool.busy = true;
+  pool.wire_free_at = now + entry.wire_s;
+  ++active_;
+  engine_.schedule_at(util::Seconds{pool.wire_free_at}, sim::EventPriority::kMigration,
+                      [this, key] { on_wire_done(key); });
+  engine_.schedule_at(util::Seconds{now + (entry.latency_s + entry.wire_s)},
+                      sim::EventPriority::kMigration, std::move(entry.on_delivered));
+}
+
+void LinkScheduler::on_wire_done(PoolKey key) {
+  Pool& pool = pools_[key];
+  --active_;
+  pool.busy = false;
+  if (pool.waiting.empty()) return;
+  const TransferId id = pool.waiting.front();
+  pool.waiting.pop_front();
+  auto node = waiting_.extract(id);
+  Waiting entry = std::move(node.mapped());
+  --queued_;
+  --queued_by_source_[entry.from];
+  // The wait is credited when it has actually been served (the wire
+  // starts), so samples mid-run never report time that has not elapsed
+  // yet and a transfer still queued at the horizon counts nothing.
+  const double now = engine_.now().get();
+  total_queue_wait_s_ += now - entry.submitted_at;
+  start_wire(key, std::move(entry), now);
+}
+
+bool LinkScheduler::cancel_queued(TransferId id) {
+  auto it = waiting_.find(id);
+  if (it == waiting_.end()) return false;  // unknown, on the wire, or delivered
+  const Waiting& entry = it->second;
+  Pool& pool = pools_.at(entry.key);
+  auto pos = std::find(pool.waiting.begin(), pool.waiting.end(), id);
+  pool.waiting.erase(pos);
+  --queued_;
+  --queued_by_source_[entry.from];
+  waiting_.erase(it);
+  return true;
 }
 
 std::size_t LinkScheduler::queued_from(std::size_t domain) const {

@@ -21,14 +21,25 @@
 //            per-pair bandwidth overrides are ignored, per-pair latency
 //            still applies.
 //
+// Queued (not-yet-on-wire) transfers can be cancelled: a drained domain
+// that recovers mid-evacuation has no reason to keep shipping images
+// (see MigrationManager). Only the transfer at the head of a pool holds
+// engine events — queued entries hold none — so cancellation simply
+// removes the entry and every transfer behind it moves up one slot,
+// starting (and delivering) earlier than its Grant predicted. The wire
+// is never left idle while work waits.
+//
 // Determinism: FIFO over submission order with known image sizes is
 // fully predictable, so submit() computes the wire-start and delivery
-// times analytically and schedules them as kMigration events. An
-// uncontended submission in p2p mode delivers at exactly
-// now + TransferModel::transfer_time(from, to, image) — bit-identical to
-// the PR 3 closed form (pinned in tests/link_scheduler_test.cpp).
+// times analytically into the returned Grant (exact unless a later
+// cancellation compacts the queue). An uncontended submission in p2p
+// mode delivers at exactly now + TransferModel::transfer_time(from, to,
+// image) — bit-identical to the PR 3 closed form (pinned in
+// tests/link_scheduler_test.cpp).
 
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <string>
@@ -54,21 +65,33 @@ class LinkScheduler {
   LinkScheduler(const LinkScheduler&) = delete;
   LinkScheduler& operator=(const LinkScheduler&) = delete;
 
+  using TransferId = std::uint64_t;
+
   /// Everything the caller needs to account for one granted transfer,
-  /// fixed at submission time (FIFO makes the schedule predictable).
+  /// fixed at submission time. FIFO makes the schedule predictable, so
+  /// the times are exact — unless a transfer queued ahead is later
+  /// cancelled, in which case the real wire start and delivery happen
+  /// earlier than predicted (never later).
   struct Grant {
     util::Seconds wire_start;  // when the image starts moving
     util::Seconds delivery;    // when on_delivered fires
     double transfer_s{0.0};    // modeled uncontended time: latency + image/bw
     double queue_wait_s{0.0};  // wire_start − submission time
+    TransferId id{0};          // handle for cancel_queued
   };
 
   /// Queue an image transfer on the (from, to) link's pool; `on_delivered`
-  /// fires at the returned delivery time (kMigration priority). Requires
+  /// fires at the delivery time (kMigration priority). Requires
   /// from ≠ to and a nonempty image — free moves never reach the wire
   /// (the MigrationManager completes them synchronously, as before).
   Grant submit(std::size_t from, std::size_t to, util::MemMb image_size,
                sim::EventCallback on_delivered);
+
+  /// Abort a transfer that has not reached the wire. Its on_delivered
+  /// never fires and the pool closes the gap (transfers queued behind it
+  /// start earlier). Returns false — and does nothing — when the id is
+  /// unknown, already on the wire, or already delivered.
+  bool cancel_queued(TransferId id);
 
   /// Transfers waiting for a pool (submitted, wire not started).
   [[nodiscard]] std::size_t queued_transfers() const { return queued_; }
@@ -78,7 +101,8 @@ class LinkScheduler {
   [[nodiscard]] std::size_t active_transfers() const { return active_; }
   /// Cumulative seconds of queue wait actually served so far: each
   /// transfer's wait is credited when its wire starts, so this never
-  /// reports time that has not elapsed yet.
+  /// reports time that has not elapsed yet (and a cancelled transfer's
+  /// never-served wait counts nothing).
   [[nodiscard]] double total_queue_wait_s() const { return total_queue_wait_s_; }
 
   [[nodiscard]] const TransferModel& model() const { return model_; }
@@ -88,13 +112,32 @@ class LinkScheduler {
   /// Pool key: (from, to) in p2p mode, (from, npos) in uplink mode.
   using PoolKey = std::pair<std::size_t, std::size_t>;
   struct Pool {
-    double busy_until{0.0};  // when the last granted transfer leaves the wire
+    bool busy{false};          // a transfer occupies the wire
+    double wire_free_at{0.0};  // when the on-wire transfer leaves it
+    std::deque<TransferId> waiting;  // FIFO, cancellable until wire start
   };
+  struct Waiting {
+    PoolKey key;
+    std::size_t from{0};
+    double wire_s{0.0};
+    double latency_s{0.0};
+    double submitted_at{0.0};
+    sim::EventCallback on_delivered;
+  };
+
+  [[nodiscard]] PoolKey pool_key(std::size_t from, std::size_t to) const;
+  /// Put a transfer on the wire at `now`: schedules its wire-done (pops
+  /// the next waiter) and delivery events. Only on-wire transfers hold
+  /// events; cancellation therefore never reschedules anything.
+  void start_wire(PoolKey key, Waiting entry, double now);
+  void on_wire_done(PoolKey key);
 
   sim::Engine& engine_;
   TransferModel model_;
   LinkMode mode_;
   std::map<PoolKey, Pool> pools_;
+  std::map<TransferId, Waiting> waiting_;  // queued entries only
+  TransferId next_transfer_{1};
   std::size_t queued_{0};
   std::size_t active_{0};
   std::map<std::size_t, std::size_t> queued_by_source_;

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 #include "util/log.hpp"
 
@@ -29,9 +30,17 @@ MigrationManager::MigrationManager(federation::Federation& fed, TransferModel mo
   // routers/policies (and the fed_* samplers) can observe congestion.
   fed_.set_transfer_queue_probe(
       [this](std::size_t domain) { return scheduler_.queued_from(domain); });
+  // A drained domain that recovers keeps its not-yet-shipped jobs: every
+  // queued outbound grant is cancelled and those jobs stay put.
+  fed_.set_weight_observer([this](std::size_t domain, double old_w, double new_w) {
+    if (old_w <= 0.0 && new_w > 0.0) on_domain_recovered(domain);
+  });
 }
 
-MigrationManager::~MigrationManager() { fed_.set_transfer_queue_probe(nullptr); }
+MigrationManager::~MigrationManager() {
+  fed_.set_transfer_queue_probe(nullptr);
+  fed_.set_weight_observer(nullptr);
+}
 
 void MigrationManager::start() {
   if (started_) throw std::logic_error("MigrationManager::start: already started");
@@ -123,6 +132,17 @@ void MigrationManager::begin_transfer(util::JobId id) {
   workload::Job& job = world.job(id);
 
   if (flight.stage == MigrationStage::kSuspending) {
+    if (flight.abort_requested) {
+      // The drained source recovered while the suspend was landing:
+      // nothing has been detached, so the job simply stays — suspended in
+      // its (healthy again) home world, resumed by the local controller's
+      // next cycle.
+      job.set_held(false);
+      ++stats_.cancelled;
+      --stats_.in_flight;
+      flights_.erase(it);
+      return;
+    }
     if (job.phase() != JobPhase::kSuspended) {
       // Suspend did not land (should not happen: suspends cannot fail).
       util::log_warn() << "migration: job " << id << " not suspended at checkpoint time, abort";
@@ -156,7 +176,58 @@ void MigrationManager::begin_transfer(util::JobId id) {
     const LinkScheduler::Grant grant = scheduler_.submit(
         flight.from, flight.to, flight.ckpt.image_size, [this, id] { complete_transfer(id); });
     stats_.transfer_seconds += grant.transfer_s;
+    flight.transfer_id = grant.id;
+    flight.transfer_s = grant.transfer_s;
   }
+}
+
+void MigrationManager::on_domain_recovered(std::size_t domain) {
+  // Collect first: cancel_transfer_to_source mutates flights_.
+  std::vector<util::JobId> cancelled_transfers;
+  for (auto& [id, flight] : flights_) {
+    if (flight.from != domain) continue;
+    switch (flight.stage) {
+      case MigrationStage::kSuspending:
+        // Abort at the checkpoint step (begin_transfer), where the job
+        // is still attached to the source world.
+        flight.abort_requested = true;
+        break;
+      case MigrationStage::kTransferring:
+        // Only grants that never reached the wire can be recalled; an
+        // image already moving completes at its destination as planned.
+        if (flight.transfer_id != 0 && scheduler_.cancel_queued(flight.transfer_id)) {
+          cancelled_transfers.push_back(id);
+        }
+        break;
+      case MigrationStage::kCheckpointed:
+        break;  // transient within execute(); never observable here
+    }
+  }
+  for (util::JobId id : cancelled_transfers) cancel_transfer_to_source(id);
+}
+
+void MigrationManager::cancel_transfer_to_source(util::JobId id) {
+  auto it = flights_.find(id);
+  const Flight flight = it->second;
+  flights_.erase(it);
+
+  // The image never shipped: roll the shipment accounting back so the
+  // stats report what actually crossed the wire.
+  stats_.bytes_moved_mb -= flight.ckpt.image_size.get();
+  stats_.transfer_seconds -= flight.transfer_s;
+
+  // Land the checkpoint back on the source's disk — the same restore path
+  // a completed transfer takes at its destination, minus the migration
+  // count (the job never left home).
+  const util::Seconds now = fed_.engine().now();
+  workload::Job job = restore_job(flight.ckpt, now);
+  core::World& world = fed_.domain(flight.from).world();
+  const util::VmId vm = world.cluster().create_job_vm(id, flight.ckpt.spec.memory);
+  world.cluster().set_vm_state(vm, cluster::VmState::kSuspended);
+  job.bind_vm(vm);
+  fed_.attach_job(flight.from, std::move(job));
+  ++stats_.cancelled;
+  --stats_.in_flight;
 }
 
 void MigrationManager::complete_transfer(util::JobId id) {

@@ -44,7 +44,11 @@ struct MigrationOptions {
 struct MigrationStats {
   long started{0};     // moves initiated (including instant pending moves)
   long completed{0};   // moves attached at their destination
-  long in_flight{0};   // started − completed
+  /// Moves aborted because their drained source recovered before the
+  /// image reached the wire: the job stays put (suspended in the source,
+  /// resumed by its local controller) instead of shipping pointlessly.
+  long cancelled{0};
+  long in_flight{0};   // started − completed − cancelled
   double bytes_moved_mb{0.0};     // checkpoint images shipped
   double transfer_seconds{0.0};   // cumulative modeled uncontended wire time
   /// Cumulative seconds transfers spent waiting for a contended link
@@ -97,6 +101,14 @@ class MigrationManager {
     std::size_t to{0};
     MigrationStage stage{MigrationStage::kSuspending};
     JobCheckpoint ckpt;
+    /// Link grant handle while kTransferring (0 for free pending moves).
+    LinkScheduler::TransferId transfer_id{0};
+    /// Modeled uncontended transfer time credited to stats at submission
+    /// (rolled back if the transfer is cancelled before the wire).
+    double transfer_s{0.0};
+    /// Source recovered while the suspend was still landing: abort at
+    /// the checkpoint step instead of detaching.
+    bool abort_requested{false};
   };
 
   void execute(const MigrationRequest& req);
@@ -104,6 +116,13 @@ class MigrationManager {
   void begin_transfer(util::JobId id);
   /// Image arrived: restore into the destination world.
   void complete_transfer(util::JobId id);
+  /// A drained source recovered: cancel every queued (not-yet-on-wire)
+  /// outbound grant and land those jobs back in the source; transfers
+  /// already on the wire complete normally.
+  void on_domain_recovered(std::size_t domain);
+  /// Undo a detach whose transfer was cancelled: restore the checkpoint
+  /// into the source world (the job "stays put").
+  void cancel_transfer_to_source(util::JobId id);
 
   federation::Federation& fed_;
   LinkScheduler scheduler_;

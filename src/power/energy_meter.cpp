@@ -1,0 +1,50 @@
+#include "power/energy_meter.hpp"
+
+#include <stdexcept>
+
+namespace heteroplace::power {
+
+namespace {
+constexpr double kSecondsPerHour = 3600.0;
+}
+
+EnergyMeter::EnergyMeter(std::size_t node_count, double initial_draw_w, util::Seconds start) {
+  if (initial_draw_w < 0.0) {
+    throw std::invalid_argument("EnergyMeter: initial draw must be nonnegative");
+  }
+  nodes_.assign(node_count, NodeMeter{initial_draw_w, 0.0, start.get()});
+}
+
+void EnergyMeter::set_draw(std::size_t node, double watts, util::Seconds now) {
+  if (watts < 0.0) throw std::invalid_argument("EnergyMeter::set_draw: negative draw");
+  NodeMeter& m = nodes_.at(node);
+  if (now.get() < m.last_t) {
+    throw std::invalid_argument("EnergyMeter::set_draw: time went backwards");
+  }
+  m.energy_wh += m.draw_w * (now.get() - m.last_t) / kSecondsPerHour;
+  m.last_t = now.get();
+  m.draw_w = watts;
+}
+
+double EnergyMeter::total_draw_w() const {
+  double total = 0.0;
+  for (const NodeMeter& m : nodes_) total += m.draw_w;
+  return total;
+}
+
+double EnergyMeter::node_draw_w(std::size_t node) const { return nodes_.at(node).draw_w; }
+
+double EnergyMeter::total_energy_wh(util::Seconds now) const {
+  double total = 0.0;
+  for (const NodeMeter& m : nodes_) {
+    total += m.energy_wh + m.draw_w * (now.get() - m.last_t) / kSecondsPerHour;
+  }
+  return total;
+}
+
+double EnergyMeter::node_energy_wh(std::size_t node, util::Seconds now) const {
+  const NodeMeter& m = nodes_.at(node);
+  return m.energy_wh + m.draw_w * (now.get() - m.last_t) / kSecondsPerHour;
+}
+
+}  // namespace heteroplace::power

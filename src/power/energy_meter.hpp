@@ -1,0 +1,45 @@
+#pragma once
+
+// EnergyMeter: exact integration of per-node power over simulated time.
+//
+// Draw is piecewise-constant between PowerManager transitions (see
+// power_model.hpp), so the meter needs no sampling: every set_draw folds
+// the elapsed rectangle (draw × dt) into the node's accumulator and
+// switches the draw. Queries are non-mutating — energy_wh(now) adds the
+// in-progress rectangle on the fly — so samplers can read mid-run
+// without perturbing the integration state.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace heteroplace::power {
+
+class EnergyMeter {
+ public:
+  /// Meter `node_count` nodes, all drawing `initial_draw_w` from `start`.
+  EnergyMeter(std::size_t node_count, double initial_draw_w, util::Seconds start);
+
+  /// Switch a node's draw at time `now` (>= the node's last event;
+  /// throws std::invalid_argument on time going backwards).
+  void set_draw(std::size_t node, double watts, util::Seconds now);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  /// Instantaneous draw (W), summed over nodes.
+  [[nodiscard]] double total_draw_w() const;
+  [[nodiscard]] double node_draw_w(std::size_t node) const;
+  /// Energy consumed through `now` (Wh), summed over nodes.
+  [[nodiscard]] double total_energy_wh(util::Seconds now) const;
+  [[nodiscard]] double node_energy_wh(std::size_t node, util::Seconds now) const;
+
+ private:
+  struct NodeMeter {
+    double draw_w{0.0};
+    double energy_wh{0.0};  // accumulated through last_t
+    double last_t{0.0};
+  };
+  std::vector<NodeMeter> nodes_;
+};
+
+}  // namespace heteroplace::power

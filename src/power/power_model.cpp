@@ -1,0 +1,76 @@
+#include "power/power_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace heteroplace::power {
+
+ParkDepth park_depth_from_string(const std::string& name) {
+  if (name == "standby") return ParkDepth::kStandby;
+  if (name == "off") return ParkDepth::kOff;
+  throw std::invalid_argument("unknown park depth: " + name + " (expected standby|off)");
+}
+
+const char* to_string(ParkDepth d) {
+  return d == ParkDepth::kStandby ? "standby" : "off";
+}
+
+PowerModel PowerModel::ladder(double active_w, int pstate_count) {
+  if (active_w <= 0.0) {
+    throw std::invalid_argument("PowerModel::ladder: active_w must be positive");
+  }
+  if (pstate_count < 1 || pstate_count > 4) {
+    throw std::invalid_argument("PowerModel::ladder: pstate_count must be in [1, 4]");
+  }
+  // Speed drops linearly; wattage drops slower (platform/leakage floor).
+  static constexpr double kSpeed[4] = {1.0, 0.85, 0.7, 0.55};
+  static constexpr double kPowerFrac[4] = {1.0, 0.85, 0.72, 0.6};
+  PowerModel m;
+  m.pstates.clear();
+  for (int i = 0; i < pstate_count; ++i) {
+    m.pstates.push_back({kSpeed[i], active_w * kPowerFrac[i]});
+  }
+  return m;
+}
+
+double PowerModel::active_w(int p) const {
+  if (pstates.empty()) throw std::invalid_argument("PowerModel: empty P-state ladder");
+  const int i = std::clamp(p, 0, deepest_pstate());
+  return pstates[static_cast<std::size_t>(i)].watts;
+}
+
+double PowerModel::speed_at(int p) const {
+  if (pstates.empty()) throw std::invalid_argument("PowerModel: empty P-state ladder");
+  const int i = std::clamp(p, 0, deepest_pstate());
+  return pstates[static_cast<std::size_t>(i)].speed_factor;
+}
+
+void PowerModel::validate() const {
+  if (pstates.empty()) throw std::invalid_argument("PowerModel: empty P-state ladder");
+  if (pstates.front().speed_factor != 1.0) {
+    throw std::invalid_argument("PowerModel: pstates[0] must run at full speed (factor 1)");
+  }
+  double prev_speed = 2.0;
+  for (const PState& p : pstates) {
+    if (!(p.speed_factor > 0.0) || p.speed_factor > 1.0) {
+      throw std::invalid_argument("PowerModel: P-state speed factor must be in (0, 1]");
+    }
+    if (p.speed_factor >= prev_speed) {
+      throw std::invalid_argument("PowerModel: P-state speeds must strictly decrease");
+    }
+    if (p.watts <= 0.0) {
+      throw std::invalid_argument("PowerModel: active P-state wattage must be positive");
+    }
+    prev_speed = p.speed_factor;
+  }
+  if (standby_w < 0.0) throw std::invalid_argument("PowerModel: standby_w must be nonnegative");
+  if (off_w < 0.0) throw std::invalid_argument("PowerModel: off_w must be nonnegative");
+  if (standby_w < off_w) {
+    throw std::invalid_argument("PowerModel: standby must not draw less than off");
+  }
+  if (park_latency_s < 0.0 || wake_latency_s < 0.0) {
+    throw std::invalid_argument("PowerModel: transition latencies must be nonnegative");
+  }
+}
+
+}  // namespace heteroplace::power

@@ -1,0 +1,69 @@
+#pragma once
+
+// Per-node power model: sleep-state draws, transition latencies, and a
+// P-state (DVFS) ladder.
+//
+// The model follows the S/P-state vectors of datacenter energy
+// simulators (cloudsim-eec and kin): a machine is either active —
+// drawing its current P-state's wattage and running at that P-state's
+// speed — or parked in a sleep state (standby keeps memory powered for a
+// fast wake, off draws nothing but wakes slowly in real hardware; here
+// both share one configured wake latency, they differ only in draw).
+// Transitions are not free: parking and waking each take a deterministic
+// latency during which the node draws active power and is off-limits to
+// placement.
+//
+// Draw depends only on (power state, P-state) — never on instantaneous
+// utilization — so a node's power is piecewise-constant between
+// PowerManager transitions and the EnergyMeter integrates it exactly
+// (closed-form testable, no sampling error).
+
+#include <string>
+#include <vector>
+
+namespace heteroplace::power {
+
+/// One DVFS operating point. Entry 0 is full speed; deeper entries trade
+/// speed for wattage (the power-cap throttle walks down this ladder).
+struct PState {
+  double speed_factor{1.0};  // (0, 1]; scales node CPU capacity
+  double watts{220.0};       // active draw at this operating point
+};
+
+/// How deep a parked node sleeps. Standby (suspend-to-RAM) keeps a small
+/// draw; off draws off_w (typically 0).
+enum class ParkDepth { kStandby, kOff };
+
+/// "standby" | "off"; throws std::invalid_argument otherwise.
+[[nodiscard]] ParkDepth park_depth_from_string(const std::string& name);
+[[nodiscard]] const char* to_string(ParkDepth d);
+
+struct PowerModel {
+  /// P-state ladder; pstates[0] must have speed_factor == 1.
+  std::vector<PState> pstates{{1.0, 220.0}, {0.85, 187.0}, {0.7, 158.0}, {0.55, 132.0}};
+  double standby_w{15.0};
+  double off_w{0.0};
+  double park_latency_s{10.0};
+  double wake_latency_s{60.0};
+
+  /// Default four-point ladder scaled to a given full-power draw: speed
+  /// factors {1, .85, .7, .55} with wattage falling sublinearly (leakage
+  /// and platform power do not scale with frequency).
+  [[nodiscard]] static PowerModel ladder(double active_w, int pstate_count = 4);
+
+  /// Active draw at P-state `p` (clamped into the ladder).
+  [[nodiscard]] double active_w(int p) const;
+  /// Speed factor at P-state `p` (clamped into the ladder).
+  [[nodiscard]] double speed_at(int p) const;
+  [[nodiscard]] double parked_w(ParkDepth d) const {
+    return d == ParkDepth::kStandby ? standby_w : off_w;
+  }
+  [[nodiscard]] int deepest_pstate() const { return static_cast<int>(pstates.size()) - 1; }
+
+  /// Fail loud on an unusable model: empty ladder, pstates[0] not full
+  /// speed, non-monotone speeds, nonpositive wattage at an active point,
+  /// negative parked draws or latencies. Throws std::invalid_argument.
+  void validate() const;
+};
+
+}  // namespace heteroplace::power

@@ -6,6 +6,7 @@
 
 #include "federation/router.hpp"
 #include "migration/policy.hpp"
+#include "scenario/power_factory.hpp"
 
 namespace heteroplace::scenario {
 
@@ -70,6 +71,7 @@ FederatedScenario federated_scenario_from_config(const util::Config& cfg) {
   fs.apps = base.apps;
   fs.jobs = base.jobs;
   fs.controller = base.controller;
+  fs.power = base.power;
   fs.horizon_s = base.horizon_s;
   fs.sample_interval_s = base.sample_interval_s;
   fs.seed = base.seed;
@@ -98,6 +100,10 @@ FederatedScenario federated_scenario_from_config(const util::Config& cfg) {
     d.cluster.cpu_per_node_mhz = k.num(p + "cpu_per_node_mhz", d.cluster.cpu_per_node_mhz);
     d.cluster.mem_per_node_mb = k.num(p + "mem_per_node_mb", d.cluster.mem_per_node_mb);
     d.first_cycle_at_s = k.num(p + "first_cycle_at_s", d.first_cycle_at_s);
+    d.power_cap_w = k.num(p + "power_cap_w", d.power_cap_w);
+    if (k.has(p + "power_cap_w") && d.power_cap_w < 0.0) {
+      throw util::ConfigError(p + "power_cap_w: must be nonnegative (0 = uncapped)");
+    }
     fs.domains.push_back(std::move(d));
   }
 
@@ -123,6 +129,11 @@ FederatedScenario federated_scenario_from_config(const util::Config& cfg) {
   m.low_watermark = k.num("migration.low_watermark", m.low_watermark);
   m.link_mode = k.str("migration.link_mode", m.link_mode);
   m.selection = k.str("migration.selection", m.selection);
+  m.max_queued_transfers =
+      static_cast<int>(k.integer("migration.max_queued_transfers", m.max_queued_transfers));
+  if (m.max_queued_transfers < 0) {
+    throw util::ConfigError("migration.max_queued_transfers: must be nonnegative (0 = no guard)");
+  }
   validate_migration_modes(m);
   // Bandwidths have always been MB/s (images divide directly by them);
   // the preferred key now says so. The old *_mbps spelling is a
@@ -240,6 +251,25 @@ Scenario scenario_from_keyed(KeyedConfig& k) {
   s.jobs.tmpl.goal_stretch = k.num("jobs.goal_stretch", defaults.jobs.tmpl.goal_stretch);
   s.jobs.tmpl.importance = k.num("jobs.importance", defaults.jobs.tmpl.importance);
   s.jobs.utility_shape = k.str("jobs.utility_shape", defaults.jobs.utility_shape);
+
+  // --- power & energy ---------------------------------------------------------
+  PowerSpec& pw = s.power;
+  pw.enabled = k.boolean("power.enabled", pw.enabled);
+  pw.policy = k.str("power.policy", pw.policy);
+  pw.check_interval_s = k.num("power.check_interval_s", pw.check_interval_s);
+  pw.idle_timeout_s = k.num("power.idle_timeout_s", pw.idle_timeout_s);
+  pw.headroom_factor = k.num("power.headroom_factor", pw.headroom_factor);
+  pw.min_active_nodes =
+      static_cast<int>(k.integer("power.min_active_nodes", pw.min_active_nodes));
+  pw.cap_w = k.num("power.cap_w", pw.cap_w);
+  pw.park_state = k.str("power.park_state", pw.park_state);
+  pw.active_w = k.num("power.active_w", pw.active_w);
+  pw.standby_w = k.num("power.standby_w", pw.standby_w);
+  pw.off_w = k.num("power.off_w", pw.off_w);
+  pw.park_latency_s = k.num("power.park_latency_s", pw.park_latency_s);
+  pw.wake_latency_s = k.num("power.wake_latency_s", pw.wake_latency_s);
+  pw.pstates = static_cast<int>(k.integer("power.pstates", pw.pstates));
+  validate_power_spec(pw);
 
   const auto n_apps = k.integer("apps", 1);
   if (n_apps < 0 || n_apps > 64) throw util::ConfigError("apps: out of range [0, 64]");

@@ -1,9 +1,12 @@
 #include "scenario/experiment.hpp"
 
+#include <memory>
 #include <stdexcept>
 
 #include "core/controller.hpp"
+#include "power/manager.hpp"
 #include "scenario/policy_factory.hpp"
+#include "scenario/power_factory.hpp"
 #include "sim/engine.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
@@ -87,19 +90,40 @@ ExperimentResult run_experiment(const Scenario& scenario, const ExperimentOption
   controller.executor().set_completion_callback(
       [&](const workload::Job& job) { recorder.on_job_completed(job); });
 
+  // --- power subsystem (optional) ---------------------------------------------
+  // Constructed after the cluster is populated; started after the
+  // controller so its kPower ticks interleave deterministically. A
+  // power-disabled run creates nothing here and stays bit-identical to
+  // the pre-power runner (pinned by tests/power_test.cpp).
+  std::unique_ptr<power::PowerManager> power_mgr;
+  if (scenario.power.enabled) {
+    power_mgr =
+        make_power_manager(engine, world, scenario.power, scenario.controller.cycle_s);
+  }
+
   // --- schedule arrivals, sampling, control loop ------------------------------
   for (const auto& spec : job_specs) {
     engine.schedule_at(spec.submit_time, sim::EventPriority::kWorkloadArrival,
                        [&world, spec] { world.submit_job(spec); });
   }
+  auto sample_power = [&] {
+    if (!power_mgr) return;
+    const double t = engine.now().get();
+    recorder.series().add("power_w", t, power_mgr->current_draw_w());
+    recorder.series().add("energy_wh", t, power_mgr->energy_wh(engine.now()));
+    recorder.series().add("power_parked_nodes", t,
+                          static_cast<double>(power_mgr->parked_count()));
+  };
   // Periodic sampling, self-rescheduling.
   const util::Seconds sample_dt{scenario.sample_interval_s};
   std::function<void()> sample_tick = [&] {
     recorder.sample(engine.now());
+    sample_power();
     engine.schedule_in(sample_dt, sim::EventPriority::kSampling, sample_tick);
   };
   engine.schedule_in(sample_dt, sim::EventPriority::kSampling, sample_tick);
   controller.start();
+  if (power_mgr) power_mgr->start();
 
   // --- run ---------------------------------------------------------------------
   const double horizon =
@@ -119,6 +143,7 @@ ExperimentResult run_experiment(const Scenario& scenario, const ExperimentOption
 
   // --- finalize -----------------------------------------------------------------
   recorder.sample(engine.now());
+  sample_power();
   ExperimentResult result;
   result.summary = recorder.summary();
   result.summary.jobs_submitted = static_cast<long>(world.submitted_count());

@@ -5,8 +5,10 @@
 #include <stdexcept>
 
 #include "federation/federation.hpp"
+#include "power/manager.hpp"
 #include "scenario/metrics.hpp"
 #include "scenario/policy_factory.hpp"
+#include "scenario/power_factory.hpp"
 #include "sim/engine.hpp"
 #include "util/config.hpp"
 #include "util/log.hpp"
@@ -35,6 +37,7 @@ FederatedScenario federate(const Scenario& single, int n_domains, const std::str
   fs.apps = single.apps;
   fs.jobs = single.jobs;
   fs.controller = single.controller;
+  fs.power = single.power;
   fs.router = router;
   fs.horizon_s = single.horizon_s;
   fs.sample_interval_s = single.sample_interval_s;
@@ -59,6 +62,9 @@ FederatedResult run_federated_experiment(const FederatedScenario& fs,
     throw std::invalid_argument("run_federated_experiment: no domains");
   }
   sim::Engine engine;
+  // Declared before the federation: `fed` holds a probe into this vector
+  // (set_power_probe below), so the vector must strictly outlive it.
+  std::vector<std::unique_ptr<power::PowerManager>> power_mgrs;
   federation::Federation fed(engine, federation::make_router(fs.router));
 
   // --- models (shared across domains) ----------------------------------------
@@ -184,6 +190,12 @@ FederatedResult run_federated_experiment(const FederatedScenario& fs,
     pol_cfg.high_watermark = fs.migration.high_watermark;
     pol_cfg.low_watermark = fs.migration.low_watermark;
     pol_cfg.selection = migration::selection_from_string(fs.migration.selection);
+    if (fs.migration.max_queued_transfers < 0) {
+      throw std::invalid_argument(
+          "run_federated_experiment: migration.max_queued_transfers must be >= 0");
+    }
+    pol_cfg.max_queued_transfers =
+        static_cast<std::size_t>(fs.migration.max_queued_transfers);
     migration::MigrationOptions mig_opts;
     mig_opts.check_interval = util::Seconds{fs.migration.check_interval_s};
     mig_opts.max_moves_per_tick = fs.migration.max_moves_per_tick;
@@ -191,6 +203,22 @@ FederatedResult run_federated_experiment(const FederatedScenario& fs,
     migration_mgr.emplace(fed, std::move(transfer),
                           migration::make_migration_policy(fs.migration.policy, pol_cfg),
                           mig_opts);
+  }
+
+  // --- power subsystem (optional) -----------------------------------------------
+  // One manager per domain: each meters and consolidates its own cluster,
+  // under the federation cap or its DomainSpec override. Disabled runs
+  // construct nothing and stay bit-identical to the pre-power runner.
+  if (fs.power.enabled) {
+    for (std::size_t i = 0; i < fed.domain_count(); ++i) {
+      power_mgrs.push_back(make_power_manager(engine, fed.domain(i).world(), fs.power,
+                                              fs.controller.cycle_s,
+                                              fs.domains[i].power_cap_w));
+    }
+    // Surface live per-domain draw in Federation::status so routers (and
+    // future energy-aware policies) can observe it.
+    fed.set_power_probe(
+        [&power_mgrs](std::size_t domain) { return power_mgrs[domain]->current_draw_w(); });
   }
 
   // Per-domain and federation-aggregated samples share one
@@ -225,6 +253,7 @@ FederatedResult run_federated_experiment(const FederatedScenario& fs,
       const migration::MigrationStats& ms = migration_mgr->stats();
       out.series.add("mig_started", t, static_cast<double>(ms.started));
       out.series.add("mig_completed", t, static_cast<double>(ms.completed));
+      out.series.add("mig_cancelled", t, static_cast<double>(ms.cancelled));
       out.series.add("mig_in_flight", t, static_cast<double>(ms.in_flight));
       out.series.add("mig_bytes_mb", t, ms.bytes_moved_mb);
       out.series.add("mig_transfer_s", t, ms.transfer_seconds);
@@ -233,6 +262,23 @@ FederatedResult run_federated_experiment(const FederatedScenario& fs,
       out.series.add("mig_queue_depth", t, static_cast<double>(links.queued_transfers()));
       out.series.add("mig_queue_wait_s", t, ms.queue_wait_seconds);
       out.series.add("mig_active_transfers", t, static_cast<double>(links.active_transfers()));
+    }
+    if (!power_mgrs.empty()) {
+      double draw = 0.0;
+      double energy = 0.0;
+      double parked = 0.0;
+      for (std::size_t i = 0; i < fed.domain_count(); ++i) {
+        const double d_draw = power_mgrs[i]->current_draw_w();
+        const double d_energy = power_mgrs[i]->energy_wh(now);
+        out.series.add("power_w_" + fed.domain(i).name(), t, d_draw);
+        out.series.add("energy_wh_" + fed.domain(i).name(), t, d_energy);
+        draw += d_draw;
+        energy += d_energy;
+        parked += static_cast<double>(power_mgrs[i]->parked_count());
+      }
+      out.series.add("fed_power_w", t, draw);
+      out.series.add("fed_energy_wh", t, energy);
+      out.series.add("fed_power_parked_nodes", t, parked);
     }
   };
 
@@ -244,6 +290,7 @@ FederatedResult run_federated_experiment(const FederatedScenario& fs,
   engine.schedule_in(sample_dt, sim::EventPriority::kSampling, sample_tick);
   fed.start();
   if (migration_mgr) migration_mgr->start();
+  for (auto& mgr : power_mgrs) mgr->start();
 
   // --- run ---------------------------------------------------------------------
   const double horizon = options.horizon_override_s > 0.0 ? options.horizon_override_s

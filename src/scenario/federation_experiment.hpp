@@ -25,6 +25,9 @@ struct DomainSpec {
   /// First control evaluation for this domain's controller; < 0 means
   /// auto-stagger (index × cycle / domain_count, domain 0 at phase 0).
   double first_cycle_at_s{-1.0};
+  /// Per-domain power-cap override in watts; < 0 inherits the federation
+  /// spec's power.cap_w (0 there = uncapped).
+  double power_cap_w{-1.0};
 };
 
 /// Scheduled health change: at `at_s`, set the domain's router weight
@@ -70,6 +73,9 @@ struct MigrationSpec {
   /// Movable-job ordering: "fifo" (list order, the pre-cost-aware
   /// behavior) or "cost" (image/remaining-work/SLA-slack ranking).
   std::string selection{"fifo"};
+  /// Rebalance congestion guard: skip sources with this many outbound
+  /// transfers already queued (0 = no guard; see PolicyConfig).
+  int max_queued_transfers{0};
   double default_bandwidth_mb_per_s{125.0};
   double default_latency_s{2.0};
   std::vector<LinkSpec> links;
@@ -86,6 +92,7 @@ struct FederatedScenario {
   std::string router{"least-loaded"};
   std::vector<WeightEvent> weight_events;
   MigrationSpec migration;
+  PowerSpec power;
   double horizon_s{0.0};
   double sample_interval_s{600.0};
   std::uint64_t seed{42};

@@ -1,0 +1,69 @@
+#include "scenario/power_factory.hpp"
+
+#include <stdexcept>
+
+#include "util/config.hpp"
+
+namespace heteroplace::scenario {
+
+void validate_power_spec(const PowerSpec& spec) {
+  try {
+    (void)power::make_consolidation_policy(spec.policy);
+  } catch (const std::invalid_argument& e) {
+    throw util::ConfigError(std::string("power.policy: ") + e.what());
+  }
+  try {
+    (void)power::park_depth_from_string(spec.park_state);
+  } catch (const std::invalid_argument& e) {
+    throw util::ConfigError(std::string("power.park_state: ") + e.what());
+  }
+  if (spec.check_interval_s < 0.0) {
+    throw util::ConfigError("power.check_interval_s: must be nonnegative (0 = control cycle)");
+  }
+  if (spec.idle_timeout_s < 0.0) {
+    throw util::ConfigError("power.idle_timeout_s: must be nonnegative");
+  }
+  if (spec.headroom_factor < 1.0) {
+    throw util::ConfigError("power.headroom_factor: must be >= 1");
+  }
+  if (spec.min_active_nodes < 0) {
+    throw util::ConfigError("power.min_active_nodes: must be nonnegative");
+  }
+  if (spec.cap_w < 0.0) {
+    throw util::ConfigError("power.cap_w: must be nonnegative (0 = uncapped)");
+  }
+  try {
+    power_model_from_spec(spec).validate();
+  } catch (const std::invalid_argument& e) {
+    throw util::ConfigError(std::string("power.*: ") + e.what());
+  }
+}
+
+power::PowerModel power_model_from_spec(const PowerSpec& spec) {
+  power::PowerModel model = power::PowerModel::ladder(spec.active_w, spec.pstates);
+  model.standby_w = spec.standby_w;
+  model.off_w = spec.off_w;
+  model.park_latency_s = spec.park_latency_s;
+  model.wake_latency_s = spec.wake_latency_s;
+  return model;
+}
+
+std::unique_ptr<power::PowerManager> make_power_manager(sim::Engine& engine, core::World& world,
+                                                        const PowerSpec& spec, double cycle_s,
+                                                        double cap_w_override) {
+  validate_power_spec(spec);
+  power::IdleParkConfig park_cfg;
+  park_cfg.idle_timeout_s = spec.idle_timeout_s;
+  park_cfg.headroom_factor = spec.headroom_factor;
+  power::PowerOptions options;
+  options.check_interval =
+      util::Seconds{spec.check_interval_s > 0.0 ? spec.check_interval_s : cycle_s};
+  options.park_depth = power::park_depth_from_string(spec.park_state);
+  options.cap_w = cap_w_override >= 0.0 ? cap_w_override : spec.cap_w;
+  options.min_active_nodes = spec.min_active_nodes;
+  return std::make_unique<power::PowerManager>(
+      engine, world, power_model_from_spec(spec),
+      power::make_consolidation_policy(spec.policy, park_cfg), options);
+}
+
+}  // namespace heteroplace::scenario

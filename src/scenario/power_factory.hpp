@@ -1,0 +1,36 @@
+#pragma once
+
+// Shared power-subsystem construction for the experiment runners.
+//
+// The single-cluster runner builds one PowerManager; the federated runner
+// builds one per domain (each domain meters and consolidates its own
+// cluster, optionally under its own cap). Both must translate the same
+// PowerSpec identically, so the construction lives here once.
+
+#include <memory>
+
+#include "core/world.hpp"
+#include "power/manager.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/engine.hpp"
+
+namespace heteroplace::scenario {
+
+/// Throw util::ConfigError naming the offending power.* key on an
+/// invalid spec (unknown policy/park state, nonpositive latencies where
+/// positive is required, out-of-range ladder depth, ...). The config
+/// loader and both runners call this.
+void validate_power_spec(const PowerSpec& spec);
+
+/// Build the node power table a spec describes.
+[[nodiscard]] power::PowerModel power_model_from_spec(const PowerSpec& spec);
+
+/// Build a manager for `world` (cluster must already be populated).
+/// `cycle_s` supplies the default check interval when the spec leaves it
+/// at 0; `cap_w_override` >= 0 replaces the spec's cap (per-domain caps
+/// in federated runs), < 0 keeps it.
+[[nodiscard]] std::unique_ptr<power::PowerManager> make_power_manager(
+    sim::Engine& engine, core::World& world, const PowerSpec& spec, double cycle_s,
+    double cap_w_override = -1.0);
+
+}  // namespace heteroplace::scenario

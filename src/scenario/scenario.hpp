@@ -46,12 +46,40 @@ struct ControllerSpec {
   core::SolverConfig solver;
 };
 
+/// Power & energy subsystem configuration. Disabled by default: a
+/// power-disabled run takes exactly the pre-power code path and
+/// reproduces its output bit for bit (pinned by tests/power_test.cpp).
+struct PowerSpec {
+  bool enabled{false};
+  /// Consolidation policy: "none" (meter only) or "idle-park".
+  std::string policy{"idle-park"};
+  /// Policy evaluation period; 0 = use the control cycle.
+  double check_interval_s{0.0};
+  double idle_timeout_s{1800.0};
+  double headroom_factor{1.25};
+  int min_active_nodes{1};
+  /// Per-domain draw cap in watts (0 = uncapped); enforced by P-state
+  /// throttling.
+  double cap_w{0.0};
+  /// Sleep depth for parked nodes: "standby" or "off".
+  std::string park_state{"standby"};
+  // Node power table (see power::PowerModel::ladder).
+  double active_w{220.0};
+  double standby_w{15.0};
+  double off_w{0.0};
+  double park_latency_s{10.0};
+  double wake_latency_s{60.0};
+  /// DVFS ladder depth in [1, 4] (1 = no throttling available).
+  int pstates{4};
+};
+
 struct Scenario {
   std::string name{"scenario"};
   ClusterSpec cluster;
   std::vector<TxAppScenario> apps;
   JobStreamSpec jobs;
   ControllerSpec controller;
+  PowerSpec power;
   /// Simulated horizon; 0 = run until every submitted job completes.
   double horizon_s{0.0};
   /// Sampling period for the time-series recorder.

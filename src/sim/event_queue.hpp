@@ -48,6 +48,8 @@ enum class EventPriority : int {
   kController = 20,       // control-cycle evaluation (sees arrivals at t)
   kMigration = 25,        // migration-manager ticks (see controller output;
                           // suspend-complete checks fire after transitions)
+  kPower = 27,            // power-manager ticks and park/wake completions
+                          // (after controllers and migration, before samplers)
   kSampling = 30,         // metric sampling (sees the controller's output)
 };
 

@@ -146,6 +146,40 @@ TEST(LinkScheduler, DeterministicAcrossRuns) {
   for (std::size_t i = 0; i < first.size(); ++i) EXPECT_EQ(first[i], second[i]);
 }
 
+TEST(LinkScheduler, CancelQueuedCompactsThePoolAndNeverDelivers) {
+  sim::Engine engine;
+  TransferModel model{100.0, 4.0};  // wire = 10 s per 1000 MB
+  LinkScheduler sched{engine, model, LinkMode::kP2p};
+
+  std::vector<double> delivered_at(3, -1.0);
+  std::vector<LinkScheduler::Grant> grants;
+  for (int i = 0; i < 3; ++i) {
+    grants.push_back(
+        sched.submit(0, 1, 1000_mb, [&, i] { delivered_at[i] = engine.now().get(); }));
+  }
+  ASSERT_EQ(sched.queued_transfers(), 2u);
+
+  // The transfer on the wire cannot be recalled; a queued one can, and
+  // the transfer behind it moves up a full wire slot.
+  EXPECT_FALSE(sched.cancel_queued(grants[0].id));
+  EXPECT_TRUE(sched.cancel_queued(grants[1].id));
+  EXPECT_FALSE(sched.cancel_queued(grants[1].id));  // idempotent: already gone
+  EXPECT_FALSE(sched.cancel_queued(9999));          // unknown id
+  EXPECT_EQ(sched.queued_transfers(), 1u);
+  EXPECT_EQ(sched.queued_from(0), 1u);
+
+  engine.run();
+  EXPECT_DOUBLE_EQ(delivered_at[0], grants[0].delivery.get());
+  EXPECT_DOUBLE_EQ(delivered_at[1], -1.0) << "cancelled transfer delivered";
+  // Transfer 2 starts when transfer 0 leaves the wire (t=10), not at its
+  // predicted t=20 slot behind the cancelled transfer 1.
+  EXPECT_DOUBLE_EQ(delivered_at[2], 10.0 + (4.0 + 10.0));
+  EXPECT_EQ(sched.queued_transfers(), 0u);
+  EXPECT_EQ(sched.active_transfers(), 0u);
+  // Only transfer 2's actually-served wait is credited.
+  EXPECT_DOUBLE_EQ(sched.total_queue_wait_s(), 10.0);
+}
+
 TEST(LinkScheduler, RejectsDegenerateSubmissions) {
   sim::Engine engine;
   LinkScheduler sched{engine, TransferModel{}, LinkMode::kP2p};

@@ -826,3 +826,185 @@ TEST(CompositePolicy, RebalanceSeesDrainStageLoadShifts) {
     EXPECT_EQ(mv.to, 1u);
   }
 }
+
+TEST(RebalancePolicy, CongestionGuardSkipsBackedUpSources) {
+  // A source whose outbound uplink already has a queue proposes nothing
+  // once the queue reaches migration.max_queued_transfers; below the
+  // threshold (or with the guard off) behavior is unchanged.
+  sim::Engine engine;
+  federation::Federation fed(engine, federation::make_router("least-loaded"));
+  for (int i = 0; i < 3; ++i) add_nodes(fed.add_domain("d" + std::to_string(i), make_policy()), 2);
+  fed.set_domain_weight(1, 0.0);
+  fed.set_domain_weight(2, 0.0);
+  for (unsigned id = 0; id < 9; ++id) fed.submit_job(make_job(id));  // all land on d0
+  fed.set_domain_weight(1, 1.0);
+  fed.set_domain_weight(2, 1.0);
+
+  auto status = fed.status(0_s);  // d0: 27000 / 24000 = 1.125 > 1.1
+  status[0].outbound_transfers_queued = 4;
+
+  migration::PolicyConfig cfg;  // guard off by default
+  EXPECT_FALSE(migration::RebalancePolicy{cfg}.propose(fed, status, 0_s, 100).empty());
+
+  cfg.max_queued_transfers = 5;  // queue (4) below threshold: still moves
+  EXPECT_FALSE(migration::RebalancePolicy{cfg}.propose(fed, status, 0_s, 100).empty());
+
+  cfg.max_queued_transfers = 4;  // at threshold: source skipped
+  EXPECT_TRUE(migration::RebalancePolicy{cfg}.propose(fed, status, 0_s, 100).empty());
+
+  // Drains ignore the guard: evacuation beats link tidiness.
+  fed.set_domain_weight(0, 0.0);
+  auto drained = fed.status(0_s);
+  drained[0].outbound_transfers_queued = 100;
+  migration::PolicyConfig drain_cfg;
+  drain_cfg.max_queued_transfers = 4;
+  EXPECT_FALSE(migration::DrainPolicy{drain_cfg}.propose(fed, drained, 0_s, 100).empty());
+}
+
+TEST(MigrationScenario, MaxQueuedTransfersKeyRoundTripsAndValidates) {
+  util::Config cfg;
+  cfg.set("migration.max_queued_transfers", "6");
+  EXPECT_EQ(scenario::federated_scenario_from_config(cfg).migration.max_queued_transfers, 6);
+  EXPECT_EQ(scenario::federated_scenario_from_config(util::Config{})
+                .migration.max_queued_transfers,
+            0);  // default: guard off
+
+  util::Config bad;
+  bad.set("migration.max_queued_transfers", "-1");
+  EXPECT_THROW((void)scenario::federated_scenario_from_config(bad), util::ConfigError);
+}
+
+TEST(MigrationIntegration, RecoveryMidEvacuationCancelsQueuedTransfersAndJobsStayPut) {
+  // A drained domain evacuates through a skinny shared uplink; the queue
+  // is long when the domain recovers. Every grant still waiting for the
+  // wire is cancelled — those jobs stay put (restored suspended into the
+  // recovered domain and resumed by its own controller) — while images
+  // already on the wire complete at their destinations.
+  sim::Engine engine;
+  federation::Federation fed(engine, federation::make_router("least-loaded"));
+  for (int i = 0; i < 2; ++i) add_nodes(fed.add_domain("d" + std::to_string(i), make_policy()), 2);
+
+  migration::TransferModel transfer;
+  transfer.set_uplink_bandwidth(0, 10.0);  // 130 s per 1300 MB image
+  migration::MigrationOptions opts;
+  opts.check_interval = util::Seconds{60.0};
+  opts.link_mode = migration::LinkMode::kUplink;
+  migration::MigrationManager mgr(fed, std::move(transfer),
+                                  migration::make_migration_policy("drain"), opts);
+
+  // All six jobs land on d0 (d1 drained during submission), then d0
+  // drains at t=500 and recovers at t=800 — mid-evacuation: the suspends
+  // land ~t=555, so by 800 the uplink has shipped at most two images.
+  for (unsigned id = 0; id < 6; ++id) {
+    const auto spec = make_job(id);
+    engine.schedule_at(0_s, sim::EventPriority::kWorkloadArrival,
+                       [&fed, spec] { fed.submit_job(spec); });
+  }
+  engine.schedule_at(util::Seconds{100.0}, sim::EventPriority::kWorkloadArrival,
+                     [&] { fed.set_domain_weight(1, 1.0); });
+  fed.set_domain_weight(1, 0.0);
+  engine.schedule_at(util::Seconds{500.0}, sim::EventPriority::kWorkloadArrival,
+                     [&] { fed.set_domain_weight(0, 0.0); });
+  std::size_t queued_at_recovery = 0;
+  engine.schedule_at(util::Seconds{800.0}, sim::EventPriority::kWorkloadArrival, [&] {
+    queued_at_recovery = mgr.link_scheduler().queued_transfers();
+    fed.set_domain_weight(0, 1.0);
+  });
+
+  fed.start();
+  mgr.start();
+  while (fed.total_completed() < 6 && engine.now().get() < 1.0e5) {
+    engine.run_until(engine.now() + util::Seconds{1000.0});
+  }
+  ASSERT_EQ(fed.total_completed(), 6u);
+
+  // The recovery found a backlog and recalled all of it.
+  EXPECT_GE(queued_at_recovery, 2u);
+  const auto& stats = mgr.stats();
+  EXPECT_EQ(stats.cancelled, static_cast<long>(queued_at_recovery));
+  EXPECT_GE(stats.completed, 1);  // the wire-borne images still moved
+  EXPECT_EQ(stats.started, stats.completed + stats.cancelled);
+  EXPECT_EQ(stats.in_flight, 0);
+  EXPECT_DOUBLE_EQ(stats.work_lost_mhz_s, 0.0);
+  // Shipment accounting reports only what actually crossed the wire.
+  EXPECT_DOUBLE_EQ(stats.bytes_moved_mb, 1300.0 * static_cast<double>(stats.completed));
+
+  // The remaining jobs stayed put: exactly the cancelled ones completed
+  // inside the recovered domain, with no work lost.
+  long finished_at_home = 0;
+  for (unsigned id = 0; id < 6; ++id) {
+    const std::size_t owner = fed.job_domain(util::JobId{id});
+    const auto& job = fed.domain(owner).world().job(util::JobId{id});
+    EXPECT_EQ(job.phase(), workload::JobPhase::kCompleted);
+    EXPECT_GE(job.done().get(), job.spec().work.get() - 1e-6) << "work lost for job " << id;
+    if (owner == 0) {
+      ++finished_at_home;
+      EXPECT_EQ(job.migrate_count(), 0) << "a stay-put job was counted as migrated";
+    }
+  }
+  EXPECT_EQ(finished_at_home, stats.cancelled);
+
+  for (std::size_t d = 0; d < 2; ++d) {
+    EXPECT_TRUE(fed.domain(d).world().cluster().validate().empty()) << "domain " << d;
+    EXPECT_DOUBLE_EQ(fed.domain(d).offered_cpu_load(engine.now()).get(),
+                     fed.domain(d).offered_cpu_load_recomputed(engine.now()).get());
+  }
+}
+
+TEST(MigrationIntegration, RecoveryWithinSuspendWindowAbortsBeforeDetach) {
+  // Recovery can land between the suspend decision and the checkpoint
+  // (suspend latency window). Those flights abort at the checkpoint
+  // step: the job was never detached, stays suspended in its home world
+  // (unheld, executor bookkeeping intact), and the local controller
+  // resumes it. Nothing reaches the wire.
+  sim::Engine engine;
+  federation::Federation fed(engine, federation::make_router("least-loaded"));
+  for (int i = 0; i < 2; ++i) add_nodes(fed.add_domain("d" + std::to_string(i), make_policy()), 2);
+
+  migration::MigrationOptions opts;
+  opts.check_interval = util::Seconds{60.0};
+  migration::MigrationManager mgr(fed, migration::TransferModel{},
+                                  migration::make_migration_policy("drain"), opts);
+
+  for (unsigned id = 0; id < 4; ++id) {
+    const auto spec = make_job(id);
+    engine.schedule_at(0_s, sim::EventPriority::kWorkloadArrival,
+                       [&fed, spec] { fed.submit_job(spec); });
+  }
+  engine.schedule_at(util::Seconds{100.0}, sim::EventPriority::kWorkloadArrival,
+                     [&] { fed.set_domain_weight(1, 1.0); });
+  fed.set_domain_weight(1, 0.0);  // route everything to d0
+  // Drain at t=500; the manager's t=540 tick suspends (latency 15 s, so
+  // checkpoints land at t=555). Recover at t=550 — inside the window.
+  engine.schedule_at(util::Seconds{500.0}, sim::EventPriority::kWorkloadArrival,
+                     [&] { fed.set_domain_weight(0, 0.0); });
+  engine.schedule_at(util::Seconds{550.0}, sim::EventPriority::kWorkloadArrival,
+                     [&] { fed.set_domain_weight(0, 1.0); });
+
+  fed.start();
+  mgr.start();
+  while (fed.total_completed() < 4 && engine.now().get() < 1.0e5) {
+    engine.run_until(engine.now() + util::Seconds{1000.0});
+  }
+  ASSERT_EQ(fed.total_completed(), 4u);
+
+  const auto& stats = mgr.stats();
+  EXPECT_EQ(stats.started, 4);
+  EXPECT_EQ(stats.cancelled, 4);  // every flight aborted in the window
+  EXPECT_EQ(stats.completed, 0);
+  EXPECT_EQ(stats.in_flight, 0);
+  EXPECT_DOUBLE_EQ(stats.bytes_moved_mb, 0.0);
+  EXPECT_DOUBLE_EQ(stats.transfer_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(stats.work_lost_mhz_s, 0.0);
+
+  // Every job completed at home with its full work done.
+  for (unsigned id = 0; id < 4; ++id) {
+    EXPECT_EQ(fed.job_domain(util::JobId{id}), 0u);
+    const auto& job = fed.domain(0).world().job(util::JobId{id});
+    EXPECT_EQ(job.phase(), workload::JobPhase::kCompleted);
+    EXPECT_FALSE(job.held());
+    EXPECT_EQ(job.migrate_count(), 0);
+    EXPECT_GE(job.done().get(), job.spec().work.get() - 1e-6);
+  }
+  EXPECT_TRUE(fed.domain(0).world().cluster().validate().empty());
+}
