@@ -14,6 +14,8 @@ const char* to_string(PowerState s) {
       return "parked";
     case PowerState::kWaking:
       return "waking";
+    case PowerState::kFailed:
+      return "failed";
   }
   return "?";
 }

@@ -26,6 +26,7 @@ enum class PowerState {
   kParking,  // entering a sleep state (park latency running)
   kParked,   // asleep (standby or off); zero capacity
   kWaking,   // powering back up (wake latency running); not yet placeable
+  kFailed,   // crashed (fault injection); zero capacity, zero draw
 };
 
 [[nodiscard]] const char* to_string(PowerState s);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/utility_policy.hpp"
+
 namespace heteroplace::core {
 
 void PlacementController::start() {
@@ -29,12 +31,27 @@ void PlacementController::schedule_next() {
 void PlacementController::run_cycle() {
   const util::Seconds now = engine_.now();
 
+  // Blacked-out domains keep their schedule but evaluate nothing: the
+  // control plane is down while the machines keep running.
+  if (!online_) {
+    ++missed_cycles_;
+    return;
+  }
+
   // Fold elapsed progress into every job before the policy reads state.
   for (workload::Job* job : world_.active_jobs()) job->advance_to(now);
 
   PolicyOutput out = policy_->decide(world_, now);
   executor_.apply(out.plan);
   ++cycles_;
+
+  // Post-apply snapshot for same-timestamp consumers (PowerManager runs
+  // at kPower after this controller and would otherwise rebuild it).
+  if (cache_enabled_) {
+    cached_ = build_problem_skeleton(world_);
+    cached_at_ = now;
+    cache_valid_ = true;
+  }
 
   if (observer_) {
     CycleReport report;
@@ -43,6 +60,20 @@ void PlacementController::run_cycle() {
     report.actions = executor_.take_counts_delta();
     observer_(report);
   }
+}
+
+void PlacementController::set_online(bool online) {
+  if (online == online_) return;
+  online_ = online;
+  if (!online_) {
+    cache_valid_ = false;  // never share a pre-blackout snapshot
+    return;
+  }
+  // Back online: the world changed arbitrarily while this controller was
+  // blind, so drop policy warm-start state and run one resync cycle at
+  // the recovery timestamp (after the fault event that triggered it).
+  policy_->on_resync();
+  engine_.schedule_at(engine_.now(), sim::EventPriority::kController, [this] { run_cycle(); });
 }
 
 }  // namespace heteroplace::core

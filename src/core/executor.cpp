@@ -197,6 +197,15 @@ void ActionExecutor::forget_job(util::JobId id) {
   job_rt_.erase(it);
 }
 
+void ActionExecutor::forget_instance(util::VmId vm) {
+  auto it = instance_start_.find(vm);
+  if (it != instance_start_.end()) {
+    it->second.cancel();
+    instance_start_.erase(it);
+  }
+  instance_pending_share_.erase(vm);
+}
+
 void ActionExecutor::apply(const cluster::PlacementPlan& plan) {
   const util::Seconds now = engine_.now();
   auto& cl = world_.cluster();

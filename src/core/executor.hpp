@@ -53,6 +53,11 @@ class ActionExecutor {
   /// events) for a job leaving this world via cross-domain handoff.
   void forget_job(util::JobId id);
 
+  /// Drop runtime bookkeeping (pending start event / share grant) for a
+  /// web-app instance VM destroyed out-of-band — a node crash tears the
+  /// VM down without the stop path that normally cancels these.
+  void forget_instance(util::VmId vm);
+
   [[nodiscard]] const cluster::ActionLatencies& latencies() const { return latencies_; }
 
   [[nodiscard]] const cluster::ActionCounts& counts() const { return counts_; }

@@ -31,6 +31,7 @@ class UtilityDrivenPolicy final : public PlacementPolicy {
   void set_lambda_provider(LambdaProvider provider) { lambda_provider_ = std::move(provider); }
 
   [[nodiscard]] PolicyOutput decide(const World& world, util::Seconds now) override;
+  void on_resync() override { eq_state_ = EqualizerState{}; }
   [[nodiscard]] std::string name() const override { return "utility-driven"; }
 
   [[nodiscard]] const utility::JobUtilityModel& job_model() const { return *job_model_; }

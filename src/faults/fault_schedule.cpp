@@ -1,0 +1,138 @@
+#include "faults/fault_schedule.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+
+#include "util/rng.hpp"
+
+namespace heteroplace::faults {
+
+namespace {
+
+/// Sort/merge key: windows of the same (kind, target) form one timeline.
+[[nodiscard]] std::tuple<int, std::size_t, std::size_t, std::size_t> target_key(
+    const FaultWindow& w) {
+  return {static_cast<int>(w.kind), w.domain, w.node, w.to};
+}
+
+/// Independent substream seed for one stochastic process. Chained
+/// splitmix64 mixing of (seed, kind, a, b): each level is fully mixed
+/// before the next coordinate is folded in, so neighboring targets get
+/// uncorrelated streams.
+[[nodiscard]] std::uint64_t substream_seed(std::uint64_t seed, std::uint64_t kind,
+                                           std::uint64_t a, std::uint64_t b) {
+  std::uint64_t state = seed;
+  std::uint64_t h = util::splitmix64_next(state);
+  state = h ^ ((kind + 1) * 0x9E3779B97F4A7C15ULL);
+  h = util::splitmix64_next(state);
+  state = h ^ ((a + 1) * 0xBF58476D1CE4E5B9ULL);
+  h = util::splitmix64_next(state);
+  state = h ^ ((b + 1) * 0x94D049BB133111EBULL);
+  return util::splitmix64_next(state);
+}
+
+}  // namespace
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNodeCrash: return "node-crash";
+    case FaultKind::kLinkFault: return "link-down";
+    case FaultKind::kDomainBlackout: return "blackout";
+  }
+  return "?";
+}
+
+void FaultSchedule::add(FaultWindow w) {
+  if (w.start_s < 0.0) {
+    throw std::invalid_argument("FaultSchedule::add: start_s must be nonnegative");
+  }
+  if (w.end_s <= w.start_s) {
+    throw std::invalid_argument("FaultSchedule::add: end_s must exceed start_s");
+  }
+  if (w.severity <= 0.0 || w.severity > 1.0) {
+    throw std::invalid_argument("FaultSchedule::add: severity must be in (0, 1]");
+  }
+  windows_.push_back(w);
+}
+
+void FaultSchedule::generate(const FaultRates& rates, std::uint64_t seed, double until_s,
+                             const std::vector<std::size_t>& nodes_per_domain) {
+  const bool any = rates.node_mttf_s > 0.0 || rates.link_mttf_s > 0.0 ||
+                   rates.domain_mttf_s > 0.0;
+  if (!any) return;
+  if (until_s <= 0.0) {
+    throw std::invalid_argument("FaultSchedule::generate: until_s must be positive");
+  }
+
+  // One renewal process per target: alternate exp(MTTF) up-time and
+  // exp(MTTR) repair windows until the horizon. Faults that start before
+  // the horizon keep their full repair window (the injector simply never
+  // reaches recoveries past the run's end).
+  const auto renew = [&](FaultKind kind, std::size_t domain, std::size_t node, std::size_t to,
+                         double mttf, double mttr) {
+    util::Rng rng(substream_seed(seed, static_cast<std::uint64_t>(kind), domain,
+                                 kind == FaultKind::kLinkFault ? to : node));
+    double t = 0.0;
+    while (true) {
+      t += rng.exponential_mean(mttf);
+      if (t >= until_s) return;
+      const double repair = rng.exponential_mean(mttr);
+      add({kind, domain, node, to, t, t + repair, 1.0});
+      t += repair;
+    }
+  };
+
+  const std::size_t n_domains = nodes_per_domain.size();
+  if (rates.node_mttf_s > 0.0) {
+    for (std::size_t d = 0; d < n_domains; ++d) {
+      for (std::size_t n = 0; n < nodes_per_domain[d]; ++n) {
+        renew(FaultKind::kNodeCrash, d, n, 0, rates.node_mttf_s, rates.node_mttr_s);
+      }
+    }
+  }
+  if (rates.link_mttf_s > 0.0) {
+    for (std::size_t i = 0; i < n_domains; ++i) {
+      for (std::size_t j = 0; j < n_domains; ++j) {
+        if (i == j) continue;
+        renew(FaultKind::kLinkFault, i, 0, j, rates.link_mttf_s, rates.link_mttr_s);
+      }
+    }
+  }
+  if (rates.domain_mttf_s > 0.0) {
+    for (std::size_t d = 0; d < n_domains; ++d) {
+      renew(FaultKind::kDomainBlackout, d, 0, 0, rates.domain_mttf_s, rates.domain_mttr_s);
+    }
+  }
+}
+
+std::vector<FaultWindow> FaultSchedule::finalized() const {
+  std::vector<FaultWindow> out = windows_;
+  // Group per target, then chronologically within the target so one pass
+  // can coalesce overlaps.
+  std::stable_sort(out.begin(), out.end(), [](const FaultWindow& a, const FaultWindow& b) {
+    const auto ka = target_key(a);
+    const auto kb = target_key(b);
+    if (ka != kb) return ka < kb;
+    return a.start_s < b.start_s;
+  });
+  std::vector<FaultWindow> merged;
+  for (const FaultWindow& w : out) {
+    if (!merged.empty() && target_key(merged.back()) == target_key(w) &&
+        w.start_s <= merged.back().end_s) {
+      merged.back().end_s = std::max(merged.back().end_s, w.end_s);
+      merged.back().severity = std::max(merged.back().severity, w.severity);
+      continue;
+    }
+    merged.push_back(w);
+  }
+  // Final order: chronological, target as the deterministic tiebreak.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const FaultWindow& a, const FaultWindow& b) {
+                     if (a.start_s != b.start_s) return a.start_s < b.start_s;
+                     return target_key(a) < target_key(b);
+                   });
+  return merged;
+}
+
+}  // namespace heteroplace::faults

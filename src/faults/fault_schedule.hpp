@@ -1,0 +1,85 @@
+#pragma once
+
+// FaultSchedule: the deterministic plan of every failure a run will see.
+//
+// A schedule is a set of timed fault windows — node crashes, link faults,
+// domain blackouts — each with a start (the fault fires) and an end (the
+// repair lands). Windows come from two sources: explicit events written
+// in the scenario config, and stochastic processes (per-target alternating
+// exponential MTTF/MTTR draws on a dedicated seeded substream, so the
+// fault pattern is independent of every other random stream in the run
+// and reproducible from the fault seed alone).
+//
+// finalize() merges overlapping same-target windows (max severity, union
+// extent) and sorts the result, so the injector never sees a crash for a
+// node that is already down. The merged order — (start, kind, target) —
+// is the order events are scheduled in, which pins the FIFO tiebreak at
+// equal timestamps.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace heteroplace::faults {
+
+enum class FaultKind {
+  kNodeCrash,        // node loses power: VMs destroyed, capacity gone
+  kLinkFault,        // inter-domain link degraded (severity < 1) or down
+  kDomainBlackout,   // whole domain dark: controller offline, weight 0
+};
+
+[[nodiscard]] const char* to_string(FaultKind k);
+
+struct FaultWindow {
+  FaultKind kind{FaultKind::kNodeCrash};
+  /// Node crash / blackout: the target domain. Link fault: source domain.
+  std::size_t domain{0};
+  /// Node crash: node index within the domain. Unused otherwise.
+  std::size_t node{0};
+  /// Link fault: destination domain. Unused otherwise.
+  std::size_t to{0};
+  double start_s{0.0};
+  double end_s{0.0};  // repair time; must be > start_s
+  /// Link faults: fraction of bandwidth lost, in (0, 1]. 1 = hard outage
+  /// (in-flight transfers killed). Ignored for crashes and blackouts.
+  double severity{1.0};
+};
+
+/// Mean-time-to-failure / mean-time-to-repair pairs for the stochastic
+/// processes. A zero MTTF disables that process.
+struct FaultRates {
+  double node_mttf_s{0.0};
+  double node_mttr_s{0.0};
+  double link_mttf_s{0.0};
+  double link_mttr_s{0.0};
+  double domain_mttf_s{0.0};
+  double domain_mttr_s{0.0};
+};
+
+class FaultSchedule {
+ public:
+  /// Add one window. Throws std::invalid_argument if end_s <= start_s,
+  /// start_s < 0, or severity is outside (0, 1].
+  void add(FaultWindow w);
+
+  /// Generate stochastic windows for every enabled process up to
+  /// `until_s`: one alternating exp(MTTF)/exp(MTTR) renewal process per
+  /// node, per ordered domain pair, and per domain, each on its own
+  /// substream of `seed` (so adding a node never shifts another node's
+  /// fault pattern).
+  void generate(const FaultRates& rates, std::uint64_t seed, double until_s,
+                const std::vector<std::size_t>& nodes_per_domain);
+
+  /// Merged windows: overlapping or touching same-target windows coalesce
+  /// (union extent, max severity), sorted by (start, kind, target).
+  [[nodiscard]] std::vector<FaultWindow> finalized() const;
+
+  [[nodiscard]] const std::vector<FaultWindow>& raw() const { return windows_; }
+  [[nodiscard]] bool empty() const { return windows_.empty(); }
+  [[nodiscard]] std::size_t size() const { return windows_.size(); }
+
+ private:
+  std::vector<FaultWindow> windows_;
+};
+
+}  // namespace heteroplace::faults

@@ -124,9 +124,15 @@ void Federation::set_domain_weight(std::size_t i, double weight) {
   }
   const double old_weight = domain(i).weight();
   domain(i).set_weight(weight);
-  // Re-split every app's demand under the new weights (one status
-  // snapshot serves all apps). Local controllers pick the change up at
-  // their next cycle, each at its own phase.
+  // Local controllers pick the re-split up at their next cycle, each at
+  // its own phase.
+  resplit_demand();
+  if (weight_observer_) weight_observer_(i, old_weight, weight);
+}
+
+void Federation::resplit_demand() {
+  // Re-split every app's demand under the current weights (one status
+  // snapshot serves all apps).
   const std::vector<DomainStatus> st = status(engine_.now());
   for (auto& app : apps_) {
     app.shares = normalized_shares(app.spec, st);
@@ -134,7 +140,6 @@ void Federation::set_domain_weight(std::size_t i, double weight) {
       d->world().app_mut(app.spec.id).set_trace(app.trace.scaled(app.shares[d->index()]));
     }
   }
-  if (weight_observer_) weight_observer_(i, old_weight, weight);
 }
 
 void Federation::start() {

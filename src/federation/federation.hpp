@@ -87,6 +87,12 @@ class Federation {
   /// rates at or after the current time.
   void set_domain_weight(std::size_t i, double weight);
 
+  /// Re-split every app's demand under the current weights and capacity
+  /// — without changing any weight. The fault injector calls this when a
+  /// node crash (or recovery) moves a domain's placeable capacity, so
+  /// transactional demand drains away from (or returns to) the domain.
+  void resplit_demand();
+
   /// Start every domain's control loop. Domains added with
   /// auto_stagger = false (or with a nonzero first_cycle_at) keep their
   /// configured phase; the rest are staggered at index × cycle /

@@ -28,20 +28,27 @@ LinkScheduler::Grant LinkScheduler::submit(std::size_t from, std::size_t to,
     throw std::invalid_argument("LinkScheduler::submit: empty image never reaches the wire");
   }
 
+  const PoolKey key = pool_key(from, to);
+  Pool& pool = pools_[key];
+  if (pool.down) {
+    throw std::logic_error("LinkScheduler::submit: link is down (check link_up first)");
+  }
+
   const double bandwidth = mode_ == LinkMode::kUplink
                                ? model_.uplink_bandwidth_mb_per_s(from)
                                : model_.bandwidth_mb_per_s(from, to);
-  const double wire = image_size.get() / bandwidth;
+  // degrade == 1.0 stays on the undivided path so fault-free runs remain
+  // bit-identical to the pre-fault code.
+  const double effective_bw = pool.degrade == 1.0 ? bandwidth : bandwidth * pool.degrade;
+  const double wire = image_size.get() / effective_bw;
   const double latency = model_.latency_s(from, to);
 
   const double now = engine_.now().get();
-  const PoolKey key = pool_key(from, to);
-  Pool& pool = pools_[key];
 
   Grant grant;
   grant.id = next_transfer_++;
   grant.transfer_s = latency + wire;
-  Waiting entry{key, from, wire, latency, now, std::move(on_delivered)};
+  Waiting entry{key, grant.id, from, wire, latency, now, std::move(on_delivered)};
 
   if (!pool.busy) {
     // Idle pool ⇒ empty queue (the wire-done handler starts the next
@@ -74,17 +81,25 @@ void LinkScheduler::start_wire(PoolKey key, Waiting entry, double now) {
   Pool& pool = pools_[key];
   pool.busy = true;
   pool.wire_free_at = now + entry.wire_s;
+  pool.on_wire = entry.id;
   ++active_;
-  engine_.schedule_at(util::Seconds{pool.wire_free_at}, sim::EventPriority::kMigration,
-                      [this, key] { on_wire_done(key); });
-  engine_.schedule_at(util::Seconds{now + (entry.latency_s + entry.wire_s)},
-                      sim::EventPriority::kMigration, std::move(entry.on_delivered));
+  pool.wire_done = engine_.schedule_at(util::Seconds{pool.wire_free_at},
+                                       sim::EventPriority::kMigration,
+                                       [this, key] { on_wire_done(key); });
+  pool.delivery = engine_.schedule_at(util::Seconds{now + (entry.latency_s + entry.wire_s)},
+                                      sim::EventPriority::kMigration,
+                                      std::move(entry.on_delivered));
 }
 
 void LinkScheduler::on_wire_done(PoolKey key) {
   Pool& pool = pools_[key];
   --active_;
   pool.busy = false;
+  // Past this point only propagation remains; a link failure can no
+  // longer kill the transfer, so the pool releases its handles (the
+  // pending delivery fires on its own).
+  pool.on_wire = 0;
+  pool.delivery = sim::EventHandle{};
   if (pool.waiting.empty()) return;
   const TransferId id = pool.waiting.front();
   pool.waiting.pop_front();
@@ -116,6 +131,73 @@ bool LinkScheduler::cancel_queued(TransferId id) {
 std::size_t LinkScheduler::queued_from(std::size_t domain) const {
   auto it = queued_by_source_.find(domain);
   return it != queued_by_source_.end() ? it->second : 0;
+}
+
+std::vector<LinkScheduler::TransferId> LinkScheduler::fail_link(std::size_t from, std::size_t to,
+                                                                double bandwidth_factor) {
+  if (bandwidth_factor < 0.0 || bandwidth_factor >= 1.0) {
+    throw std::invalid_argument("LinkScheduler::fail_link: bandwidth_factor must be in [0, 1)");
+  }
+  std::vector<TransferId> killed;
+  Pool& pool = pools_[pool_key(from, to)];
+  if (bandwidth_factor > 0.0) {
+    // Degraded, not down: in-flight and queued transfers keep their
+    // committed schedule; only new submissions pay the reduced bandwidth.
+    pool.degrade = bandwidth_factor;
+    return killed;
+  }
+  pool.down = true;
+  pool.degrade = 1.0;
+  if (pool.busy) {
+    pool.wire_done.cancel();
+    pool.delivery.cancel();
+    pool.busy = false;
+    --active_;
+    killed.push_back(pool.on_wire);
+    pool.on_wire = 0;
+  }
+  while (!pool.waiting.empty()) {
+    const TransferId id = pool.waiting.front();
+    pool.waiting.pop_front();
+    auto it = waiting_.find(id);
+    --queued_;
+    --queued_by_source_[it->second.from];
+    waiting_.erase(it);
+    killed.push_back(id);
+  }
+  return killed;
+}
+
+void LinkScheduler::restore_link(std::size_t from, std::size_t to) {
+  auto it = pools_.find(pool_key(from, to));
+  if (it == pools_.end()) return;
+  // The queue was flushed when the pool went down and submit() refuses a
+  // down pool, so there is never parked work to restart here.
+  it->second.down = false;
+  it->second.degrade = 1.0;
+}
+
+bool LinkScheduler::link_up(std::size_t from, std::size_t to) const {
+  auto it = pools_.find(pool_key(from, to));
+  return it == pools_.end() || !it->second.down;
+}
+
+std::size_t LinkScheduler::rescore_queued(std::size_t min_waiting,
+                                          const std::function<double(TransferId)>& score) {
+  std::size_t moved = 0;
+  for (auto& [key, pool] : pools_) {
+    if (pool.waiting.size() < min_waiting || pool.waiting.size() < 2) continue;
+    std::vector<TransferId> order(pool.waiting.begin(), pool.waiting.end());
+    std::map<TransferId, double> cost;
+    for (TransferId id : order) cost.emplace(id, score(id));
+    std::stable_sort(order.begin(), order.end(),
+                     [&cost](TransferId a, TransferId b) { return cost.at(a) < cost.at(b); });
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (pool.waiting[i] != order[i]) ++moved;
+      pool.waiting[i] = order[i];
+    }
+  }
+  return moved;
 }
 
 }  // namespace heteroplace::migration

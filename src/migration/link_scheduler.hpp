@@ -44,6 +44,7 @@
 #include <map>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "migration/transfer_model.hpp"
 #include "sim/engine.hpp"
@@ -93,6 +94,34 @@ class LinkScheduler {
   /// unknown, already on the wire, or already delivered.
   bool cancel_queued(TransferId id);
 
+  // --- fault injection -------------------------------------------------------
+
+  /// Fail the (from, to) link. bandwidth_factor == 0 takes the pool down:
+  /// the on-wire transfer (if its delivery has not fired) and every
+  /// queued transfer are killed — their on_delivered callbacks never fire
+  /// — and their ids are returned so the MigrationManager can retry them.
+  /// A transfer past its wire-done but before delivery survives (the
+  /// bytes already crossed; only propagation remains). bandwidth_factor
+  /// in (0, 1) degrades the link instead: nothing is killed, but new
+  /// submissions see the scaled bandwidth until restore_link.
+  std::vector<TransferId> fail_link(std::size_t from, std::size_t to, double bandwidth_factor);
+
+  /// Clear a fault set by fail_link (full bandwidth, pool back up).
+  void restore_link(std::size_t from, std::size_t to);
+
+  /// False while the (from, to) pool is down. Callers must check before
+  /// submit(): submitting into a down pool throws std::logic_error.
+  [[nodiscard]] bool link_up(std::size_t from, std::size_t to) const;
+
+  /// Re-rank the waiting queue of every pool holding at least
+  /// `min_waiting` queued transfers: stable-sort ascending by
+  /// `score(id)`, so cheap transfers overtake expensive ones when a link
+  /// backs up (ties keep FIFO order). Returns how many transfers changed
+  /// slots. Queued entries hold no engine events, so reordering is pure
+  /// bookkeeping — the wire keeps serving head-of-queue.
+  std::size_t rescore_queued(std::size_t min_waiting,
+                             const std::function<double(TransferId)>& score);
+
   /// Transfers waiting for a pool (submitted, wire not started).
   [[nodiscard]] std::size_t queued_transfers() const { return queued_; }
   /// Waiting transfers whose source is `domain` (federation status plumbing).
@@ -114,10 +143,16 @@ class LinkScheduler {
   struct Pool {
     bool busy{false};          // a transfer occupies the wire
     double wire_free_at{0.0};  // when the on-wire transfer leaves it
+    bool down{false};          // failed (fault injection); admits nothing
+    double degrade{1.0};       // bandwidth factor for new submissions
+    TransferId on_wire{0};     // id of the transfer occupying the wire
+    sim::EventHandle wire_done;  // pending events of the on-wire transfer,
+    sim::EventHandle delivery;   // held so fail_link can kill it
     std::deque<TransferId> waiting;  // FIFO, cancellable until wire start
   };
   struct Waiting {
     PoolKey key;
+    TransferId id{0};
     std::size_t from{0};
     double wire_s{0.0};
     double latency_s{0.0};

@@ -1,5 +1,8 @@
 #include "migration/manager.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -25,6 +28,15 @@ MigrationManager::MigrationManager(federation::Federation& fed, TransferModel mo
   }
   if (options_.max_moves_per_tick < 1) {
     throw std::invalid_argument("MigrationManager: max_moves_per_tick must be >= 1");
+  }
+  if (options_.max_transfer_retries < 0) {
+    throw std::invalid_argument("MigrationManager: max_transfer_retries must be nonnegative");
+  }
+  if (options_.retry_backoff_s <= 0.0) {
+    throw std::invalid_argument("MigrationManager: retry_backoff_s must be positive");
+  }
+  if (options_.retry_backoff_max_s < options_.retry_backoff_s) {
+    throw std::invalid_argument("MigrationManager: retry_backoff_max_s must be >= retry_backoff_s");
   }
   // Surface per-domain outbound transfer queues in Federation::status so
   // routers/policies (and the fed_* samplers) can observe congestion.
@@ -57,6 +69,16 @@ void MigrationManager::start() {
 
 void MigrationManager::tick() {
   const util::Seconds now = fed_.engine().now();
+  // Congestion re-scoring (opt-in): when a pool has a backlog, let cheap
+  // images overtake expensive ones — the queue analog of kCost selection.
+  if (options_.rescore_queued_transfers) {
+    stats_.transfers_rescored += static_cast<long>(
+        scheduler_.rescore_queued(2, [this](LinkScheduler::TransferId tid) {
+          auto it = transfer_jobs_.find(tid);
+          if (it == transfer_jobs_.end()) return std::numeric_limits<double>::infinity();
+          return flights_.at(it->second).ckpt.image_size.get();
+        }));
+  }
   const int budget = options_.max_moves_per_tick - static_cast<int>(flights_.size());
   if (budget <= 0) return;
   const auto status = fed_.status(now);
@@ -72,6 +94,7 @@ void MigrationManager::execute(const MigrationRequest& req) {
   if (req.from == req.to || req.to >= fed_.domain_count()) return;
   if (!fed_.job_routed(req.job) || fed_.job_domain(req.job) != req.from) return;
   if (fed_.domain(req.to).weight() <= 0.0) return;  // never move into a drained domain
+  if (!scheduler_.link_up(req.from, req.to)) return;  // link down: re-propose once it heals
 
   core::World& world = fed_.domain(req.from).world();
   if (!world.job_exists(req.job)) return;
@@ -144,8 +167,15 @@ void MigrationManager::begin_transfer(util::JobId id) {
       return;
     }
     if (job.phase() != JobPhase::kSuspended) {
-      // Suspend did not land (should not happen: suspends cannot fail).
-      util::log_warn() << "migration: job " << id << " not suspended at checkpoint time, abort";
+      // A node crash tore the job down mid-suspend (it is back in
+      // kPending awaiting a restart) — a normal abort, not a bug. Any
+      // other phase means a suspend silently failed, which cannot happen.
+      if (job.phase() == JobPhase::kPending) {
+        ++stats_.cancelled;
+      } else {
+        util::log_warn() << "migration: job " << id
+                         << " not suspended at checkpoint time, abort";
+      }
       job.set_held(false);
       --stats_.in_flight;
       flights_.erase(it);
@@ -167,23 +197,35 @@ void MigrationManager::begin_transfer(util::JobId id) {
   fed_.domain(flight.from).controller().executor().forget_job(id);
   (void)fed_.detach_job(id);  // state travels via the checkpoint
 
-  stats_.bytes_moved_mb += flight.ckpt.image_size.get();
   if (flight.ckpt.image_size.get() <= 0.0) {
     // Never-started jobs ship no image: re-routed synchronously, exactly
     // as the closed-form model priced them (transfer time zero).
     complete_transfer(id);
+  } else if (!scheduler_.link_up(flight.from, flight.to)) {
+    // The link went down while the suspend landed: the checkpoint is
+    // taken and the job detached, so park the flight in retry-wait like
+    // any killed transfer (nothing was credited to ship yet).
+    schedule_retry(id);
   } else {
-    const LinkScheduler::Grant grant = scheduler_.submit(
-        flight.from, flight.to, flight.ckpt.image_size, [this, id] { complete_transfer(id); });
-    stats_.transfer_seconds += grant.transfer_s;
-    flight.transfer_id = grant.id;
-    flight.transfer_s = grant.transfer_s;
+    submit_flight(id);
   }
 }
 
+void MigrationManager::submit_flight(util::JobId id) {
+  Flight& flight = flights_.at(id);
+  flight.stage = MigrationStage::kTransferring;
+  const LinkScheduler::Grant grant = scheduler_.submit(
+      flight.from, flight.to, flight.ckpt.image_size, [this, id] { complete_transfer(id); });
+  stats_.bytes_moved_mb += flight.ckpt.image_size.get();
+  stats_.transfer_seconds += grant.transfer_s;
+  flight.transfer_id = grant.id;
+  flight.transfer_s = grant.transfer_s;
+  transfer_jobs_.emplace(grant.id, id);
+}
+
 void MigrationManager::on_domain_recovered(std::size_t domain) {
-  // Collect first: cancel_transfer_to_source mutates flights_.
-  std::vector<util::JobId> cancelled_transfers;
+  // Collect first: land_back_at_source mutates flights_.
+  std::vector<std::pair<util::JobId, bool>> recalls;  // (job, roll_back_stats)
   for (auto& [id, flight] : flights_) {
     if (flight.from != domain) continue;
     switch (flight.stage) {
@@ -196,25 +238,35 @@ void MigrationManager::on_domain_recovered(std::size_t domain) {
         // Only grants that never reached the wire can be recalled; an
         // image already moving completes at its destination as planned.
         if (flight.transfer_id != 0 && scheduler_.cancel_queued(flight.transfer_id)) {
-          cancelled_transfers.push_back(id);
+          recalls.emplace_back(id, true);
         }
+        break;
+      case MigrationStage::kRetryWait:
+        // The healthy-again source is a better home than another backoff
+        // round: drop the retry and keep the job (stats were rolled back
+        // when the link fault killed the transfer).
+        flight.retry.cancel();
+        recalls.emplace_back(id, false);
         break;
       case MigrationStage::kCheckpointed:
         break;  // transient within execute(); never observable here
     }
   }
-  for (util::JobId id : cancelled_transfers) cancel_transfer_to_source(id);
+  for (const auto& [id, roll_back] : recalls) land_back_at_source(id, roll_back);
 }
 
-void MigrationManager::cancel_transfer_to_source(util::JobId id) {
+void MigrationManager::land_back_at_source(util::JobId id, bool roll_back_stats) {
   auto it = flights_.find(id);
   const Flight flight = it->second;
   flights_.erase(it);
+  transfer_jobs_.erase(flight.transfer_id);
 
   // The image never shipped: roll the shipment accounting back so the
   // stats report what actually crossed the wire.
-  stats_.bytes_moved_mb -= flight.ckpt.image_size.get();
-  stats_.transfer_seconds -= flight.transfer_s;
+  if (roll_back_stats) {
+    stats_.bytes_moved_mb -= flight.ckpt.image_size.get();
+    stats_.transfer_seconds -= flight.transfer_s;
+  }
 
   // Land the checkpoint back on the source's disk — the same restore path
   // a completed transfer takes at its destination, minus the migration
@@ -230,11 +282,70 @@ void MigrationManager::cancel_transfer_to_source(util::JobId id) {
   --stats_.in_flight;
 }
 
+void MigrationManager::schedule_retry(util::JobId id) {
+  Flight& flight = flights_.at(id);
+  if (flight.attempts >= options_.max_transfer_retries) {
+    ++stats_.transfer_failbacks;
+    land_back_at_source(id, /*roll_back_stats=*/false);
+    return;
+  }
+  flight.stage = MigrationStage::kRetryWait;
+  flight.transfer_id = 0;
+  flight.transfer_s = 0.0;
+  const double backoff = std::min(
+      options_.retry_backoff_s * std::pow(2.0, static_cast<double>(flight.attempts)),
+      options_.retry_backoff_max_s);
+  ++flight.attempts;
+  flight.retry = fed_.engine().schedule_in(util::Seconds{backoff}, sim::EventPriority::kMigration,
+                                           [this, id] { retry_transfer(id); });
+}
+
+void MigrationManager::retry_transfer(util::JobId id) {
+  auto it = flights_.find(id);
+  if (it == flights_.end()) return;
+  Flight& flight = it->second;
+  if (fed_.domain(flight.to).weight() <= 0.0) {
+    // Destination went dark while we backed off: the source keeps the job.
+    land_back_at_source(id, /*roll_back_stats=*/false);
+    return;
+  }
+  if (!scheduler_.link_up(flight.from, flight.to)) {
+    schedule_retry(id);  // still down: next backoff step, or failback
+    return;
+  }
+  ++stats_.transfer_retries;
+  submit_flight(id);
+}
+
+std::size_t MigrationManager::apply_link_fault(std::size_t from, std::size_t to,
+                                               double bandwidth_factor) {
+  const std::vector<LinkScheduler::TransferId> killed =
+      scheduler_.fail_link(from, to, bandwidth_factor);
+  for (LinkScheduler::TransferId tid : killed) {
+    auto jt = transfer_jobs_.find(tid);
+    if (jt == transfer_jobs_.end()) continue;
+    const util::JobId id = jt->second;
+    transfer_jobs_.erase(jt);
+    Flight& flight = flights_.at(id);
+    // Nothing (fully) crossed the wire: undo the shipment accounting
+    // credited at submission, then back off and retry.
+    stats_.bytes_moved_mb -= flight.ckpt.image_size.get();
+    stats_.transfer_seconds -= flight.transfer_s;
+    schedule_retry(id);
+  }
+  return killed.size();
+}
+
+void MigrationManager::clear_link_fault(std::size_t from, std::size_t to) {
+  scheduler_.restore_link(from, to);
+}
+
 void MigrationManager::complete_transfer(util::JobId id) {
   auto it = flights_.find(id);
   if (it == flights_.end()) return;
   const Flight flight = it->second;
   flights_.erase(it);
+  transfer_jobs_.erase(flight.transfer_id);
 
   const util::Seconds now = fed_.engine().now();
   workload::Job job = restore_job(flight.ckpt, now);

@@ -38,6 +38,18 @@ struct MigrationOptions {
   /// Link contention granularity (see LinkScheduler): per ordered domain
   /// pair (p2p) or one shared uplink pool per source domain.
   LinkMode link_mode{LinkMode::kP2p};
+  /// Transfers killed by a link fault are retried with capped exponential
+  /// backoff: attempt k waits min(retry_backoff_s * 2^k,
+  /// retry_backoff_max_s). After max_transfer_retries failed attempts the
+  /// job lands back at its source (restore-at-source failback).
+  int max_transfer_retries{3};
+  double retry_backoff_s{30.0};
+  double retry_backoff_max_s{480.0};
+  /// Re-rank queued transfers by checkpoint image size (cheapest first)
+  /// whenever a link pool backs up — the congestion counterpart of the
+  /// kCost selection rule. Off by default: FIFO order is part of the
+  /// pinned pre-fault behavior.
+  bool rescore_queued_transfers{false};
 };
 
 /// Cumulative counters, sampled into the mig_* metric series.
@@ -60,13 +72,21 @@ struct MigrationStats {
   /// restored at the destination. Exact checkpointing keeps this at zero
   /// — the only SLA cost is the modeled suspend + transfer dead time.
   double work_lost_mhz_s{0.0};
+  /// Transfers resubmitted after a link fault killed them.
+  long transfer_retries{0};
+  /// Jobs restored at their source after exhausting their retry budget
+  /// (also counted in `cancelled`).
+  long transfer_failbacks{0};
+  /// Queued transfers moved to a cheaper slot by congestion re-scoring.
+  long transfers_rescored{0};
 };
 
 /// Per-move stage, exposed for tests and diagnostics.
 enum class MigrationStage {
   kSuspending,    // waiting for the source executor's suspend to land
   kCheckpointed,  // detached, image about to ship
-  kTransferring,  // on the wire
+  kTransferring,  // queued for or on the wire
+  kRetryWait,     // killed by a link fault; backoff timer running
 };
 
 class MigrationManager {
@@ -95,6 +115,13 @@ class MigrationManager {
   [[nodiscard]] const LinkScheduler& link_scheduler() const { return scheduler_; }
   [[nodiscard]] bool job_in_flight(util::JobId id) const { return flights_.count(id) > 0; }
 
+  /// Fault-injection entry points (see faults::FaultInjector). Forwards
+  /// to LinkScheduler::fail_link and moves every killed transfer into
+  /// retry-wait with capped exponential backoff. Returns how many
+  /// transfers the fault killed.
+  std::size_t apply_link_fault(std::size_t from, std::size_t to, double bandwidth_factor);
+  void clear_link_fault(std::size_t from, std::size_t to);
+
  private:
   struct Flight {
     std::size_t from{0};
@@ -109,20 +136,32 @@ class MigrationManager {
     /// Source recovered while the suspend was still landing: abort at
     /// the checkpoint step instead of detaching.
     bool abort_requested{false};
+    /// Link-fault retry bookkeeping: resubmissions performed so far and
+    /// the pending backoff event while kRetryWait.
+    int attempts{0};
+    sim::EventHandle retry;
   };
 
   void execute(const MigrationRequest& req);
   /// Suspend landed (or should have): checkpoint, detach, ship.
   void begin_transfer(util::JobId id);
+  /// Hand the (detached) flight's image to the link pool.
+  void submit_flight(util::JobId id);
   /// Image arrived: restore into the destination world.
   void complete_transfer(util::JobId id);
   /// A drained source recovered: cancel every queued (not-yet-on-wire)
   /// outbound grant and land those jobs back in the source; transfers
   /// already on the wire complete normally.
   void on_domain_recovered(std::size_t domain);
-  /// Undo a detach whose transfer was cancelled: restore the checkpoint
-  /// into the source world (the job "stays put").
-  void cancel_transfer_to_source(util::JobId id);
+  /// Undo a detach whose transfer never crossed the wire: restore the
+  /// checkpoint into the source world (the job "stays put").
+  /// `roll_back_stats` undoes the shipment accounting credited at
+  /// submission — false when a link-fault kill already rolled it back.
+  void land_back_at_source(util::JobId id, bool roll_back_stats);
+  /// Park a killed (or link-down) flight in retry-wait, or fail it back
+  /// to the source once its retry budget is spent.
+  void schedule_retry(util::JobId id);
+  void retry_transfer(util::JobId id);
 
   federation::Federation& fed_;
   LinkScheduler scheduler_;
@@ -130,6 +169,8 @@ class MigrationManager {
   MigrationOptions options_;
   MigrationStats stats_;
   std::map<util::JobId, Flight> flights_;
+  /// Live link grants → the jobs riding them (kill → retry routing).
+  std::map<LinkScheduler::TransferId, util::JobId> transfer_jobs_;
   std::function<void()> tick_loop_;  // self-rescheduling periodic evaluation
   bool started_{false};
 };

@@ -85,7 +85,13 @@ void PowerManager::tick() {
   if (!policy_->acts()) return;
 
   // Snapshot: the solver's view of the cluster plus the power state.
-  const core::PlacementProblem problem = core::build_problem_skeleton(world_);
+  // When a controller shares its same-timestamp skeleton, reuse it
+  // instead of rebuilding the identical O(nodes + jobs + apps) snapshot.
+  const core::PlacementProblem* shared =
+      problem_provider_ ? problem_provider_(now) : nullptr;
+  core::PlacementProblem local;
+  if (shared == nullptr) local = core::build_problem_skeleton(world_);
+  const core::PlacementProblem& problem = shared != nullptr ? *shared : local;
   ConsolidationInput in;
   in.problem = &problem;
   in.model = &model_;
@@ -152,7 +158,11 @@ void PowerManager::park_node(util::NodeId id) {
   const std::size_t idx = id.get();
   engine_.schedule_in(util::Seconds{model_.park_latency_s}, sim::EventPriority::kPower,
                       [this, id, idx] {
-                        world_.cluster().node(id).set_power_state(PowerState::kParked);
+                        cluster::Node& node = world_.cluster().node(id);
+                        // A crash (fault injection) may have pre-empted the
+                        // transition; the injector owns the node until recovery.
+                        if (node.power_state() != PowerState::kParking) return;
+                        node.set_power_state(PowerState::kParked);
                         meter_.set_draw(idx, model_.parked_w(options_.park_depth), engine_.now());
                       });
 }
@@ -166,6 +176,9 @@ void PowerManager::wake_node(util::NodeId id) {
   engine_.schedule_in(util::Seconds{model_.wake_latency_s}, sim::EventPriority::kPower,
                       [this, id] {
                         cluster::Node& node = world_.cluster().node(id);
+                        // See park_node: a crash mid-wake leaves the node to
+                        // the fault injector.
+                        if (node.power_state() != PowerState::kWaking) return;
                         node.set_power_state(PowerState::kActive);
                         node.set_speed_factor(model_.speed_at(pstate_));
                         meter_.set_draw(id.get(), model_.active_w(pstate_), engine_.now());
@@ -200,8 +213,21 @@ void PowerManager::apply_pstate(int p) {
         break;
       case PowerState::kParked:
         break;  // sleep draw is P-state-independent
+      case PowerState::kFailed:
+        break;  // crashed nodes draw nothing until recovery
     }
   }
+}
+
+void PowerManager::on_node_failed(util::NodeId id) {
+  meter_.set_draw(id.get(), 0.0, engine_.now());
+  empty_since_[id.get()] = -1.0;  // no idle credit accrues while down
+}
+
+void PowerManager::on_node_recovered(util::NodeId id) {
+  cluster::Node& node = world_.cluster().node(id);
+  node.set_speed_factor(model_.speed_at(pstate_));
+  meter_.set_draw(id.get(), model_.active_w(pstate_), engine_.now());
 }
 
 }  // namespace heteroplace::power

@@ -72,6 +72,22 @@ class PowerManager {
   /// One policy evaluation right now (tests / manual stepping).
   void tick();
 
+  /// Reuse a controller-built PlacementProblem skeleton instead of
+  /// rebuilding one per tick (see PlacementController::
+  /// enable_problem_cache). The provider returns nullptr when it has
+  /// nothing fresh for the queried timestamp; tick then falls back to
+  /// building its own snapshot.
+  using ProblemProvider = std::function<const core::PlacementProblem*(util::Seconds)>;
+  void set_problem_provider(ProblemProvider provider) {
+    problem_provider_ = std::move(provider);
+  }
+
+  /// Fault-injection hooks (see faults::FaultInjector). A crashed node
+  /// draws zero power and sits outside the sleep-state machine until its
+  /// recovery restores active draw at the current P-state.
+  void on_node_failed(util::NodeId id);
+  void on_node_recovered(util::NodeId id);
+
   [[nodiscard]] const EnergyMeter& meter() const { return meter_; }
   /// Instantaneous cluster draw (W).
   [[nodiscard]] double current_draw_w() const { return meter_.total_draw_w(); }
@@ -104,6 +120,7 @@ class PowerManager {
   /// Per-node time the node was first seen empty (tick granularity);
   /// negative while hosting or not active.
   std::vector<double> empty_since_;
+  ProblemProvider problem_provider_;
   std::function<void()> tick_loop_;
   bool started_{false};
 };

@@ -6,6 +6,7 @@
 
 #include "federation/router.hpp"
 #include "migration/policy.hpp"
+#include "scenario/fault_factory.hpp"
 #include "scenario/power_factory.hpp"
 
 namespace heteroplace::scenario {
@@ -55,6 +56,10 @@ Scenario scenario_from_keyed(KeyedConfig& k);
 Scenario scenario_from_config(const util::Config& cfg) {
   KeyedConfig k(cfg);
   Scenario s = scenario_from_keyed(k);
+  // Single-cluster runs cannot express link or domain faults; fail at
+  // load time, not mid-run.
+  validate_fault_spec(s.faults, {static_cast<std::size_t>(s.cluster.nodes)},
+                      /*federated=*/false, /*migration_enabled=*/false, s.horizon_s);
   k.reject_unknown();
   return s;
 }
@@ -72,6 +77,7 @@ FederatedScenario federated_scenario_from_config(const util::Config& cfg) {
   fs.jobs = base.jobs;
   fs.controller = base.controller;
   fs.power = base.power;
+  fs.faults = base.faults;
   fs.horizon_s = base.horizon_s;
   fs.sample_interval_s = base.sample_interval_s;
   fs.seed = base.seed;
@@ -134,6 +140,22 @@ FederatedScenario federated_scenario_from_config(const util::Config& cfg) {
   if (m.max_queued_transfers < 0) {
     throw util::ConfigError("migration.max_queued_transfers: must be nonnegative (0 = no guard)");
   }
+  m.max_transfer_retries =
+      static_cast<int>(k.integer("migration.max_transfer_retries", m.max_transfer_retries));
+  if (m.max_transfer_retries < 0) {
+    throw util::ConfigError("migration.max_transfer_retries: must be nonnegative (0 = fail back "
+                            "on the first link fault)");
+  }
+  m.retry_backoff_s = k.num("migration.retry_backoff_s", m.retry_backoff_s);
+  if (m.retry_backoff_s <= 0.0) {
+    throw util::ConfigError("migration.retry_backoff_s: must be positive");
+  }
+  m.retry_backoff_max_s = k.num("migration.retry_backoff_max_s", m.retry_backoff_max_s);
+  if (m.retry_backoff_max_s < m.retry_backoff_s) {
+    throw util::ConfigError("migration.retry_backoff_max_s: must be >= migration.retry_backoff_s");
+  }
+  m.rescore_queued_transfers =
+      k.boolean("migration.rescore_queued_transfers", m.rescore_queued_transfers);
   validate_migration_modes(m);
   // Bandwidths have always been MB/s (images divide directly by them);
   // the preferred key now says so. The old *_mbps spelling is a
@@ -203,6 +225,15 @@ FederatedScenario federated_scenario_from_config(const util::Config& cfg) {
     m.uplinks.push_back({static_cast<std::size_t>(i), uplink});
   }
 
+  {
+    std::vector<std::size_t> nodes_per_domain;
+    for (const DomainSpec& d : fs.domains) {
+      nodes_per_domain.push_back(static_cast<std::size_t>(d.cluster.nodes));
+    }
+    validate_fault_spec(fs.faults, nodes_per_domain, /*federated=*/true, fs.migration.enabled,
+                        fs.horizon_s);
+  }
+
   k.reject_unknown();
   return fs;
 }
@@ -270,6 +301,48 @@ Scenario scenario_from_keyed(KeyedConfig& k) {
   pw.wake_latency_s = k.num("power.wake_latency_s", pw.wake_latency_s);
   pw.pstates = static_cast<int>(k.integer("power.pstates", pw.pstates));
   validate_power_spec(pw);
+
+  // --- fault injection --------------------------------------------------------
+  FaultSpec& ft = s.faults;
+  ft.enabled = k.boolean("fault.enabled", ft.enabled);
+  ft.seed = static_cast<std::uint64_t>(k.integer("fault.seed", 0));
+  ft.until_s = k.num("fault.until_s", ft.until_s);
+  ft.checkpoint_interval_s = k.num("fault.checkpoint_interval_s", ft.checkpoint_interval_s);
+  ft.node_mttf_s = k.num("fault.node_mttf_s", ft.node_mttf_s);
+  ft.node_mttr_s = k.num("fault.node_mttr_s", ft.node_mttr_s);
+  ft.link_mttf_s = k.num("fault.link_mttf_s", ft.link_mttf_s);
+  ft.link_mttr_s = k.num("fault.link_mttr_s", ft.link_mttr_s);
+  ft.domain_mttf_s = k.num("fault.domain_mttf_s", ft.domain_mttf_s);
+  ft.domain_mttr_s = k.num("fault.domain_mttr_s", ft.domain_mttr_s);
+  const auto n_fault_events = k.integer("fault.events", 0);
+  if (n_fault_events < 0 || n_fault_events > 4096) {
+    throw util::ConfigError("fault.events: out of range [0, 4096]");
+  }
+  for (long long i = 0; i < n_fault_events; ++i) {
+    const std::string p = "fault.event." + std::to_string(i) + ".";
+    FaultEventSpec e;
+    e.kind = k.str(p + "kind", e.kind);
+    // Link events name their source "from"; the other kinds "domain".
+    // Both spellings land in the same field; setting both is ambiguous.
+    const bool has_domain = k.has(p + "domain");
+    const bool has_from = k.has(p + "from");
+    if (has_domain && has_from) {
+      throw util::ConfigError(p + "domain and " + p + "from are both set; keep one");
+    }
+    const auto domain = k.integer(has_from ? p + "from" : p + "domain", 0);
+    if (domain < 0) throw util::ConfigError(p + "domain: must be nonnegative");
+    e.domain = static_cast<std::size_t>(domain);
+    const auto node = k.integer(p + "node", 0);
+    if (node < 0) throw util::ConfigError(p + "node: must be nonnegative");
+    e.node = static_cast<std::size_t>(node);
+    const auto to = k.integer(p + "to", 0);
+    if (to < 0) throw util::ConfigError(p + "to: must be nonnegative");
+    e.to = static_cast<std::size_t>(to);
+    e.at_s = k.num(p + "at_s", e.at_s);
+    e.duration_s = k.num(p + "duration_s", e.duration_s);
+    e.severity = k.num(p + "severity", e.severity);
+    ft.events.push_back(std::move(e));
+  }
 
   const auto n_apps = k.integer("apps", 1);
   if (n_apps < 0 || n_apps > 64) throw util::ConfigError("apps: out of range [0, 64]");

@@ -4,7 +4,9 @@
 #include <stdexcept>
 
 #include "core/controller.hpp"
+#include "faults/injector.hpp"
 #include "power/manager.hpp"
+#include "scenario/fault_factory.hpp"
 #include "scenario/policy_factory.hpp"
 #include "scenario/power_factory.hpp"
 #include "sim/engine.hpp"
@@ -99,6 +101,35 @@ ExperimentResult run_experiment(const Scenario& scenario, const ExperimentOption
   if (scenario.power.enabled) {
     power_mgr =
         make_power_manager(engine, world, scenario.power, scenario.controller.cycle_s);
+    // When a power tick lands on the same timestamp as a finished control
+    // cycle, reuse the cycle's post-apply PlacementProblem skeleton
+    // instead of rebuilding it from the world (identical by
+    // construction: nothing mutates the world between kController and
+    // kPower at one timestamp in this runner).
+    controller.enable_problem_cache();
+    power_mgr->set_problem_provider(
+        [&controller](util::Seconds now) { return controller.cached_problem(now); });
+  }
+
+  const double horizon =
+      options.horizon_override_s > 0.0 ? options.horizon_override_s : scenario.horizon_s;
+
+  // --- fault injection (optional) ---------------------------------------------
+  // A faults-disabled run creates nothing here and stays bit-identical to
+  // the pre-fault runner (pinned by tests/fault_test.cpp).
+  std::unique_ptr<faults::FaultInjector> injector;
+  if (scenario.faults.enabled) {
+    const std::vector<std::size_t> nodes_per_domain{
+        static_cast<std::size_t>(scenario.cluster.nodes)};
+    validate_fault_spec(scenario.faults, nodes_per_domain, /*federated=*/false,
+                        /*migration_enabled=*/false, horizon);
+    faults::FaultOptions fault_opts;
+    fault_opts.checkpoint_interval_s = scenario.faults.checkpoint_interval_s;
+    injector = std::make_unique<faults::FaultInjector>(
+        engine,
+        std::vector<faults::DomainHooks>{{&world, &controller, power_mgr.get()}},
+        build_fault_schedule(scenario.faults, scenario.seed, horizon, nodes_per_domain),
+        fault_opts);
   }
 
   // --- schedule arrivals, sampling, control loop ------------------------------
@@ -114,20 +145,31 @@ ExperimentResult run_experiment(const Scenario& scenario, const ExperimentOption
     recorder.series().add("power_parked_nodes", t,
                           static_cast<double>(power_mgr->parked_count()));
   };
+  auto sample_faults = [&] {
+    if (!injector) return;
+    const util::Seconds now = engine.now();
+    const double t = now.get();
+    recorder.series().add("availability", t, injector->availability(0));
+    recorder.series().add("fault_failed_nodes", t,
+                          static_cast<double>(injector->failed_node_count(0)));
+    recorder.series().add("fault_downtime_s", t, injector->downtime_s(0, now));
+    recorder.series().add("jobs_lost_progress_s", t,
+                          injector->stats(0, now).jobs_lost_progress_s);
+  };
   // Periodic sampling, self-rescheduling.
   const util::Seconds sample_dt{scenario.sample_interval_s};
   std::function<void()> sample_tick = [&] {
     recorder.sample(engine.now());
     sample_power();
+    sample_faults();
     engine.schedule_in(sample_dt, sim::EventPriority::kSampling, sample_tick);
   };
   engine.schedule_in(sample_dt, sim::EventPriority::kSampling, sample_tick);
   controller.start();
   if (power_mgr) power_mgr->start();
+  if (injector) injector->start();
 
   // --- run ---------------------------------------------------------------------
-  const double horizon =
-      options.horizon_override_s > 0.0 ? options.horizon_override_s : scenario.horizon_s;
   const std::size_t total_jobs = job_specs.size();
   if (horizon > 0.0) {
     engine.run_until(util::Seconds{horizon});
@@ -144,6 +186,7 @@ ExperimentResult run_experiment(const Scenario& scenario, const ExperimentOption
   // --- finalize -----------------------------------------------------------------
   recorder.sample(engine.now());
   sample_power();
+  sample_faults();
   ExperimentResult result;
   result.summary = recorder.summary();
   result.summary.jobs_submitted = static_cast<long>(world.submitted_count());
@@ -151,6 +194,19 @@ ExperimentResult run_experiment(const Scenario& scenario, const ExperimentOption
   result.summary.invariant_violations = invariant_violations;
   if (result.summary.jobs_completed > 0) {
     result.summary.goal_met_fraction /= static_cast<double>(result.summary.jobs_completed);
+  }
+  if (injector) {
+    const util::Seconds end = engine.now();
+    const faults::DomainFaultStats tot = injector->totals(end);
+    result.summary.fault_node_crashes = tot.node_crashes;
+    result.summary.fault_link_faults = tot.link_faults;
+    result.summary.fault_blackouts = tot.blackouts;
+    result.summary.jobs_reverted = tot.jobs_reverted;
+    result.summary.jobs_lost_progress_s = tot.jobs_lost_progress_s;
+    result.summary.fault_downtime_s = tot.downtime_s;
+    result.summary.fault_mttr_s = injector->mttr_s();
+    result.summary.availability =
+        end.get() > 0.0 ? 1.0 - tot.downtime_s / end.get() : 1.0;
   }
   result.series = std::move(recorder.series());
   return result;

@@ -6,6 +6,7 @@
 
 #include "federation/federation.hpp"
 #include "power/manager.hpp"
+#include "scenario/fault_factory.hpp"
 #include "scenario/metrics.hpp"
 #include "scenario/policy_factory.hpp"
 #include "scenario/power_factory.hpp"
@@ -38,6 +39,7 @@ FederatedScenario federate(const Scenario& single, int n_domains, const std::str
   fs.jobs = single.jobs;
   fs.controller = single.controller;
   fs.power = single.power;
+  fs.faults = single.faults;
   fs.router = router;
   fs.horizon_s = single.horizon_s;
   fs.sample_interval_s = single.sample_interval_s;
@@ -200,6 +202,10 @@ FederatedResult run_federated_experiment(const FederatedScenario& fs,
     mig_opts.check_interval = util::Seconds{fs.migration.check_interval_s};
     mig_opts.max_moves_per_tick = fs.migration.max_moves_per_tick;
     mig_opts.link_mode = migration::link_mode_from_string(fs.migration.link_mode);
+    mig_opts.max_transfer_retries = fs.migration.max_transfer_retries;
+    mig_opts.retry_backoff_s = fs.migration.retry_backoff_s;
+    mig_opts.retry_backoff_max_s = fs.migration.retry_backoff_max_s;
+    mig_opts.rescore_queued_transfers = fs.migration.rescore_queued_transfers;
     migration_mgr.emplace(fed, std::move(transfer),
                           migration::make_migration_policy(fs.migration.policy, pol_cfg),
                           mig_opts);
@@ -219,6 +225,47 @@ FederatedResult run_federated_experiment(const FederatedScenario& fs,
     // future energy-aware policies) can observe it.
     fed.set_power_probe(
         [&power_mgrs](std::size_t domain) { return power_mgrs[domain]->current_draw_w(); });
+    // Share each controller's same-timestamp post-apply PlacementProblem
+    // skeleton with its domain's power tick — but only when migration is
+    // off: kMigration events land between kController and kPower at one
+    // timestamp and can mutate worlds, which would make the cached
+    // skeleton stale.
+    if (!fs.migration.enabled) {
+      for (std::size_t i = 0; i < fed.domain_count(); ++i) {
+        core::PlacementController& ctrl = fed.domain(i).controller();
+        ctrl.enable_problem_cache();
+        power_mgrs[i]->set_problem_provider(
+            [&ctrl](util::Seconds now) { return ctrl.cached_problem(now); });
+      }
+    }
+  }
+
+  const double horizon = options.horizon_override_s > 0.0 ? options.horizon_override_s
+                                                          : fs.horizon_s;
+
+  // --- fault injection (optional) ---------------------------------------------
+  // A faults-disabled run creates nothing here and stays bit-identical to
+  // the pre-fault runner (pinned by tests/fault_test.cpp).
+  std::unique_ptr<faults::FaultInjector> injector;
+  if (fs.faults.enabled) {
+    std::vector<std::size_t> nodes_per_domain;
+    for (const DomainSpec& d : fs.domains) {
+      nodes_per_domain.push_back(static_cast<std::size_t>(d.cluster.nodes));
+    }
+    validate_fault_spec(fs.faults, nodes_per_domain, /*federated=*/true, fs.migration.enabled,
+                        horizon);
+    faults::FaultOptions fault_opts;
+    fault_opts.checkpoint_interval_s = fs.faults.checkpoint_interval_s;
+    std::vector<faults::DomainHooks> hooks;
+    for (std::size_t i = 0; i < fed.domain_count(); ++i) {
+      hooks.push_back({&fed.domain(i).world(), &fed.domain(i).controller(),
+                       power_mgrs.empty() ? nullptr : power_mgrs[i].get()});
+    }
+    injector = std::make_unique<faults::FaultInjector>(
+        engine, std::move(hooks),
+        build_fault_schedule(fs.faults, fs.seed, horizon, nodes_per_domain), fault_opts);
+    injector->set_federation(&fed);
+    if (migration_mgr) injector->set_migration(&*migration_mgr);
   }
 
   // Per-domain and federation-aggregated samples share one
@@ -262,6 +309,33 @@ FederatedResult run_federated_experiment(const FederatedScenario& fs,
       out.series.add("mig_queue_depth", t, static_cast<double>(links.queued_transfers()));
       out.series.add("mig_queue_wait_s", t, ms.queue_wait_seconds);
       out.series.add("mig_active_transfers", t, static_cast<double>(links.active_transfers()));
+      out.series.add("mig_transfer_retries", t, static_cast<double>(ms.transfer_retries));
+      out.series.add("mig_transfer_failbacks", t, static_cast<double>(ms.transfer_failbacks));
+      out.series.add("mig_rescored", t, static_cast<double>(ms.transfers_rescored));
+    }
+    if (injector) {
+      double avail_sum = 0.0;
+      double failed_nodes = 0.0;
+      double lost_s = 0.0;
+      double downtime = 0.0;
+      for (std::size_t i = 0; i < fed.domain_count(); ++i) {
+        const std::string& name = fed.domain(i).name();
+        const faults::DomainFaultStats ds = injector->stats(i, now);
+        const double avail = injector->availability(i);
+        out.series.add("availability_" + name, t, avail);
+        out.series.add("fault_failed_nodes_" + name, t,
+                       static_cast<double>(injector->failed_node_count(i)));
+        out.series.add("jobs_lost_progress_s_" + name, t, ds.jobs_lost_progress_s);
+        avail_sum += avail;
+        failed_nodes += static_cast<double>(injector->failed_node_count(i));
+        lost_s += ds.jobs_lost_progress_s;
+        downtime += ds.downtime_s;
+      }
+      out.series.add("fed_availability", t,
+                     avail_sum / static_cast<double>(fed.domain_count()));
+      out.series.add("fed_fault_failed_nodes", t, failed_nodes);
+      out.series.add("fed_jobs_lost_progress_s", t, lost_s);
+      out.series.add("fed_fault_downtime_s", t, downtime);
     }
     if (!power_mgrs.empty()) {
       double draw = 0.0;
@@ -291,10 +365,9 @@ FederatedResult run_federated_experiment(const FederatedScenario& fs,
   fed.start();
   if (migration_mgr) migration_mgr->start();
   for (auto& mgr : power_mgrs) mgr->start();
+  if (injector) injector->start();
 
   // --- run ---------------------------------------------------------------------
-  const double horizon = options.horizon_override_s > 0.0 ? options.horizon_override_s
-                                                          : fs.horizon_s;
   const std::size_t total_jobs = job_specs.size();
   if (horizon > 0.0) {
     engine.run_until(util::Seconds{horizon});
@@ -324,6 +397,18 @@ FederatedResult run_federated_experiment(const FederatedScenario& fs,
       dr.result.summary.goal_met_fraction /=
           static_cast<double>(dr.result.summary.jobs_completed);
     }
+    if (injector) {
+      const util::Seconds end = engine.now();
+      const faults::DomainFaultStats ds = injector->stats(i, end);
+      ExperimentSummary& s = dr.result.summary;
+      s.fault_node_crashes = ds.node_crashes;
+      s.fault_link_faults = ds.link_faults;
+      s.fault_blackouts = ds.blackouts;
+      s.jobs_reverted = ds.jobs_reverted;
+      s.jobs_lost_progress_s = ds.jobs_lost_progress_s;
+      s.fault_downtime_s = ds.downtime_s;
+      s.availability = end.get() > 0.0 ? 1.0 - ds.downtime_s / end.get() : 1.0;
+    }
     dr.result.series = std::move(recorders[i].series());
     summaries.push_back(dr.result.summary);
     out.domains.push_back(std::move(dr));
@@ -331,6 +416,21 @@ FederatedResult run_federated_experiment(const FederatedScenario& fs,
   out.summary = merge_summaries(summaries);
   out.summary.scenario = fs.name;
   if (migration_mgr) out.migration = migration_mgr->stats();
+  if (injector) {
+    const util::Seconds end = engine.now();
+    out.faults = injector->totals(end);
+    out.fault_mttr_s = injector->mttr_s();
+    ExperimentSummary& s = out.summary;
+    s.fault_node_crashes = out.faults.node_crashes;
+    s.fault_link_faults = out.faults.link_faults;
+    s.fault_blackouts = out.faults.blackouts;
+    s.jobs_reverted = out.faults.jobs_reverted;
+    s.jobs_lost_progress_s = out.faults.jobs_lost_progress_s;
+    s.fault_downtime_s = out.faults.downtime_s;
+    s.fault_mttr_s = out.fault_mttr_s;
+    const double span = end.get() * static_cast<double>(fed.domain_count());
+    s.availability = span > 0.0 ? 1.0 - out.faults.downtime_s / span : 1.0;
+  }
   return out;
 }
 

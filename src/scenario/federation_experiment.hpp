@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "faults/injector.hpp"
 #include "migration/manager.hpp"
 #include "scenario/experiment.hpp"
 #include "scenario/scenario.hpp"
@@ -76,6 +77,14 @@ struct MigrationSpec {
   /// Rebalance congestion guard: skip sources with this many outbound
   /// transfers already queued (0 = no guard; see PolicyConfig).
   int max_queued_transfers{0};
+  /// Link-fault resilience (see MigrationOptions): retry budget and the
+  /// capped exponential backoff for transfers killed by a link fault.
+  int max_transfer_retries{3};
+  double retry_backoff_s{30.0};
+  double retry_backoff_max_s{480.0};
+  /// Re-rank queued transfers cheapest-image-first when a link pool backs
+  /// up. Off by default (FIFO order is part of the pinned behavior).
+  bool rescore_queued_transfers{false};
   double default_bandwidth_mb_per_s{125.0};
   double default_latency_s{2.0};
   std::vector<LinkSpec> links;
@@ -93,6 +102,7 @@ struct FederatedScenario {
   std::vector<WeightEvent> weight_events;
   MigrationSpec migration;
   PowerSpec power;
+  FaultSpec faults;
   double horizon_s{0.0};
   double sample_interval_s{600.0};
   std::uint64_t seed{42};
@@ -130,6 +140,11 @@ struct FederatedResult {
   ExperimentSummary summary;
   /// End-of-run migration counters (all zero when migration is disabled).
   migration::MigrationStats migration;
+  /// End-of-run fault counters, summed across domains (all zero when
+  /// fault injection is disabled).
+  faults::DomainFaultStats faults;
+  /// Mean time to repair over completed repairs (0 without faults).
+  double fault_mttr_s{0.0};
 };
 
 /// Run a federated scenario. Deterministic for a fixed (scenario, options)

@@ -48,6 +48,21 @@ struct ExperimentSummary {
   long cycles{0};
   double sim_end_time_s{0.0};
   long invariant_violations{0};
+
+  // Fault & availability aggregates, filled by the runner when fault
+  // injection is enabled (all zero / availability 1 otherwise). Not
+  // touched by merge_summaries — the federated runner sums them across
+  // domains itself.
+  long fault_node_crashes{0};
+  long fault_link_faults{0};
+  long fault_blackouts{0};
+  long jobs_reverted{0};
+  double jobs_lost_progress_s{0.0};
+  double fault_downtime_s{0.0};
+  /// Mean time to repair over completed repairs (0 if none completed).
+  double fault_mttr_s{0.0};
+  /// Time-averaged availability over the run, in [0, 1].
+  double availability{1.0};
 };
 
 /// Merge finalized per-domain summaries into one federation-level

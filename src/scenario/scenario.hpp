@@ -73,6 +73,49 @@ struct PowerSpec {
   int pstates{4};
 };
 
+/// One explicit fault event (see faults::FaultSchedule). Targets are
+/// validated against the scenario by validate_fault_spec.
+struct FaultEventSpec {
+  /// "node-crash", "link-down", or "blackout".
+  std::string kind{"node-crash"};
+  /// node-crash / blackout: the target domain (0 in single-world runs);
+  /// link-down: source domain.
+  std::size_t domain{0};
+  /// node-crash: node index within the domain.
+  std::size_t node{0};
+  /// link-down: destination domain.
+  std::size_t to{0};
+  double at_s{-1.0};
+  double duration_s{-1.0};
+  /// link-down only: fraction of bandwidth lost, in (0, 1]. 1 (the
+  /// default) is a hard outage that kills in-flight transfers.
+  double severity{1.0};
+};
+
+/// Fault-injection subsystem configuration. Disabled by default: a
+/// faults-disabled run takes exactly the pre-fault code path and
+/// reproduces its output bit for bit (pinned by tests/fault_test.cpp).
+struct FaultSpec {
+  bool enabled{false};
+  /// Seed for the stochastic fault processes; 0 = derive from the
+  /// scenario seed (so reseeding the workload reseeds the faults too).
+  std::uint64_t seed{0};
+  /// Horizon for stochastic window generation; 0 = the scenario horizon.
+  double until_s{0.0};
+  /// Periodic batch-job checkpoint interval; a crash reverts each lost
+  /// job to its last checkpoint. 0 = continuous (lossless) checkpointing.
+  double checkpoint_interval_s{0.0};
+  // Stochastic renewal processes (0 MTTF disables each; an enabled
+  // process needs both MTTF and MTTR positive).
+  double node_mttf_s{0.0};
+  double node_mttr_s{0.0};
+  double link_mttf_s{0.0};
+  double link_mttr_s{0.0};
+  double domain_mttf_s{0.0};
+  double domain_mttr_s{0.0};
+  std::vector<FaultEventSpec> events;
+};
+
 struct Scenario {
   std::string name{"scenario"};
   ClusterSpec cluster;
@@ -80,6 +123,7 @@ struct Scenario {
   JobStreamSpec jobs;
   ControllerSpec controller;
   PowerSpec power;
+  FaultSpec faults;
   /// Simulated horizon; 0 = run until every submitted job completes.
   double horizon_s{0.0};
   /// Sampling period for the time-series recorder.

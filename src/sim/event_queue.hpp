@@ -44,6 +44,9 @@ namespace heteroplace::sim {
 /// number).
 enum class EventPriority : int {
   kWorkloadArrival = 0,   // job submissions, demand-trace changes
+  kFault = 5,             // fault injection and recovery (crashes land after
+                          // same-instant arrivals, before everything else
+                          // reacts; recoveries precede the next control pass)
   kStateTransition = 10,  // action completions, job completions
   kController = 20,       // control-cycle evaluation (sees arrivals at t)
   kMigration = 25,        // migration-manager ticks (see controller output;
