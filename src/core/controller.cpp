@@ -15,14 +15,14 @@ void PlacementController::start() {
     throw std::invalid_argument("PlacementController: first_cycle_at must be nonnegative");
   }
   const util::Seconds first = std::max(config_.first_cycle_at, engine_.now());
-  engine_.schedule_at(first, sim::EventPriority::kController, [this] {
+  engine_.schedule_at(first, sim::EventPriority::kController, config_.shard, [this] {
     run_cycle();
     schedule_next();
   });
 }
 
 void PlacementController::schedule_next() {
-  engine_.schedule_in(config_.cycle, sim::EventPriority::kController, [this] {
+  engine_.schedule_in(config_.cycle, sim::EventPriority::kController, config_.shard, [this] {
     run_cycle();
     schedule_next();
   });
@@ -73,7 +73,8 @@ void PlacementController::set_online(bool online) {
   // blind, so drop policy warm-start state and run one resync cycle at
   // the recovery timestamp (after the fault event that triggered it).
   policy_->on_resync();
-  engine_.schedule_at(engine_.now(), sim::EventPriority::kController, [this] { run_cycle(); });
+  engine_.schedule_at(engine_.now(), sim::EventPriority::kController, config_.shard,
+                      [this] { run_cycle(); });
 }
 
 }  // namespace heteroplace::core

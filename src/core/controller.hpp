@@ -25,6 +25,12 @@ struct ControllerConfig {
   /// start()). Federated deployments stagger their domains through this
   /// hook so controllers do not fire in lockstep.
   util::Seconds first_cycle_at{0.0};
+  /// Parallel-batch shard for this controller's events (and its
+  /// executor's). The federation sets this to the domain index: all
+  /// effects of a cycle are confined to the domain's world, so
+  /// same-timestamp cycles of distinct domains may run concurrently
+  /// when engine.threads>1. kNoShard keeps everything serial.
+  sim::ShardId shard{sim::kNoShard};
 };
 
 struct CycleReport {
@@ -44,7 +50,9 @@ class PlacementController {
         world_(world),
         policy_(std::move(policy)),
         executor_(engine, world, latencies),
-        config_(config) {}
+        config_(config) {
+    executor_.set_shard(config_.shard);
+  }
 
   void set_observer(CycleObserver observer) { observer_ = std::move(observer); }
 
@@ -53,6 +61,13 @@ class PlacementController {
   /// Adjust the first-evaluation time (phase offset). Must be called
   /// before start(); the federation layer uses it to stagger domains.
   void set_first_cycle_at(util::Seconds t) { config_.first_cycle_at = t; }
+
+  /// Assign the parallel-batch shard (see ControllerConfig::shard).
+  /// Must be called before start(); propagates to the executor.
+  void set_shard(sim::ShardId shard) {
+    config_.shard = shard;
+    executor_.set_shard(shard);
+  }
 
   /// Schedule the periodic control loop on the engine. Call once, before
   /// Engine::run(). Throws std::invalid_argument on a nonpositive cycle

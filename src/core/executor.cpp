@@ -1,6 +1,8 @@
 #include "core/executor.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "util/log.hpp"
@@ -39,9 +41,17 @@ void ActionExecutor::schedule_completion(workload::Job& job) {
   JobRuntime& rt = job_rt_[job.id()];
   rt.completion.cancel();
   if (job.phase() != JobPhase::kRunning || job.speed().get() <= 0.0 || job.finished()) return;
-  const util::Seconds when = job.predicted_completion(engine_.now(), job.speed());
+  util::Seconds when = job.predicted_completion(engine_.now(), job.speed());
+  // A tiny remaining/speed quotient can underflow the addition so that
+  // when == now; nudge to the next representable instant. Completions
+  // must stay strictly in the future: a same-timestamp lower-priority
+  // event scheduled from inside a control cycle cannot be replayed
+  // deterministically by the parallel batch mode.
+  if (when.get() <= engine_.now().get()) {
+    when = util::Seconds{std::nextafter(engine_.now().get(), std::numeric_limits<double>::infinity())};
+  }
   const util::JobId id = job.id();
-  rt.completion = engine_.schedule_at(when, sim::EventPriority::kStateTransition,
+  rt.completion = engine_.schedule_at(when, sim::EventPriority::kStateTransition, shard_,
                                       [this, id] { on_job_finished(id); });
 }
 
@@ -83,7 +93,7 @@ void ActionExecutor::start_job(workload::Job& job, util::NodeId node, util::CpuM
       const util::JobId id = job.id();
       const util::Seconds retry_at =
           engine_.now() + latencies_.suspend_job + util::Seconds{1.0};
-      engine_.schedule_at(retry_at, sim::EventPriority::kStateTransition, [this, id, node, cpu] {
+      engine_.schedule_at(retry_at, sim::EventPriority::kStateTransition, shard_, [this, id, node, cpu] {
         if (!world_.job_exists(id)) return;  // handed off to another domain meanwhile
         workload::Job& j = world_.job(id);
         if (j.phase() == JobPhase::kPending && !j.held()) start_job(j, node, cpu, /*is_retry=*/true);
@@ -99,7 +109,7 @@ void ActionExecutor::start_job(workload::Job& job, util::NodeId node, util::CpuM
   rt.pending_share = cpu.get();
   const util::JobId id = job.id();
   rt.transition = engine_.schedule_in(latencies_.start_job, sim::EventPriority::kStateTransition,
-                                      [this, id] { finish_transition_to_running(id); });
+                                      shard_, [this, id] { finish_transition_to_running(id); });
 }
 
 void ActionExecutor::resume_job(workload::Job& job, util::NodeId node, util::CpuMhz cpu,
@@ -109,7 +119,7 @@ void ActionExecutor::resume_job(workload::Job& job, util::NodeId node, util::Cpu
       const util::JobId id = job.id();
       const util::Seconds retry_at =
           engine_.now() + latencies_.suspend_job + util::Seconds{1.0};
-      engine_.schedule_at(retry_at, sim::EventPriority::kStateTransition, [this, id, node, cpu] {
+      engine_.schedule_at(retry_at, sim::EventPriority::kStateTransition, shard_, [this, id, node, cpu] {
         if (!world_.job_exists(id)) return;  // handed off to another domain meanwhile
         workload::Job& j = world_.job(id);
         if (j.phase() == JobPhase::kSuspended && !j.held()) {
@@ -127,7 +137,7 @@ void ActionExecutor::resume_job(workload::Job& job, util::NodeId node, util::Cpu
   rt.pending_share = cpu.get();
   const util::JobId id = job.id();
   rt.transition = engine_.schedule_in(latencies_.resume_job, sim::EventPriority::kStateTransition,
-                                      [this, id] { finish_transition_to_running(id); });
+                                      shard_, [this, id] { finish_transition_to_running(id); });
 }
 
 bool ActionExecutor::migrate_job(workload::Job& job, util::NodeId node, util::CpuMhz cpu) {
@@ -156,7 +166,7 @@ bool ActionExecutor::migrate_job(workload::Job& job, util::NodeId node, util::Cp
   rt.pending_share = cpu.get();
   const util::JobId id = job.id();
   rt.transition = engine_.schedule_in(latencies_.migrate_job, sim::EventPriority::kStateTransition,
-                                      [this, id] { finish_transition_to_running(id); });
+                                      shard_, [this, id] { finish_transition_to_running(id); });
   return true;
 }
 
@@ -174,7 +184,7 @@ void ActionExecutor::suspend_job(workload::Job& job) {
   const util::JobId id = job.id();
   rt.transition =
       engine_.schedule_in(latencies_.suspend_job, sim::EventPriority::kStateTransition,
-                          [this, id] {
+                          shard_, [this, id] {
                             workload::Job& j = world_.job(id);
                             world_.cluster().set_vm_state(j.vm(), VmState::kSuspended);
                             world_.cluster().unplace_vm(j.vm());
@@ -367,7 +377,7 @@ void ActionExecutor::apply(const cluster::PlacementPlan& plan) {
     counts_.record(ActionType::kStartInstance);
     instance_pending_share_[vm_id] = cpu.get();
     instance_start_[vm_id] = engine_.schedule_in(
-        latencies_.start_instance, sim::EventPriority::kStateTransition, [this, vm_id] {
+        latencies_.start_instance, sim::EventPriority::kStateTransition, shard_, [this, vm_id] {
           auto& cl2 = world_.cluster();
           cl2.set_vm_state(vm_id, VmState::kRunning);
           const double want = instance_pending_share_[vm_id];

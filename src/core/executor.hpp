@@ -40,6 +40,11 @@ class ActionExecutor {
   /// finishes its work.
   void set_completion_callback(JobCompletionCallback cb) { on_completion_ = std::move(cb); }
 
+  /// Parallel-batch shard tag for every event this executor schedules
+  /// (transitions, completions, retries). Set by the owning controller;
+  /// all these events touch only this executor's World.
+  void set_shard(sim::ShardId shard) { shard_ = shard; }
+
   /// Converge toward `plan`. Called once per control cycle.
   void apply(const cluster::PlacementPlan& plan);
 
@@ -87,6 +92,7 @@ class ActionExecutor {
   sim::Engine& engine_;
   World& world_;
   cluster::ActionLatencies latencies_;
+  sim::ShardId shard_{sim::kNoShard};
   JobCompletionCallback on_completion_;
   cluster::ActionCounts counts_;
   cluster::ActionCounts counts_at_last_delta_;

@@ -463,8 +463,68 @@ SolverResult solve_placement(const PlacementProblem& problem, const SolverConfig
   };
   std::make_heap(heap.begin(), heap.end(), heap_after);
 
+  // Per-job node selection used to be a linear max-headroom scan — at
+  // macro scale (50+ nodes, thousands of placements per cycle) the
+  // O(jobs·nodes) product was the last super-linear term in a solve.
+  // Replace it with a lazy max-heap over (target_headroom desc, node
+  // index asc): popping visits nodes in exactly the order the strict-`>`
+  // index-order scan preferred them, so the first valid entry whose node
+  // fits the job's memory is the scan's answer, bit for bit. Entries are
+  // version-stamped; placing a job bumps its node's version and pushes a
+  // fresh entry, so every node has exactly one live entry and stale ones
+  // are discarded on pop. Valid-but-not-fitting pops are deferred to a
+  // side list and re-pushed after the pick (their keys are unchanged —
+  // only the chosen node mutates). Anyone who mutates a node's
+  // target_sum or cpu_cap mid-phase must bump-and-repush the same way.
+  struct SlotKey {
+    double headroom;
+    std::uint32_t index;
+    std::uint32_t version;
+  };
+  const auto slot_after = [](const SlotKey& a, const SlotKey& b) {
+    if (a.headroom != b.headroom) return a.headroom < b.headroom;  // max-heap on headroom
+    return a.index > b.index;                                      // then min on node index
+  };
+  std::vector<SlotKey> slot_heap;
+  std::vector<std::uint32_t> slot_version(nodes.size(), 0);
+  slot_heap.reserve(nodes.size() + 16);
+  for (std::size_t ni = 0; ni < nodes.size(); ++ni) {
+    slot_heap.push_back({nodes[ni].target_headroom(), static_cast<std::uint32_t>(ni), 0});
+  }
+  std::make_heap(slot_heap.begin(), slot_heap.end(), slot_after);
+  std::vector<SlotKey> deferred;  // valid pops that did not fit this job's memory
+
+  // The admission checks below need the fleet-wide max free memory per
+  // job; the shared lazy-rescan bound (max_mem_free above) would rescan
+  // all nodes after every placement, reintroducing the O(jobs·nodes)
+  // term. Phase 4 only ever *consumes* memory, so a lazy max-heap keyed
+  // by mem-free-at-push works: a stale top is refreshed in place (the
+  // smaller live value sinks) and each placement stales at most one
+  // entry, making the query O(log nodes) amortized.
+  std::vector<std::pair<double, std::uint32_t>> mem_heap;  // (mem_free at push, node index)
+  const auto mem_after = [](const std::pair<double, std::uint32_t>& a,
+                            const std::pair<double, std::uint32_t>& b) {
+    return a.first < b.first;
+  };
+  mem_heap.reserve(nodes.size());
+  for (std::size_t ni = 0; ni < nodes.size(); ++ni) {
+    mem_heap.emplace_back(nodes[ni].mem_free, static_cast<std::uint32_t>(ni));
+  }
+  std::make_heap(mem_heap.begin(), mem_heap.end(), mem_after);
+  const auto phase4_max_mem_free = [&]() -> double {
+    while (!mem_heap.empty()) {
+      const auto top = mem_heap.front();
+      const double live = nodes[top.second].mem_free;
+      if (live == top.first) return live;
+      std::pop_heap(mem_heap.begin(), mem_heap.end(), mem_after);
+      mem_heap.back() = {live, top.second};
+      std::push_heap(mem_heap.begin(), mem_heap.end(), mem_after);
+    }
+    return 0.0;
+  };
+
   while (!heap.empty()) {
-    if (max_mem_free() + kEps < min_waiting_mem) {
+    if (phase4_max_mem_free() + kEps < min_waiting_mem) {
       // Nothing left can be admitted anywhere.
       stats.jobs_waiting += static_cast<int>(heap.size());
       break;
@@ -477,19 +537,30 @@ SolverResult solve_placement(const PlacementProblem& problem, const SolverConfig
       ++stats.jobs_waiting;  // becomes a suspension downstream
       continue;
     }
-    if (max_mem_free() + kEps < job.memory.get()) {
-      ++stats.jobs_waiting;  // no node can hold it — skip the scan
+    if (phase4_max_mem_free() + kEps < job.memory.get()) {
+      ++stats.jobs_waiting;  // no node can hold it — skip the heap drain
       continue;
     }
     NodeScratch* best = nullptr;
-    double best_headroom = -std::numeric_limits<double>::max();
-    for (auto& ns : nodes) {
-      if (ns.mem_free + kEps < job.memory.get()) continue;
-      const double headroom = ns.target_headroom();
-      if (best == nullptr || headroom > best_headroom) {
-        best = &ns;
-        best_headroom = headroom;
+    std::uint32_t best_index = 0;
+    deferred.clear();
+    while (!slot_heap.empty()) {
+      std::pop_heap(slot_heap.begin(), slot_heap.end(), slot_after);
+      const SlotKey e = slot_heap.back();
+      slot_heap.pop_back();
+      if (e.version != slot_version[e.index]) continue;  // stale — drop for good
+      NodeScratch& ns = nodes[e.index];
+      if (ns.mem_free + kEps < job.memory.get()) {
+        deferred.push_back(e);  // still valid; re-admit after the pick
+        continue;
       }
+      best = &ns;
+      best_index = e.index;
+      break;
+    }
+    for (const SlotKey& e : deferred) {
+      slot_heap.push_back(e);
+      std::push_heap(slot_heap.begin(), slot_heap.end(), slot_after);
     }
     if (best == nullptr) {  // unreachable unless the cluster is empty
       ++stats.jobs_waiting;
@@ -508,6 +579,12 @@ SolverResult solve_placement(const PlacementProblem& problem, const SolverConfig
     r.seq = next_seq++;
     best->add_resident(r);
     fleet_mem_dirty = true;
+    // The placement changed this node's headroom (and memory): retire
+    // its live heap entry and push a fresh one. mem_heap self-heals on
+    // the next query (the stale top refreshes in place).
+    ++slot_version[best_index];
+    slot_heap.push_back({best->target_headroom(), best_index, slot_version[best_index]});
+    std::push_heap(slot_heap.begin(), slot_heap.end(), slot_after);
     // Landing back on its own node is not a migration (plan diff is a
     // plain resize there).
     if (w.was_running && best->id != job.current_node) ++stats.jobs_migrated;

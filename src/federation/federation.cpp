@@ -21,6 +21,12 @@ Domain& Federation::add_domain(std::string name, std::unique_ptr<core::Placement
   domains_.push_back(std::make_unique<Domain>(index, std::move(name), engine_, std::move(policy),
                                               latencies, config, auto_stagger));
   Domain& d = *domains_.back();
+  // Every effect of a domain's control cycle is confined to its own
+  // World, so tag its controller (and executor) with the domain index:
+  // same-timestamp cycles of distinct domains may then run concurrently
+  // under engine.threads>1. Cross-domain paths (migration manager,
+  // routing, faults) schedule their own events untagged and stay serial.
+  d.controller().set_shard(static_cast<sim::ShardId>(index));
   d.controller().set_observer([this, &d](const core::CycleReport& report) {
     if (observer_) observer_(d, report);
   });
@@ -132,13 +138,20 @@ void Federation::set_domain_weight(std::size_t i, double weight) {
 
 void Federation::resplit_demand() {
   // Re-split every app's demand under the current weights (one status
-  // snapshot serves all apps).
+  // snapshot serves all apps). Diffed: a domain whose share did not move
+  // keeps its trace view untouched — an identical-factor replacement
+  // would alias the same breakpoints anyway — so a weight event costs
+  // only the splits it actually changed. The scaled() views themselves
+  // are O(1) (shared breakpoints), not deep copies.
   const std::vector<DomainStatus> st = status(engine_.now());
   for (auto& app : apps_) {
-    app.shares = normalized_shares(app.spec, st);
+    std::vector<double> shares = normalized_shares(app.spec, st);
     for (auto& d : domains_) {
-      d->world().app_mut(app.spec.id).set_trace(app.trace.scaled(app.shares[d->index()]));
+      const std::size_t i = d->index();
+      if (shares[i] == app.shares[i]) continue;
+      d->world().app_mut(app.spec.id).set_trace(app.trace.scaled(shares[i]));
     }
+    app.shares = std::move(shares);
   }
 }
 

@@ -48,9 +48,11 @@ void PowerManager::start() {
   // manager) at each shared timestamp.
   tick_loop_ = [this] {
     tick();
-    engine_.schedule_in(options_.check_interval, sim::EventPriority::kPower, tick_loop_);
+    engine_.schedule_in(options_.check_interval, sim::EventPriority::kPower, options_.shard,
+                        tick_loop_);
   };
-  engine_.schedule_in(options_.check_interval, sim::EventPriority::kPower, tick_loop_);
+  engine_.schedule_in(options_.check_interval, sim::EventPriority::kPower, options_.shard,
+                      tick_loop_);
 }
 
 std::size_t PowerManager::parked_count() const {
@@ -157,7 +159,7 @@ void PowerManager::park_node(util::NodeId id) {
   // switches to the sleep draw when the park latency elapses.
   const std::size_t idx = id.get();
   engine_.schedule_in(util::Seconds{model_.park_latency_s}, sim::EventPriority::kPower,
-                      [this, id, idx] {
+                      options_.shard, [this, id, idx] {
                         cluster::Node& node = world_.cluster().node(id);
                         // A crash (fault injection) may have pre-empted the
                         // transition; the injector owns the node until recovery.
@@ -174,7 +176,7 @@ void PowerManager::wake_node(util::NodeId id) {
   // the wake latency elapses and the node rejoins placement.
   meter_.set_draw(id.get(), model_.active_w(pstate_), engine_.now());
   engine_.schedule_in(util::Seconds{model_.wake_latency_s}, sim::EventPriority::kPower,
-                      [this, id] {
+                      options_.shard, [this, id] {
                         cluster::Node& node = world_.cluster().node(id);
                         // See park_node: a crash mid-wake leaves the node to
                         // the fault injector.

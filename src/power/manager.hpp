@@ -46,6 +46,10 @@ struct PowerOptions {
   double cap_w{0.0};
   /// Never park below this many awake (active or waking) nodes.
   int min_active_nodes{1};
+  /// Parallel-batch shard for this manager's events (ticks, park/wake
+  /// completions). Federated runners set it to the domain index — all
+  /// effects stay inside this manager's World. kNoShard = serial.
+  sim::ShardId shard{sim::kNoShard};
 };
 
 /// Cumulative counters, sampled into the power_* metric series.

@@ -81,6 +81,7 @@ FederatedScenario federated_scenario_from_config(const util::Config& cfg) {
   fs.horizon_s = base.horizon_s;
   fs.sample_interval_s = base.sample_interval_s;
   fs.seed = base.seed;
+  fs.engine_threads = base.engine_threads;
   fs.router = k.str("router", "least-loaded");
   try {
     (void)federation::make_router(fs.router);
@@ -248,6 +249,8 @@ Scenario scenario_from_keyed(KeyedConfig& k) {
   s.seed = static_cast<std::uint64_t>(k.integer("seed", static_cast<long long>(defaults.seed)));
   s.horizon_s = k.num("horizon_s", defaults.horizon_s);
   s.sample_interval_s = k.num("sample_interval_s", defaults.sample_interval_s);
+  s.engine_threads = static_cast<int>(k.integer("engine.threads", defaults.engine_threads));
+  if (s.engine_threads < 1) throw util::ConfigError("engine.threads: must be >= 1");
 
   s.cluster.nodes = static_cast<int>(k.integer("nodes", defaults.cluster.nodes));
   s.cluster.cpu_per_node_mhz = k.num("cpu_per_node_mhz", defaults.cluster.cpu_per_node_mhz);

@@ -1,5 +1,6 @@
 #include "scenario/experiment.hpp"
 
+#include <cstdlib>
 #include <memory>
 #include <stdexcept>
 
@@ -38,8 +39,17 @@ PolicyKind policy_from_string(const std::string& name) {
   throw std::invalid_argument("unknown policy: " + name);
 }
 
+int effective_engine_threads(int configured) {
+  if (const char* env = std::getenv("HETEROPLACE_FORCE_THREADS")) {
+    const int forced = std::atoi(env);
+    if (forced >= 1) return forced;
+  }
+  return std::max(configured, 1);
+}
+
 ExperimentResult run_experiment(const Scenario& scenario, const ExperimentOptions& options) {
   sim::Engine engine;
+  engine.set_threads(static_cast<unsigned>(effective_engine_threads(scenario.engine_threads)));
   core::World world;
 
   // --- cluster & apps -------------------------------------------------------
@@ -73,6 +83,11 @@ ExperimentResult run_experiment(const Scenario& scenario, const ExperimentOption
   // --- controller & metrics ---------------------------------------------------
   core::ControllerConfig ctrl_cfg;
   ctrl_cfg.cycle = util::Seconds{scenario.controller.cycle_s};
+  // The one world is shard 0: a single-cluster run gains no concurrency
+  // from engine.threads > 1, but tagging keeps the batch machinery on
+  // the exact same code path the federated runner exercises (and the
+  // bit-identity pin non-vacuous).
+  ctrl_cfg.shard = 0;
   core::PlacementController controller(engine, world, std::move(policy),
                                        scenario.controller.latencies, ctrl_cfg);
 
@@ -99,8 +114,8 @@ ExperimentResult run_experiment(const Scenario& scenario, const ExperimentOption
   // the pre-power runner (pinned by tests/power_test.cpp).
   std::unique_ptr<power::PowerManager> power_mgr;
   if (scenario.power.enabled) {
-    power_mgr =
-        make_power_manager(engine, world, scenario.power, scenario.controller.cycle_s);
+    power_mgr = make_power_manager(engine, world, scenario.power, scenario.controller.cycle_s,
+                                   /*cap_w_override=*/-1.0, /*shard=*/0);
     // When a power tick lands on the same timestamp as a finished control
     // cycle, reuse the cycle's post-apply PlacementProblem skeleton
     // instead of rebuilding it from the world (identical by

@@ -47,6 +47,16 @@ struct ExperimentResult {
   ExperimentSummary summary;
 };
 
+/// Engine worker threads a runner should actually use for a scenario
+/// configured with `configured` (>= 1 after clamping). The environment
+/// variable HETEROPLACE_FORCE_THREADS, when set to an integer >= 1,
+/// overrides every scenario: CI's ThreadSanitizer job sets it to push
+/// the whole suite — whose scenarios default to engine.threads = 1 —
+/// through the parallel batch path. Safe by the engine's contract:
+/// threads = N is bit-identical to threads = 1, so forcing it cannot
+/// change any expected output.
+[[nodiscard]] int effective_engine_threads(int configured);
+
 /// Run `scenario` under `options` and collect results. Deterministic for
 /// a fixed (scenario.seed, options) pair.
 [[nodiscard]] ExperimentResult run_experiment(const Scenario& scenario,

@@ -44,6 +44,7 @@ FederatedScenario federate(const Scenario& single, int n_domains, const std::str
   fs.horizon_s = single.horizon_s;
   fs.sample_interval_s = single.sample_interval_s;
   fs.seed = single.seed;
+  fs.engine_threads = single.engine_threads;
 
   const int base = single.cluster.nodes / n_domains;
   const int remainder = single.cluster.nodes % n_domains;
@@ -64,6 +65,7 @@ FederatedResult run_federated_experiment(const FederatedScenario& fs,
     throw std::invalid_argument("run_federated_experiment: no domains");
   }
   sim::Engine engine;
+  engine.set_threads(static_cast<unsigned>(effective_engine_threads(fs.engine_threads)));
   // Declared before the federation: `fed` holds a probe into this vector
   // (set_power_probe below), so the vector must strictly outlive it.
   std::vector<std::unique_ptr<power::PowerManager>> power_mgrs;
@@ -219,7 +221,8 @@ FederatedResult run_federated_experiment(const FederatedScenario& fs,
     for (std::size_t i = 0; i < fed.domain_count(); ++i) {
       power_mgrs.push_back(make_power_manager(engine, fed.domain(i).world(), fs.power,
                                               fs.controller.cycle_s,
-                                              fs.domains[i].power_cap_w));
+                                              fs.domains[i].power_cap_w,
+                                              static_cast<sim::ShardId>(i)));
     }
     // Surface live per-domain draw in Federation::status so routers (and
     // future energy-aware policies) can observe it.
@@ -431,6 +434,9 @@ FederatedResult run_federated_experiment(const FederatedScenario& fs,
     const double span = end.get() * static_cast<double>(fed.domain_count());
     s.availability = span > 0.0 ? 1.0 - out.faults.downtime_s / span : 1.0;
   }
+  out.engine.events_executed = engine.events_executed();
+  out.engine.parallel_batches = engine.parallel_batches();
+  out.engine.batched_events = engine.batched_events();
   return out;
 }
 

@@ -9,6 +9,7 @@
 // tests/federation_test.cpp).
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -106,6 +107,11 @@ struct FederatedScenario {
   double horizon_s{0.0};
   double sample_interval_s{600.0};
   std::uint64_t seed{42};
+  /// Engine worker threads (see Scenario::engine_threads). Federated
+  /// runs are where N > 1 pays off: same-timestamp control cycles,
+  /// executor passes, and power ticks of distinct domains run
+  /// concurrently between deterministic merge barriers.
+  int engine_threads{1};
 };
 
 /// Throw util::ConfigError naming the offending key if the spec's
@@ -130,6 +136,17 @@ struct DomainResult {
   long jobs_routed{0};
 };
 
+/// Engine-level execution counters for one run. Diagnostic only — the
+/// result digest (scenario/result_digest) deliberately excludes them,
+/// because parallel_batches/batched_events legitimately differ between
+/// engine.threads = 1 (always zero) and N > 1 while the simulation
+/// output stays bit-identical.
+struct EngineStats {
+  std::uint64_t events_executed{0};
+  std::uint64_t parallel_batches{0};
+  std::uint64_t batched_events{0};
+};
+
 struct FederatedResult {
   std::vector<DomainResult> domains;
   /// Federation-aggregated samples (fed_* series: summed allocations,
@@ -145,6 +162,8 @@ struct FederatedResult {
   faults::DomainFaultStats faults;
   /// Mean time to repair over completed repairs (0 without faults).
   double fault_mttr_s{0.0};
+  /// Execution counters (excluded from the digest; see EngineStats).
+  EngineStats engine;
 };
 
 /// Run a federated scenario. Deterministic for a fixed (scenario, options)

@@ -28,9 +28,10 @@ void validate_power_spec(const PowerSpec& spec);
 /// Build a manager for `world` (cluster must already be populated).
 /// `cycle_s` supplies the default check interval when the spec leaves it
 /// at 0; `cap_w_override` >= 0 replaces the spec's cap (per-domain caps
-/// in federated runs), < 0 keeps it.
+/// in federated runs), < 0 keeps it. `shard` tags the manager's events
+/// for parallel batching (federated runs pass the domain index).
 [[nodiscard]] std::unique_ptr<power::PowerManager> make_power_manager(
     sim::Engine& engine, core::World& world, const PowerSpec& spec, double cycle_s,
-    double cap_w_override = -1.0);
+    double cap_w_override = -1.0, sim::ShardId shard = sim::kNoShard);
 
 }  // namespace heteroplace::scenario

@@ -1,0 +1,119 @@
+#include "scenario/result_digest.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+namespace heteroplace::scenario {
+
+namespace {
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+}
+
+void ResultDigest::fold(std::uint64_t bits) {
+  for (int i = 0; i < 8; ++i) {
+    hash_ ^= (bits >> (8 * i)) & 0xffu;
+    hash_ *= kFnvPrime;
+  }
+}
+
+void ResultDigest::fold(double v) { fold(std::bit_cast<std::uint64_t>(v)); }
+
+void ResultDigest::fold(long v) { fold(static_cast<std::uint64_t>(v)); }
+
+void ResultDigest::fold(const std::string& s) {
+  for (unsigned char c : s) {
+    hash_ ^= c;
+    hash_ *= kFnvPrime;
+  }
+  fold(static_cast<std::uint64_t>(s.size()));  // length-delimit
+}
+
+void ResultDigest::fold(const util::TimeSeries& series) {
+  fold(series.name());
+  fold(static_cast<std::uint64_t>(series.size()));
+  for (const auto& p : series.points()) {
+    fold(p.t);
+    fold(p.v);
+  }
+}
+
+void ResultDigest::fold(const util::TimeSeriesSet& set) {
+  std::vector<std::string> names = set.names();
+  std::sort(names.begin(), names.end());
+  fold(static_cast<std::uint64_t>(names.size()));
+  for (const std::string& name : names) fold(*set.find(name));
+}
+
+namespace {
+
+void fold_stats(ResultDigest& d, const util::RunningStats& s) {
+  d.fold(static_cast<std::uint64_t>(s.count()));
+  d.fold(s.mean());
+  d.fold(s.min());
+  d.fold(s.max());
+}
+
+void fold_summary(ResultDigest& d, const ExperimentSummary& s) {
+  d.fold(s.jobs_submitted);
+  d.fold(s.jobs_completed);
+  d.fold(s.goal_met_fraction);
+  fold_stats(d, s.completion_ratio);
+  fold_stats(d, s.job_utility);
+  fold_stats(d, s.tx_utility);
+  fold_stats(d, s.lr_utility);
+  fold_stats(d, s.equalization_gap);
+  d.fold(s.actions.starts);
+  d.fold(s.actions.suspends);
+  d.fold(s.actions.resumes);
+  d.fold(s.actions.migrations);
+  d.fold(s.actions.instance_starts);
+  d.fold(s.actions.instance_stops);
+  d.fold(s.actions.resizes);
+  d.fold(s.cycles);
+  d.fold(s.sim_end_time_s);
+  d.fold(s.invariant_violations);
+  d.fold(s.fault_node_crashes);
+  d.fold(s.fault_link_faults);
+  d.fold(s.fault_blackouts);
+  d.fold(s.jobs_reverted);
+  d.fold(s.jobs_lost_progress_s);
+  d.fold(s.fault_downtime_s);
+  d.fold(s.fault_mttr_s);
+  d.fold(s.availability);
+}
+
+}  // namespace
+
+std::uint64_t digest(const ExperimentResult& result) {
+  ResultDigest d;
+  d.fold(result.series);
+  fold_summary(d, result.summary);
+  return d.value();
+}
+
+std::uint64_t digest(const FederatedResult& result) {
+  ResultDigest d;
+  d.fold(static_cast<std::uint64_t>(result.domains.size()));
+  for (const DomainResult& dom : result.domains) {
+    d.fold(dom.name);
+    d.fold(dom.jobs_routed);
+    d.fold(dom.result.series);
+    fold_summary(d, dom.result.summary);
+  }
+  d.fold(result.series);
+  fold_summary(d, result.summary);
+  d.fold(result.migration.started);
+  d.fold(result.migration.completed);
+  d.fold(result.migration.cancelled);
+  d.fold(result.migration.bytes_moved_mb);
+  d.fold(result.migration.transfer_seconds);
+  d.fold(result.migration.queue_wait_seconds);
+  d.fold(result.faults.node_crashes);
+  d.fold(result.faults.link_faults);
+  d.fold(result.faults.blackouts);
+  d.fold(result.fault_mttr_s);
+  return d.value();
+}
+
+}  // namespace heteroplace::scenario

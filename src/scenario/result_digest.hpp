@@ -1,0 +1,48 @@
+#pragma once
+
+// Bit-exact run fingerprints.
+//
+// The parallel engine's contract is that engine.threads = N reproduces
+// the threads = 1 reference bit for bit. That claim is only as strong as
+// the comparison, so the determinism pins (tests/parallel_engine_test)
+// and the macro benchmark (bench/perf_macro) both fold a run's entire
+// output — every sampled series point and the headline summary counters
+// — into one 64-bit FNV-1a digest over the raw IEEE-754 bit patterns.
+// A single ULP of drift anywhere in any series changes the digest.
+
+#include <cstdint>
+#include <string>
+
+#include "scenario/experiment.hpp"
+#include "scenario/federation_experiment.hpp"
+#include "util/time_series.hpp"
+
+namespace heteroplace::scenario {
+
+/// Incremental 64-bit FNV-1a, folding values by their exact bit patterns
+/// (doubles via bit_cast, so -0.0 vs 0.0 and NaN payloads all count).
+class ResultDigest {
+ public:
+  void fold(std::uint64_t bits);
+  void fold(double v);
+  void fold(long v);
+  void fold(const std::string& s);
+  void fold(const util::TimeSeries& series);
+  /// Folds series in name-sorted order so insertion order (which may
+  /// legitimately differ between runner variants) does not contribute.
+  void fold(const util::TimeSeriesSet& set);
+
+  [[nodiscard]] std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_{0xcbf29ce484222325ULL};  // FNV offset basis
+};
+
+/// Digest a single-cluster run: all series plus the summary counters.
+[[nodiscard]] std::uint64_t digest(const ExperimentResult& result);
+
+/// Digest a federated run: per-domain series + summaries (in domain
+/// order) plus the federation-level series and summary.
+[[nodiscard]] std::uint64_t digest(const FederatedResult& result);
+
+}  // namespace heteroplace::scenario

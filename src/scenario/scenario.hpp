@@ -129,6 +129,10 @@ struct Scenario {
   /// Sampling period for the time-series recorder.
   double sample_interval_s{600.0};
   std::uint64_t seed{42};
+  /// Engine worker threads (config key engine.threads). 1 = the pinned
+  /// serial reference; N > 1 runs same-timestamp per-domain event
+  /// batches on a worker pool, bit-identical to 1 by construction.
+  int engine_threads{1};
 };
 
 /// The paper's Section 3 experiment: 25 nodes × 4 × 3000 MHz, 800

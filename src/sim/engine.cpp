@@ -1,16 +1,34 @@
 #include "sim/engine.hpp"
 
 #include <cassert>
+#include <limits>
 #include <stdexcept>
+#include <string>
+
+#include "sim/worker_pool.hpp"
 
 namespace heteroplace::sim {
 
-EventHandle Engine::schedule_at(util::Seconds t, EventPriority priority, EventCallback cb) {
+Engine::Engine() = default;
+Engine::~Engine() = default;
+
+EventHandle Engine::schedule_at(util::Seconds t, EventPriority priority, ShardId shard,
+                                EventCallback cb) {
   if (t.get() < now_) {
     throw std::invalid_argument("Engine::schedule_at: time " + std::to_string(t.get()) +
                                 " is in the past (now=" + std::to_string(now_) + ")");
   }
-  return queue_.push(t.get(), priority, std::move(cb));
+  return queue_.push(t.get(), priority, std::move(cb), shard);
+}
+
+void Engine::set_threads(unsigned n) {
+  if (n == 0) n = 1;
+  threads_ = n;
+  if (n <= 1) {
+    pool_.reset();
+    return;
+  }
+  if (!pool_ || pool_->threads() != n) pool_ = std::make_unique<WorkerPool>(n);
 }
 
 bool Engine::step() {
@@ -23,18 +41,88 @@ bool Engine::step() {
   return true;
 }
 
+bool Engine::parallel_step(double bound) {
+  if (queue_.empty()) return false;
+  if (queue_.next_time() > bound) return false;
+  const EventQueue::TopKey key = queue_.top_key();
+  if (key.shard == kNoShard) return step();
+
+  const std::size_t n = queue_.pop_batch(batch_cbs_, batch_shards_);
+  assert(n >= 1);
+  assert(key.time >= now_);
+  now_ = key.time;
+  executed_ += n;
+  if (n == 1) {
+    // Single sharded event: pop_batch already released it serial-style.
+    if (batch_cbs_[0]) batch_cbs_[0]();
+    return true;
+  }
+
+  // Group items by shard in first-seen (= pop) order; within a group
+  // the pop order is preserved, so same-shard events still execute in
+  // the exact serial sequence.
+  group_of_.clear();
+  n_groups_ = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto [it, inserted] = group_of_.try_emplace(batch_shards_[i], n_groups_);
+    if (inserted) {
+      if (groups_.size() <= n_groups_) groups_.emplace_back();
+      groups_[n_groups_].clear();
+      ++n_groups_;
+    }
+    groups_[it->second].push_back(i);
+  }
+
+  ++parallel_batches_;
+  batched_events_ += n;
+  queue_.begin_parallel(key.time, key.priority_bits);
+  try {
+    pool_->run(n_groups_, [this](std::size_t g) {
+      for (const std::size_t item : groups_[g]) {
+        queue_.bind_staging(item);
+        try {
+          if (batch_cbs_[item]) batch_cbs_[item]();
+        } catch (...) {
+          queue_.unbind_staging();
+          throw;
+        }
+        queue_.unbind_staging();
+      }
+    });
+  } catch (...) {
+    queue_.cancel_parallel();
+    throw;
+  }
+  queue_.end_parallel();
+  return true;
+}
+
 void Engine::run() {
-  stop_requested_ = false;
-  while (!stop_requested_ && step()) {
+  stop_requested_.store(false, std::memory_order_relaxed);
+  if (threads_ <= 1) {
+    while (!stop_requested_.load(std::memory_order_relaxed) && step()) {
+    }
+    return;
+  }
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  while (!stop_requested_.load(std::memory_order_relaxed) && parallel_step(kInf)) {
   }
 }
 
 void Engine::run_until(util::Seconds t_end) {
-  stop_requested_ = false;
-  while (!stop_requested_ && !queue_.empty() && queue_.next_time() <= t_end.get()) {
-    step();
+  stop_requested_.store(false, std::memory_order_relaxed);
+  if (threads_ <= 1) {
+    while (!stop_requested_.load(std::memory_order_relaxed) && !queue_.empty() &&
+           queue_.next_time() <= t_end.get()) {
+      step();
+    }
+  } else {
+    while (!stop_requested_.load(std::memory_order_relaxed) && parallel_step(t_end.get())) {
+    }
   }
-  if (!stop_requested_ && now_ < t_end.get()) now_ = t_end.get();
+  if (!stop_requested_.load(std::memory_order_relaxed) && now_ < t_end.get()) {
+    now_ = t_end.get();
+  }
 }
 
 }  // namespace heteroplace::sim

@@ -2,22 +2,39 @@
 
 // Discrete-event simulation engine.
 //
-// Single-threaded, deterministic: events fire in (time, priority, FIFO)
-// order; callbacks may schedule and cancel further events. Time is in
-// simulated seconds (util::Seconds at the API surface, raw double inside
-// the queue for speed).
+// Deterministic: events fire in (time, priority, FIFO) order; callbacks
+// may schedule and cancel further events. Time is in simulated seconds
+// (util::Seconds at the API surface, raw double inside the queue for
+// speed).
+//
+// threads=1 (the default) is the strictly single-threaded pinned
+// reference. threads=N>1 enables the parallel batch mode: a maximal run
+// of consecutive ready events sharing (time, priority) whose records
+// carry a ShardId is dispatched to a fixed worker pool — same-shard
+// events stay sequential in pop order, distinct shards run concurrently
+// — and their effects (staged pushes, cancels) merge at a deterministic
+// barrier in batch pop order. The result is bit-identical to threads=1;
+// schedules that cannot be reproduced bit-identically fail loudly with
+// std::logic_error (see event_queue.hpp). Untagged events (kNoShard)
+// always execute serially on the engine's thread.
 
+#include <atomic>
 #include <cstdint>
-#include <limits>
+#include <memory>
+#include <unordered_map>
+#include <vector>
 
 #include "sim/event_queue.hpp"
 #include "util/units.hpp"
 
 namespace heteroplace::sim {
 
+class WorkerPool;
+
 class Engine {
  public:
-  Engine() = default;
+  Engine();
+  ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -25,12 +42,30 @@ class Engine {
   [[nodiscard]] util::Seconds now() const { return util::Seconds{now_}; }
 
   /// Schedule at absolute simulated time `t` (must be >= now()).
-  EventHandle schedule_at(util::Seconds t, EventPriority priority, EventCallback cb);
+  EventHandle schedule_at(util::Seconds t, EventPriority priority, EventCallback cb) {
+    return schedule_at(t, priority, kNoShard, std::move(cb));
+  }
+
+  /// Sharded overload: tag the event for parallel batch execution. Only
+  /// events whose effects are confined to the shard (one domain's world,
+  /// controller, executor, power manager) may carry a tag.
+  EventHandle schedule_at(util::Seconds t, EventPriority priority, ShardId shard,
+                          EventCallback cb);
 
   /// Schedule `dt` seconds from now (dt >= 0).
   EventHandle schedule_in(util::Seconds dt, EventPriority priority, EventCallback cb) {
-    return schedule_at(util::Seconds{now_ + dt.get()}, priority, std::move(cb));
+    return schedule_at(util::Seconds{now_ + dt.get()}, priority, kNoShard, std::move(cb));
   }
+
+  EventHandle schedule_in(util::Seconds dt, EventPriority priority, ShardId shard,
+                          EventCallback cb) {
+    return schedule_at(util::Seconds{now_ + dt.get()}, priority, shard, std::move(cb));
+  }
+
+  /// Worker threads for batch execution; 1 = serial (pinned reference).
+  /// Must not be called while run()/run_until() is executing.
+  void set_threads(unsigned n);
+  [[nodiscard]] unsigned threads() const { return threads_; }
 
   /// Run until the event queue is empty or `stop()` is called.
   void run();
@@ -39,20 +74,43 @@ class Engine {
   /// Events exactly at t_end do fire.
   void run_until(util::Seconds t_end);
 
-  /// Fire exactly one event if any; returns false when the queue is empty.
+  /// Fire exactly one event if any; returns false when the queue is
+  /// empty. Always serial, regardless of threads().
   bool step();
 
-  /// Request that run()/run_until() return after the current callback.
-  void stop() { stop_requested_ = true; }
+  /// Request that run()/run_until() return after the current callback
+  /// (with threads>1: after the current batch). Safe from workers.
+  void stop() { stop_requested_.store(true, std::memory_order_relaxed); }
 
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
   [[nodiscard]] std::size_t events_pending() const { return queue_.live_size(); }
 
+  /// Batch-mode counters (0 when threads=1): batches dispatched to the
+  /// pool and events they contained.
+  [[nodiscard]] std::uint64_t parallel_batches() const { return parallel_batches_; }
+  [[nodiscard]] std::uint64_t batched_events() const { return batched_events_; }
+
  private:
+  /// One scheduling quantum in batch mode: either a serial step (top
+  /// event unsharded) or one batch. Returns false when the queue is
+  /// empty or the next event lies beyond `bound`.
+  bool parallel_step(double bound);
+
   EventQueue queue_;
   double now_{0.0};
   std::uint64_t executed_{0};
-  bool stop_requested_{false};
+  std::atomic<bool> stop_requested_{false};
+
+  unsigned threads_{1};
+  std::unique_ptr<WorkerPool> pool_;
+  std::uint64_t parallel_batches_{0};
+  std::uint64_t batched_events_{0};
+  // Per-batch scratch, reused across batches to avoid reallocation.
+  std::vector<EventCallback> batch_cbs_;
+  std::vector<ShardId> batch_shards_;
+  std::vector<std::vector<std::size_t>> groups_;  // item indices, pop order
+  std::size_t n_groups_{0};
+  std::unordered_map<ShardId, std::size_t> group_of_;
 };
 
 }  // namespace heteroplace::sim

@@ -22,17 +22,43 @@
 //    dereferenced two heap-allocated records per comparison.
 //  - Handles address records as (slot, generation); a freed slot bumps
 //    its generation, so stale handles fail in O(1) without shared
-//    ownership. Queue liveness is checked against a registry of live
-//    queues (see detail::queue_registry), so a handle that outlives its
-//    queue degrades safely instead of touching freed memory — without
-//    the per-push atomic refcounts a weak_ptr sentinel would cost.
+//    ownership. Queue liveness is checked against a process-wide pool of
+//    atomic liveness cells (see detail::QueueLiveness): each queue owns
+//    one cell holding its unique id for its lifetime, and a handle is
+//    dead unless one acquire-load of that cell still matches. This is
+//    lock-free, O(1), and — unlike the thread-local registry it
+//    replaced — correct when a handle is resolved or cancelled on a
+//    worker thread rather than the queue's owning thread.
 //
-// Like the rest of the simulator, a queue and its handles belong to
-// one thread; the registry is thread-local, so simulators on separate
-// threads are fully independent (as they were with the seed design).
+// Threading contract: outside a parallel batch (below) a queue belongs
+// to one thread at a time, and resolving a handle must not race the
+// queue's destruction (the liveness cell makes use-after-destruction
+// *detected* when the operations are ordered, not safe when they race).
+//
+// Parallel batch protocol (driven by sim::Engine when engine.threads>1):
+// events may carry a ShardId; a maximal run of consecutive ready events
+// with identical (time, priority) and a shard tag is popped as one batch
+// (pop_batch) and executed by a worker pool. During the batch
+// (begin_parallel .. end_parallel):
+//  - push from a worker is *staged*: the record is acquired immediately
+//    (from a per-worker slot cache, so the global mutex is touched once
+//    per kSlotCacheRefill pushes) and a valid handle returned, but the
+//    sequence number and heap insertion are deferred to end_parallel,
+//    which replays staged pushes in batch pop order — reproducing the
+//    exact sequence numbers a serial run would have assigned.
+//  - cancel/pending from a worker lock the queue mutex (mt_guard_ makes
+//    this zero-cost when no batch is running: one relaxed atomic load).
+//  - operations that cannot be made bit-identical to the serial
+//    schedule fail loudly with std::logic_error instead of diverging:
+//    staging an event at the batch timestamp with a *lower* priority
+//    (a serial run would interleave it mid-batch), and resolving or
+//    cancelling a handle that targets an event inside the currently
+//    executing batch (a serial run might not have popped it yet).
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -58,31 +84,28 @@ enum class EventPriority : int {
 
 using EventCallback = std::function<void()>;
 
+/// Shard tag for events whose effects are confined to one domain; the
+/// engine may execute same-(time, priority) events of *distinct* shards
+/// concurrently, and always executes same-shard events sequentially in
+/// pop order. Untagged events (kNoShard) are strictly serial.
+using ShardId = std::uint32_t;
+inline constexpr ShardId kNoShard = 0xffffffffu;
+
 class EventQueue;
 
 namespace detail {
-/// Live-queue registry: (queue address, unique queue id). A handle
-/// resolves its queue through this table, which makes it safe against
-/// both queue destruction and a new queue reusing the same address.
-/// The registry is thread-local, so independent simulators on separate
-/// threads share no state (no synchronization, no races); a handle
-/// resolved on a different thread than its queue's owner simply reports
-/// not-pending instead of touching foreign memory.
-struct QueueRegistry {
-  std::vector<std::pair<const EventQueue*, std::uint64_t>> live;
-  std::uint64_t next_id{1};
+/// Process-wide pool of queue-liveness cells. Each live queue owns one
+/// cell storing its unique id; destruction zeroes the cell and returns
+/// it to a freelist (cells are pooled forever — a few bytes per
+/// high-water queue count). Ids are never reused, so a recycled cell can
+/// never falsely revive a stale handle. The read side (EventHandle) is
+/// a single acquire load — no lock, valid from any thread.
+struct QueueLiveness {
+  std::atomic<std::uint64_t>* cell;
+  std::uint64_t id;
 
-  static QueueRegistry& instance() {
-    thread_local QueueRegistry reg;
-    return reg;
-  }
-
-  [[nodiscard]] bool alive(const EventQueue* q, std::uint64_t id) const {
-    for (const auto& [ptr, qid] : live) {
-      if (ptr == q) return qid == id;
-    }
-    return false;
-  }
+  static QueueLiveness acquire();
+  static void release(std::atomic<std::uint64_t>* cell);
 };
 }  // namespace detail
 
@@ -100,11 +123,16 @@ class EventHandle {
 
  private:
   friend class EventQueue;
-  EventHandle(EventQueue* queue, std::uint64_t queue_id, std::uint32_t slot,
-              std::uint32_t generation)
-      : queue_(queue), queue_id_(queue_id), slot_(slot), generation_(generation) {}
+  EventHandle(EventQueue* queue, const std::atomic<std::uint64_t>* live_cell,
+              std::uint64_t queue_id, std::uint32_t slot, std::uint32_t generation)
+      : queue_(queue),
+        live_cell_(live_cell),
+        queue_id_(queue_id),
+        slot_(slot),
+        generation_(generation) {}
 
   EventQueue* queue_{nullptr};
+  const std::atomic<std::uint64_t>* live_cell_{nullptr};
   std::uint64_t queue_id_{0};
   std::uint32_t slot_{0};
   std::uint32_t generation_{0};
@@ -118,7 +146,10 @@ class EventQueue {
   EventQueue& operator=(const EventQueue&) = delete;
 
   /// Schedule `cb` at absolute `time`. Ties broken by priority then FIFO.
-  EventHandle push(double time, EventPriority priority, EventCallback cb);
+  /// `shard` tags the event for the parallel batch protocol (see file
+  /// comment); kNoShard events never batch.
+  EventHandle push(double time, EventPriority priority, EventCallback cb,
+                   ShardId shard = kNoShard);
 
   /// True if no live (non-cancelled) events remain.
   [[nodiscard]] bool empty() const;
@@ -137,6 +168,46 @@ class EventQueue {
   [[nodiscard]] std::size_t live_size() const { return live_; }
   [[nodiscard]] std::uint64_t total_scheduled() const { return next_seq_; }
 
+  // --- Parallel batch protocol (engine-facing; see file comment) ---
+
+  /// Full ordering key + shard of the earliest live event.
+  /// Precondition: !empty().
+  struct TopKey {
+    double time;
+    std::uint16_t priority_bits;
+    ShardId shard;
+  };
+  [[nodiscard]] TopKey top_key() const;
+
+  /// Pop the maximal run of consecutive ready events sharing the top
+  /// (time, priority) whose records carry a shard tag, moving their
+  /// callbacks/shards out in pop order. Returns 0 without popping if the
+  /// top event is unsharded. A run of exactly one event is released
+  /// immediately (serial-identical semantics: the engine just runs the
+  /// callback); a run of two or more leaves the records in "executing"
+  /// state until end_parallel()/cancel_parallel().
+  std::size_t pop_batch(std::vector<EventCallback>& callbacks, std::vector<ShardId>& shards);
+
+  /// Enter the parallel region for the batch just popped (size >= 2):
+  /// arms the mutex guard, sizes the per-item staging buffers, and
+  /// pre-grows the slot slab so workers never reallocate it.
+  void begin_parallel(double batch_time, std::uint16_t batch_priority_bits);
+
+  /// Bind/unbind this thread's staged-push context to batch item `item`
+  /// (its index in pop order). Workers bracket each item's callback.
+  void bind_staging(std::size_t item);
+  void unbind_staging();
+
+  /// Leave the parallel region: replays staged pushes in batch pop
+  /// order (assigning the sequence numbers a serial run would have) and
+  /// releases the batch's records. Caller must have joined all workers.
+  void end_parallel();
+
+  /// Abort path of end_parallel() after a worker threw: releases all
+  /// batch + staged records without replaying. The queue stays valid
+  /// but the simulation state is torn; callers propagate the exception.
+  void cancel_parallel();
+
  private:
   friend class EventHandle;
 
@@ -144,13 +215,49 @@ class EventQueue {
   /// 48-bit sequence numbers leave 16 bits for the priority in the
   /// packed ordering word; ~2.8e14 events outlast any simulation.
   static constexpr std::uint64_t kSeqMask = (std::uint64_t{1} << 48) - 1;
+  /// Slots handed to a worker's staged-push cache per mutex acquisition.
+  static constexpr std::size_t kSlotCacheRefill = 64;
 
   struct Slot {
     EventCallback callback;
-    std::uint32_t generation{0};
+    /// Odd = acquired, even = free; a handle is live iff this still
+    /// equals the value captured at push. Atomic so a stale handle's
+    /// liveness probe from one worker never races another worker
+    /// acquiring the (recycled) slot — the only two fields such a probe
+    /// may touch are this and, when it matches, `cancelled`.
+    std::atomic<std::uint32_t> gen_state{0};
     std::uint32_t next_free{kNil};  // freelist link; kNil while in use
-    bool in_use{false};
+    ShardId shard{kNoShard};
     bool cancelled{false};
+    /// Acquired by a worker inside a parallel region; seq/heap insertion
+    /// deferred to the end_parallel() replay.
+    bool staged{false};
+    /// Member of the batch currently executing (popped, not yet
+    /// released). Handle operations on such a record fail loudly.
+    bool executing{false};
+
+    // The atomic deletes the implicit moves; slab growth only ever
+    // happens on the owning thread, where a plain copy of the counter
+    // is sound.
+    Slot() = default;
+    Slot(Slot&& o) noexcept
+        : callback(std::move(o.callback)),
+          gen_state(o.gen_state.load(std::memory_order_relaxed)),
+          next_free(o.next_free),
+          shard(o.shard),
+          cancelled(o.cancelled),
+          staged(o.staged),
+          executing(o.executing) {}
+    Slot& operator=(Slot&& o) noexcept {
+      callback = std::move(o.callback);
+      gen_state.store(o.gen_state.load(std::memory_order_relaxed), std::memory_order_relaxed);
+      next_free = o.next_free;
+      shard = o.shard;
+      cancelled = o.cancelled;
+      staged = o.staged;
+      executing = o.executing;
+      return *this;
+    }
   };
 
   /// Heap entry carrying the complete ordering key, so sifting never
@@ -166,16 +273,46 @@ class EventQueue {
     }
   };
 
+  struct StagedPush {
+    double time;
+    std::uint16_t priority_bits;
+    std::uint32_t slot;
+  };
+
+  /// Per-batch-item staging state. Exactly one worker runs a given item,
+  /// so no lock guards it; the slot cache amortizes freelist access.
+  struct ItemStaging {
+    std::vector<StagedPush> pushes;
+    std::vector<std::uint32_t> slot_cache;
+  };
+
+  struct TlsStaging {
+    EventQueue* queue{nullptr};
+    ItemStaging* item{nullptr};
+    double batch_time{0.0};
+    std::uint16_t batch_priority_bits{0};
+  };
+  static thread_local TlsStaging tls_staging_;  // defined in event_queue.cpp
+
   [[nodiscard]] std::uint32_t acquire_slot();
   void release_slot(std::uint32_t idx) const;
+  void free_list_push(std::uint32_t idx) const;
   void sift_up(std::size_t pos) const;
   void sift_down(std::size_t pos) const;
   void heap_remove_top() const;
   /// Free cancelled records at the heap top (lazy-deletion sweep).
   void drop_dead() const;
 
+  EventHandle staged_push(double time, EventPriority priority, EventCallback cb, ShardId shard);
+  void refill_slot_cache(std::vector<std::uint32_t>& cache);
+  void heap_insert(double time, std::uint16_t priority_bits, std::uint64_t seq,
+                   std::uint32_t slot);
+  void release_staging(bool replay);
+
   [[nodiscard]] bool handle_pending(std::uint32_t slot, std::uint32_t generation) const;
   bool handle_cancel(std::uint32_t slot, std::uint32_t generation);
+  [[nodiscard]] bool pending_impl(std::uint32_t slot, std::uint32_t generation) const;
+  bool cancel_impl(std::uint32_t slot, std::uint32_t generation);
 
   // The const query API (empty / next_time) performs the lazy-deletion
   // sweep, hence the mutable storage (same contract as the original
@@ -183,22 +320,38 @@ class EventQueue {
   mutable std::vector<Slot> slots_;
   mutable std::vector<HeapEntry> heap_;
   mutable std::uint32_t free_head_{kNil};
+  mutable std::size_t free_count_{0};
   /// Cancelled-but-unswept records. While zero (the common case between
   /// reschedule bursts) the lazy-deletion sweep skips its per-call slab
   /// probe entirely.
   mutable std::size_t dead_{0};
   std::size_t live_{0};
   std::uint64_t next_seq_{0};
+
+  std::atomic<std::uint64_t>* live_cell_{nullptr};
   std::uint64_t queue_id_{0};
+
+  // Parallel-region state. mt_guard_ is false except between
+  // begin_parallel and end_parallel; every handle/push path checks it
+  // with one relaxed load, so the serial paths above stay lock-free.
+  std::atomic<bool> mt_guard_{false};
+  mutable std::mutex mu_;
+  std::vector<std::uint32_t> batch_slots_;
+  std::vector<ItemStaging> staging_;
+  double batch_time_{0.0};
+  std::uint16_t batch_priority_bits_{0};
+  /// Largest staged-push count seen in one batch; begin_parallel sizes
+  /// the slot-slab spare from it so workers never grow the slab.
+  std::size_t staged_high_water_{0};
 };
 
 inline bool EventHandle::pending() const {
-  return queue_ != nullptr && detail::QueueRegistry::instance().alive(queue_, queue_id_) &&
+  return queue_ != nullptr && live_cell_->load(std::memory_order_acquire) == queue_id_ &&
          queue_->handle_pending(slot_, generation_);
 }
 
 inline bool EventHandle::cancel() {
-  if (queue_ == nullptr || !detail::QueueRegistry::instance().alive(queue_, queue_id_)) {
+  if (queue_ == nullptr || live_cell_->load(std::memory_order_acquire) != queue_id_) {
     return false;
   }
   return queue_->handle_cancel(slot_, generation_);

@@ -5,43 +5,66 @@
 
 namespace heteroplace::workload {
 
+void DemandTrace::materialize() {
+  auto owned = std::make_shared<std::vector<Point>>();
+  if (points_) {
+    owned->reserve(points_->size());
+    for (const Point& p : *points_) owned->push_back({p.from, p.rate * scale_});
+  }
+  points_ = std::move(owned);
+  scale_ = 1.0;
+}
+
 void DemandTrace::add(util::Seconds from, double rate) {
   if (rate < 0.0) throw std::invalid_argument("DemandTrace: negative rate");
-  if (!points_.empty() && from.get() < points_.back().from.get()) {
+  if (points_ && !points_->empty() && from.get() < points_->back().from.get()) {
     throw std::invalid_argument("DemandTrace: breakpoints must be nondecreasing in time");
   }
-  points_.push_back({from, rate});
+  if (!points_ || points_.use_count() > 1 || scale_ != 1.0) materialize();
+  points_->push_back({from, rate});
 }
 
 double DemandTrace::rate_at(util::Seconds t) const {
-  if (points_.empty()) return 0.0;
-  if (t.get() <= points_.front().from.get()) return points_.front().rate;
+  if (empty()) return 0.0;
+  const std::vector<Point>& pts = *points_;
+  if (t.get() <= pts.front().from.get()) return pts.front().rate * scale_;
   // Last point with from <= t.
   auto it = std::upper_bound(
-      points_.begin(), points_.end(), t.get(),
+      pts.begin(), pts.end(), t.get(),
       [](double lhs, const Point& p) { return lhs < p.from.get(); });
-  return std::prev(it)->rate;
+  return std::prev(it)->rate * scale_;
 }
 
 std::vector<util::Seconds> DemandTrace::change_times() const {
   std::vector<util::Seconds> out;
-  out.reserve(points_.size());
-  for (const auto& p : points_) out.push_back(p.from);
+  if (!points_) return out;
+  out.reserve(points_->size());
+  for (const auto& p : *points_) out.push_back(p.from);
   return out;
 }
 
 DemandTrace DemandTrace::scaled(double factor) const {
   if (factor < 0.0) throw std::invalid_argument("DemandTrace::scaled: negative factor");
   DemandTrace out;
-  out.points_.reserve(points_.size());
-  for (const auto& p : points_) out.points_.push_back({p.from, p.rate * factor});
+  if (!points_) return out;
+  if (scale_ != 1.0) {
+    out.points_ = points_;
+    out.scale_ = scale_;
+    out.materialize();
+  } else {
+    out.points_ = points_;  // O(1): alias the breakpoints
+  }
+  out.scale_ = factor;
   return out;
 }
 
 double DemandTrace::peak_rate() const {
+  if (!points_) return 0.0;
   double peak = 0.0;
-  for (const auto& p : points_) peak = std::max(peak, p.rate);
-  return peak;
+  // max(r·s) == max(r)·s for s >= 0 — and the same breakpoint attains
+  // both, so the product is the identical double either way.
+  for (const auto& p : *points_) peak = std::max(peak, p.rate);
+  return peak * scale_;
 }
 
 }  // namespace heteroplace::workload

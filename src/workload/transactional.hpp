@@ -8,6 +8,7 @@
 // node — and its response time depends on the *total* CPU the controller
 // grants across instances. SLA: mean response time below a goal T.
 
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -20,6 +21,15 @@ namespace heteroplace::workload {
 /// Piecewise-constant request-rate trace λ(t). Points are (from-time,
 /// rate); the rate holds until the next point. Rate before the first
 /// point is the first point's rate (so a single point means "constant").
+///
+/// Scaled views share their breakpoints: scaled() on an unscaled trace
+/// is O(1) — it aliases the point vector and records the factor, and
+/// rate_at applies it on read. The federation re-splits every app's
+/// demand across domains whenever a weight changes; with week-long
+/// traces (thousands of breakpoints) the per-resplit deep copies were
+/// the dominant cost of a weight event. Rates read bit-identically to a
+/// materialized copy: lookup returns stored_rate * factor, exactly the
+/// product the eager copy stored (and factor 1 is exact by IEEE-754).
 class DemandTrace {
  public:
   DemandTrace() = default;
@@ -27,10 +37,12 @@ class DemandTrace {
   explicit DemandTrace(double rate) { add(util::Seconds{0.0}, rate); }
 
   /// Add a (time, rate) breakpoint; times must be nondecreasing.
+  /// Copy-on-write: a trace sharing breakpoints with scaled siblings
+  /// materializes its own copy first.
   void add(util::Seconds from, double rate);
 
   [[nodiscard]] double rate_at(util::Seconds t) const;
-  [[nodiscard]] bool empty() const { return points_.empty(); }
+  [[nodiscard]] bool empty() const { return !points_ || points_->empty(); }
 
   /// Times at which the rate changes (for scheduling re-evaluation).
   [[nodiscard]] std::vector<util::Seconds> change_times() const;
@@ -38,9 +50,13 @@ class DemandTrace {
   /// Peak rate over the whole trace.
   [[nodiscard]] double peak_rate() const;
 
-  /// Copy of this trace with every rate multiplied by `factor` (>= 0).
+  /// View of this trace with every rate multiplied by `factor` (>= 0).
   /// The federation layer uses this to split one offered-load stream
   /// across controller domains; factor 1 reproduces the trace exactly.
+  /// O(1) on an unscaled trace. Rescaling an already-scaled view first
+  /// folds the old factor into a materialized copy, so the arithmetic
+  /// stays (r·s1)·s2 — bit-identical to scaling an eager copy — rather
+  /// than r·(s1·s2).
   [[nodiscard]] DemandTrace scaled(double factor) const;
 
  private:
@@ -48,7 +64,14 @@ class DemandTrace {
     util::Seconds from;
     double rate;
   };
-  std::vector<Point> points_;
+  /// Immutable once shared (use_count > 1): mutation goes through
+  /// materialize() so scaled siblings never observe a change.
+  std::shared_ptr<std::vector<Point>> points_;
+  double scale_{1.0};
+
+  /// Replace points_ with an owned copy holding rate * scale_, reset
+  /// scale_ to 1.
+  void materialize();
 };
 
 /// Static description of a transactional application and its SLA.
