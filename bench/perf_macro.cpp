@@ -42,6 +42,7 @@
 #include <omp.h>
 #endif
 
+#include "obs/profile.hpp"
 #include "scenario/federation_experiment.hpp"
 #include "scenario/result_digest.hpp"
 #include "scenario/scenario.hpp"
@@ -211,14 +212,17 @@ bool write_json(const std::string& path, const Shape& sh,
 int main(int argc, char** argv) {
   std::string out_dir = ".";
   bool smoke = false;
+  bool profile = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--out=", 6) == 0) {
       out_dir = arg + 6;
     } else if (std::strcmp(arg, "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(arg, "--profile") == 0) {
+      profile = true;
     } else {
-      std::fprintf(stderr, "usage: perf_macro [--out=DIR] [--smoke]\n");
+      std::fprintf(stderr, "usage: perf_macro [--out=DIR] [--smoke] [--profile]\n");
       return 2;
     }
   }
@@ -237,6 +241,10 @@ int main(int argc, char** argv) {
   for (int threads : sh.threads) {
     scenario::FederatedScenario fs = base;
     fs.engine_threads = threads;
+    // Per-phase wall-clock attribution (obs layer). Digest-excluded, so
+    // the bit-identity sweep below still holds with profiling on; the
+    // table answers where the serial spine's time goes at each width.
+    fs.obs.profile = profile;
     const auto t0 = std::chrono::steady_clock::now();
     const scenario::FederatedResult res = scenario::run_federated_experiment(fs);
     const auto t1 = std::chrono::steady_clock::now();
@@ -254,6 +262,9 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(c.engine.parallel_batches),
         static_cast<unsigned long long>(c.engine.batched_events), c.jobs_completed,
         static_cast<unsigned long long>(c.digest));
+    if (profile) {
+      std::printf("%s", obs::format_profile_report(res.profile).c_str());
+    }
     cases.push_back(c);
 
     if (c.digest != cases.front().digest) {

@@ -15,6 +15,8 @@
 // Build & run:   ./build/chaos_datacenter
 // Options:       --jobs=N --horizon=SECONDS --seed=N
 //                --node_mttf=S --node_mttr=S --checkpoint=S
+//                --trace=PATH (stream a Chrome trace-event JSON of the run;
+//                open in Perfetto) --metrics=PATH (Prometheus text snapshot)
 
 #include <iostream>
 
@@ -30,7 +32,8 @@ int main(int argc, char** argv) {
     cfg = util::Config::from_args(argc, argv);
   } catch (const util::ConfigError& e) {
     std::cerr << "usage: chaos_datacenter [--jobs=N] [--horizon=S] [--seed=N]"
-                 " [--node_mttf=S] [--node_mttr=S] [--checkpoint=S]\n"
+                 " [--node_mttf=S] [--node_mttr=S] [--checkpoint=S]"
+                 " [--trace=PATH] [--metrics=PATH]\n"
               << e.what() << "\n";
     return 1;
   }
@@ -80,6 +83,15 @@ int main(int argc, char** argv) {
   fs.faults.events.push_back({"link-down", 0, 0, 1, 200041.0, 400.0, 1.0});
   fs.faults.events.push_back({"link-down", 0, 0, 2, 200041.0, 700.0, 1.0});
   fs.faults.events.push_back({"blackout", 1, 0, 0, 350000.0, 7200.0, 1.0});
+
+  // Observability (opt-in): stream a full control-plane trace and dump a
+  // Prometheus metrics snapshot at end of run.
+  const std::string trace_path = cfg.get_string("trace", "");
+  if (!trace_path.empty()) {
+    fs.obs.trace = "stream";
+    fs.obs.trace_path = trace_path;
+  }
+  fs.obs.metrics_path = cfg.get_string("metrics", "");
 
   scenario::ExperimentOptions options;
   options.validate_invariants = true;
@@ -151,5 +163,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cout << "\nAll chaos self-checks passed.\n";
+  if (!trace_path.empty()) {
+    std::cout << "Trace written to " << trace_path << " (open in https://ui.perfetto.dev)\n";
+  }
+  if (!fs.obs.metrics_path.empty()) {
+    std::cout << "Metrics snapshot written to " << fs.obs.metrics_path << "\n";
+  }
   return 0;
 }

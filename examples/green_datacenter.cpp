@@ -15,6 +15,8 @@
 // Build & run:   ./build/green_datacenter
 // Options:       --nodes=N --jobs=N --seed=N --horizon=S
 //                --idle_timeout=S --wake_latency=S --cap=WATTS
+//                --trace=PATH (Chrome trace-event JSON of the idle-park run;
+//                open in Perfetto) --metrics=PATH (Prometheus text snapshot)
 
 #include <iomanip>
 #include <iostream>
@@ -31,7 +33,8 @@ int main(int argc, char** argv) {
     cfg = util::Config::from_args(argc, argv);
   } catch (const util::ConfigError& e) {
     std::cerr << "usage: green_datacenter [--nodes=N] [--jobs=N] [--seed=N] [--horizon=S]"
-                 " [--idle_timeout=S] [--wake_latency=S] [--cap=WATTS]\n"
+                 " [--idle_timeout=S] [--wake_latency=S] [--cap=WATTS]"
+                 " [--trace=PATH] [--metrics=PATH]\n"
               << e.what() << "\n";
     return 1;
   }
@@ -81,7 +84,15 @@ int main(int argc, char** argv) {
   const scenario::ExperimentResult base = scenario::run_experiment(always_on, options);
 
   // --- run 2: idle-park consolidation ----------------------------------------
+  // Observability (opt-in) instruments only this run, so the trace shows
+  // the park/wake transitions the example exists to demonstrate.
   s.power.policy = "idle-park";
+  const std::string trace_path = cfg.get_string("trace", "");
+  if (!trace_path.empty()) {
+    s.obs.trace = "stream";
+    s.obs.trace_path = trace_path;
+  }
+  s.obs.metrics_path = cfg.get_string("metrics", "");
   const scenario::ExperimentResult green = scenario::run_experiment(s, options);
 
   const double base_wh = base.series.find("energy_wh")->points().back().v;
@@ -109,5 +120,11 @@ int main(int argc, char** argv) {
   scenario::print_series_csv(std::cout, green.series,
                              {"power_w", "power_parked_nodes", "tx_utility", "jobs_running"},
                              /*every_nth=*/8);
+  if (!trace_path.empty()) {
+    std::cout << "\nTrace written to " << trace_path << " (open in https://ui.perfetto.dev)\n";
+  }
+  if (!s.obs.metrics_path.empty()) {
+    std::cout << "Metrics snapshot written to " << s.obs.metrics_path << "\n";
+  }
   return 0;
 }

@@ -15,6 +15,7 @@
 #include "core/executor.hpp"
 #include "core/policy.hpp"
 #include "core/world.hpp"
+#include "obs/context.hpp"
 #include "sim/engine.hpp"
 
 namespace heteroplace::core {
@@ -55,6 +56,11 @@ class PlacementController {
   }
 
   void set_observer(CycleObserver observer) { observer_ = std::move(observer); }
+
+  /// Attach observability (trace spans, cycle metrics, phase timers);
+  /// forwards to the policy and the executor. Call before start(); the
+  /// default (no call) keeps every emission site a dead branch.
+  void set_obs(const obs::ObsContext& ctx);
 
   [[nodiscard]] const ControllerConfig& config() const { return config_; }
 
@@ -114,6 +120,9 @@ class PlacementController {
   ActionExecutor executor_;
   ControllerConfig config_;
   CycleObserver observer_;
+  obs::ObsContext obs_;
+  obs::Counter* cycles_metric_{nullptr};
+  obs::Counter* missed_cycles_metric_{nullptr};
   long cycles_{0};
   long missed_cycles_{0};
   bool online_{true};

@@ -5,6 +5,8 @@
 #include <limits>
 #include <vector>
 
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace heteroplace::core {
@@ -65,6 +67,10 @@ void ActionExecutor::on_job_finished(util::JobId job_id) {
   }
   job.set_node(util::NodeId{});
   job_rt_.erase(job_id);
+  if (obs_.trace != nullptr) {
+    obs_.trace->instant(obs_.pid, obs::Lane::kExecutor, "job_completed", engine_.now().get(),
+                        {{"job", static_cast<double>(job_id.get())}});
+  }
   if (on_completion_) on_completion_(job);
 }
 
@@ -105,6 +111,11 @@ void ActionExecutor::start_job(workload::Job& job, util::NodeId node, util::CpuM
   world_.cluster().set_vm_state(job.vm(), VmState::kStarting);
   job.set_phase(engine_.now(), JobPhase::kStarting);
   counts_.record(ActionType::kStartJob);
+  if (obs_.trace != nullptr) {
+    obs_.trace->instant(obs_.pid, obs::Lane::kExecutor, "job_start", engine_.now().get(),
+                        {{"job", static_cast<double>(job.id().get())},
+                         {"node", static_cast<double>(node.get())}});
+  }
   JobRuntime& rt = job_rt_[job.id()];
   rt.pending_share = cpu.get();
   const util::JobId id = job.id();
@@ -133,6 +144,11 @@ void ActionExecutor::resume_job(workload::Job& job, util::NodeId node, util::Cpu
   world_.cluster().set_vm_state(job.vm(), VmState::kResuming);
   job.set_phase(engine_.now(), JobPhase::kResuming);
   counts_.record(ActionType::kResumeJob);
+  if (obs_.trace != nullptr) {
+    obs_.trace->instant(obs_.pid, obs::Lane::kExecutor, "job_resume", engine_.now().get(),
+                        {{"job", static_cast<double>(job.id().get())},
+                         {"node", static_cast<double>(node.get())}});
+  }
   JobRuntime& rt = job_rt_[job.id()];
   rt.pending_share = cpu.get();
   const util::JobId id = job.id();
@@ -163,6 +179,11 @@ bool ActionExecutor::migrate_job(workload::Job& job, util::NodeId node, util::Cp
   job.set_phase(engine_.now(), JobPhase::kMigrating);
   job.count_migrate();
   counts_.record(ActionType::kMigrateJob);
+  if (obs_.trace != nullptr) {
+    obs_.trace->instant(obs_.pid, obs::Lane::kExecutor, "job_migrate", engine_.now().get(),
+                        {{"job", static_cast<double>(job.id().get())},
+                         {"node", static_cast<double>(node.get())}});
+  }
   rt.pending_share = cpu.get();
   const util::JobId id = job.id();
   rt.transition = engine_.schedule_in(latencies_.migrate_job, sim::EventPriority::kStateTransition,
@@ -181,6 +202,10 @@ void ActionExecutor::suspend_job(workload::Job& job) {
   job.set_phase(engine_.now(), JobPhase::kSuspending);
   job.count_suspend();
   counts_.record(ActionType::kSuspendJob);
+  if (obs_.trace != nullptr) {
+    obs_.trace->instant(obs_.pid, obs::Lane::kExecutor, "job_suspend", engine_.now().get(),
+                        {{"job", static_cast<double>(job.id().get())}});
+  }
   const util::JobId id = job.id();
   rt.transition =
       engine_.schedule_in(latencies_.suspend_job, sim::EventPriority::kStateTransition,
@@ -219,6 +244,14 @@ void ActionExecutor::forget_instance(util::VmId vm) {
 void ActionExecutor::apply(const cluster::PlacementPlan& plan) {
   const util::Seconds now = engine_.now();
   auto& cl = world_.cluster();
+  const obs::ScopedTimer apply_timer(obs_.profiler, obs::Phase::kExecutorApply);
+  obs::TraceRecorder* const tr = obs_.trace;
+  const cluster::ActionCounts before = counts_;
+  if (tr != nullptr) {
+    tr->begin(obs_.pid, obs::Lane::kExecutor, "apply", now.get(),
+              {{"planned_jobs", static_cast<double>(plan.jobs.size())},
+               {"planned_instances", static_cast<double>(plan.instances.size())}});
+  }
 
   // Index the desired state.
   std::map<util::JobId, cluster::DesiredJobPlacement> desired_jobs;
@@ -237,6 +270,7 @@ void ActionExecutor::apply(const cluster::PlacementPlan& plan) {
   }
 
   // ---- Pass 1: suspends and instance stops --------------------------------
+  if (tr != nullptr) tr->begin(obs_.pid, obs::Lane::kExecutor, "pass1_release", now.get());
   for (workload::Job* job : world_.active_jobs()) {
     if (job->phase() == JobPhase::kRunning && desired_jobs.count(job->id()) == 0) {
       suspend_job(*job);
@@ -256,6 +290,10 @@ void ActionExecutor::apply(const cluster::PlacementPlan& plan) {
     cl.set_vm_state(vm_id, VmState::kStopped);
     cl.unplace_vm(vm_id);
     counts_.record(ActionType::kStopInstance);
+  }
+  if (tr != nullptr) {
+    tr->end(obs_.pid, obs::Lane::kExecutor, "pass1_release", now.get());
+    tr->begin(obs_.pid, obs::Lane::kExecutor, "pass2_resize", now.get());
   }
 
   // ---- Pass 2: resizes (shrink first, then grow) --------------------------
@@ -323,6 +361,12 @@ void ActionExecutor::apply(const cluster::PlacementPlan& plan) {
   };
   for (const auto& r : shrinks) apply_resize(r);
   for (const auto& r : grows) apply_resize(r);
+  if (tr != nullptr) {
+    tr->end(obs_.pid, obs::Lane::kExecutor, "pass2_resize", now.get(),
+            {{"shrinks", static_cast<double>(shrinks.size())},
+             {"grows", static_cast<double>(grows.size())}});
+    tr->begin(obs_.pid, obs::Lane::kExecutor, "pass3_migrate", now.get());
+  }
 
   // ---- Pass 3: migrations ---------------------------------------------------
   // Fixpoint loop: a move can be blocked on memory another move is about
@@ -351,6 +395,11 @@ void ActionExecutor::apply(const cluster::PlacementPlan& plan) {
     }
   }
   for (util::JobId id : moves) suspend_job(world_.job(id));
+  if (tr != nullptr) {
+    tr->end(obs_.pid, obs::Lane::kExecutor, "pass3_migrate", now.get(),
+            {{"stranded", static_cast<double>(moves.size())}});
+    tr->begin(obs_.pid, obs::Lane::kExecutor, "pass4_start", now.get());
+  }
 
   // ---- Pass 4: starts and resumes -------------------------------------------
   for (workload::Job* job : world_.active_jobs()) {
@@ -388,6 +437,14 @@ void ActionExecutor::apply(const cluster::PlacementPlan& plan) {
           instance_start_.erase(vm_id);
           instance_pending_share_.erase(vm_id);
         });
+  }
+  if (tr != nullptr) {
+    tr->end(obs_.pid, obs::Lane::kExecutor, "pass4_start", now.get());
+    tr->end(obs_.pid, obs::Lane::kExecutor, "apply", now.get(),
+            {{"suspends", static_cast<double>(counts_.suspends - before.suspends)},
+             {"migrations", static_cast<double>(counts_.migrations - before.migrations)},
+             {"starts", static_cast<double>(counts_.starts + counts_.resumes - before.starts -
+                                            before.resumes)}});
   }
 }
 

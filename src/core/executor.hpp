@@ -22,6 +22,7 @@
 #include "cluster/actions.hpp"
 #include "cluster/placement.hpp"
 #include "core/world.hpp"
+#include "obs/context.hpp"
 #include "sim/engine.hpp"
 
 namespace heteroplace::core {
@@ -44,6 +45,10 @@ class ActionExecutor {
   /// (transitions, completions, retries). Set by the owning controller;
   /// all these events touch only this executor's World.
   void set_shard(sim::ShardId shard) { shard_ = shard; }
+
+  /// Attach observability (apply-pass spans, per-action instants).
+  /// Forwarded by PlacementController::set_obs.
+  void set_obs(const obs::ObsContext& ctx) { obs_ = ctx; }
 
   /// Converge toward `plan`. Called once per control cycle.
   void apply(const cluster::PlacementPlan& plan);
@@ -93,6 +98,7 @@ class ActionExecutor {
   World& world_;
   cluster::ActionLatencies latencies_;
   sim::ShardId shard_{sim::kNoShard};
+  obs::ObsContext obs_;
   JobCompletionCallback on_completion_;
   cluster::ActionCounts counts_;
   cluster::ActionCounts counts_at_last_delta_;

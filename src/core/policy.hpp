@@ -13,6 +13,7 @@
 #include "cluster/placement.hpp"
 #include "core/placement_solver.hpp"
 #include "core/world.hpp"
+#include "obs/context.hpp"
 #include "util/units.hpp"
 
 namespace heteroplace::core {
@@ -60,6 +61,11 @@ class PlacementPolicy {
   /// live cluster state: drop warm-start state carried across cycles —
   /// the world may have changed arbitrarily while the policy was blind.
   virtual void on_resync() {}
+
+  /// Attach observability (forwarded by PlacementController::set_obs).
+  /// Policies that trace their solve phases override this; the default
+  /// keeps baselines emission-free.
+  virtual void set_obs(const obs::ObsContext& /*ctx*/) {}
 
   [[nodiscard]] virtual std::string name() const = 0;
 };

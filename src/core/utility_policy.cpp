@@ -2,7 +2,20 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+
 namespace heteroplace::core {
+
+void UtilityDrivenPolicy::set_obs(const obs::ObsContext& ctx) {
+  obs_ = ctx;
+  if (obs_.metrics != nullptr) {
+    eq_iterations_metric_ = &obs_.metrics->histogram(
+        "controller_equalizer_iterations", "Bisection iterations per equalize call",
+        {1.0, 2.0, 4.0, 8.0, 16.0, 32.0}, obs_.labels);
+  }
+}
 
 PlacementProblem build_problem_skeleton(const World& world) {
   PlacementProblem problem;
@@ -53,8 +66,11 @@ PlacementProblem build_problem_skeleton(const World& world) {
 
 PolicyOutput UtilityDrivenPolicy::decide(const World& world, util::Seconds now) {
   PolicyOutput out;
+  obs::TraceRecorder* const tr = obs_.trace;
+  const double t = now.get();
 
   // --- 1. consumers: one per active job, one per transactional app --------
+  if (tr != nullptr) obs_.trace->begin(obs_.pid, obs::Lane::kController, "consumers", t);
   const auto jobs = world.active_jobs();
   std::vector<JobConsumer> job_consumers;
   job_consumers.reserve(jobs.size());
@@ -75,19 +91,42 @@ PolicyOutput UtilityDrivenPolicy::decide(const World& world, util::Seconds now) 
   consumers.reserve(job_consumers.size() + tx_consumers.size());
   for (const auto& c : job_consumers) consumers.push_back(&c);
   for (const auto& c : tx_consumers) consumers.push_back(&c);
+  if (tr != nullptr) {
+    tr->end(obs_.pid, obs::Lane::kController, "consumers", t,
+            {{"consumers", static_cast<double>(consumers.size())}});
+  }
 
   // --- 2. equalize hypothetical utility ------------------------------------
   // Parked capacity is not real capacity: the equalizer divides what the
   // solver can actually place (bit-identical to total_capacity when the
   // power subsystem is idle or disabled).
+  if (tr != nullptr) tr->begin(obs_.pid, obs::Lane::kController, "equalize", t);
   const util::CpuMhz capacity = world.cluster().placeable_capacity().cpu;
-  const EqualizeResult eq = equalize(consumers, capacity, eq_options_, &eq_state_);
+  EqualizeResult eq;
+  {
+    const obs::ScopedTimer timer(obs_.profiler, obs::Phase::kPolicyEqualize);
+    eq = equalize(consumers, capacity, eq_options_, &eq_state_);
+  }
+  if (tr != nullptr) {
+    tr->end(obs_.pid, obs::Lane::kController, "equalize", t,
+            {{"u_star", eq.u_star},
+             {"iterations", static_cast<double>(eq.iterations)},
+             {"contended", eq.contended ? 1.0 : 0.0}});
+  }
+  if (eq_iterations_metric_ != nullptr) {
+    eq_iterations_metric_->observe(static_cast<double>(eq.iterations));
+  }
 
   out.diag.u_star = eq.u_star;
   out.diag.contended = eq.contended;
 
   // --- 3. assemble the discrete problem ------------------------------------
-  PlacementProblem problem = build_problem_skeleton(world);
+  if (tr != nullptr) tr->begin(obs_.pid, obs::Lane::kController, "build_problem", t);
+  PlacementProblem problem;
+  {
+    const obs::ScopedTimer timer(obs_.profiler, obs::Phase::kPolicyBuildProblem);
+    problem = build_problem_skeleton(world);
+  }
 
   double jobs_demand = 0.0;
   double jobs_target = 0.0;
@@ -122,8 +161,26 @@ PolicyOutput UtilityDrivenPolicy::decide(const World& world, util::Seconds now) 
     out.diag.apps.push_back(diag);
   }
 
+  if (tr != nullptr) {
+    tr->end(obs_.pid, obs::Lane::kController, "build_problem", t,
+            {{"nodes", static_cast<double>(problem.nodes.size())},
+             {"jobs", static_cast<double>(problem.jobs.size())},
+             {"apps", static_cast<double>(problem.apps.size())}});
+  }
+
   // --- 4. discrete placement ------------------------------------------------
-  SolverResult solved = solve_placement(problem, solver_config_);
+  if (tr != nullptr) tr->begin(obs_.pid, obs::Lane::kController, "solve", t);
+  SolverResult solved;
+  {
+    const obs::ScopedTimer timer(obs_.profiler, obs::Phase::kPolicySolve);
+    solved = solve_placement(problem, solver_config_);
+  }
+  if (tr != nullptr) {
+    tr->end(obs_.pid, obs::Lane::kController, "solve", t,
+            {{"jobs_placed", static_cast<double>(solved.stats.jobs_placed)},
+             {"jobs_migrated", static_cast<double>(solved.stats.jobs_migrated)},
+             {"instances_added", static_cast<double>(solved.stats.instances_added)}});
+  }
   out.plan = std::move(solved.plan);
   out.diag.solver = solved.stats;
   return out;

@@ -32,6 +32,7 @@ class UtilityDrivenPolicy final : public PlacementPolicy {
 
   [[nodiscard]] PolicyOutput decide(const World& world, util::Seconds now) override;
   void on_resync() override { eq_state_ = EqualizerState{}; }
+  void set_obs(const obs::ObsContext& ctx) override;
   [[nodiscard]] std::string name() const override { return "utility-driven"; }
 
   [[nodiscard]] const utility::JobUtilityModel& job_model() const { return *job_model_; }
@@ -44,6 +45,8 @@ class UtilityDrivenPolicy final : public PlacementPolicy {
   EqualizerOptions eq_options_;
   EqualizerState eq_state_;  // previous-cycle u* for warm starts
   LambdaProvider lambda_provider_;
+  obs::ObsContext obs_;
+  obs::Histogram* eq_iterations_metric_{nullptr};
 };
 
 /// Build the solver's PlacementProblem from world state. Exposed for

@@ -9,10 +9,21 @@
 #include "core/world.hpp"
 #include "federation/federation.hpp"
 #include "migration/manager.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "power/manager.hpp"
 #include "sim/engine.hpp"
 
 namespace heteroplace::faults {
+
+void FaultInjector::set_obs(const obs::ObsContext& ctx) {
+  obs_ = ctx;
+  if (obs_.metrics != nullptr) {
+    faults_metric_ =
+        &obs_.metrics->counter("faults_injected_total", "Fault windows fired (not recoveries)");
+  }
+}
 
 FaultInjector::FaultInjector(sim::Engine& engine, std::vector<DomainHooks> hooks,
                              FaultSchedule schedule, FaultOptions options)
@@ -95,6 +106,14 @@ void FaultInjector::start() {
 }
 
 void FaultInjector::fire_fault(const FaultWindow& w) {
+  const obs::ScopedTimer timer(obs_.profiler, obs::Phase::kFaultEvent);
+  if (faults_metric_ != nullptr) faults_metric_->inc();
+  if (obs_.trace != nullptr) {
+    obs_.trace->instant(obs_.pid, obs::Lane::kFaults, to_string(w.kind), engine_.now().get(),
+                        {{"domain", static_cast<double>(w.domain)},
+                         {"node", static_cast<double>(w.node)},
+                         {"severity", w.severity}});
+  }
   switch (w.kind) {
     case FaultKind::kNodeCrash: crash_node(w); break;
     case FaultKind::kLinkFault: fail_link(w); break;
@@ -103,6 +122,13 @@ void FaultInjector::fire_fault(const FaultWindow& w) {
 }
 
 void FaultInjector::fire_recovery(const FaultWindow& w) {
+  const obs::ScopedTimer timer(obs_.profiler, obs::Phase::kFaultEvent);
+  if (obs_.trace != nullptr) {
+    obs_.trace->instant(obs_.pid, obs::Lane::kFaults, "recovery", engine_.now().get(),
+                        {{"domain", static_cast<double>(w.domain)},
+                         {"node", static_cast<double>(w.node)},
+                         {"kind", static_cast<double>(static_cast<int>(w.kind))}});
+  }
   switch (w.kind) {
     case FaultKind::kNodeCrash: recover_node(w); break;
     case FaultKind::kLinkFault: restore_link(w); break;

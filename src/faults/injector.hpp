@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "faults/fault_schedule.hpp"
+#include "obs/context.hpp"
 #include "util/ids.hpp"
 #include "util/units.hpp"
 
@@ -117,6 +118,10 @@ class FaultInjector {
   /// Required when the schedule contains link faults. Set before start().
   void set_migration(migration::MigrationManager* migration) { migration_ = migration; }
 
+  /// Attach observability: one instant per fault/recovery on the global
+  /// pid's faults lane, per-event timing, and an injected-faults counter.
+  void set_obs(const obs::ObsContext& ctx);
+
   /// Schedule every fault window (and the periodic checkpoint tick) on
   /// the engine. Call once, after the worlds are populated.
   void start();
@@ -170,6 +175,8 @@ class FaultInjector {
   FaultOptions options_;
   federation::Federation* fed_{nullptr};
   migration::MigrationManager* migration_{nullptr};
+  obs::ObsContext obs_;
+  obs::Counter* faults_metric_{nullptr};
   std::vector<DomainState> state_;
   /// Last periodic checkpoint per job (MHz·s of completed work).
   std::map<util::JobId, double> checkpoints_;

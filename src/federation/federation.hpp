@@ -23,6 +23,7 @@
 
 #include "federation/domain.hpp"
 #include "federation/router.hpp"
+#include "obs/context.hpp"
 
 namespace heteroplace::federation {
 
@@ -101,6 +102,12 @@ class Federation {
 
   void set_cycle_observer(CycleObserver observer) { observer_ = std::move(observer); }
 
+  /// Attach observability to the federation's own (serial, cross-domain)
+  /// decision points: job routing, weight changes, demand re-splits. The
+  /// context's pid should be the global lane (0); per-domain controller
+  /// contexts are attached separately by the experiment runner.
+  void set_obs(const obs::ObsContext& ctx);
+
   /// Probe for per-domain outbound migration-transfer queue depth,
   /// registered by the migration manager (its LinkScheduler owns the
   /// link pools). When set, status() fills
@@ -150,6 +157,8 @@ class Federation {
   std::vector<FederatedApp> apps_;
   std::map<util::JobId, std::size_t> job_domain_;  // global job registry
   CycleObserver observer_;
+  obs::ObsContext obs_;
+  obs::Counter* routed_jobs_metric_{nullptr};
   TransferQueueProbe transfer_queue_probe_;
   PowerProbe power_probe_;
   WeightObserver weight_observer_;

@@ -7,6 +7,9 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace heteroplace::migration {
@@ -14,6 +17,24 @@ namespace heteroplace::migration {
 namespace {
 using workload::JobPhase;
 }  // namespace
+
+void MigrationManager::set_obs(const obs::ObsContext& ctx) {
+  obs_ = ctx;
+  if (obs_.metrics != nullptr) {
+    started_metric_ = &obs_.metrics->counter("migration_moves_started_total",
+                                             "Cross-domain moves initiated");
+    completed_metric_ = &obs_.metrics->counter("migration_moves_completed_total",
+                                               "Cross-domain moves attached at destination");
+  }
+}
+
+void MigrationManager::trace_flight_end(util::JobId id, const char* outcome) {
+  if (obs_.trace == nullptr) return;
+  const double t = fed_.engine().now().get();
+  obs_.trace->instant(obs_.pid, obs::Lane::kMigration, outcome, t,
+                      {{"job", static_cast<double>(id.get())}});
+  obs_.trace->async_end(obs_.pid, obs::Lane::kMigration, "migration", id.get(), t);
+}
 
 MigrationManager::MigrationManager(federation::Federation& fed, TransferModel model,
                                    std::unique_ptr<MigrationPolicy> policy,
@@ -68,6 +89,7 @@ void MigrationManager::start() {
 }
 
 void MigrationManager::tick() {
+  const obs::ScopedTimer tick_timer(obs_.profiler, obs::Phase::kMigrationTick);
   const util::Seconds now = fed_.engine().now();
   // Congestion re-scoring (opt-in): when a pool has a backlog, let cheap
   // images overtake expensive ones — the queue analog of kCost selection.
@@ -102,11 +124,21 @@ void MigrationManager::execute(const MigrationRequest& req) {
   if (job.held()) return;
 
   const util::Seconds now = fed_.engine().now();
+  const auto trace_start = [&] {
+    if (started_metric_ != nullptr) started_metric_->inc();
+    if (obs_.trace != nullptr) {
+      obs_.trace->async_begin(obs_.pid, obs::Lane::kMigration, "migration", req.job.get(),
+                              now.get(),
+                              {{"from", static_cast<double>(req.from)},
+                               {"to", static_cast<double>(req.to)}});
+    }
+  };
   switch (job.phase()) {
     case JobPhase::kPending: {
       // Never started: nothing to checkpoint, re-route instantly.
       ++stats_.started;
       ++stats_.in_flight;
+      trace_start();
       job.set_held(true);
       flights_.emplace(req.job, Flight{req.from, req.to, MigrationStage::kCheckpointed,
                                        checkpoint_job(job, req.from, now)});
@@ -119,6 +151,7 @@ void MigrationManager::execute(const MigrationRequest& req) {
       // action accounting — the modeled checkpoint cost).
       ++stats_.started;
       ++stats_.in_flight;
+      trace_start();
       job.set_held(true);
       core::ActionExecutor& exec = fed_.domain(req.from).controller().executor();
       exec.suspend_job_for_migration(req.job);
@@ -131,6 +164,7 @@ void MigrationManager::execute(const MigrationRequest& req) {
     case JobPhase::kSuspended: {
       ++stats_.started;
       ++stats_.in_flight;
+      trace_start();
       job.set_held(true);
       flights_.emplace(req.job, Flight{req.from, req.to, MigrationStage::kCheckpointed,
                                        checkpoint_job(job, req.from, now)});
@@ -150,6 +184,7 @@ void MigrationManager::begin_transfer(util::JobId id) {
   core::World& world = fed_.domain(flight.from).world();
   if (!world.job_exists(id)) {
     flights_.erase(it);
+    trace_flight_end(id, "move_orphaned");
     return;
   }
   workload::Job& job = world.job(id);
@@ -164,6 +199,7 @@ void MigrationManager::begin_transfer(util::JobId id) {
       ++stats_.cancelled;
       --stats_.in_flight;
       flights_.erase(it);
+      trace_flight_end(id, "move_aborted");
       return;
     }
     if (job.phase() != JobPhase::kSuspended) {
@@ -179,6 +215,7 @@ void MigrationManager::begin_transfer(util::JobId id) {
       job.set_held(false);
       --stats_.in_flight;
       flights_.erase(it);
+      trace_flight_end(id, "move_aborted");
       return;
     }
     flight.ckpt = checkpoint_job(job, flight.from, fed_.engine().now());
@@ -221,6 +258,13 @@ void MigrationManager::submit_flight(util::JobId id) {
   flight.transfer_id = grant.id;
   flight.transfer_s = grant.transfer_s;
   transfer_jobs_.emplace(grant.id, id);
+  if (obs_.trace != nullptr) {
+    obs_.trace->instant(obs_.pid, obs::Lane::kMigration, "transfer_submit",
+                        fed_.engine().now().get(),
+                        {{"job", static_cast<double>(id.get())},
+                         {"image_mb", flight.ckpt.image_size.get()},
+                         {"transfer_s", grant.transfer_s}});
+  }
 }
 
 void MigrationManager::on_domain_recovered(std::size_t domain) {
@@ -280,6 +324,7 @@ void MigrationManager::land_back_at_source(util::JobId id, bool roll_back_stats)
   fed_.attach_job(flight.from, std::move(job));
   ++stats_.cancelled;
   --stats_.in_flight;
+  trace_flight_end(id, "move_landed_back");
 }
 
 void MigrationManager::schedule_retry(util::JobId id) {
@@ -296,6 +341,13 @@ void MigrationManager::schedule_retry(util::JobId id) {
       options_.retry_backoff_s * std::pow(2.0, static_cast<double>(flight.attempts)),
       options_.retry_backoff_max_s);
   ++flight.attempts;
+  if (obs_.trace != nullptr) {
+    obs_.trace->instant(obs_.pid, obs::Lane::kMigration, "transfer_retry_wait",
+                        fed_.engine().now().get(),
+                        {{"job", static_cast<double>(id.get())},
+                         {"attempt", static_cast<double>(flight.attempts)},
+                         {"backoff_s", backoff}});
+  }
   flight.retry = fed_.engine().schedule_in(util::Seconds{backoff}, sim::EventPriority::kMigration,
                                            [this, id] { retry_transfer(id); });
 }
@@ -361,6 +413,8 @@ void MigrationManager::complete_transfer(util::JobId id) {
   fed_.attach_job(flight.to, std::move(job));
   ++stats_.completed;
   --stats_.in_flight;
+  if (completed_metric_ != nullptr) completed_metric_->inc();
+  trace_flight_end(id, "move_completed");
 }
 
 }  // namespace heteroplace::migration

@@ -27,6 +27,7 @@
 #include "migration/link_scheduler.hpp"
 #include "migration/policy.hpp"
 #include "migration/transfer_model.hpp"
+#include "obs/context.hpp"
 
 namespace heteroplace::migration {
 
@@ -105,6 +106,12 @@ class MigrationManager {
   /// One policy evaluation right now (tests / manual stepping).
   void tick();
 
+  /// Attach observability: one async trace span per move (suspend →
+  /// checkpoint → transfer → attach arc, keyed by job id on the global
+  /// pid's migration lane), instants for retries/failbacks, tick timing,
+  /// and started/completed counters.
+  void set_obs(const obs::ObsContext& ctx);
+
   [[nodiscard]] MigrationStats stats() const {
     MigrationStats out = stats_;
     out.queue_wait_seconds = scheduler_.total_queue_wait_s();
@@ -163,8 +170,14 @@ class MigrationManager {
   void schedule_retry(util::JobId id);
   void retry_transfer(util::JobId id);
 
+  /// Close a flight's async trace span ("migration", keyed by job id).
+  void trace_flight_end(util::JobId id, const char* outcome);
+
   federation::Federation& fed_;
   LinkScheduler scheduler_;
+  obs::ObsContext obs_;
+  obs::Counter* started_metric_{nullptr};
+  obs::Counter* completed_metric_{nullptr};
   std::unique_ptr<MigrationPolicy> policy_;
   MigrationOptions options_;
   MigrationStats stats_;

@@ -1,0 +1,36 @@
+#pragma once
+
+// The handle subsystems hold on the observability layer. A default
+// ObsContext (all null) is the obs-off state: every emission site guards on
+// the pointer, so disabled observability is branch-per-site cheap and the
+// obs-off output stays bit-identical.
+
+#include <cstdint>
+#include <string>
+
+namespace heteroplace::obs {
+
+class TraceRecorder;
+class MetricsRegistry;
+class Profiler;
+class Counter;
+class Gauge;
+class Histogram;
+
+struct ObsContext {
+  TraceRecorder* trace{nullptr};
+  MetricsRegistry* metrics{nullptr};
+  Profiler* profiler{nullptr};
+  /// Chrome trace pid for this subsystem's events: 0 = the global/serial
+  /// spine (router, migration manager, fault injector), i+1 = domain i.
+  std::uint32_t pid{0};
+  /// Pre-rendered Prometheus label text for this domain's instruments,
+  /// e.g. `domain="dc0"`; empty for global instruments.
+  std::string labels;
+
+  [[nodiscard]] bool any() const {
+    return trace != nullptr || metrics != nullptr || profiler != nullptr;
+  }
+};
+
+}  // namespace heteroplace::obs

@@ -1,0 +1,310 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace heteroplace::obs {
+
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (const char c : name) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+void atomic_add(std::atomic<double>& a, double d) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+  }
+}
+
+std::string format_double(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string format_le(double bound) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", bound);
+  return buf;
+}
+
+std::string escape_help(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (const char c : help) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+std::string json_string(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += "\\\"";
+    else if (c == '\\') out += "\\\\";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// "name" + label text -> name{labels,extra} sample name.
+std::string sample_name(const std::string& name, const std::string& labels,
+                        const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return name;
+  std::string out = name + "{" + labels;
+  if (!labels.empty() && !extra.empty()) out += ",";
+  out += extra;
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+void Gauge::add(double d) { atomic_add(v_, d); }
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) throw std::invalid_argument("histogram needs at least one bucket bound");
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (!std::isfinite(bounds_[i])) {
+      throw std::invalid_argument("histogram bucket bounds must be finite (+Inf is implicit)");
+    }
+    if (i > 0 && bounds_[i] <= bounds_[i - 1]) {
+      throw std::invalid_argument("histogram bucket bounds must be strictly increasing");
+    }
+  }
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+MetricsRegistry::Family& MetricsRegistry::family(const std::string& name, Type type,
+                                                 const std::string& help) {
+  if (!valid_metric_name(name)) {
+    throw std::invalid_argument("invalid metric name '" + name + "'");
+  }
+  const auto [it, inserted] = families_.try_emplace(name);
+  if (inserted) {
+    it->second.type = type;
+    it->second.help = help;
+  } else if (it->second.type != type) {
+    throw std::invalid_argument("metric '" + name + "' already registered with a different type");
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const std::string& help,
+                                  const std::string& labels) {
+  Family& fam = family(name, Type::kCounter, help);
+  auto& slot = fam.counters[labels];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              const std::string& labels) {
+  Family& fam = family(name, Type::kGauge, help);
+  auto& slot = fam.gauges[labels];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, const std::string& help,
+                                      std::vector<double> bounds, const std::string& labels) {
+  Family& fam = family(name, Type::kHistogram, help);
+  auto& slot = fam.histograms[labels];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  } else if (slot->bounds() != bounds) {
+    throw std::invalid_argument("histogram '" + name +
+                                "' already registered with different bucket bounds");
+  }
+  return *slot;
+}
+
+std::string MetricsRegistry::prometheus_text() const {
+  std::ostringstream os;
+  for (const auto& [name, fam] : families_) {
+    if (!fam.help.empty()) os << "# HELP " << name << " " << escape_help(fam.help) << "\n";
+    switch (fam.type) {
+      case Type::kCounter: {
+        os << "# TYPE " << name << " counter\n";
+        for (const auto& [labels, c] : fam.counters) {
+          os << sample_name(name, labels) << " " << c->value() << "\n";
+        }
+        break;
+      }
+      case Type::kGauge: {
+        os << "# TYPE " << name << " gauge\n";
+        for (const auto& [labels, g] : fam.gauges) {
+          os << sample_name(name, labels) << " " << format_double(g->value()) << "\n";
+        }
+        break;
+      }
+      case Type::kHistogram: {
+        os << "# TYPE " << name << " histogram\n";
+        for (const auto& [labels, h] : fam.histograms) {
+          const std::vector<std::uint64_t> counts = h->bucket_counts();
+          std::uint64_t cum = 0;
+          for (std::size_t i = 0; i < h->bounds().size(); ++i) {
+            cum += counts[i];
+            os << sample_name(name + "_bucket", labels,
+                              "le=\"" + format_le(h->bounds()[i]) + "\"")
+               << " " << cum << "\n";
+          }
+          cum += counts.back();
+          os << sample_name(name + "_bucket", labels, "le=\"+Inf\"") << " " << cum << "\n";
+          os << sample_name(name + "_sum", labels) << " " << format_double(h->sum()) << "\n";
+          os << sample_name(name + "_count", labels) << " " << h->count() << "\n";
+        }
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::json() const {
+  std::ostringstream os;
+  os << "{";
+  bool first_fam = true;
+  for (const auto& [name, fam] : families_) {
+    if (!first_fam) os << ",";
+    first_fam = false;
+    os << "\n" << json_string(name) << ":{\"type\":\"";
+    os << (fam.type == Type::kCounter ? "counter"
+                                      : fam.type == Type::kGauge ? "gauge" : "histogram");
+    os << "\",\"help\":" << json_string(fam.help) << ",\"samples\":[";
+    bool first_sample = true;
+    auto sep = [&] {
+      if (!first_sample) os << ",";
+      first_sample = false;
+    };
+    switch (fam.type) {
+      case Type::kCounter:
+        for (const auto& [labels, c] : fam.counters) {
+          sep();
+          os << "{\"labels\":" << json_string(labels) << ",\"value\":" << c->value() << "}";
+        }
+        break;
+      case Type::kGauge:
+        for (const auto& [labels, g] : fam.gauges) {
+          sep();
+          os << "{\"labels\":" << json_string(labels) << ",\"value\":";
+          const double v = g->value();
+          if (std::isfinite(v)) os << format_double(v);
+          else os << "null";
+          os << "}";
+        }
+        break;
+      case Type::kHistogram:
+        for (const auto& [labels, h] : fam.histograms) {
+          sep();
+          os << "{\"labels\":" << json_string(labels) << ",\"bounds\":[";
+          for (std::size_t i = 0; i < h->bounds().size(); ++i) {
+            if (i > 0) os << ",";
+            os << format_double(h->bounds()[i]);
+          }
+          // Cumulative counts, matching the Prometheus _bucket samples; the
+          // final entry is the +Inf bucket (== count).
+          os << "],\"cumulative_counts\":[";
+          const std::vector<std::uint64_t> counts = h->bucket_counts();
+          std::uint64_t cum = 0;
+          for (std::size_t i = 0; i < counts.size(); ++i) {
+            if (i > 0) os << ",";
+            cum += counts[i];
+            os << cum;
+          }
+          os << "],\"sum\":";
+          if (std::isfinite(h->sum())) os << format_double(h->sum());
+          else os << "null";
+          os << ",\"count\":" << h->count() << "}";
+        }
+        break;
+    }
+    os << "]}";
+  }
+  os << "\n}\n";
+  return os.str();
+}
+
+std::map<std::string, double> parse_prometheus_text(const std::string& text) {
+  std::map<std::string, double> out;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    // Sample line: name[{labels}] value
+    std::size_t i = 0;
+    auto fail = [&](const std::string& why) {
+      throw std::invalid_argument("prometheus text line " + std::to_string(line_no) + ": " + why +
+                                  ": " + line);
+    };
+    while (i < line.size() && line[i] != ' ' && line[i] != '{') ++i;
+    if (i == 0) fail("missing sample name");
+    std::string name = line.substr(0, i);
+    if (!valid_metric_name(name)) fail("invalid sample name");
+    if (i < line.size() && line[i] == '{') {
+      // Copy label text verbatim through the matching '}', honoring quotes.
+      const std::size_t open = i;
+      bool in_quote = false;
+      for (++i; i < line.size(); ++i) {
+        const char c = line[i];
+        if (in_quote) {
+          if (c == '\\') ++i;  // skip escaped char
+          else if (c == '"') in_quote = false;
+        } else if (c == '"') {
+          in_quote = true;
+        } else if (c == '}') {
+          break;
+        }
+      }
+      if (i >= line.size()) fail("unterminated label set");
+      name += line.substr(open, i - open + 1);
+      ++i;
+    }
+    while (i < line.size() && line[i] == ' ') ++i;
+    if (i >= line.size()) fail("missing value");
+    const char* start = line.c_str() + i;
+    char* endp = nullptr;
+    const double v = std::strtod(start, &endp);
+    if (endp == start) fail("unparsable value");
+    out[name] = v;
+  }
+  return out;
+}
+
+}  // namespace heteroplace::obs

@@ -1,0 +1,91 @@
+#pragma once
+
+// Wall-clock profiling hooks: per-subsystem-phase timers answering the
+// ROADMAP's serial-spine Amdahl question (where does macro-scale wall time
+// go — controller solve? migration manager? the merge barrier?).
+//
+// Wall-clock durations are machine-dependent, so like sim::EngineTiming and
+// the EngineStats block they are kept strictly out of result_digest: the
+// ProfileReport rides on ExperimentResult/FederatedResult as diagnostics
+// only, and a null Profiler* makes every hook a no-op so unprofiled runs
+// pay nothing.
+//
+// All counters are relaxed atomics: ScopedTimer runs inside parallel batch
+// items on worker threads (e.g. per-domain controller cycles).
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace heteroplace::obs {
+
+enum class Phase : int {
+  kControllerCycle = 0,  // whole control cycle (includes the phases below)
+  kPolicyEqualize,       // phase 2: utility equalization
+  kPolicyBuildProblem,   // phase 3: placement-problem construction
+  kPolicySolve,          // phase 4: placement solver
+  kExecutorApply,        // action-plan application
+  kMigrationTick,        // migration-manager tick
+  kPowerTick,            // power-manager tick
+  kFaultEvent,           // fault injection / recovery events
+  kSampling,             // metrics sampling callbacks
+  kCount
+};
+[[nodiscard]] const char* phase_name(Phase p);
+
+struct ProfileEntry {
+  std::string name;
+  std::uint64_t calls{0};
+  std::uint64_t total_ns{0};
+};
+
+/// Flat per-run profile: phases in a fixed order, engine rows appended by
+/// the runners from sim::EngineTiming. Diagnostics only — digest-excluded.
+using ProfileReport = std::vector<ProfileEntry>;
+
+class Profiler {
+ public:
+  void add(Phase p, std::uint64_t ns, std::uint64_t calls = 1) {
+    const auto i = static_cast<std::size_t>(p);
+    ns_[i].fetch_add(ns, std::memory_order_relaxed);
+    calls_[i].fetch_add(calls, std::memory_order_relaxed);
+  }
+
+  /// Phases with at least one call, in enum order.
+  [[nodiscard]] ProfileReport report() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, static_cast<std::size_t>(Phase::kCount)> ns_{};
+  std::array<std::atomic<std::uint64_t>, static_cast<std::size_t>(Phase::kCount)> calls_{};
+};
+
+/// RAII phase timer; a null profiler makes construction and destruction
+/// each a single branch.
+class ScopedTimer {
+ public:
+  ScopedTimer(Profiler* profiler, Phase phase) : profiler_(profiler), phase_(phase) {
+    if (profiler_ != nullptr) t0_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (profiler_ == nullptr) return;
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0_)
+                        .count();
+    profiler_->add(phase_, static_cast<std::uint64_t>(ns));
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Profiler* profiler_;
+  Phase phase_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+/// Render a report as an aligned text table (perf_macro, examples).
+[[nodiscard]] std::string format_profile_report(const ProfileReport& report);
+
+}  // namespace heteroplace::obs

@@ -1,0 +1,330 @@
+#include "obs/trace.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <ostream>
+#include <stdexcept>
+
+namespace heteroplace::obs {
+
+namespace {
+
+// One recorder may be bound to a worker thread at a time (the engine owns a
+// single observer). The binding routes emissions made during a batch item to
+// that item's staging buffer.
+struct TlsBinding {
+  const TraceRecorder* recorder{nullptr};
+  std::vector<TraceEvent>* buf{nullptr};
+};
+thread_local TlsBinding t_binding;
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+void write_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";  // JSON has no NaN/Inf
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+}  // namespace
+
+TraceMode trace_mode_from_string(const std::string& s) {
+  if (s == "off") return TraceMode::kOff;
+  if (s == "ring") return TraceMode::kRing;
+  if (s == "stream") return TraceMode::kStream;
+  throw std::invalid_argument("unknown trace mode '" + s + "' (expected off|ring|stream)");
+}
+
+const char* lane_name(Lane lane) {
+  switch (lane) {
+    case Lane::kEngine:
+      return "engine";
+    case Lane::kController:
+      return "controller";
+    case Lane::kExecutor:
+      return "executor";
+    case Lane::kRouter:
+      return "router";
+    case Lane::kMigration:
+      return "migration";
+    case Lane::kPower:
+      return "power";
+    case Lane::kFaults:
+      return "faults";
+    case Lane::kWorkload:
+      return "workload";
+    case Lane::kCount:
+      break;
+  }
+  return "?";
+}
+
+bool TraceEvent::operator==(const TraceEvent& o) const {
+  if (ts_s != o.ts_s || id != o.id || pid != o.pid || tid != o.tid || phase != o.phase ||
+      n_args != o.n_args) {
+    return false;
+  }
+  if (std::strcmp(name, o.name) != 0) return false;
+  for (std::uint8_t i = 0; i < n_args; ++i) {
+    if (std::strcmp(args[i].key, o.args[i].key) != 0 || args[i].value != o.args[i].value) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TraceRecorder::TraceRecorder(const Options& opts) : opts_(opts) {
+  if (opts_.mode == TraceMode::kRing) {
+    if (opts_.ring_capacity == 0) throw std::invalid_argument("trace ring capacity must be > 0");
+    ring_.resize(opts_.ring_capacity);
+  } else if (opts_.mode == TraceMode::kStream) {
+    if (opts_.path.empty()) throw std::invalid_argument("stream trace mode requires a path");
+    out_.open(opts_.path, std::ios::trunc);
+    if (!out_) throw std::runtime_error("cannot open trace path '" + opts_.path + "' for writing");
+    out_ << "{\"traceEvents\":[";
+    stream_buf_.reserve(8192);
+  }
+}
+
+TraceRecorder::~TraceRecorder() {
+  try {
+    finish();
+  } catch (...) {
+    // Destructor must not throw; finish() is normally called explicitly.
+  }
+}
+
+void TraceRecorder::set_process_name(std::uint32_t pid, std::string name) {
+  process_names_[pid] = std::move(name);
+}
+
+void TraceRecorder::emit(std::uint32_t pid, Lane lane, char phase, const char* name,
+                         std::uint64_t id, double t_s, std::initializer_list<TraceArg> args) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.ts_s = t_s;
+  ev.id = id;
+  ev.name = name;
+  ev.pid = pid;
+  ev.tid = static_cast<std::uint8_t>(lane);
+  ev.phase = phase;
+  ev.n_args = 0;
+  for (const TraceArg& a : args) {
+    if (ev.n_args >= 3) break;
+    ev.args[ev.n_args++] = a;
+  }
+  if (t_binding.recorder == this && t_binding.buf != nullptr) {
+    // Worker-side: stage per batch item; merged in pop order at the barrier.
+    t_binding.buf->push_back(ev);
+    return;
+  }
+  append_main(ev);
+}
+
+void TraceRecorder::append_main(const TraceEvent& ev) {
+  note_lane(ev.pid, static_cast<Lane>(ev.tid));
+  if (opts_.mode == TraceMode::kRing) {
+    if (ring_size_ == ring_.size()) ++dropped_;
+    else ++ring_size_;
+    ring_[ring_next_] = ev;
+    ring_next_ = (ring_next_ + 1) % ring_.size();
+    return;
+  }
+  stream_buf_.push_back(ev);
+  ++streamed_;
+  if (stream_buf_.size() >= 8192) flush_stream_buffer();
+}
+
+void TraceRecorder::note_lane(std::uint32_t pid, Lane lane) {
+  lanes_seen_[pid] |= 1u << static_cast<unsigned>(lane);
+}
+
+void TraceRecorder::instant(std::uint32_t pid, Lane lane, const char* name, double t_s,
+                            std::initializer_list<TraceArg> args) {
+  emit(pid, lane, 'i', name, 0, t_s, args);
+}
+
+void TraceRecorder::begin(std::uint32_t pid, Lane lane, const char* name, double t_s,
+                          std::initializer_list<TraceArg> args) {
+  emit(pid, lane, 'B', name, 0, t_s, args);
+}
+
+void TraceRecorder::end(std::uint32_t pid, Lane lane, const char* name, double t_s,
+                        std::initializer_list<TraceArg> args) {
+  emit(pid, lane, 'E', name, 0, t_s, args);
+}
+
+void TraceRecorder::async_begin(std::uint32_t pid, Lane lane, const char* name, std::uint64_t id,
+                                double t_s, std::initializer_list<TraceArg> args) {
+  emit(pid, lane, 'b', name, id, t_s, args);
+}
+
+void TraceRecorder::async_end(std::uint32_t pid, Lane lane, const char* name, std::uint64_t id,
+                              double t_s, std::initializer_list<TraceArg> args) {
+  emit(pid, lane, 'e', name, id, t_s, args);
+}
+
+void TraceRecorder::on_serial_event(double time, int priority) {
+  if (!opts_.engine_lane) return;
+  instant(0, Lane::kEngine, "dispatch", time,
+          {{"priority", static_cast<double>(priority)}});
+}
+
+void TraceRecorder::on_batch_begin(double time, int priority, std::size_t items,
+                                   std::size_t groups) {
+  if (staging_.size() < items) staging_.resize(items);
+  for (std::size_t i = 0; i < items; ++i) staging_[i].clear();
+  batch_active_ = true;
+  if (opts_.engine_lane) {
+    instant(0, Lane::kEngine, "batch", time,
+            {{"priority", static_cast<double>(priority)},
+             {"items", static_cast<double>(items)},
+             {"groups", static_cast<double>(groups)}});
+  }
+}
+
+void TraceRecorder::on_batch_item_begin(std::size_t item) {
+  t_binding.recorder = this;
+  t_binding.buf = &staging_[item];
+}
+
+void TraceRecorder::on_batch_item_end() { t_binding = TlsBinding{}; }
+
+void TraceRecorder::on_batch_end(double time) {
+  // Merge barrier: replay worker-side emissions in batch pop order — the
+  // exact order the same callbacks produce them at threads=1.
+  for (std::vector<TraceEvent>& buf : staging_) {
+    for (const TraceEvent& ev : buf) append_main(ev);
+    buf.clear();
+  }
+  batch_active_ = false;
+  if (opts_.engine_lane) instant(0, Lane::kEngine, "merge_barrier", time);
+}
+
+std::size_t TraceRecorder::recorded() const {
+  return opts_.mode == TraceMode::kRing ? ring_size_ : static_cast<std::size_t>(streamed_);
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::vector<TraceEvent> out;
+  if (opts_.mode != TraceMode::kRing) return out;
+  out.reserve(ring_size_);
+  const std::size_t cap = ring_.size();
+  const std::size_t start = (ring_next_ + cap - ring_size_) % cap;
+  for (std::size_t i = 0; i < ring_size_; ++i) out.push_back(ring_[(start + i) % cap]);
+  return out;
+}
+
+void TraceRecorder::write_events_json(std::ostream& os, const TraceEvent* evs, std::size_t n,
+                                      bool& first) const {
+  for (std::size_t i = 0; i < n; ++i) {
+    const TraceEvent& ev = evs[i];
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"" << ev.name << "\",\"ph\":\"" << ev.phase << "\",\"ts\":";
+    char ts[32];
+    std::snprintf(ts, sizeof(ts), "%.3f", ev.ts_s * 1e6);
+    os << ts << ",\"pid\":" << ev.pid << ",\"tid\":" << static_cast<unsigned>(ev.tid);
+    if (ev.phase == 'i') os << ",\"s\":\"t\"";
+    if (ev.phase == 'b' || ev.phase == 'e') {
+      os << ",\"cat\":\"" << lane_name(static_cast<Lane>(ev.tid)) << "\",\"id\":" << ev.id;
+    }
+    if (ev.n_args > 0) {
+      os << ",\"args\":{";
+      for (std::uint8_t a = 0; a < ev.n_args; ++a) {
+        if (a > 0) os << ",";
+        os << "\"" << ev.args[a].key << "\":";
+        write_number(os, ev.args[a].value);
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+}
+
+void TraceRecorder::write_metadata_json(std::ostream& os, bool& first) const {
+  for (const auto& [pid, name] : process_names_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"";
+    json_escape(os, name);
+    os << "\"}}";
+  }
+  for (const auto& [pid, mask] : lanes_seen_) {
+    for (unsigned lane = 0; lane < static_cast<unsigned>(Lane::kCount); ++lane) {
+      if ((mask & (1u << lane)) == 0) continue;
+      if (!first) os << ",";
+      first = false;
+      os << "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0,\"pid\":" << pid
+         << ",\"tid\":" << lane << ",\"args\":{\"name\":\""
+         << lane_name(static_cast<Lane>(lane)) << "\"}}";
+    }
+  }
+}
+
+void TraceRecorder::write_json(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  const std::vector<TraceEvent> evs = snapshot();
+  write_events_json(os, evs.data(), evs.size(), first);
+  write_metadata_json(os, first);
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void TraceRecorder::flush_stream_buffer() {
+  write_events_json(out_, stream_buf_.data(), stream_buf_.size(), stream_first_);
+  stream_buf_.clear();
+}
+
+void TraceRecorder::finish() {
+  if (finished_ || !enabled()) return;
+  finished_ = true;
+  if (opts_.mode == TraceMode::kStream) {
+    flush_stream_buffer();
+    write_metadata_json(out_, stream_first_);
+    out_ << "\n],\"displayTimeUnit\":\"ms\"}\n";
+    out_.close();
+    if (!out_) throw std::runtime_error("error writing trace to '" + opts_.path + "'");
+    return;
+  }
+  if (!opts_.path.empty()) {
+    std::ofstream f(opts_.path, std::ios::trunc);
+    if (!f) throw std::runtime_error("cannot open trace path '" + opts_.path + "' for writing");
+    write_json(f);
+    f.close();
+    if (!f) throw std::runtime_error("error writing trace to '" + opts_.path + "'");
+  }
+}
+
+}  // namespace heteroplace::obs

@@ -1,0 +1,352 @@
+#include "obs/trace_check.hpp"
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace heteroplace::obs {
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::invalid_argument("JSON error at offset " + std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    JsonValue v;
+    switch (c) {
+      case '{': {
+        v.type = JsonValue::Type::kObject;
+        ++pos_;
+        skip_ws();
+        if (peek() == '}') {
+          ++pos_;
+          return v;
+        }
+        while (true) {
+          skip_ws();
+          if (peek() != '"') fail("object keys must be strings");
+          std::string key = parse_string_body();
+          skip_ws();
+          expect(':');
+          v.object.emplace_back(std::move(key), parse_value());
+          skip_ws();
+          if (peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          expect('}');
+          return v;
+        }
+      }
+      case '[': {
+        v.type = JsonValue::Type::kArray;
+        ++pos_;
+        skip_ws();
+        if (peek() == ']') {
+          ++pos_;
+          return v;
+        }
+        while (true) {
+          v.array.push_back(parse_value());
+          skip_ws();
+          if (peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          expect(']');
+          return v;
+        }
+      }
+      case '"':
+        v.type = JsonValue::Type::kString;
+        v.string = parse_string_body();
+        return v;
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        v.type = JsonValue::Type::kBool;
+        v.boolean = true;
+        return v;
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        v.type = JsonValue::Type::kBool;
+        v.boolean = false;
+        return v;
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        v.type = JsonValue::Type::kNull;
+        return v;
+      default: {
+        if (c != '-' && (c < '0' || c > '9')) fail("unexpected character");
+        const char* start = text_.c_str() + pos_;
+        char* endp = nullptr;
+        v.type = JsonValue::Type::kNumber;
+        v.number = std::strtod(start, &endp);
+        if (endp == start) fail("bad number");
+        pos_ += static_cast<std::size_t>(endp - start);
+        return v;
+      }
+    }
+  }
+
+  std::string parse_string_body() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case '/':
+            out += '/';
+            break;
+          case 'b':
+            out += '\b';
+            break;
+          case 'f':
+            out += '\f';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad \\u escape");
+            }
+            // ASCII only in practice; encode anything else as UTF-8.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            fail("bad escape");
+        }
+        continue;
+      }
+      out += c;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_{0};
+};
+
+bool is_number(const JsonValue* v) { return v != nullptr && v->type == JsonValue::Type::kNumber; }
+bool is_string(const JsonValue* v) { return v != nullptr && v->type == JsonValue::Type::kString; }
+
+constexpr std::size_t kMaxProblems = 20;
+
+}  // namespace
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+JsonValue parse_json(const std::string& text) { return JsonParser(text).parse_document(); }
+
+std::vector<std::string> validate_chrome_trace(const std::string& json_text) {
+  std::vector<std::string> problems;
+  auto report = [&problems](const std::string& p) {
+    if (problems.size() < kMaxProblems) problems.push_back(p);
+  };
+
+  JsonValue doc;
+  try {
+    doc = parse_json(json_text);
+  } catch (const std::exception& e) {
+    return {std::string("not well-formed JSON: ") + e.what()};
+  }
+
+  const JsonValue* events = nullptr;
+  if (doc.type == JsonValue::Type::kArray) {
+    events = &doc;
+  } else if (doc.type == JsonValue::Type::kObject) {
+    events = doc.find("traceEvents");
+    if (events == nullptr || events->type != JsonValue::Type::kArray) {
+      return {"top-level object has no traceEvents array"};
+    }
+  } else {
+    return {"document is neither an object nor an event array"};
+  }
+
+  // Per-(pid, tid) lane state: last timestamp and the open B-span stack.
+  struct LaneState {
+    double last_ts{-1.0};
+    std::vector<std::string> span_stack;
+  };
+  std::map<std::pair<double, double>, LaneState> lanes;
+  // Open async spans keyed by (cat, id).
+  std::map<std::pair<std::string, double>, int> async_open;
+
+  const std::string known_phases = "BEibeMXsntfC";
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& ev = events->array[i];
+    const std::string where = "event " + std::to_string(i);
+    if (ev.type != JsonValue::Type::kObject) {
+      report(where + ": not an object");
+      continue;
+    }
+    const JsonValue* name = ev.find("name");
+    const JsonValue* ph = ev.find("ph");
+    const JsonValue* ts = ev.find("ts");
+    const JsonValue* pid = ev.find("pid");
+    const JsonValue* tid = ev.find("tid");
+    if (!is_string(name)) report(where + ": missing string 'name'");
+    if (!is_string(ph) || ph->string.size() != 1 ||
+        known_phases.find(ph->string[0]) == std::string::npos) {
+      report(where + ": missing or unknown 'ph'");
+      continue;
+    }
+    if (!is_number(ts)) report(where + ": missing numeric 'ts'");
+    if (!is_number(pid)) report(where + ": missing numeric 'pid'");
+    if (!is_number(tid)) report(where + ": missing numeric 'tid'");
+    if (!is_string(name) || !is_number(ts) || !is_number(pid) || !is_number(tid)) continue;
+
+    const char phase = ph->string[0];
+    if (phase == 'M') continue;  // metadata: no ordering constraints
+
+    LaneState& lane = lanes[{pid->number, tid->number}];
+    if (ts->number < lane.last_ts) {
+      report(where + " ('" + name->string + "'): ts " + std::to_string(ts->number) +
+             " goes backwards on pid=" + std::to_string(pid->number) +
+             " tid=" + std::to_string(tid->number));
+    }
+    lane.last_ts = ts->number;
+
+    if (phase == 'B') {
+      lane.span_stack.push_back(name->string);
+    } else if (phase == 'E') {
+      if (lane.span_stack.empty()) {
+        report(where + ": 'E' for '" + name->string + "' with no open span");
+      } else {
+        if (lane.span_stack.back() != name->string) {
+          report(where + ": 'E' for '" + name->string + "' but open span is '" +
+                 lane.span_stack.back() + "'");
+        }
+        lane.span_stack.pop_back();
+      }
+    } else if (phase == 'b' || phase == 'e') {
+      const JsonValue* cat = ev.find("cat");
+      const JsonValue* id = ev.find("id");
+      if (!is_string(cat) || !is_number(id)) {
+        report(where + ": async event missing 'cat'/'id'");
+        continue;
+      }
+      int& open = async_open[{cat->string, id->number}];
+      if (phase == 'b') {
+        ++open;
+      } else if (open <= 0) {
+        report(where + ": async end for " + cat->string + "/" +
+               std::to_string(static_cast<std::uint64_t>(id->number)) + " with no open begin");
+      } else {
+        --open;
+      }
+    } else if (phase == 'i') {
+      const JsonValue* scope = ev.find("s");
+      if (scope != nullptr &&
+          (scope->type != JsonValue::Type::kString ||
+           (scope->string != "t" && scope->string != "p" && scope->string != "g"))) {
+        report(where + ": instant scope 's' must be one of t/p/g");
+      }
+    }
+  }
+
+  // B/E spans always open and close inside one callback at one sim time, so
+  // an unclosed one is a real emission bug. Async spans ('b'/'e') may
+  // legitimately still be open when the horizon ends (e.g. a migration in
+  // flight), so only unmatched ends are reported above.
+  for (const auto& [key, lane] : lanes) {
+    for (const std::string& open : lane.span_stack) {
+      report("unclosed span '" + open + "' on pid=" + std::to_string(key.first) +
+             " tid=" + std::to_string(key.second));
+    }
+  }
+  return problems;
+}
+
+std::vector<std::string> validate_chrome_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {"cannot open '" + path + "'"};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return validate_chrome_trace(buf.str());
+}
+
+}  // namespace heteroplace::obs

@@ -1,0 +1,42 @@
+#pragma once
+
+// Self-checking for emitted trace files: a dependency-free JSON parser plus
+// Chrome trace-event schema validation (required fields, known phases,
+// monotone timestamps per (pid, tid), balanced B/E span nesting, matched
+// async begin/end pairs). Used by obs_test and by the trace_check CLI tool
+// that CI runs against the examples-smoke trace artifact.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace heteroplace::obs {
+
+/// Minimal JSON document model (enough for trace and metrics snapshots).
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type{Type::kNull};
+  bool boolean{false};
+  double number{0.0};
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  // insertion order
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+};
+
+/// Strict parse of a complete JSON document; throws std::invalid_argument
+/// (with offset) on syntax errors or trailing garbage.
+[[nodiscard]] JsonValue parse_json(const std::string& text);
+
+/// Validate a Chrome trace-event document (the object form emitted by
+/// TraceRecorder, or a bare event array). Returns human-readable problems;
+/// empty means the trace is well-formed.
+[[nodiscard]] std::vector<std::string> validate_chrome_trace(const std::string& json_text);
+
+/// Convenience: read `path` and validate. I/O failures are reported as a
+/// single problem entry.
+[[nodiscard]] std::vector<std::string> validate_chrome_trace_file(const std::string& path);
+
+}  // namespace heteroplace::obs

@@ -4,6 +4,9 @@
 #include <stdexcept>
 
 #include "core/utility_policy.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 
 namespace heteroplace::power {
 
@@ -41,6 +44,16 @@ PowerManager::PowerManager(sim::Engine& engine, core::World& world, PowerModel m
   }
 }
 
+void PowerManager::set_obs(const obs::ObsContext& ctx) {
+  obs_ = ctx;
+  if (obs_.metrics != nullptr) {
+    parks_metric_ =
+        &obs_.metrics->counter("power_parks_total", "Node park transitions begun", obs_.labels);
+    wakes_metric_ =
+        &obs_.metrics->counter("power_wakes_total", "Node wake transitions begun", obs_.labels);
+  }
+}
+
 void PowerManager::start() {
   if (started_) throw std::logic_error("PowerManager::start: already started");
   started_ = true;
@@ -66,6 +79,7 @@ std::size_t PowerManager::parked_count() const {
 }
 
 void PowerManager::tick() {
+  const obs::ScopedTimer tick_timer(obs_.profiler, obs::Phase::kPowerTick);
   const util::Seconds now = engine_.now();
   auto& cl = world_.cluster();
 
@@ -155,6 +169,11 @@ void PowerManager::tick() {
 void PowerManager::park_node(util::NodeId id) {
   world_.cluster().node(id).set_power_state(PowerState::kParking);
   ++stats_.parks;
+  if (parks_metric_ != nullptr) parks_metric_->inc();
+  if (obs_.trace != nullptr) {
+    obs_.trace->instant(obs_.pid, obs::Lane::kPower, "park", engine_.now().get(),
+                        {{"node", static_cast<double>(id.get())}});
+  }
   // The node draws active power through the transition; the meter
   // switches to the sleep draw when the park latency elapses.
   const std::size_t idx = id.get();
@@ -166,12 +185,22 @@ void PowerManager::park_node(util::NodeId id) {
                         if (node.power_state() != PowerState::kParking) return;
                         node.set_power_state(PowerState::kParked);
                         meter_.set_draw(idx, model_.parked_w(options_.park_depth), engine_.now());
+                        if (obs_.trace != nullptr) {
+                          obs_.trace->instant(obs_.pid, obs::Lane::kPower, "parked",
+                                              engine_.now().get(),
+                                              {{"node", static_cast<double>(id.get())}});
+                        }
                       });
 }
 
 void PowerManager::wake_node(util::NodeId id) {
   world_.cluster().node(id).set_power_state(PowerState::kWaking);
   ++stats_.wakes;
+  if (wakes_metric_ != nullptr) wakes_metric_->inc();
+  if (obs_.trace != nullptr) {
+    obs_.trace->instant(obs_.pid, obs::Lane::kPower, "wake", engine_.now().get(),
+                        {{"node", static_cast<double>(id.get())}});
+  }
   // Spin-up draws active power immediately; capacity arrives only when
   // the wake latency elapses and the node rejoins placement.
   meter_.set_draw(id.get(), model_.active_w(pstate_), engine_.now());
@@ -184,6 +213,11 @@ void PowerManager::wake_node(util::NodeId id) {
                         node.set_power_state(PowerState::kActive);
                         node.set_speed_factor(model_.speed_at(pstate_));
                         meter_.set_draw(id.get(), model_.active_w(pstate_), engine_.now());
+                        if (obs_.trace != nullptr) {
+                          obs_.trace->instant(obs_.pid, obs::Lane::kPower, "woke",
+                                              engine_.now().get(),
+                                              {{"node", static_cast<double>(id.get())}});
+                        }
                       });
 }
 
@@ -197,6 +231,12 @@ void PowerManager::apply_pstate(int p) {
   pstate_ = p;
   ++stats_.pstate_changes;
   const util::Seconds now = engine_.now();
+  if (obs_.trace != nullptr) {
+    obs_.trace->instant(obs_.pid, obs::Lane::kPower, "pstate", now.get(),
+                        {{"p", static_cast<double>(p)},
+                         {"speed", model_.speed_at(p)},
+                         {"active_w", model_.active_w(p)}});
+  }
   const double factor = model_.speed_at(p);
   const double watts = model_.active_w(p);
   auto& cl = world_.cluster();

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "core/world.hpp"
+#include "obs/context.hpp"
 #include "power/energy_meter.hpp"
 #include "power/policy.hpp"
 #include "power/power_model.hpp"
@@ -76,6 +77,10 @@ class PowerManager {
   /// One policy evaluation right now (tests / manual stepping).
   void tick();
 
+  /// Attach observability: park/wake/P-state instants on this domain's
+  /// power lane, tick timing, and park/wake counters.
+  void set_obs(const obs::ObsContext& ctx);
+
   /// Reuse a controller-built PlacementProblem skeleton instead of
   /// rebuilding one per tick (see PlacementController::
   /// enable_problem_cache). The provider returns nullptr when it has
@@ -120,6 +125,9 @@ class PowerManager {
   PowerOptions options_;
   EnergyMeter meter_;
   PowerStats stats_;
+  obs::ObsContext obs_;
+  obs::Counter* parks_metric_{nullptr};
+  obs::Counter* wakes_metric_{nullptr};
   int pstate_{0};
   /// Per-node time the node was first seen empty (tick granularity);
   /// negative while hosting or not active.

@@ -7,6 +7,7 @@
 #include "federation/router.hpp"
 #include "migration/policy.hpp"
 #include "scenario/fault_factory.hpp"
+#include "scenario/obs_factory.hpp"
 #include "scenario/power_factory.hpp"
 
 namespace heteroplace::scenario {
@@ -82,6 +83,7 @@ FederatedScenario federated_scenario_from_config(const util::Config& cfg) {
   fs.sample_interval_s = base.sample_interval_s;
   fs.seed = base.seed;
   fs.engine_threads = base.engine_threads;
+  fs.obs = base.obs;
   fs.router = k.str("router", "least-loaded");
   try {
     (void)federation::make_router(fs.router);
@@ -346,6 +348,27 @@ Scenario scenario_from_keyed(KeyedConfig& k) {
     e.severity = k.num(p + "severity", e.severity);
     ft.events.push_back(std::move(e));
   }
+
+  // --- observability ----------------------------------------------------------
+  ObsSpec& ob = s.obs;
+  ob.trace = k.str("obs.trace", ob.trace);
+  ob.trace_path = k.str("obs.trace_path", ob.trace_path);
+  ob.trace_ring_capacity = static_cast<long>(
+      k.integer("obs.trace_ring_capacity", static_cast<long long>(ob.trace_ring_capacity)));
+  ob.trace_engine = k.boolean("obs.trace_engine", ob.trace_engine);
+  ob.metrics_path = k.str("obs.metrics_path", ob.metrics_path);
+  ob.metrics_json_path = k.str("obs.metrics_json_path", ob.metrics_json_path);
+  ob.profile = k.boolean("obs.profile", ob.profile);
+  if (!ob.trace_enabled()) {
+    for (const char* key : {"obs.trace_path", "obs.trace_ring_capacity", "obs.trace_engine"}) {
+      if (k.has(key)) {
+        throw util::ConfigError(std::string(key) + " has no effect with obs.trace=off");
+      }
+    }
+  } else if (ob.trace != "ring" && k.has("obs.trace_ring_capacity")) {
+    throw util::ConfigError("obs.trace_ring_capacity has no effect with obs.trace=" + ob.trace);
+  }
+  validate_obs_spec(ob);
 
   const auto n_apps = k.integer("apps", 1);
   if (n_apps < 0 || n_apps > 64) throw util::ConfigError("apps: out of range [0, 64]");

@@ -8,6 +8,7 @@
 #include "faults/injector.hpp"
 #include "power/manager.hpp"
 #include "scenario/fault_factory.hpp"
+#include "scenario/obs_factory.hpp"
 #include "scenario/policy_factory.hpp"
 #include "scenario/power_factory.hpp"
 #include "sim/engine.hpp"
@@ -52,6 +53,18 @@ ExperimentResult run_experiment(const Scenario& scenario, const ExperimentOption
   engine.set_threads(static_cast<unsigned>(effective_engine_threads(scenario.engine_threads)));
   core::World world;
 
+  // --- observability (optional) ----------------------------------------------
+  // Constructed first so every subsystem below can borrow pointers into
+  // the bundle; an obs-off scenario builds nothing and the run stays
+  // bit-identical to the uninstrumented path (pinned by tests/obs_test.cpp).
+  Observability obs = make_observability(scenario.obs);
+  if (obs.trace) {
+    engine.set_observer(obs.trace.get());
+    obs.trace->set_process_name(0, "global");
+    obs.trace->set_process_name(1, scenario.name.empty() ? "world" : scenario.name);
+  }
+  if (obs.profiler) engine.enable_timing();
+
   // --- cluster & apps -------------------------------------------------------
   world.cluster().add_nodes(scenario.cluster.nodes,
                             cluster::Resources{util::CpuMhz{scenario.cluster.cpu_per_node_mhz},
@@ -90,6 +103,7 @@ ExperimentResult run_experiment(const Scenario& scenario, const ExperimentOption
   ctrl_cfg.shard = 0;
   core::PlacementController controller(engine, world, std::move(policy),
                                        scenario.controller.latencies, ctrl_cfg);
+  if (obs.any()) controller.set_obs(obs.context(1));
 
   MetricsRecorder recorder(world, job_model, tx_model);
   recorder.summary().scenario = scenario.name;
@@ -116,6 +130,7 @@ ExperimentResult run_experiment(const Scenario& scenario, const ExperimentOption
   if (scenario.power.enabled) {
     power_mgr = make_power_manager(engine, world, scenario.power, scenario.controller.cycle_s,
                                    /*cap_w_override=*/-1.0, /*shard=*/0);
+    if (obs.any()) power_mgr->set_obs(obs.context(1));
     // When a power tick lands on the same timestamp as a finished control
     // cycle, reuse the cycle's post-apply PlacementProblem skeleton
     // instead of rebuilding it from the world (identical by
@@ -145,6 +160,7 @@ ExperimentResult run_experiment(const Scenario& scenario, const ExperimentOption
         std::vector<faults::DomainHooks>{{&world, &controller, power_mgr.get()}},
         build_fault_schedule(scenario.faults, scenario.seed, horizon, nodes_per_domain),
         fault_opts);
+    if (obs.any()) injector->set_obs(obs.context(0));
   }
 
   // --- schedule arrivals, sampling, control loop ------------------------------
@@ -174,6 +190,7 @@ ExperimentResult run_experiment(const Scenario& scenario, const ExperimentOption
   // Periodic sampling, self-rescheduling.
   const util::Seconds sample_dt{scenario.sample_interval_s};
   std::function<void()> sample_tick = [&] {
+    const obs::ScopedTimer sample_timer(obs.profiler.get(), obs::Phase::kSampling);
     recorder.sample(engine.now());
     sample_power();
     sample_faults();
@@ -224,6 +241,23 @@ ExperimentResult run_experiment(const Scenario& scenario, const ExperimentOption
         end.get() > 0.0 ? 1.0 - tot.downtime_s / end.get() : 1.0;
   }
   result.series = std::move(recorder.series());
+
+  // --- observability export -----------------------------------------------
+  if (obs.profiler) {
+    result.profile = obs.profiler->report();
+    append_engine_profile(result.profile, engine.timing(), engine.parallel_batches());
+  }
+  if (obs.metrics) {
+    obs.metrics->gauge("run_sim_end_seconds", "Simulated end time of the run")
+        .set(engine.now().get());
+    obs.metrics->gauge("run_jobs_submitted", "Jobs submitted over the run")
+        .set(static_cast<double>(result.summary.jobs_submitted));
+    obs.metrics->gauge("run_jobs_completed", "Jobs completed over the run")
+        .set(static_cast<double>(result.summary.jobs_completed));
+    obs.metrics->gauge("engine_events_total", "Events the engine dispatched")
+        .set(static_cast<double>(engine.events_executed()));
+  }
+  export_observability(scenario.obs, obs);
   return result;
 }
 

@@ -7,6 +7,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/profile.hpp"
 #include "scenario/metrics.hpp"
 #include "scenario/scenario.hpp"
 
@@ -45,6 +46,10 @@ struct ExperimentOptions {
 struct ExperimentResult {
   util::TimeSeriesSet series;
   ExperimentSummary summary;
+  /// Wall-clock per-phase profile (scenario.obs.profile; empty otherwise).
+  /// Machine-dependent diagnostics — excluded from result_digest, exactly
+  /// like EngineStats.
+  obs::ProfileReport profile;
 };
 
 /// Engine worker threads a runner should actually use for a scenario

@@ -8,6 +8,7 @@
 #include "power/manager.hpp"
 #include "scenario/fault_factory.hpp"
 #include "scenario/metrics.hpp"
+#include "scenario/obs_factory.hpp"
 #include "scenario/policy_factory.hpp"
 #include "scenario/power_factory.hpp"
 #include "sim/engine.hpp"
@@ -45,6 +46,7 @@ FederatedScenario federate(const Scenario& single, int n_domains, const std::str
   fs.sample_interval_s = single.sample_interval_s;
   fs.seed = single.seed;
   fs.engine_threads = single.engine_threads;
+  fs.obs = single.obs;
 
   const int base = single.cluster.nodes / n_domains;
   const int remainder = single.cluster.nodes % n_domains;
@@ -69,7 +71,16 @@ FederatedResult run_federated_experiment(const FederatedScenario& fs,
   // Declared before the federation: `fed` holds a probe into this vector
   // (set_power_probe below), so the vector must strictly outlive it.
   std::vector<std::unique_ptr<power::PowerManager>> power_mgrs;
+  // Declared before the federation for the same lifetime reason: domain
+  // controllers hold ObsContext pointers into this bundle.
+  Observability obs = make_observability(fs.obs);
+  if (obs.trace) {
+    engine.set_observer(obs.trace.get());
+    obs.trace->set_process_name(0, "global");
+  }
+  if (obs.profiler) engine.enable_timing();
   federation::Federation fed(engine, federation::make_router(fs.router));
+  if (obs.any()) fed.set_obs(obs.context(0));
 
   // --- models (shared across domains) ----------------------------------------
   auto job_model = std::make_shared<utility::JobUtilityModel>(
@@ -96,6 +107,11 @@ FederatedResult run_federated_experiment(const FederatedScenario& fs,
     d.world().cluster().add_nodes(
         spec.cluster.nodes, cluster::Resources{util::CpuMhz{spec.cluster.cpu_per_node_mhz},
                                                util::MemMb{spec.cluster.mem_per_node_mb}});
+    if (obs.any()) {
+      const auto pid = static_cast<std::uint32_t>(i + 1);
+      if (obs.trace) obs.trace->set_process_name(pid, spec.name);
+      d.controller().set_obs(obs.context(pid, spec.name));
+    }
   }
 
   // --- apps (router splits demand across domains) -----------------------------
@@ -211,6 +227,7 @@ FederatedResult run_federated_experiment(const FederatedScenario& fs,
     migration_mgr.emplace(fed, std::move(transfer),
                           migration::make_migration_policy(fs.migration.policy, pol_cfg),
                           mig_opts);
+    if (obs.any()) migration_mgr->set_obs(obs.context(0));
   }
 
   // --- power subsystem (optional) -----------------------------------------------
@@ -223,6 +240,10 @@ FederatedResult run_federated_experiment(const FederatedScenario& fs,
                                               fs.controller.cycle_s,
                                               fs.domains[i].power_cap_w,
                                               static_cast<sim::ShardId>(i)));
+      if (obs.any()) {
+        power_mgrs.back()->set_obs(
+            obs.context(static_cast<std::uint32_t>(i + 1), fed.domain(i).name()));
+      }
     }
     // Surface live per-domain draw in Federation::status so routers (and
     // future energy-aware policies) can observe it.
@@ -269,6 +290,7 @@ FederatedResult run_federated_experiment(const FederatedScenario& fs,
         build_fault_schedule(fs.faults, fs.seed, horizon, nodes_per_domain), fault_opts);
     injector->set_federation(&fed);
     if (migration_mgr) injector->set_migration(&*migration_mgr);
+    if (obs.any()) injector->set_obs(obs.context(0));
   }
 
   // Per-domain and federation-aggregated samples share one
@@ -361,6 +383,7 @@ FederatedResult run_federated_experiment(const FederatedScenario& fs,
 
   const util::Seconds sample_dt{fs.sample_interval_s};
   std::function<void()> sample_tick = [&] {
+    const obs::ScopedTimer sample_timer(obs.profiler.get(), obs::Phase::kSampling);
     sample_all(engine.now());
     engine.schedule_in(sample_dt, sim::EventPriority::kSampling, sample_tick);
   };
@@ -437,6 +460,30 @@ FederatedResult run_federated_experiment(const FederatedScenario& fs,
   out.engine.events_executed = engine.events_executed();
   out.engine.parallel_batches = engine.parallel_batches();
   out.engine.batched_events = engine.batched_events();
+
+  // --- observability export -----------------------------------------------
+  if (obs.profiler) {
+    const sim::EngineTiming& timing = engine.timing();
+    out.engine.serial_spine_ns = timing.serial_ns;
+    out.engine.batch_exec_ns = timing.batch_exec_ns;
+    out.engine.merge_barrier_ns = timing.merge_barrier_ns;
+    out.profile = obs.profiler->report();
+    append_engine_profile(out.profile, timing, engine.parallel_batches());
+  }
+  if (obs.metrics) {
+    obs.metrics->gauge("run_sim_end_seconds", "Simulated end time of the run")
+        .set(engine.now().get());
+    obs.metrics->gauge("run_jobs_submitted", "Jobs submitted over the run")
+        .set(static_cast<double>(fed.total_submitted()));
+    obs.metrics->gauge("run_jobs_completed", "Jobs completed over the run")
+        .set(static_cast<double>(fed.total_completed()));
+    obs.metrics->gauge("engine_events_total", "Events the engine dispatched")
+        .set(static_cast<double>(engine.events_executed()));
+    obs.metrics
+        ->gauge("engine_parallel_batches_total", "Parallel batches dispatched to the pool")
+        .set(static_cast<double>(engine.parallel_batches()));
+  }
+  export_observability(fs.obs, obs);
   return out;
 }
 

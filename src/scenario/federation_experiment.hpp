@@ -15,6 +15,7 @@
 
 #include "faults/injector.hpp"
 #include "migration/manager.hpp"
+#include "obs/profile.hpp"
 #include "scenario/experiment.hpp"
 #include "scenario/scenario.hpp"
 
@@ -104,6 +105,7 @@ struct FederatedScenario {
   MigrationSpec migration;
   PowerSpec power;
   FaultSpec faults;
+  ObsSpec obs;
   double horizon_s{0.0};
   double sample_interval_s{600.0};
   std::uint64_t seed{42};
@@ -145,6 +147,10 @@ struct EngineStats {
   std::uint64_t events_executed{0};
   std::uint64_t parallel_batches{0};
   std::uint64_t batched_events{0};
+  /// Wall-clock dispatch attribution (obs.profile only; zeros otherwise).
+  std::uint64_t serial_spine_ns{0};
+  std::uint64_t batch_exec_ns{0};
+  std::uint64_t merge_barrier_ns{0};
 };
 
 struct FederatedResult {
@@ -164,6 +170,9 @@ struct FederatedResult {
   double fault_mttr_s{0.0};
   /// Execution counters (excluded from the digest; see EngineStats).
   EngineStats engine;
+  /// Wall-clock per-phase profile (obs.profile; empty otherwise). Like
+  /// EngineStats this is machine-dependent and digest-excluded.
+  obs::ProfileReport profile;
 };
 
 /// Run a federated scenario. Deterministic for a fixed (scenario, options)

@@ -1,0 +1,114 @@
+#include "scenario/obs_factory.hpp"
+
+#include <fstream>
+
+#include "util/config.hpp"
+
+namespace heteroplace::scenario {
+
+namespace {
+
+// Upper bound on the ring: 2^26 events is ~5 GB of TraceEvent — anything
+// above is a typo, not a plan.
+constexpr long kMaxRingCapacity = 1L << 26;
+
+void check_writable(const char* key, const std::string& path) {
+  if (path.empty()) return;
+  // Append mode probes writability without truncating an existing file
+  // (the real export truncates later, once the run has produced output).
+  std::ofstream probe(path, std::ios::app);
+  if (!probe) {
+    throw util::ConfigError(std::string(key) + ": cannot open '" + path + "' for writing");
+  }
+}
+
+}  // namespace
+
+void validate_obs_spec(const ObsSpec& spec) {
+  if (spec.trace != "off" && spec.trace != "ring" && spec.trace != "stream") {
+    throw util::ConfigError("obs.trace: unknown mode '" + spec.trace +
+                            "' (expected off|ring|stream)");
+  }
+  if (spec.trace == "ring") {
+    if (spec.trace_ring_capacity <= 0) {
+      throw util::ConfigError("obs.trace_ring_capacity: must be positive, got " +
+                              std::to_string(spec.trace_ring_capacity));
+    }
+    if (spec.trace_ring_capacity > kMaxRingCapacity) {
+      throw util::ConfigError("obs.trace_ring_capacity: " +
+                              std::to_string(spec.trace_ring_capacity) + " exceeds the maximum " +
+                              std::to_string(kMaxRingCapacity));
+    }
+  }
+  if (spec.trace == "stream" && spec.trace_path.empty()) {
+    throw util::ConfigError("obs.trace: mode 'stream' requires obs.trace_path");
+  }
+  if (spec.trace_enabled()) check_writable("obs.trace_path", spec.trace_path);
+  check_writable("obs.metrics_path", spec.metrics_path);
+  check_writable("obs.metrics_json_path", spec.metrics_json_path);
+}
+
+obs::ObsContext Observability::context(std::uint32_t pid, const std::string& domain) const {
+  obs::ObsContext ctx;
+  ctx.trace = trace.get();
+  ctx.metrics = metrics.get();
+  ctx.profiler = profiler.get();
+  ctx.pid = pid;
+  if (!domain.empty()) ctx.labels = "domain=\"" + domain + "\"";
+  return ctx;
+}
+
+Observability make_observability(const ObsSpec& spec) {
+  validate_obs_spec(spec);
+  Observability o;
+  if (spec.trace_enabled()) {
+    obs::TraceRecorder::Options opts;
+    opts.mode = obs::trace_mode_from_string(spec.trace);
+    opts.ring_capacity = static_cast<std::size_t>(spec.trace_ring_capacity);
+    opts.path = spec.trace_path;
+    opts.engine_lane = spec.trace_engine;
+    o.trace = std::make_unique<obs::TraceRecorder>(opts);
+  }
+  if (spec.metrics_enabled()) o.metrics = std::make_unique<obs::MetricsRegistry>();
+  if (spec.profile) o.profiler = std::make_unique<obs::Profiler>();
+  return o;
+}
+
+void export_observability(const ObsSpec& spec, Observability& o) {
+  if (o.trace) o.trace->finish();
+  if (o.metrics) {
+    if (!spec.metrics_path.empty()) {
+      std::ofstream f(spec.metrics_path, std::ios::trunc);
+      f << o.metrics->prometheus_text();
+      if (!f) {
+        throw util::ConfigError("obs.metrics_path: error writing '" + spec.metrics_path + "'");
+      }
+    }
+    if (!spec.metrics_json_path.empty()) {
+      std::ofstream f(spec.metrics_json_path, std::ios::trunc);
+      f << o.metrics->json();
+      if (!f) {
+        throw util::ConfigError("obs.metrics_json_path: error writing '" +
+                                spec.metrics_json_path + "'");
+      }
+    }
+  }
+}
+
+void append_engine_profile(obs::ProfileReport& report, const sim::EngineTiming& timing,
+                           std::uint64_t parallel_batches) {
+  for (std::size_t c = 0; c < timing.serial_class_events.size(); ++c) {
+    if (timing.serial_class_events[c] == 0) continue;
+    report.push_back({std::string("engine/serial/") + sim::priority_class_name(static_cast<int>(c)),
+                      timing.serial_class_events[c], timing.serial_class_ns[c]});
+  }
+  if (timing.serial_events > 0) {
+    report.push_back({"engine/serial_spine", timing.serial_events, timing.serial_ns});
+  }
+  if (parallel_batches > 0) {
+    report.push_back({"engine/batch_exec", parallel_batches, timing.batch_exec_ns});
+    report.push_back({"engine/merge_barrier", parallel_batches, timing.merge_barrier_ns});
+  }
+}
+
+}  // namespace heteroplace::scenario

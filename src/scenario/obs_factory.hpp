@@ -1,0 +1,56 @@
+#pragma once
+
+// Observability construction and fail-loud validation, mirroring
+// fault_factory: validate_obs_spec rejects bad obs.* configuration with a
+// util::ConfigError naming the offending key; make_observability turns a
+// validated spec into the recorder/registry/profiler bundle the runners
+// wire into the subsystems.
+
+#include <memory>
+#include <string>
+
+#include "obs/context.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/engine.hpp"
+
+namespace heteroplace::scenario {
+
+/// Throws util::ConfigError for: unknown obs.trace mode, non-positive or
+/// absurd obs.trace_ring_capacity, obs.trace=stream without a path, or any
+/// configured output path that cannot be opened for writing. Both runners
+/// call this, so programmatic specs fail as loudly as loaded ones.
+void validate_obs_spec(const ObsSpec& spec);
+
+/// The bundle a runner owns for one experiment. Members are null when the
+/// corresponding feature is off; default-constructed = everything off.
+struct Observability {
+  std::unique_ptr<obs::TraceRecorder> trace;
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+  std::unique_ptr<obs::Profiler> profiler;
+
+  [[nodiscard]] bool any() const {
+    return trace != nullptr || metrics != nullptr || profiler != nullptr;
+  }
+  /// Context handed to a subsystem: pid 0 = global/serial spine, i+1 =
+  /// domain i; `domain` is the label value for that domain's metrics
+  /// (empty = no label).
+  [[nodiscard]] obs::ObsContext context(std::uint32_t pid, const std::string& domain = "") const;
+};
+
+/// Validates, then constructs exactly the enabled pieces (a spec with
+/// any() == false yields an empty bundle).
+[[nodiscard]] Observability make_observability(const ObsSpec& spec);
+
+/// End-of-run output: finalize/dump the trace and write metrics snapshots
+/// to the paths named in the spec. Safe to call with an empty bundle.
+void export_observability(const ObsSpec& spec, Observability& o);
+
+/// Fold sim::EngineTiming into a profile report as engine/* rows
+/// (serial spine by priority class, batch execution, merge barrier).
+void append_engine_profile(obs::ProfileReport& report, const sim::EngineTiming& timing,
+                           std::uint64_t parallel_batches);
+
+}  // namespace heteroplace::scenario

@@ -116,6 +116,37 @@ struct FaultSpec {
   std::vector<FaultEventSpec> events;
 };
 
+/// Observability configuration (config keys obs.*; validated by
+/// scenario/obs_factory). Disabled by default: with everything off the
+/// runners construct no recorder/registry/profiler at all and the run is
+/// bit for bit the same as before the obs layer existed.
+struct ObsSpec {
+  /// Trace recorder mode: "off", "ring" (bounded in-memory buffer,
+  /// optionally dumped to trace_path at end of run) or "stream"
+  /// (incremental write to trace_path during the run).
+  std::string trace{"off"};
+  std::string trace_path;
+  long trace_ring_capacity{1L << 18};
+  /// Also trace the engine's own dispatch/batch/merge-barrier events.
+  /// These depend on engine.threads (batches do not exist at threads=1),
+  /// so they are excluded from the thread-count-invariance contract —
+  /// leave off when comparing traces across thread counts.
+  bool trace_engine{false};
+  /// End-of-run metrics snapshot paths (Prometheus text / JSON); empty =
+  /// don't write. Either one enables the metrics registry.
+  std::string metrics_path;
+  std::string metrics_json_path;
+  /// Wall-clock per-phase profiling (ExperimentResult/FederatedResult
+  /// `profile`, digest-excluded like EngineStats).
+  bool profile{false};
+
+  [[nodiscard]] bool trace_enabled() const { return trace != "off"; }
+  [[nodiscard]] bool metrics_enabled() const {
+    return !metrics_path.empty() || !metrics_json_path.empty();
+  }
+  [[nodiscard]] bool any() const { return trace_enabled() || metrics_enabled() || profile; }
+};
+
 struct Scenario {
   std::string name{"scenario"};
   ClusterSpec cluster;
@@ -124,6 +155,7 @@ struct Scenario {
   ControllerSpec controller;
   PowerSpec power;
   FaultSpec faults;
+  ObsSpec obs;
   /// Simulated horizon; 0 = run until every submitted job completes.
   double horizon_s{0.0};
   /// Sampling period for the time-series recorder.

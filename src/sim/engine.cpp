@@ -1,13 +1,65 @@
 #include "sim/engine.hpp"
 
 #include <cassert>
+#include <chrono>
 #include <limits>
 #include <stdexcept>
 #include <string>
 
+#include "sim/engine_observer.hpp"
 #include "sim/worker_pool.hpp"
+#include "util/log.hpp"
 
 namespace heteroplace::sim {
+
+namespace {
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() - t0)
+          .count());
+}
+}  // namespace
+
+int priority_class_index(int priority) {
+  switch (static_cast<EventPriority>(priority)) {
+    case EventPriority::kWorkloadArrival:
+      return 0;
+    case EventPriority::kFault:
+      return 1;
+    case EventPriority::kStateTransition:
+      return 2;
+    case EventPriority::kController:
+      return 3;
+    case EventPriority::kMigration:
+      return 4;
+    case EventPriority::kPower:
+      return 5;
+    case EventPriority::kSampling:
+      return 6;
+  }
+  return 7;
+}
+
+const char* priority_class_name(int class_index) {
+  switch (class_index) {
+    case 0:
+      return "arrival";
+    case 1:
+      return "fault";
+    case 2:
+      return "transition";
+    case 3:
+      return "controller";
+    case 4:
+      return "migration";
+    case 5:
+      return "power";
+    case 6:
+      return "sampling";
+    default:
+      return "other";
+  }
+}
 
 Engine::Engine() = default;
 Engine::~Engine() = default;
@@ -33,11 +85,26 @@ void Engine::set_threads(unsigned n) {
 
 bool Engine::step() {
   if (queue_.empty()) return false;
+  int priority = 0;
+  if (observer_ != nullptr || timing_enabled_) priority = queue_.top_key().priority_bits;
   auto [time, callback] = queue_.pop();
   assert(time >= now_);
   now_ = time;
   ++executed_;
-  if (callback) callback();
+  util::set_log_context(time, util::kLogNoShard);
+  if (observer_ != nullptr) observer_->on_serial_event(time, priority);
+  if (timing_enabled_) {
+    const auto t0 = std::chrono::steady_clock::now();
+    if (callback) callback();
+    const std::uint64_t ns = elapsed_ns(t0);
+    const int c = priority_class_index(priority);
+    ++timing_.serial_events;
+    timing_.serial_ns += ns;
+    ++timing_.serial_class_events[static_cast<std::size_t>(c)];
+    timing_.serial_class_ns[static_cast<std::size_t>(c)] += ns;
+  } else {
+    if (callback) callback();
+  }
   return true;
 }
 
@@ -54,7 +121,20 @@ bool Engine::parallel_step(double bound) {
   executed_ += n;
   if (n == 1) {
     // Single sharded event: pop_batch already released it serial-style.
-    if (batch_cbs_[0]) batch_cbs_[0]();
+    util::set_log_context(key.time, util::kLogNoShard);
+    if (observer_ != nullptr) observer_->on_serial_event(key.time, key.priority_bits);
+    if (timing_enabled_) {
+      const auto t0 = std::chrono::steady_clock::now();
+      if (batch_cbs_[0]) batch_cbs_[0]();
+      const std::uint64_t ns = elapsed_ns(t0);
+      const int c = priority_class_index(key.priority_bits);
+      ++timing_.serial_events;
+      timing_.serial_ns += ns;
+      ++timing_.serial_class_events[static_cast<std::size_t>(c)];
+      timing_.serial_class_ns[static_cast<std::size_t>(c)] += ns;
+    } else {
+      if (batch_cbs_[0]) batch_cbs_[0]();
+    }
     return true;
   }
 
@@ -75,17 +155,28 @@ bool Engine::parallel_step(double bound) {
 
   ++parallel_batches_;
   batched_events_ += n;
+  if (observer_ != nullptr) {
+    observer_->on_batch_begin(key.time, key.priority_bits, n, n_groups_);
+  }
   queue_.begin_parallel(key.time, key.priority_bits);
+  const auto batch_t0 = timing_enabled_ ? std::chrono::steady_clock::now()
+                                        : std::chrono::steady_clock::time_point{};
   try {
-    pool_->run(n_groups_, [this](std::size_t g) {
+    pool_->run(n_groups_, [this, time = key.time](std::size_t g) {
       for (const std::size_t item : groups_[g]) {
         queue_.bind_staging(item);
+        util::set_log_context(time, batch_shards_[item]);
+        if (observer_ != nullptr) observer_->on_batch_item_begin(item);
         try {
           if (batch_cbs_[item]) batch_cbs_[item]();
         } catch (...) {
+          if (observer_ != nullptr) observer_->on_batch_item_end();
+          util::clear_log_context();
           queue_.unbind_staging();
           throw;
         }
+        if (observer_ != nullptr) observer_->on_batch_item_end();
+        util::clear_log_context();
         queue_.unbind_staging();
       }
     });
@@ -93,7 +184,12 @@ bool Engine::parallel_step(double bound) {
     queue_.cancel_parallel();
     throw;
   }
+  if (timing_enabled_) timing_.batch_exec_ns += elapsed_ns(batch_t0);
+  const auto barrier_t0 = timing_enabled_ ? std::chrono::steady_clock::now()
+                                          : std::chrono::steady_clock::time_point{};
   queue_.end_parallel();
+  if (timing_enabled_) timing_.merge_barrier_ns += elapsed_ns(barrier_t0);
+  if (observer_ != nullptr) observer_->on_batch_end(key.time);
   return true;
 }
 

@@ -18,6 +18,7 @@
 // std::logic_error (see event_queue.hpp). Untagged events (kNoShard)
 // always execute serially on the engine's thread.
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -30,6 +31,29 @@
 namespace heteroplace::sim {
 
 class WorkerPool;
+class EngineObserver;
+
+/// Wall-clock attribution of dispatch time, collected only when
+/// enable_timing() was called (obs.profile); all zeros otherwise. Like
+/// EngineStats this is machine-dependent diagnostics — never folded into
+/// result digests.
+struct EngineTiming {
+  std::uint64_t serial_events{0};
+  std::uint64_t serial_ns{0};
+  /// Serial time split by priority class (priority_class_index order).
+  std::array<std::uint64_t, 8> serial_class_events{};
+  std::array<std::uint64_t, 8> serial_class_ns{};
+  /// Wall time inside pool_->run() for parallel batches.
+  std::uint64_t batch_exec_ns{0};
+  /// Wall time inside the deterministic merge barrier (staged replay).
+  std::uint64_t merge_barrier_ns{0};
+};
+
+/// Map an EventPriority value to a stable class index 0..7 for
+/// EngineTiming's per-class arrays (unknown priorities land in class 7).
+[[nodiscard]] int priority_class_index(int priority);
+/// Human-readable name for a priority class index ("arrival", "fault", ...).
+[[nodiscard]] const char* priority_class_name(int class_index);
 
 class Engine {
  public:
@@ -90,6 +114,16 @@ class Engine {
   [[nodiscard]] std::uint64_t parallel_batches() const { return parallel_batches_; }
   [[nodiscard]] std::uint64_t batched_events() const { return batched_events_; }
 
+  /// Attach an observability hook (see engine_observer.hpp). Not owned;
+  /// must outlive the run. nullptr (the default) detaches — the dispatch
+  /// path then makes no observer calls at all.
+  void set_observer(EngineObserver* observer) { observer_ = observer; }
+
+  /// Collect wall-clock dispatch timing into timing(). Off by default:
+  /// enabling adds two steady_clock reads per serial event.
+  void enable_timing(bool on = true) { timing_enabled_ = on; }
+  [[nodiscard]] const EngineTiming& timing() const { return timing_; }
+
  private:
   /// One scheduling quantum in batch mode: either a serial step (top
   /// event unsharded) or one batch. Returns false when the queue is
@@ -102,6 +136,9 @@ class Engine {
   std::atomic<bool> stop_requested_{false};
 
   unsigned threads_{1};
+  EngineObserver* observer_{nullptr};
+  bool timing_enabled_{false};
+  EngineTiming timing_;
   std::unique_ptr<WorkerPool> pool_;
   std::uint64_t parallel_batches_{0};
   std::uint64_t batched_events_{0};

@@ -1,0 +1,45 @@
+#pragma once
+
+// Engine-side observability hook. The engine invokes an attached observer at
+// the same points where it binds event-queue staging, so an observer can
+// reproduce the deterministic merge discipline for its own per-event data
+// (see obs::TraceRecorder): anything captured while a batch item runs on a
+// worker is replayed in batch *pop* order at the merge barrier, which is
+// exactly the order the same events execute in at engine.threads=1.
+//
+// No observer attached (the default) means zero calls and zero cost on the
+// dispatch path.
+
+#include <cstddef>
+
+namespace heteroplace::sim {
+
+class EngineObserver {
+ public:
+  virtual ~EngineObserver() = default;
+
+  /// One event dispatched on the engine thread (threads=1, an unsharded
+  /// event, or a batch that degenerated to a single item). `priority` is the
+  /// event's EventPriority value.
+  virtual void on_serial_event(double time, int priority) = 0;
+
+  /// A parallel batch of `items` same-(time, priority) events over
+  /// `groups` distinct shards is about to run on the worker pool.
+  /// Engine thread, before any worker starts.
+  virtual void on_batch_begin(double time, int priority, std::size_t items,
+                              std::size_t groups) = 0;
+
+  /// Worker thread, immediately before batch item `item` (index in batch
+  /// pop order) runs. Paired with on_batch_item_end() on the same thread
+  /// even if the callback throws.
+  virtual void on_batch_item_begin(std::size_t item) = 0;
+
+  /// Worker thread, after the item's callback returns (or throws).
+  virtual void on_batch_item_end() = 0;
+
+  /// Engine thread, after the merge barrier (staged pushes replayed).
+  /// Observers merge their per-item buffers here, in item-index order.
+  virtual void on_batch_end(double time) = 0;
+};
+
+}  // namespace heteroplace::sim

@@ -10,6 +10,12 @@ namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::mutex g_mutex;
 
+struct LogContext {
+  double sim_time_s{-1.0};
+  std::uint32_t shard{kLogNoShard};
+};
+thread_local LogContext g_ctx;
+
 const char* level_name(LogLevel l) {
   switch (l) {
     case LogLevel::kDebug:
@@ -31,10 +37,33 @@ void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_rela
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
+void set_log_context(double sim_time_s, std::uint32_t shard) {
+  g_ctx.sim_time_s = sim_time_s;
+  g_ctx.shard = shard;
+}
+
+void clear_log_context() { g_ctx = LogContext{}; }
+
 void log_line(LogLevel level, const std::string& msg) {
   if (level < g_level.load(std::memory_order_relaxed)) return;
+  // Build the full line before taking the lock so the critical section is
+  // one stream insertion: concurrent workers can never interleave fragments.
+  std::string line;
+  line.reserve(msg.size() + 32);
+  line += '[';
+  line += level_name(level);
+  line += "] ";
+  if (g_ctx.sim_time_s >= 0.0) {
+    std::ostringstream ctx;
+    ctx << "[t=" << g_ctx.sim_time_s;
+    if (g_ctx.shard != kLogNoShard) ctx << " s" << g_ctx.shard;
+    ctx << "] ";
+    line += ctx.str();
+  }
+  line += msg;
+  line += '\n';
   const std::lock_guard<std::mutex> lock(g_mutex);
-  std::cerr << "[" << level_name(level) << "] " << msg << "\n";
+  std::cerr << line;
 }
 
 }  // namespace heteroplace::util

@@ -3,6 +3,7 @@
 // Tiny leveled logger. Controllers log placement decisions at Debug; tests
 // and benches keep the default at Warn so output stays clean.
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -14,8 +15,22 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
 
-/// Emit one line at `level` (no-op if below the global level).
+/// Emit one line at `level` (no-op if below the global level). Thread-safe:
+/// one line per call, never interleaved, prefixed with the calling thread's
+/// log context (sim time and shard) when one is set.
 void log_line(LogLevel level, const std::string& msg);
+
+/// Shard value meaning "no shard" in the log context (mirrors sim::kNoShard;
+/// duplicated here so util does not depend on sim).
+inline constexpr std::uint32_t kLogNoShard = 0xffffffffu;
+
+/// Thread-local ambient context stamped onto every emitted line, e.g.
+/// "[WARN] [t=600 s3] msg". The engine sets it per dispatched event (worker
+/// threads get it per batch item, tagged with the item's shard), so lines
+/// from concurrently-running workers stay attributable. A negative time
+/// clears the time part; kLogNoShard omits the shard part.
+void set_log_context(double sim_time_s, std::uint32_t shard);
+void clear_log_context();
 
 namespace detail {
 /// RAII line builder: streams into a buffer, emits on destruction.

@@ -1,0 +1,96 @@
+// Report tests: the summary CSV header and row must agree column for
+// column (sweep benches concatenate them blindly), and print_series_csv
+// must thin to every n-th row of the union time grid with zero-order
+// hold for series missing a sample at that time.
+
+#include "scenario/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/metrics.hpp"
+#include "util/time_series.hpp"
+
+using namespace heteroplace;
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream in(line);
+  while (std::getline(in, cell, ',')) cells.push_back(cell);
+  if (!line.empty() && line.back() == ',') cells.emplace_back();
+  return cells;
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::string line;
+  std::istringstream in(text);
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+}  // namespace
+
+TEST(Report, SummaryCsvHeaderAndRowAgree) {
+  scenario::ExperimentSummary s;
+  s.scenario = "unit";
+  s.policy = "utility";
+  s.jobs_completed = 3;
+  s.jobs_submitted = 4;
+  const auto header = split_csv(scenario::summary_csv_header());
+  const auto row = split_csv(scenario::summary_csv_row(s));
+  EXPECT_EQ(header.size(), row.size());
+  // Spot-check that the row's cells line up with their headers.
+  ASSERT_GE(header.size(), 4u);
+  EXPECT_EQ(header[0], "scenario");
+  EXPECT_EQ(row[0], "unit");
+  EXPECT_EQ(header[1], "policy");
+  EXPECT_EQ(row[1], "utility");
+  EXPECT_EQ(header[2], "jobs_completed");
+  EXPECT_EQ(row[2], "3");
+  EXPECT_EQ(header[3], "jobs_submitted");
+  EXPECT_EQ(row[3], "4");
+}
+
+TEST(Report, SeriesCsvUnionGridAndZeroOrderHold) {
+  util::TimeSeriesSet set;
+  set.add("a", 0.0, 1.0);
+  set.add("a", 10.0, 2.0);
+  set.add("b", 5.0, 7.0);  // no sample at t=0 or t=10
+
+  std::ostringstream os;
+  scenario::print_series_csv(os, set, {"a", "b", "missing"});
+  const auto lines = lines_of(os.str());
+  ASSERT_EQ(lines.size(), 4u);  // header + union of {0, 5, 10}
+  EXPECT_EQ(split_csv(lines[0]), (std::vector<std::string>{"t", "a", "b", "missing"}));
+  // t=0: b has no sample yet -> 0; an unknown series is all zeros.
+  EXPECT_EQ(split_csv(lines[1]), (std::vector<std::string>{"0", "1", "0", "0"}));
+  // t=5: a holds its t=0 value.
+  EXPECT_EQ(split_csv(lines[2]), (std::vector<std::string>{"5", "1", "7", "0"}));
+  // t=10: b holds its t=5 value.
+  EXPECT_EQ(split_csv(lines[3]), (std::vector<std::string>{"10", "2", "7", "0"}));
+}
+
+TEST(Report, SeriesCsvEveryNthThins) {
+  util::TimeSeriesSet set;
+  for (int i = 0; i < 10; ++i) set.add("a", static_cast<double>(i), static_cast<double>(i));
+
+  std::ostringstream os;
+  scenario::print_series_csv(os, set, {"a"}, /*every_nth=*/4);
+  const auto lines = lines_of(os.str());
+  ASSERT_EQ(lines.size(), 4u);  // header + rows at t = 0, 4, 8
+  EXPECT_EQ(split_csv(lines[1])[0], "0");
+  EXPECT_EQ(split_csv(lines[2])[0], "4");
+  EXPECT_EQ(split_csv(lines[3])[0], "8");
+
+  // every_nth < 1 clamps to 1 (prints every row).
+  std::ostringstream all;
+  scenario::print_series_csv(all, set, {"a"}, /*every_nth=*/0);
+  EXPECT_EQ(lines_of(all.str()).size(), 11u);
+}

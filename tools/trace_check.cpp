@@ -1,0 +1,39 @@
+// trace_check: validate Chrome trace-event JSON files written by the obs
+// layer (obs.trace = ring|stream). Checks that each file parses as JSON,
+// that every event record is well-formed, that timestamps are monotone
+// non-decreasing per (pid, tid) lane, and that B/E span nesting is
+// balanced. Exit status 0 = all files clean, 1 = problems found (each
+// printed to stderr), 2 = usage error.
+//
+//   trace_check trace.json [more.json ...]
+
+#include <cstdio>
+#include <exception>
+
+#include "obs/trace_check.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <trace.json> [more.json ...]\n", argv[0]);
+    return 2;
+  }
+  int bad = 0;
+  for (int i = 1; i < argc; ++i) {
+    try {
+      const std::vector<std::string> problems =
+          heteroplace::obs::validate_chrome_trace_file(argv[i]);
+      if (problems.empty()) {
+        std::printf("%s: OK\n", argv[i]);
+        continue;
+      }
+      ++bad;
+      for (const std::string& p : problems) {
+        std::fprintf(stderr, "%s: %s\n", argv[i], p.c_str());
+      }
+    } catch (const std::exception& e) {
+      ++bad;
+      std::fprintf(stderr, "%s: %s\n", argv[i], e.what());
+    }
+  }
+  return bad == 0 ? 0 : 1;
+}
