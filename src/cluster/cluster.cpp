@@ -6,14 +6,34 @@
 
 namespace heteroplace::cluster {
 
-util::NodeId Cluster::add_node(Resources capacity) {
+util::NodeId Cluster::add_node(Resources capacity, ClassId klass) {
+  (void)classes_.at(klass);  // validate the id against the registry
   const util::NodeId id{static_cast<util::NodeId::underlying_type>(nodes_.size())};
-  nodes_.emplace_back(id, capacity);
+  nodes_.emplace_back(id, capacity, klass);
   return id;
 }
 
-void Cluster::add_nodes(int count, Resources per_node) {
-  for (int i = 0; i < count; ++i) add_node(per_node);
+void Cluster::add_nodes(int count, Resources per_node, ClassId klass) {
+  for (int i = 0; i < count; ++i) add_node(per_node, klass);
+}
+
+void Cluster::add_class_nodes(ClassId klass, int count) {
+  const MachineClass& c = classes_.at(klass);
+  if (c.cores <= 0 || c.core_mhz <= 0.0 || c.mem_mb <= 0.0) {
+    throw std::invalid_argument("Cluster::add_class_nodes: class '" + c.name +
+                                "' needs cores, core_mhz and mem_mb to instantiate nodes");
+  }
+  add_nodes(count, c.capacity(), klass);
+}
+
+std::vector<Resources> Cluster::placeable_capacity_by_class() const {
+  std::vector<Resources> per_class(classes_.size());
+  for (const auto& n : nodes_) {
+    if (!n.placeable()) continue;
+    per_class[static_cast<std::size_t>(n.klass())] +=
+        Resources{n.placeable_cpu(), n.capacity().mem};
+  }
+  return per_class;
 }
 
 Node& Cluster::node(util::NodeId id) {

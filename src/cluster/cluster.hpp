@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/machine_class.hpp"
 #include "cluster/node.hpp"
 #include "cluster/vm.hpp"
 #include "util/ids.hpp"
@@ -23,10 +24,28 @@ class Cluster {
 
   // --- topology -----------------------------------------------------------
 
-  util::NodeId add_node(Resources capacity);
+  util::NodeId add_node(Resources capacity, ClassId klass = 0);
 
   /// Homogeneous convenience: `count` nodes of `per_node` capacity.
-  void add_nodes(int count, Resources per_node);
+  void add_nodes(int count, Resources per_node, ClassId klass = 0);
+
+  // --- machine classes ------------------------------------------------------
+
+  /// Register a machine class; nodes reference classes by the returned
+  /// id. The registry always holds the implicit default class at id 0.
+  ClassId add_class(MachineClass c) { return classes_.add(std::move(c)); }
+
+  /// Add `count` nodes of class `klass`, capacity taken from the class
+  /// definition (delivered MHz × memory). Throws on a bad id or a class
+  /// without cores/core_mhz/mem_mb.
+  void add_class_nodes(ClassId klass, int count);
+
+  [[nodiscard]] const MachineClassRegistry& classes() const { return classes_; }
+
+  /// Placeable capacity aggregated per class id (vector indexed by
+  /// ClassId, sized classes().size()): active nodes only, CPU scaled by
+  /// each node's P-state — the per-class analogue of placeable_capacity.
+  [[nodiscard]] std::vector<Resources> placeable_capacity_by_class() const;
 
   [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
   [[nodiscard]] Node& node(util::NodeId id);
@@ -89,6 +108,7 @@ class Cluster {
   [[nodiscard]] Vm& vm_mut(util::VmId id);
 
   std::vector<Node> nodes_;
+  MachineClassRegistry classes_;
   std::unordered_map<util::VmId, Vm> vms_;
   std::vector<util::VmId> vm_order_;  // insertion order for deterministic iteration
   util::VmId::underlying_type next_vm_{0};

@@ -1,0 +1,51 @@
+#include "cluster/machine_class.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace heteroplace::cluster {
+
+bool MachineClass::has_accel(const std::string& tag) const {
+  return std::find(accel.begin(), accel.end(), tag) != accel.end();
+}
+
+bool ConstraintSet::admits(const MachineClass& c) const {
+  if (!arch.empty() && c.arch != arch) return false;
+  for (const std::string& tag : accel) {
+    if (!c.has_accel(tag)) return false;
+  }
+  if (min_core_mhz > 0.0 && c.delivered_core_mhz() < min_core_mhz) return false;
+  return true;
+}
+
+ClassId MachineClassRegistry::add(MachineClass c) {
+  if (c.name.empty()) {
+    throw std::invalid_argument("MachineClassRegistry: class name must be nonempty");
+  }
+  if (find(c.name).has_value()) {
+    throw std::invalid_argument("MachineClassRegistry: duplicate class name '" + c.name + "'");
+  }
+  if (c.speed_factor <= 0.0 || c.speed_factor > 1.0) {
+    throw std::invalid_argument("MachineClassRegistry: speed_factor must be in (0, 1]");
+  }
+  std::sort(c.accel.begin(), c.accel.end());
+  const ClassId id = static_cast<ClassId>(classes_.size());
+  classes_.push_back(std::move(c));
+  return id;
+}
+
+const MachineClass& MachineClassRegistry::at(ClassId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= classes_.size()) {
+    throw std::out_of_range("MachineClassRegistry::at: bad class id");
+  }
+  return classes_[static_cast<std::size_t>(id)];
+}
+
+std::optional<ClassId> MachineClassRegistry::find(const std::string& name) const {
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    if (classes_[i].name == name) return static_cast<ClassId>(i);
+  }
+  return std::nullopt;
+}
+
+}  // namespace heteroplace::cluster

@@ -14,6 +14,7 @@
 #include <map>
 #include <vector>
 
+#include "cluster/machine_class.hpp"
 #include "cluster/resources.hpp"
 #include "util/ids.hpp"
 
@@ -33,10 +34,15 @@ enum class PowerState {
 
 class Node {
  public:
-  Node(util::NodeId id, Resources capacity) : id_(id), capacity_(capacity) {}
+  Node(util::NodeId id, Resources capacity, ClassId klass = 0)
+      : id_(id), capacity_(capacity), klass_(klass) {}
 
   [[nodiscard]] util::NodeId id() const { return id_; }
   [[nodiscard]] Resources capacity() const { return capacity_; }
+
+  /// Machine class this node belongs to (0 = the implicit default); the
+  /// class table lives in the owning Cluster's registry.
+  [[nodiscard]] ClassId klass() const { return klass_; }
   [[nodiscard]] Resources used() const { return used_; }
   [[nodiscard]] Resources available() const { return capacity_ - used_; }
   [[nodiscard]] util::CpuMhz cpu_free() const { return available().cpu; }
@@ -97,6 +103,7 @@ class Node {
  private:
   util::NodeId id_;
   Resources capacity_;
+  ClassId klass_{0};
   Resources used_{};
   std::map<util::VmId, Resources> residents_;  // ordered for determinism
   PowerState power_state_{PowerState::kActive};

@@ -97,21 +97,33 @@ class UtilityConsumer {
 };
 
 /// Consumer view of a long-running job at a specific controller instant.
+///
+/// `speed_cap` is the class-aware delivered-speed term: the delivered
+/// MHz of the largest machine the job's constraints admit. On a
+/// heterogeneous cluster a job cannot progress faster than the best
+/// compatible node delivers, so its utility curve saturates there and
+/// the equalizer prices its demand against achievable speed, not the
+/// nominal spec. The default (+inf) takes the exact pre-class code path.
 class JobConsumer final : public UtilityConsumer {
  public:
-  JobConsumer(const workload::Job& job, const utility::JobUtilityModel& model, util::Seconds now)
-      : job_(&job), model_(&model), now_(now) {}
+  JobConsumer(const workload::Job& job, const utility::JobUtilityModel& model, util::Seconds now,
+              util::CpuMhz speed_cap = util::CpuMhz{kUncapped})
+      : job_(&job), model_(&model), now_(now), speed_cap_(speed_cap) {}
 
   [[nodiscard]] double utility_at(util::CpuMhz alloc) const override {
+    if (capped() && alloc > speed_cap_) alloc = speed_cap_;
     return model_->hypothetical_utility(*job_, now_, alloc);
   }
   [[nodiscard]] util::CpuMhz alloc_for_utility(double u) const override {
-    return model_->speed_for_utility(*job_, now_, u);
+    const util::CpuMhz a = model_->speed_for_utility(*job_, now_, u);
+    return capped() && a > speed_cap_ ? speed_cap_ : a;
   }
   [[nodiscard]] util::CpuMhz demand_max() const override {
-    return model_->demand_for_max_utility(*job_, now_);
+    const util::CpuMhz d = model_->demand_for_max_utility(*job_, now_);
+    return capped() && d > speed_cap_ ? speed_cap_ : d;
   }
   [[nodiscard]] double utility_max() const override {
+    if (capped()) return model_->hypothetical_utility(*job_, now_, demand_max());
     return model_->max_achievable_utility(*job_, now_);
   }
   [[nodiscard]] ConsumerKind kind() const override { return ConsumerKind::kJob; }
@@ -128,7 +140,8 @@ class JobConsumer final : public UtilityConsumer {
     p.fn = &model_->fn();
     p.importance = spec.importance > 0.0 ? spec.importance : 1.0;
     p.remaining = job_->remaining().get();
-    p.max_speed = spec.max_speed.get();
+    p.max_speed =
+        capped() && spec.max_speed > speed_cap_ ? speed_cap_.get() : spec.max_speed.get();
     p.submit = spec.submit_time.get();
     p.goal = spec.completion_goal.get();
     p.now = now_.get();
@@ -136,11 +149,17 @@ class JobConsumer final : public UtilityConsumer {
   }
 
   [[nodiscard]] const workload::Job& job() const { return *job_; }
+  [[nodiscard]] util::CpuMhz speed_cap() const { return speed_cap_; }
+
+  static constexpr double kUncapped = 1.0e300;
 
  private:
+  [[nodiscard]] bool capped() const { return speed_cap_.get() < kUncapped; }
+
   const workload::Job* job_;
   const utility::JobUtilityModel* model_;
   util::Seconds now_;
+  util::CpuMhz speed_cap_;
 };
 
 /// Consumer view of a transactional app at its current arrival rate.

@@ -8,8 +8,10 @@
 // stability), memory footprints, and which VMs are mid-action and thus
 // immovable this cycle.
 
+#include <cstddef>
 #include <vector>
 
+#include "cluster/machine_class.hpp"
 #include "util/ids.hpp"
 #include "util/units.hpp"
 #include "workload/job.hpp"
@@ -23,6 +25,8 @@ struct SolverNode {
   /// do not appear in the problem at all.
   util::CpuMhz cpu_capacity{0.0};
   util::MemMb mem_capacity{0.0};
+  /// Machine class (index into PlacementProblem::classes; 0 = default).
+  cluster::ClassId klass{0};
 };
 
 struct SolverJob {
@@ -43,6 +47,8 @@ struct SolverJob {
   bool movable{true};
   /// Remaining work (used by the near-completion eviction guard).
   util::MhzSeconds remaining{0.0};
+  /// Hard machine constraints; the empty set admits every node.
+  cluster::ConstraintSet constraint{};
 };
 
 struct SolverAppInstance {
@@ -59,12 +65,28 @@ struct SolverApp {
   /// Equalized CPU target across all instances.
   util::CpuMhz target{0.0};
   std::vector<SolverAppInstance> current;
+  /// Hard machine constraints applied to every instance of this app.
+  cluster::ConstraintSet constraint{};
 };
 
 struct PlacementProblem {
   std::vector<SolverNode> nodes;
   std::vector<SolverJob> jobs;
   std::vector<SolverApp> apps;
+  /// Machine-class table (indexed by SolverNode::klass). Empty means the
+  /// cluster never registered explicit classes: every node is the
+  /// implicit default class and only empty constraints can be satisfied.
+  std::vector<cluster::MachineClass> classes;
+
+  /// Does the node's class satisfy `c`? The empty constraint admits
+  /// every node; a non-empty constraint checked against a class-less
+  /// problem fails closed (the default class is underspecified).
+  [[nodiscard]] bool node_admits(const cluster::ConstraintSet& c, cluster::ClassId klass) const {
+    if (c.empty()) return true;
+    static const cluster::MachineClass kDefault{};
+    const auto i = static_cast<std::size_t>(klass);
+    return c.admits(i < classes.size() ? classes[i] : kDefault);
+  }
 };
 
 struct SolverConfig {

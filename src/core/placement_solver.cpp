@@ -175,14 +175,51 @@ SolverResult solve_placement(const PlacementProblem& problem, const SolverConfig
 
   // ---- scratch construction ----------------------------------------------
   std::vector<NodeScratch> nodes(problem.nodes.size());
-  double max_node_cpu = 0.0;
   for (std::size_t i = 0; i < problem.nodes.size(); ++i) {
     const auto& n = problem.nodes[i];
     nodes[i].id = n.id;
     nodes[i].cpu_cap = n.cpu_capacity.get();
     nodes[i].mem_cap = n.mem_capacity.get();
     nodes[i].mem_free = n.mem_capacity.get();
-    max_node_cpu = std::max(max_node_cpu, n.cpu_capacity.get());
+  }
+
+  // ---- compatibility groups ------------------------------------------------
+  // Jobs and apps sharing a ConstraintSet form one group with a fixed
+  // node-eligibility set; every phase below filters candidates through
+  // it, and the phase-4 argmax heaps are built per group so a pop can
+  // never surface an incompatible node. Group 0 is the empty constraint:
+  // a constraint-free problem has exactly that one group over every
+  // node, and each per-group structure degenerates to the single global
+  // one — preserving the pre-class solve bit for bit.
+  std::vector<cluster::ConstraintSet> groups;
+  groups.push_back(cluster::ConstraintSet{});
+  auto group_of = [&](const cluster::ConstraintSet& c) -> std::size_t {
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      if (groups[g] == c) return g;
+    }
+    groups.push_back(c);
+    return groups.size() - 1;
+  };
+  std::vector<std::size_t> job_group(problem.jobs.size());
+  for (std::size_t ji = 0; ji < problem.jobs.size(); ++ji) {
+    job_group[ji] = group_of(problem.jobs[ji].constraint);
+  }
+  std::vector<std::size_t> app_group(problem.apps.size());
+  for (std::size_t ai = 0; ai < problem.apps.size(); ++ai) {
+    app_group[ai] = group_of(problem.apps[ai].constraint);
+  }
+  const std::size_t n_groups = groups.size();
+
+  std::vector<std::vector<char>> elig(n_groups, std::vector<char>(nodes.size(), 0));
+  std::vector<double> group_max_cpu(n_groups, 0.0);
+  std::vector<int> group_node_count(n_groups, 0);
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    for (std::size_t ni = 0; ni < problem.nodes.size(); ++ni) {
+      if (!problem.node_admits(groups[g], problem.nodes[ni].klass)) continue;
+      elig[g][ni] = 1;
+      group_max_cpu[g] = std::max(group_max_cpu[g], problem.nodes[ni].cpu_capacity.get());
+      ++group_node_count[g];
+    }
   }
 
   // Flat id→index map (sorted array + binary search; the seed's
@@ -232,10 +269,30 @@ SolverResult solve_placement(const PlacementProblem& problem, const SolverConfig
     const SolverApp& app = problem.apps[ai];
     AppScratch as;
     as.index = ai;
-    as.per_inst_cap = std::min(app.max_cpu_per_instance.get(), max_node_cpu);
-    if (as.per_inst_cap <= 0.0) as.per_inst_cap = max_node_cpu;
+    // Sizing sees only the machines this app may run on: the biggest
+    // compatible node caps an instance, the compatible node count caps
+    // the cluster (one instance per node).
+    const double app_max_cpu = group_max_cpu[app_group[ai]];
+    const int max_by_nodes = group_node_count[app_group[ai]];
+    if (max_by_nodes == 0) {
+      // No machine satisfies the app's constraints: nothing new can be
+      // placed, and movable instances are dropped (they should never
+      // have been where they are). Booting instances ride out the cycle.
+      as.per_inst_cap = 0.0;
+      for (const auto& inst : app.current) {
+        if (!inst.movable) {
+          as.kept_nodes.push_back(inst.node);
+        } else {
+          ++stats.instances_dropped;
+        }
+      }
+      as.desired = static_cast<int>(as.kept_nodes.size());
+      app_scratch.push_back(std::move(as));
+      continue;
+    }
+    as.per_inst_cap = std::min(app.max_cpu_per_instance.get(), app_max_cpu);
+    if (as.per_inst_cap <= 0.0) as.per_inst_cap = app_max_cpu;
 
-    const int max_by_nodes = static_cast<int>(problem.nodes.size());
     const int hard_max = std::min(app.max_instances, max_by_nodes);
     // Size the cluster assuming an instance only obtains a fraction of its
     // node (it shares the node with collocated jobs).
@@ -339,6 +396,7 @@ SolverResult solve_placement(const PlacementProblem& problem, const SolverConfig
   for (auto& as : app_scratch) {
     if (as.to_add == 0) continue;
     const SolverApp& app = problem.apps[as.index];
+    const std::vector<char>& app_elig = elig[app_group[as.index]];
     std::fill(presence.begin(), presence.end(), 0);
     for (util::NodeId nid : as.kept_nodes) {
       const std::size_t ni = index_of(nid);
@@ -349,9 +407,10 @@ SolverResult solve_placement(const PlacementProblem& problem, const SolverConfig
     };
 
     for (int k = 0; k < as.to_add; ++k) {
-      // First choice: free memory, most of it.
+      // First choice: free memory, most of it (compatible nodes only).
       std::size_t best = kNone;
       for (std::size_t ni = 0; ni < nodes.size(); ++ni) {
+        if (!app_elig[ni]) continue;
         if (has_instance(ni)) continue;
         if (nodes[ni].mem_free + kEps < app.instance_memory.get()) continue;
         if (best == kNone || nodes[ni].mem_free > nodes[best].mem_free) best = ni;
@@ -365,6 +424,7 @@ SolverResult solve_placement(const PlacementProblem& problem, const SolverConfig
         std::vector<std::size_t> best_victims;
         for (std::size_t ni = 0; ni < nodes.size(); ++ni) {
           NodeScratch& ns = nodes[ni];
+          if (!app_elig[ni]) continue;
           if (has_instance(ni)) continue;
           // Greedily evict lowest-urgency jobs until the instance fits.
           std::vector<std::size_t> order;  // resident positions, jobs only
@@ -451,11 +511,17 @@ SolverResult solve_placement(const PlacementProblem& problem, const SolverConfig
   };
   std::vector<WaitingKey> heap;
   heap.reserve(waiting.size());
-  double min_waiting_mem = std::numeric_limits<double>::max();
+  // Admission bookkeeping is per compatibility group: a group's smallest
+  // waiting footprint against the max free memory among *its* eligible
+  // nodes (with one empty group these are the global min/max of before).
+  std::vector<double> group_min_mem(n_groups, std::numeric_limits<double>::max());
+  std::vector<int> group_heap_count(n_groups, 0);
   for (const Waiting& w : waiting) {
     const SolverJob& job = problem.jobs[w.index];
     heap.push_back({job.urgency, job.id, static_cast<std::uint32_t>(w.index), w.was_running});
-    min_waiting_mem = std::min(min_waiting_mem, job.memory.get());
+    const std::size_t g = job_group[w.index];
+    group_min_mem[g] = std::min(group_min_mem[g], job.memory.get());
+    ++group_heap_count[g];
   }
   const auto heap_after = [](const WaitingKey& a, const WaitingKey& b) {
     if (a.urgency != b.urgency) return a.urgency < b.urgency;  // max-heap on urgency
@@ -485,33 +551,46 @@ SolverResult solve_placement(const PlacementProblem& problem, const SolverConfig
     if (a.headroom != b.headroom) return a.headroom < b.headroom;  // max-heap on headroom
     return a.index > b.index;                                      // then min on node index
   };
-  std::vector<SlotKey> slot_heap;
-  std::vector<std::uint32_t> slot_version(nodes.size(), 0);
-  slot_heap.reserve(nodes.size() + 16);
-  for (std::size_t ni = 0; ni < nodes.size(); ++ni) {
-    slot_heap.push_back({nodes[ni].target_headroom(), static_cast<std::uint32_t>(ni), 0});
+  // One slot heap (and version array) per compatibility group, over the
+  // group's eligible nodes only, so an argmax pop can never surface an
+  // incompatible node. A placement stales the node's entry in *every*
+  // group heap that contains it.
+  std::vector<std::vector<SlotKey>> slot_heaps(n_groups);
+  std::vector<std::vector<std::uint32_t>> slot_versions(
+      n_groups, std::vector<std::uint32_t>(nodes.size(), 0));
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    slot_heaps[g].reserve(static_cast<std::size_t>(group_node_count[g]) + 16);
+    for (std::size_t ni = 0; ni < nodes.size(); ++ni) {
+      if (!elig[g][ni]) continue;
+      slot_heaps[g].push_back({nodes[ni].target_headroom(), static_cast<std::uint32_t>(ni), 0});
+    }
+    std::make_heap(slot_heaps[g].begin(), slot_heaps[g].end(), slot_after);
   }
-  std::make_heap(slot_heap.begin(), slot_heap.end(), slot_after);
   std::vector<SlotKey> deferred;  // valid pops that did not fit this job's memory
 
-  // The admission checks below need the fleet-wide max free memory per
-  // job; the shared lazy-rescan bound (max_mem_free above) would rescan
-  // all nodes after every placement, reintroducing the O(jobs·nodes)
-  // term. Phase 4 only ever *consumes* memory, so a lazy max-heap keyed
-  // by mem-free-at-push works: a stale top is refreshed in place (the
-  // smaller live value sinks) and each placement stales at most one
-  // entry, making the query O(log nodes) amortized.
-  std::vector<std::pair<double, std::uint32_t>> mem_heap;  // (mem_free at push, node index)
+  // The admission checks below need the max free memory among a job's
+  // compatible nodes; the shared lazy-rescan bound (max_mem_free above)
+  // would rescan all nodes after every placement, reintroducing the
+  // O(jobs·nodes) term. Phase 4 only ever *consumes* memory, so a lazy
+  // max-heap keyed by mem-free-at-push works: a stale top is refreshed
+  // in place (the smaller live value sinks) and each placement stales at
+  // most one entry per group, making the query O(log nodes) amortized.
+  std::vector<std::vector<std::pair<double, std::uint32_t>>>
+      mem_heaps(n_groups);  // (mem_free at push, node index)
   const auto mem_after = [](const std::pair<double, std::uint32_t>& a,
                             const std::pair<double, std::uint32_t>& b) {
     return a.first < b.first;
   };
-  mem_heap.reserve(nodes.size());
-  for (std::size_t ni = 0; ni < nodes.size(); ++ni) {
-    mem_heap.emplace_back(nodes[ni].mem_free, static_cast<std::uint32_t>(ni));
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    mem_heaps[g].reserve(static_cast<std::size_t>(group_node_count[g]));
+    for (std::size_t ni = 0; ni < nodes.size(); ++ni) {
+      if (!elig[g][ni]) continue;
+      mem_heaps[g].emplace_back(nodes[ni].mem_free, static_cast<std::uint32_t>(ni));
+    }
+    std::make_heap(mem_heaps[g].begin(), mem_heaps[g].end(), mem_after);
   }
-  std::make_heap(mem_heap.begin(), mem_heap.end(), mem_after);
-  const auto phase4_max_mem_free = [&]() -> double {
+  const auto phase4_max_mem_free = [&](std::size_t g) -> double {
+    auto& mem_heap = mem_heaps[g];
     while (!mem_heap.empty()) {
       const auto top = mem_heap.front();
       const double live = nodes[top.second].mem_free;
@@ -524,8 +603,15 @@ SolverResult solve_placement(const PlacementProblem& problem, const SolverConfig
   };
 
   while (!heap.empty()) {
-    if (phase4_max_mem_free() + kEps < min_waiting_mem) {
-      // Nothing left can be admitted anywhere.
+    bool any_admittable = false;
+    for (std::size_t g = 0; g < n_groups; ++g) {
+      if (group_heap_count[g] > 0 && phase4_max_mem_free(g) + kEps >= group_min_mem[g]) {
+        any_admittable = true;
+        break;
+      }
+    }
+    if (!any_admittable) {
+      // Nothing left can be admitted anywhere it may run.
       stats.jobs_waiting += static_cast<int>(heap.size());
       break;
     }
@@ -533,14 +619,18 @@ SolverResult solve_placement(const PlacementProblem& problem, const SolverConfig
     const Waiting w{heap.back().index, heap.back().was_running};
     heap.pop_back();
     const SolverJob& job = problem.jobs[w.index];
+    const std::size_t jg = job_group[w.index];
+    --group_heap_count[jg];
     if (w.was_running && !config.allow_migration) {
       ++stats.jobs_waiting;  // becomes a suspension downstream
       continue;
     }
-    if (phase4_max_mem_free() + kEps < job.memory.get()) {
-      ++stats.jobs_waiting;  // no node can hold it — skip the heap drain
+    if (phase4_max_mem_free(jg) + kEps < job.memory.get()) {
+      ++stats.jobs_waiting;  // no compatible node can hold it — skip the heap drain
       continue;
     }
+    auto& slot_heap = slot_heaps[jg];
+    const auto& slot_version = slot_versions[jg];
     NodeScratch* best = nullptr;
     std::uint32_t best_index = 0;
     deferred.clear();
@@ -562,7 +652,7 @@ SolverResult solve_placement(const PlacementProblem& problem, const SolverConfig
       slot_heap.push_back(e);
       std::push_heap(slot_heap.begin(), slot_heap.end(), slot_after);
     }
-    if (best == nullptr) {  // unreachable unless the cluster is empty
+    if (best == nullptr) {  // unreachable unless the group's node set is empty
       ++stats.jobs_waiting;
       continue;
     }
@@ -580,11 +670,16 @@ SolverResult solve_placement(const PlacementProblem& problem, const SolverConfig
     best->add_resident(r);
     fleet_mem_dirty = true;
     // The placement changed this node's headroom (and memory): retire
-    // its live heap entry and push a fresh one. mem_heap self-heals on
-    // the next query (the stale top refreshes in place).
-    ++slot_version[best_index];
-    slot_heap.push_back({best->target_headroom(), best_index, slot_version[best_index]});
-    std::push_heap(slot_heap.begin(), slot_heap.end(), slot_after);
+    // its live entry in every group heap holding it and push fresh ones.
+    // mem_heaps self-heal on the next query (a stale top refreshes in
+    // place).
+    for (std::size_t g = 0; g < n_groups; ++g) {
+      if (!elig[g][best_index]) continue;
+      ++slot_versions[g][best_index];
+      slot_heaps[g].push_back(
+          {best->target_headroom(), best_index, slot_versions[g][best_index]});
+      std::push_heap(slot_heaps[g].begin(), slot_heaps[g].end(), slot_after);
+    }
     // Landing back on its own node is not a migration (plan diff is a
     // plain resize there).
     if (w.was_running && best->id != job.current_node) ++stats.jobs_migrated;
@@ -668,11 +763,14 @@ SolverResult solve_placement(const PlacementProblem& problem, const SolverConfig
       }
       if (pos == kNone) break;
       const SolverJob& job = problem.jobs[ns.residents[pos].index];
-      // Find a destination with spare CPU and memory.
+      const std::vector<char>& rescue_elig = elig[job_group[ns.residents[pos].index]];
+      // Find a compatible destination with spare CPU and memory.
       NodeScratch* dest = nullptr;
       double best_leftover = 1.0;  // require strictly useful CPU
-      for (auto& cand : nodes) {
+      for (std::size_t ci = 0; ci < nodes.size(); ++ci) {
+        NodeScratch& cand = nodes[ci];
         if (&cand == &ns) continue;
+        if (!rescue_elig[ci]) continue;
         if (cand.mem_free + kEps < job.memory.get()) continue;
         const double leftover = cand.cpu_cap - cand.granted_sum;
         if (leftover > best_leftover) {

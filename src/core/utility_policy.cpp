@@ -28,7 +28,13 @@ PlacementProblem build_problem_skeleton(const World& world) {
     // omitted outright. A waking node rejoins the problem only once its
     // wake latency has elapsed (PowerManager flips it back to active).
     if (!n.placeable()) continue;
-    problem.nodes.push_back({n.id(), n.placeable_cpu(), n.capacity().mem});
+    problem.nodes.push_back({n.id(), n.placeable_cpu(), n.capacity().mem, n.klass()});
+  }
+  // The class table rides along only when the cluster registered explicit
+  // classes; a legacy scalar cluster leaves it empty (and every
+  // constraint empty), keeping the problem bit-identical to before.
+  if (cl.classes().explicit_classes()) {
+    problem.classes = cl.classes().classes();
   }
 
   for (const workload::Job* job : world.active_jobs()) {
@@ -40,6 +46,7 @@ PlacementProblem build_problem_skeleton(const World& world) {
     sj.phase = job->phase();
     sj.movable = job->phase() == workload::JobPhase::kRunning;
     sj.remaining = job->remaining();
+    sj.constraint = job->spec().constraint;
     problem.jobs.push_back(sj);
   }
 
@@ -50,6 +57,7 @@ PlacementProblem build_problem_skeleton(const World& world) {
     sa.min_instances = app.spec().min_instances;
     sa.max_instances = app.spec().max_instances;
     sa.max_cpu_per_instance = app.spec().max_cpu_per_instance;
+    sa.constraint = app.spec().constraint;
     for (util::VmId vm_id : cl.vm_ids()) {
       const auto& vm = cl.vm(vm_id);
       if (vm.kind != cluster::VmKind::kWebInstance || vm.app != app.id()) continue;
@@ -74,8 +82,32 @@ PolicyOutput UtilityDrivenPolicy::decide(const World& world, util::Seconds now) 
   const auto jobs = world.active_jobs();
   std::vector<JobConsumer> job_consumers;
   job_consumers.reserve(jobs.size());
+  // Class-aware delivered-speed caps: on a heterogeneous cluster a job's
+  // achievable speed saturates at the delivered MHz of the largest node
+  // its constraints admit, so the equalizer prices its curve there. A
+  // scalar cluster (no explicit classes) skips this entirely and the
+  // consumers take the exact pre-class path.
+  const bool hetero = world.cluster().classes().explicit_classes();
+  std::vector<std::pair<cluster::ConstraintSet, util::CpuMhz>> cap_cache;
+  auto speed_cap_for = [&](const cluster::ConstraintSet& c) {
+    for (const auto& [seen, cap] : cap_cache) {
+      if (seen == c) return cap;
+    }
+    util::CpuMhz cap{0.0};
+    for (const auto& n : world.cluster().nodes()) {
+      if (!n.placeable()) continue;
+      if (!c.admits(world.cluster().classes().at(n.klass()))) continue;
+      cap = std::max(cap, n.placeable_cpu());
+    }
+    cap_cache.emplace_back(c, cap);
+    return cap;
+  };
   for (const workload::Job* job : jobs) {
-    job_consumers.emplace_back(*job, *job_model_, now);
+    if (hetero) {
+      job_consumers.emplace_back(*job, *job_model_, now, speed_cap_for(job->spec().constraint));
+    } else {
+      job_consumers.emplace_back(*job, *job_model_, now);
+    }
   }
   std::vector<TxConsumer> tx_consumers;
   tx_consumers.reserve(world.apps().size());

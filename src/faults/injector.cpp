@@ -40,6 +40,10 @@ FaultInjector::FaultInjector(sim::Engine& engine, std::vector<DomainHooks> hooks
   if (options_.checkpoint_interval_s < 0.0) {
     throw std::invalid_argument("FaultInjector: checkpoint_interval_s must be nonnegative");
   }
+  if (options_.max_concurrent_repairs < 0) {
+    throw std::invalid_argument(
+        "FaultInjector: max_concurrent_repairs must be nonnegative (0 = unlimited)");
+  }
   state_.resize(hooks_.size());
 }
 
@@ -90,8 +94,16 @@ void FaultInjector::start() {
     // at equal (time, priority) is therefore deterministic.
     engine_.schedule_at(util::Seconds{w.start_s}, sim::EventPriority::kFault,
                         [this, w] { fire_fault(w); });
-    engine_.schedule_at(util::Seconds{w.end_s}, sim::EventPriority::kFault,
-                        [this, w] { fire_recovery(w); });
+    // Crew-limited node repairs are scheduled from crash_node (when the
+    // crash actually lands), so a queued repair can slip past end_s.
+    // Everything else — and the unlimited default — keeps the upfront
+    // recovery schedule, bit for bit.
+    const bool crew_gated =
+        w.kind == FaultKind::kNodeCrash && options_.max_concurrent_repairs > 0;
+    if (!crew_gated) {
+      engine_.schedule_at(util::Seconds{w.end_s}, sim::EventPriority::kFault,
+                          [this, w] { fire_recovery(w); });
+    }
   }
 
   if (options_.checkpoint_interval_s > 0.0) {
@@ -202,6 +214,33 @@ void FaultInjector::crash_node(const FaultWindow& w) {
 
   // Shift transactional demand away from the shrunken domain.
   if (fed_ != nullptr) fed_->resplit_demand();
+
+  // Finite repair crew: the recovery was not pre-scheduled, so claim a
+  // crew slot (or queue for one) now that the crash actually landed.
+  if (options_.max_concurrent_repairs > 0) request_repair(w);
+}
+
+void FaultInjector::request_repair(const FaultWindow& w) {
+  if (active_repairs_ < options_.max_concurrent_repairs) {
+    start_repair(w);
+  } else {
+    repair_queue_.push_back(w);  // failure order — crews work FIFO
+  }
+}
+
+void FaultInjector::start_repair(const FaultWindow& w) {
+  ++active_repairs_;
+  // The window encodes the repair's hands-on duration; queue wait (if
+  // any) already elapsed before this pickup.
+  engine_.schedule_in(util::Seconds{w.end_s - w.start_s}, sim::EventPriority::kFault, [this, w] {
+    fire_recovery(w);
+    --active_repairs_;
+    if (!repair_queue_.empty()) {
+      const FaultWindow next = repair_queue_.front();
+      repair_queue_.pop_front();
+      start_repair(next);
+    }
+  });
 }
 
 void FaultInjector::recover_node(const FaultWindow& w) {

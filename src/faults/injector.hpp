@@ -35,6 +35,7 @@
 // metric series and the experiment summary.
 
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <map>
 #include <set>
@@ -77,6 +78,14 @@ struct FaultOptions {
   /// job to its most recent checkpoint; 0 means continuous (lossless)
   /// checkpointing — crashed jobs restart pending but keep all progress.
   double checkpoint_interval_s{0.0};
+  /// Repair-crew capacity for node crashes. 0 (default) = unlimited:
+  /// every repair runs concurrently and each node recovers at its
+  /// window's end_s, exactly the pre-crew behavior. A positive limit
+  /// models a finite crew: at most this many node repairs run at once;
+  /// excess crashes queue in failure order (FIFO) and each queued repair
+  /// recovers at crew_pickup + (end_s − start_s). Link faults and
+  /// blackouts are never gated — different crews fix them.
+  int max_concurrent_repairs{0};
 };
 
 /// Cumulative per-domain fault accounting (also aggregated by totals()).
@@ -165,6 +174,12 @@ class FaultInjector {
   void restore_domain(const FaultWindow& w);
   void checkpoint_tick();
 
+  /// Crew-limited node repairs (max_concurrent_repairs > 0): claim a
+  /// crew slot or join the FIFO queue; a finishing repair hands its slot
+  /// to the oldest waiting crash.
+  void request_repair(const FaultWindow& w);
+  void start_repair(const FaultWindow& w);
+
   /// Fold the availability integral up to `now_s` and refresh `unavail`.
   void refold(DomainState& st, double now_s);
   void credit_repair(DomainState& st, const FaultWindow& w);
@@ -180,6 +195,9 @@ class FaultInjector {
   std::vector<DomainState> state_;
   /// Last periodic checkpoint per job (MHz·s of completed work).
   std::map<util::JobId, double> checkpoints_;
+  /// Crew-limited repair state (unused when max_concurrent_repairs == 0).
+  int active_repairs_{0};
+  std::deque<FaultWindow> repair_queue_;
   std::function<void()> checkpoint_loop_;
   bool started_{false};
 };

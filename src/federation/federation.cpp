@@ -229,6 +229,15 @@ std::vector<DomainStatus> Federation::status(util::Seconds now) const {
     s.active_jobs = d->active_job_count();
     if (transfer_queue_probe_) s.outbound_transfers_queued = transfer_queue_probe_(d->index());
     if (power_probe_) s.power_draw_w = power_probe_(d->index());
+    // Per-class headroom for constraint-aware routing; scalar domains
+    // leave both vectors empty and routers fall back to `effective`.
+    const auto& reg = d->world().cluster().classes();
+    if (reg.explicit_classes()) {
+      s.classes = reg.classes();
+      const auto by_class = d->world().cluster().placeable_capacity_by_class();
+      s.class_headroom.reserve(by_class.size());
+      for (const auto& r : by_class) s.class_headroom.push_back(r.cpu * d->weight());
+    }
     out.push_back(s);
   }
   return out;

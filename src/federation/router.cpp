@@ -6,17 +6,30 @@
 
 namespace heteroplace::federation {
 
+util::CpuMhz DomainStatus::effective_for(const cluster::ConstraintSet& c) const {
+  if (c.empty() || classes.empty()) return effective;
+  util::CpuMhz sum{0.0};
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    if (c.admits(classes[i])) sum += class_headroom[i];
+  }
+  return sum;
+}
+
 namespace {
 
-/// Effective-capacity-proportional shares; all-zero when every domain is
-/// drained (the federation's normalizer then falls back to an even split).
-std::vector<double> capacity_shares(const std::vector<DomainStatus>& domains) {
+/// Constraint-weighted capacity shares: proportional to each domain's
+/// effective capacity on admitting machine classes; all-zero when every
+/// domain is drained or incompatible (the federation's normalizer then
+/// falls back to an even split). An empty constraint reproduces the
+/// pre-class shares exactly.
+std::vector<double> capacity_shares(const std::vector<DomainStatus>& domains,
+                                    const cluster::ConstraintSet& c) {
   std::vector<double> shares(domains.size(), 0.0);
   double total = 0.0;
-  for (const auto& d : domains) total += d.effective.get();
+  for (const auto& d : domains) total += d.effective_for(c).get();
   if (total <= 0.0) return shares;
   for (std::size_t i = 0; i < domains.size(); ++i) {
-    shares[i] = domains[i].effective.get() / total;
+    shares[i] = domains[i].effective_for(c).get() / total;
   }
   return shares;
 }
@@ -31,15 +44,17 @@ std::uint64_t mix(std::uint64_t x) {
 
 }  // namespace
 
-std::size_t LeastLoadedRouter::route_job(const workload::JobSpec&,
+std::size_t LeastLoadedRouter::route_job(const workload::JobSpec& spec,
                                          const std::vector<DomainStatus>& domains) {
   std::size_t best = 0;
   double best_load = std::numeric_limits<double>::infinity();
   bool any_healthy = false;
   for (const auto& d : domains) {
-    if (d.effective.get() <= 0.0) continue;  // drained: skip unless all are
+    // Drained or constraint-incompatible: skip unless all are.
+    const double eligible = d.effective_for(spec.constraint).get();
+    if (eligible <= 0.0) continue;
     any_healthy = true;
-    const double load = d.offered_load.get() / d.effective.get();
+    const double load = d.offered_load.get() / eligible;
     if (load < best_load) {
       best_load = load;
       best = d.index;
@@ -49,15 +64,15 @@ std::size_t LeastLoadedRouter::route_job(const workload::JobSpec&,
   return best;
 }
 
-std::vector<double> LeastLoadedRouter::demand_shares(const workload::TxAppSpec&,
+std::vector<double> LeastLoadedRouter::demand_shares(const workload::TxAppSpec& app,
                                                      const std::vector<DomainStatus>& domains) {
-  return capacity_shares(domains);
+  return capacity_shares(domains, app.constraint);
 }
 
-std::size_t CapacityWeightedRouter::route_job(const workload::JobSpec&,
+std::size_t CapacityWeightedRouter::route_job(const workload::JobSpec& spec,
                                               const std::vector<DomainStatus>& domains) {
   credit_.resize(domains.size(), 0.0);
-  const auto shares = capacity_shares(domains);
+  const auto shares = capacity_shares(domains, spec.constraint);
   double total_share = 0.0;
   for (double s : shares) total_share += s;
   if (total_share <= 0.0) return 0;  // everything drained
@@ -77,19 +92,19 @@ std::size_t CapacityWeightedRouter::route_job(const workload::JobSpec&,
 }
 
 std::vector<double> CapacityWeightedRouter::demand_shares(
-    const workload::TxAppSpec&, const std::vector<DomainStatus>& domains) {
-  return capacity_shares(domains);
+    const workload::TxAppSpec& app, const std::vector<DomainStatus>& domains) {
+  return capacity_shares(domains, app.constraint);
 }
 
 std::size_t StickyRouter::route_job(const workload::JobSpec& spec,
                                     const std::vector<DomainStatus>& domains) {
   const std::size_t n = domains.size();
   const std::size_t home = static_cast<std::size_t>(mix(spec.id.get()) % n);
-  // Linear probe from the home index so a drained domain's jobs land on a
-  // stable fallback rather than scattering.
+  // Linear probe from the home index so a drained (or incompatible)
+  // domain's jobs land on a stable fallback rather than scattering.
   for (std::size_t probe = 0; probe < n; ++probe) {
     const std::size_t i = (home + probe) % n;
-    if (domains[i].effective.get() > 0.0) return i;
+    if (domains[i].effective_for(spec.constraint).get() > 0.0) return i;
   }
   return home;  // everything drained
 }
@@ -101,7 +116,7 @@ std::vector<double> StickyRouter::demand_shares(const workload::TxAppSpec& app,
   const std::size_t home = static_cast<std::size_t>(app.id.get() % n);
   for (std::size_t probe = 0; probe < n; ++probe) {
     const std::size_t i = (home + probe) % n;
-    if (domains[i].effective.get() > 0.0) {
+    if (domains[i].effective_for(app.constraint).get() > 0.0) {
       shares[i] = 1.0;
       return shares;
     }

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/machine_class.hpp"
 #include "util/units.hpp"
 #include "workload/job.hpp"
 #include "workload/transactional.hpp"
@@ -42,6 +43,17 @@ struct DomainStatus {
   /// subsystem is off; see Federation::set_power_probe). Energy-aware
   /// routers can prefer domains with headroom under their power caps.
   double power_draw_w{0.0};
+  /// Machine-class table and per-class weight-scaled placeable CPU
+  /// (parallel vectors indexed by ClassId). Both empty when the domain's
+  /// cluster has no explicit classes — the scalar case pays nothing and
+  /// routers fall back to `effective` unchanged.
+  std::vector<cluster::MachineClass> classes;
+  std::vector<util::CpuMhz> class_headroom;
+
+  /// Weight-scaled placeable CPU on machines admitted by `c`. Equals
+  /// `effective` for an empty constraint or a scalar domain, so
+  /// unconstrained routing is bit-identical to before classes existed.
+  [[nodiscard]] util::CpuMhz effective_for(const cluster::ConstraintSet& c) const;
 };
 
 class DomainRouter {

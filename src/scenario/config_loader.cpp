@@ -6,6 +6,7 @@
 
 #include "federation/router.hpp"
 #include "migration/policy.hpp"
+#include "scenario/class_factory.hpp"
 #include "scenario/fault_factory.hpp"
 #include "scenario/obs_factory.hpp"
 #include "scenario/power_factory.hpp"
@@ -57,9 +58,14 @@ Scenario scenario_from_keyed(KeyedConfig& k);
 Scenario scenario_from_config(const util::Config& cfg) {
   KeyedConfig k(cfg);
   Scenario s = scenario_from_keyed(k);
+  validate_constraint(s.jobs.tmpl.constraint, {&s.cluster}, "jobs.constraint");
+  for (std::size_t i = 0; i < s.apps.size(); ++i) {
+    validate_constraint(s.apps[i].spec.constraint, {&s.cluster},
+                        "app." + std::to_string(i) + ".constraint");
+  }
   // Single-cluster runs cannot express link or domain faults; fail at
   // load time, not mid-run.
-  validate_fault_spec(s.faults, {static_cast<std::size_t>(s.cluster.nodes)},
+  validate_fault_spec(s.faults, {static_cast<std::size_t>(s.cluster.total_nodes())},
                       /*federated=*/false, /*migration_enabled=*/false, s.horizon_s);
   k.reject_unknown();
   return s;
@@ -95,6 +101,9 @@ FederatedScenario federated_scenario_from_config(const util::Config& cfg) {
   // domains) and may leave later domains with zero nodes; explicit
   // domain.<i>.nodes overrides apply before the positivity check so
   // "2 nodes, 4 domains, 1 node each by override" is a valid config.
+  // Heterogeneous specs split each class pool the same way, overridden
+  // per-pool by domain.<i>.class.<name>.count (0 = none of that class
+  // here, so a GPU pool can live in one domain only).
   const int base_nodes = base.cluster.nodes / static_cast<int>(n_domains);
   const int remainder = base.cluster.nodes % static_cast<int>(n_domains);
   for (long long i = 0; i < n_domains; ++i) {
@@ -102,12 +111,34 @@ FederatedScenario federated_scenario_from_config(const util::Config& cfg) {
     DomainSpec d;
     d.name = "dc" + std::to_string(i);
     d.cluster = base.cluster;
-    d.cluster.nodes = base_nodes + (i < remainder ? 1 : 0);
     d.name = k.str(p + "name", d.name);
-    d.cluster.nodes = static_cast<int>(k.integer(p + "nodes", d.cluster.nodes));
-    if (d.cluster.nodes < 1) throw util::ConfigError(p + "nodes: must be positive");
-    d.cluster.cpu_per_node_mhz = k.num(p + "cpu_per_node_mhz", d.cluster.cpu_per_node_mhz);
-    d.cluster.mem_per_node_mb = k.num(p + "mem_per_node_mb", d.cluster.mem_per_node_mb);
+    if (base.cluster.heterogeneous()) {
+      for (const char* key : {"nodes", "cpu_per_node_mhz", "mem_per_node_mb"}) {
+        if (k.has(p + key)) {
+          throw util::ConfigError(p + key +
+                                  " has no effect with explicit machine classes; use " + p +
+                                  "class.<name>.count");
+        }
+      }
+      for (ClassPoolSpec& pool : d.cluster.classes) {
+        const int pool_base = pool.count / static_cast<int>(n_domains);
+        const int pool_rem = pool.count % static_cast<int>(n_domains);
+        const std::string ckey = p + "class." + pool.klass.name + ".count";
+        const int count = static_cast<int>(
+            k.integer(ckey, pool_base + (i < pool_rem ? 1 : 0)));
+        if (count < 0) throw util::ConfigError(ckey + ": must be nonnegative");
+        pool.count = count;
+      }
+      if (d.cluster.total_nodes() < 1) {
+        throw util::ConfigError(p + "class.<name>.count: domain has no nodes");
+      }
+    } else {
+      d.cluster.nodes = base_nodes + (i < remainder ? 1 : 0);
+      d.cluster.nodes = static_cast<int>(k.integer(p + "nodes", d.cluster.nodes));
+      if (d.cluster.nodes < 1) throw util::ConfigError(p + "nodes: must be positive");
+      d.cluster.cpu_per_node_mhz = k.num(p + "cpu_per_node_mhz", d.cluster.cpu_per_node_mhz);
+      d.cluster.mem_per_node_mb = k.num(p + "mem_per_node_mb", d.cluster.mem_per_node_mb);
+    }
     d.first_cycle_at_s = k.num(p + "first_cycle_at_s", d.first_cycle_at_s);
     d.power_cap_w = k.num(p + "power_cap_w", d.power_cap_w);
     if (k.has(p + "power_cap_w") && d.power_cap_w < 0.0) {
@@ -159,6 +190,7 @@ FederatedScenario federated_scenario_from_config(const util::Config& cfg) {
   }
   m.rescore_queued_transfers =
       k.boolean("migration.rescore_queued_transfers", m.rescore_queued_transfers);
+  m.align_attach = k.boolean("migration.align_attach", m.align_attach);
   validate_migration_modes(m);
   // Bandwidths have always been MB/s (images divide directly by them);
   // the preferred key now says so. The old *_mbps spelling is a
@@ -229,9 +261,21 @@ FederatedScenario federated_scenario_from_config(const util::Config& cfg) {
   }
 
   {
+    // A constraint is satisfiable if any domain kept an admitting pool
+    // (per-domain count overrides may have moved pools around).
+    std::vector<const ClusterSpec*> domain_clusters;
+    for (const DomainSpec& d : fs.domains) domain_clusters.push_back(&d.cluster);
+    validate_constraint(fs.jobs.tmpl.constraint, domain_clusters, "jobs.constraint");
+    for (std::size_t i = 0; i < fs.apps.size(); ++i) {
+      validate_constraint(fs.apps[i].spec.constraint, domain_clusters,
+                          "app." + std::to_string(i) + ".constraint");
+    }
+  }
+
+  {
     std::vector<std::size_t> nodes_per_domain;
     for (const DomainSpec& d : fs.domains) {
-      nodes_per_domain.push_back(static_cast<std::size_t>(d.cluster.nodes));
+      nodes_per_domain.push_back(static_cast<std::size_t>(d.cluster.total_nodes()));
     }
     validate_fault_spec(fs.faults, nodes_per_domain, /*federated=*/true, fs.migration.enabled,
                         fs.horizon_s);
@@ -257,6 +301,51 @@ Scenario scenario_from_keyed(KeyedConfig& k) {
   s.cluster.nodes = static_cast<int>(k.integer("nodes", defaults.cluster.nodes));
   s.cluster.cpu_per_node_mhz = k.num("cpu_per_node_mhz", defaults.cluster.cpu_per_node_mhz);
   s.cluster.mem_per_node_mb = k.num("mem_per_node_mb", defaults.cluster.mem_per_node_mb);
+
+  // --- machine classes --------------------------------------------------------
+  // `classes = big,arm` names the pools; each pool is then described by
+  // class.<name>.* keys. Scalar and pooled layouts are mutually
+  // exclusive spellings of the cluster — mixing them is rejected rather
+  // than guessed at.
+  const std::vector<std::string> class_names =
+      parse_tag_list(k.str("classes", ""), "classes");
+  if (!class_names.empty()) {
+    for (const char* key : {"nodes", "cpu_per_node_mhz", "mem_per_node_mb"}) {
+      if (k.has(key)) {
+        throw util::ConfigError(std::string(key) +
+                                " has no effect with explicit machine classes; "
+                                "size each pool via class.<name>.count");
+      }
+    }
+    for (const std::string& name : class_names) {
+      const std::string p = "class." + name + ".";
+      ClassPoolSpec pool;
+      pool.klass.name = name;
+      pool.klass.arch = k.str(p + "arch", "");
+      pool.klass.cores = static_cast<int>(k.integer(p + "cores", 0));
+      pool.klass.core_mhz = k.num(p + "core_mhz", 0.0);
+      pool.klass.mem_mb = k.num(p + "mem_mb", 0.0);
+      pool.klass.speed_factor = k.num(p + "speed_factor", 1.0);
+      pool.klass.accel = parse_tag_list(k.str(p + "accel", ""), p + "accel");
+      pool.count = static_cast<int>(k.integer(p + "count", 0));
+      s.cluster.classes.push_back(std::move(pool));
+    }
+    validate_class_pools(s.cluster);
+  }
+
+  // Shared shape for jobs.constraint.* / app.<i>.constraint.* keys.
+  // Satisfiability against the actual pools is checked by the caller —
+  // the federated loader must test against per-domain class counts.
+  auto parse_constraint = [&k](const std::string& p) {
+    cluster::ConstraintSet c;
+    c.arch = k.str(p + "arch", "");
+    c.accel = parse_tag_list(k.str(p + "accel", ""), p + "accel");
+    c.min_core_mhz = k.num(p + "min_core_mhz", 0.0);
+    if (c.min_core_mhz < 0.0) {
+      throw util::ConfigError(p + "min_core_mhz: must be nonnegative");
+    }
+    return c;
+  };
 
   s.controller.cycle_s = k.num("cycle_s", defaults.controller.cycle_s);
   auto& lat = s.controller.latencies;
@@ -287,6 +376,7 @@ Scenario scenario_from_keyed(KeyedConfig& k) {
   s.jobs.tmpl.goal_stretch = k.num("jobs.goal_stretch", defaults.jobs.tmpl.goal_stretch);
   s.jobs.tmpl.importance = k.num("jobs.importance", defaults.jobs.tmpl.importance);
   s.jobs.utility_shape = k.str("jobs.utility_shape", defaults.jobs.utility_shape);
+  s.jobs.tmpl.constraint = parse_constraint("jobs.constraint.");
 
   // --- power & energy ---------------------------------------------------------
   PowerSpec& pw = s.power;
@@ -313,6 +403,8 @@ Scenario scenario_from_keyed(KeyedConfig& k) {
   ft.seed = static_cast<std::uint64_t>(k.integer("fault.seed", 0));
   ft.until_s = k.num("fault.until_s", ft.until_s);
   ft.checkpoint_interval_s = k.num("fault.checkpoint_interval_s", ft.checkpoint_interval_s);
+  ft.max_concurrent_repairs = static_cast<int>(
+      k.integer("fault.max_concurrent_repairs", ft.max_concurrent_repairs));
   ft.node_mttf_s = k.num("fault.node_mttf_s", ft.node_mttf_s);
   ft.node_mttr_s = k.num("fault.node_mttr_s", ft.node_mttr_s);
   ft.link_mttf_s = k.num("fault.link_mttf_s", ft.link_mttf_s);
@@ -388,12 +480,13 @@ Scenario scenario_from_keyed(KeyedConfig& k) {
     app.spec.min_instances =
         static_cast<int>(k.integer(p + "min_instances", app_defaults.spec.min_instances));
     app.spec.max_instances =
-        static_cast<int>(k.integer(p + "max_instances", s.cluster.nodes));
+        static_cast<int>(k.integer(p + "max_instances", s.cluster.total_nodes()));
     app.spec.utility_cap = k.num(p + "utility_cap", app_defaults.spec.utility_cap);
     app.spec.max_utilization = k.num(p + "max_utilization", app_defaults.spec.max_utilization);
     app.spec.throughput_exponent =
         k.num(p + "throughput_exponent", app_defaults.spec.throughput_exponent);
-    app.spec.max_cpu_per_instance = util::CpuMhz{s.cluster.cpu_per_node_mhz};
+    app.spec.max_cpu_per_instance = util::CpuMhz{s.cluster.max_node_cpu_mhz()};
+    app.spec.constraint = parse_constraint(p + "constraint.");
     app.trace = workload::DemandTrace{k.num(p + "lambda", 24.0)};
     s.apps.push_back(std::move(app));
   }
@@ -405,13 +498,43 @@ Scenario scenario_from_keyed(KeyedConfig& k) {
 
 std::string scenario_to_config(const Scenario& s) {
   std::ostringstream os;
+  const auto join = [](const std::vector<std::string>& tags) {
+    std::string out;
+    for (const auto& t : tags) {
+      if (!out.empty()) out += ",";
+      out += t;
+    }
+    return out;
+  };
+  const auto emit_constraint = [&os](const std::string& p, const cluster::ConstraintSet& c,
+                                     const auto& join_fn) {
+    if (!c.arch.empty()) os << p << "arch = " << c.arch << "\n";
+    if (!c.accel.empty()) os << p << "accel = " << join_fn(c.accel) << "\n";
+    if (c.min_core_mhz > 0.0) os << p << "min_core_mhz = " << c.min_core_mhz << "\n";
+  };
   os << "name = " << s.name << "\n";
   os << "seed = " << s.seed << "\n";
   os << "horizon_s = " << s.horizon_s << "\n";
   os << "sample_interval_s = " << s.sample_interval_s << "\n";
-  os << "nodes = " << s.cluster.nodes << "\n";
-  os << "cpu_per_node_mhz = " << s.cluster.cpu_per_node_mhz << "\n";
-  os << "mem_per_node_mb = " << s.cluster.mem_per_node_mb << "\n";
+  if (s.cluster.heterogeneous()) {
+    std::vector<std::string> names;
+    for (const auto& pool : s.cluster.classes) names.push_back(pool.klass.name);
+    os << "classes = " << join(names) << "\n";
+    for (const auto& pool : s.cluster.classes) {
+      const std::string p = "class." + pool.klass.name + ".";
+      if (!pool.klass.arch.empty()) os << p << "arch = " << pool.klass.arch << "\n";
+      os << p << "cores = " << pool.klass.cores << "\n";
+      os << p << "core_mhz = " << pool.klass.core_mhz << "\n";
+      os << p << "mem_mb = " << pool.klass.mem_mb << "\n";
+      os << p << "speed_factor = " << pool.klass.speed_factor << "\n";
+      if (!pool.klass.accel.empty()) os << p << "accel = " << join(pool.klass.accel) << "\n";
+      os << p << "count = " << pool.count << "\n";
+    }
+  } else {
+    os << "nodes = " << s.cluster.nodes << "\n";
+    os << "cpu_per_node_mhz = " << s.cluster.cpu_per_node_mhz << "\n";
+    os << "mem_per_node_mb = " << s.cluster.mem_per_node_mb << "\n";
+  }
   os << "cycle_s = " << s.controller.cycle_s << "\n";
   os << "jobs.count = " << s.jobs.count << "\n";
   os << "jobs.mean_interarrival_s = " << s.jobs.mean_interarrival_s << "\n";
@@ -421,6 +544,7 @@ std::string scenario_to_config(const Scenario& s) {
   os << "jobs.memory_mb = " << s.jobs.tmpl.memory.get() << "\n";
   os << "jobs.goal_stretch = " << s.jobs.tmpl.goal_stretch << "\n";
   os << "jobs.utility_shape = " << s.jobs.utility_shape << "\n";
+  emit_constraint("jobs.constraint.", s.jobs.tmpl.constraint, join);
   os << "apps = " << s.apps.size() << "\n";
   for (std::size_t i = 0; i < s.apps.size(); ++i) {
     const auto& a = s.apps[i];
@@ -436,6 +560,7 @@ std::string scenario_to_config(const Scenario& s) {
     os << p << "utility_cap = " << a.spec.utility_cap << "\n";
     os << p << "max_utilization = " << a.spec.max_utilization << "\n";
     os << p << "throughput_exponent = " << a.spec.throughput_exponent << "\n";
+    emit_constraint(p + "constraint.", a.spec.constraint, join);
   }
   return os.str();
 }

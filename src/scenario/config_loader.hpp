@@ -8,6 +8,14 @@
 //
 //   name, seed, horizon_s, sample_interval_s
 //   nodes, cpu_per_node_mhz, mem_per_node_mb
+//   classes                    — machine-class names (comma list; mutually
+//                                 exclusive with the scalar nodes/cpu/mem keys)
+//   class.<name>.arch, class.<name>.cores, class.<name>.core_mhz,
+//   class.<name>.mem_mb, class.<name>.speed_factor, class.<name>.accel,
+//   class.<name>.count
+//   jobs.constraint.arch, jobs.constraint.accel, jobs.constraint.min_core_mhz
+//   app.<i>.constraint.arch, app.<i>.constraint.accel,
+//   app.<i>.constraint.min_core_mhz
 //   cycle_s
 //   latency.start_job, latency.suspend, latency.resume, latency.migrate,
 //   latency.start_instance
@@ -30,9 +38,12 @@
 //   router                     — least-loaded | capacity-weighted | sticky
 //   domain.<i>.name, domain.<i>.nodes, domain.<i>.cpu_per_node_mhz,
 //   domain.<i>.mem_per_node_mb, domain.<i>.first_cycle_at_s
+//   domain.<i>.class.<name>.count — per-domain machine-class pool override
+//                                 (0 allowed: the class lives elsewhere)
 //
-// Per-domain keys default to an even split of the global `nodes` pool and
-// auto-staggered control cycles (first_cycle_at_s = -1).
+// Per-domain keys default to an even split of the global `nodes` pool (or
+// of each class pool) and auto-staggered control cycles
+// (first_cycle_at_s = -1).
 //
 // Live-migration keys (all under migration.*, disabled by default):
 //
@@ -45,6 +56,10 @@
 //   migration.default_bandwidth_mb_per_s, migration.default_latency_s
 //     (migration.default_bandwidth_mbps is a deprecated alias — the value
 //      was always MB/s; old configs still load)
+//   migration.align_attach     — defer each destination attach to just
+//                                 before the destination controller's next
+//                                 cycle so that cycle plans the arriving
+//                                 job (default false)
 //   bandwidth.<i>.<j>          — directed link bandwidth override (MB/s;
 //                                 p2p mode only — rejected under uplink)
 //   link_latency.<i>.<j>       — directed link latency override (s)

@@ -7,6 +7,7 @@
 #include "core/controller.hpp"
 #include "faults/injector.hpp"
 #include "power/manager.hpp"
+#include "scenario/class_factory.hpp"
 #include "scenario/fault_factory.hpp"
 #include "scenario/obs_factory.hpp"
 #include "scenario/policy_factory.hpp"
@@ -66,9 +67,7 @@ ExperimentResult run_experiment(const Scenario& scenario, const ExperimentOption
   if (obs.profiler) engine.enable_timing();
 
   // --- cluster & apps -------------------------------------------------------
-  world.cluster().add_nodes(scenario.cluster.nodes,
-                            cluster::Resources{util::CpuMhz{scenario.cluster.cpu_per_node_mhz},
-                                               util::MemMb{scenario.cluster.mem_per_node_mb}});
+  populate_cluster(world.cluster(), scenario.cluster);
   for (const auto& app : scenario.apps) {
     world.add_app(workload::TxApp{app.spec, app.trace});
   }
@@ -150,11 +149,12 @@ ExperimentResult run_experiment(const Scenario& scenario, const ExperimentOption
   std::unique_ptr<faults::FaultInjector> injector;
   if (scenario.faults.enabled) {
     const std::vector<std::size_t> nodes_per_domain{
-        static_cast<std::size_t>(scenario.cluster.nodes)};
+        static_cast<std::size_t>(scenario.cluster.total_nodes())};
     validate_fault_spec(scenario.faults, nodes_per_domain, /*federated=*/false,
                         /*migration_enabled=*/false, horizon);
     faults::FaultOptions fault_opts;
     fault_opts.checkpoint_interval_s = scenario.faults.checkpoint_interval_s;
+    fault_opts.max_concurrent_repairs = scenario.faults.max_concurrent_repairs;
     injector = std::make_unique<faults::FaultInjector>(
         engine,
         std::vector<faults::DomainHooks>{{&world, &controller, power_mgr.get()}},
@@ -187,6 +187,19 @@ ExperimentResult run_experiment(const Scenario& scenario, const ExperimentOption
     recorder.series().add("jobs_lost_progress_s", t,
                           injector->stats(0, now).jobs_lost_progress_s);
   };
+  // Per-class placeable-capacity series; gated on explicit classes so a
+  // scalar run records nothing new (its digest is pinned).
+  auto sample_classes = [&] {
+    const auto& reg = world.cluster().classes();
+    if (!reg.explicit_classes()) return;
+    const double t = engine.now().get();
+    const auto by_class = world.cluster().placeable_capacity_by_class();
+    for (std::size_t ci = 0; ci < by_class.size(); ++ci) {
+      recorder.series().add(
+          "class_" + reg.at(static_cast<cluster::ClassId>(ci)).name + "_placeable_mhz", t,
+          by_class[ci].cpu.get());
+    }
+  };
   // Periodic sampling, self-rescheduling.
   const util::Seconds sample_dt{scenario.sample_interval_s};
   std::function<void()> sample_tick = [&] {
@@ -194,6 +207,7 @@ ExperimentResult run_experiment(const Scenario& scenario, const ExperimentOption
     recorder.sample(engine.now());
     sample_power();
     sample_faults();
+    sample_classes();
     engine.schedule_in(sample_dt, sim::EventPriority::kSampling, sample_tick);
   };
   engine.schedule_in(sample_dt, sim::EventPriority::kSampling, sample_tick);
@@ -219,6 +233,7 @@ ExperimentResult run_experiment(const Scenario& scenario, const ExperimentOption
   recorder.sample(engine.now());
   sample_power();
   sample_faults();
+  sample_classes();
   ExperimentResult result;
   result.summary = recorder.summary();
   result.summary.jobs_submitted = static_cast<long>(world.submitted_count());
@@ -256,6 +271,16 @@ ExperimentResult run_experiment(const Scenario& scenario, const ExperimentOption
         .set(static_cast<double>(result.summary.jobs_completed));
     obs.metrics->gauge("engine_events_total", "Events the engine dispatched")
         .set(static_cast<double>(engine.events_executed()));
+    if (world.cluster().classes().explicit_classes()) {
+      const auto by_class = world.cluster().placeable_capacity_by_class();
+      for (std::size_t ci = 0; ci < by_class.size(); ++ci) {
+        const auto& c = world.cluster().classes().at(static_cast<cluster::ClassId>(ci));
+        obs.metrics
+            ->gauge("cluster_class_placeable_mhz", "Placeable CPU per machine class",
+                    "class=\"" + c.name + "\"")
+            .set(by_class[ci].cpu.get());
+      }
+    }
   }
   export_observability(scenario.obs, obs);
   return result;

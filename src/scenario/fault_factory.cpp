@@ -36,6 +36,9 @@ void validate_fault_spec(const FaultSpec& spec, const std::vector<std::size_t>& 
   if (spec.checkpoint_interval_s < 0.0) {
     throw util::ConfigError("fault.checkpoint_interval_s: must be nonnegative (0 = continuous)");
   }
+  if (spec.max_concurrent_repairs < 0) {
+    throw util::ConfigError("fault.max_concurrent_repairs: must be nonnegative (0 = unlimited)");
+  }
   if (spec.until_s < 0.0) throw util::ConfigError("fault.until_s: must be nonnegative");
   check_rate_pair("node", spec.node_mttf_s, spec.node_mttr_s);
   check_rate_pair("link", spec.link_mttf_s, spec.link_mttr_s);

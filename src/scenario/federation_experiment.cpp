@@ -6,6 +6,7 @@
 
 #include "federation/federation.hpp"
 #include "power/manager.hpp"
+#include "scenario/class_factory.hpp"
 #include "scenario/fault_factory.hpp"
 #include "scenario/metrics.hpp"
 #include "scenario/obs_factory.hpp"
@@ -54,8 +55,21 @@ FederatedScenario federate(const Scenario& single, int n_domains, const std::str
     DomainSpec d;
     d.name = "dc" + std::to_string(i);
     d.cluster = single.cluster;
-    d.cluster.nodes = base + (i < remainder ? 1 : 0);
-    if (d.cluster.nodes < 1) throw std::invalid_argument("federate: more domains than nodes");
+    if (single.cluster.heterogeneous()) {
+      // Split each class pool evenly, remainder to the earliest domains
+      // (the same rule the scalar node split uses).
+      for (ClassPoolSpec& pool : d.cluster.classes) {
+        const int pool_base = pool.count / n_domains;
+        const int pool_rem = pool.count % n_domains;
+        pool.count = pool_base + (i < pool_rem ? 1 : 0);
+      }
+      if (d.cluster.total_nodes() < 1) {
+        throw std::invalid_argument("federate: more domains than nodes");
+      }
+    } else {
+      d.cluster.nodes = base + (i < remainder ? 1 : 0);
+      if (d.cluster.nodes < 1) throw std::invalid_argument("federate: more domains than nodes");
+    }
     fs.domains.push_back(std::move(d));
   }
   return fs;
@@ -104,9 +118,7 @@ FederatedResult run_federated_experiment(const FederatedScenario& fs,
         spec.name,
         make_experiment_policy(options, fs.controller.solver, job_model, tx_model, noise_seed),
         fs.controller.latencies, cfg, /*auto_stagger=*/!explicit_phase);
-    d.world().cluster().add_nodes(
-        spec.cluster.nodes, cluster::Resources{util::CpuMhz{spec.cluster.cpu_per_node_mhz},
-                                               util::MemMb{spec.cluster.mem_per_node_mb}});
+    populate_cluster(d.world().cluster(), spec.cluster);
     if (obs.any()) {
       const auto pid = static_cast<std::uint32_t>(i + 1);
       if (obs.trace) obs.trace->set_process_name(pid, spec.name);
@@ -224,6 +236,7 @@ FederatedResult run_federated_experiment(const FederatedScenario& fs,
     mig_opts.retry_backoff_s = fs.migration.retry_backoff_s;
     mig_opts.retry_backoff_max_s = fs.migration.retry_backoff_max_s;
     mig_opts.rescore_queued_transfers = fs.migration.rescore_queued_transfers;
+    mig_opts.align_attach = fs.migration.align_attach;
     migration_mgr.emplace(fed, std::move(transfer),
                           migration::make_migration_policy(fs.migration.policy, pol_cfg),
                           mig_opts);
@@ -274,12 +287,13 @@ FederatedResult run_federated_experiment(const FederatedScenario& fs,
   if (fs.faults.enabled) {
     std::vector<std::size_t> nodes_per_domain;
     for (const DomainSpec& d : fs.domains) {
-      nodes_per_domain.push_back(static_cast<std::size_t>(d.cluster.nodes));
+      nodes_per_domain.push_back(static_cast<std::size_t>(d.cluster.total_nodes()));
     }
     validate_fault_spec(fs.faults, nodes_per_domain, /*federated=*/true, fs.migration.enabled,
                         horizon);
     faults::FaultOptions fault_opts;
     fault_opts.checkpoint_interval_s = fs.faults.checkpoint_interval_s;
+    fault_opts.max_concurrent_repairs = fs.faults.max_concurrent_repairs;
     std::vector<faults::DomainHooks> hooks;
     for (std::size_t i = 0; i < fed.domain_count(); ++i) {
       hooks.push_back({&fed.domain(i).world(), &fed.domain(i).controller(),

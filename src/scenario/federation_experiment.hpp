@@ -87,6 +87,11 @@ struct MigrationSpec {
   /// Re-rank queued transfers cheapest-image-first when a link pool backs
   /// up. Off by default (FIFO order is part of the pinned behavior).
   bool rescore_queued_transfers{false};
+  /// Defer destination attaches to just before the destination
+  /// controller's next cycle so that cycle plans the job (see
+  /// MigrationOptions::align_attach). Off by default (immediate attach
+  /// is part of the pinned behavior).
+  bool align_attach{false};
   double default_bandwidth_mb_per_s{125.0};
   double default_latency_s{2.0};
   std::vector<LinkSpec> links;

@@ -5,6 +5,20 @@
 
 namespace heteroplace::scenario {
 
+int ClusterSpec::total_nodes() const {
+  if (!heterogeneous()) return nodes;
+  int total = 0;
+  for (const auto& pool : classes) total += pool.count;
+  return total;
+}
+
+double ClusterSpec::max_node_cpu_mhz() const {
+  if (!heterogeneous()) return cpu_per_node_mhz;
+  double best = 0.0;
+  for (const auto& pool : classes) best = std::max(best, pool.klass.delivered_cpu_mhz());
+  return best;
+}
+
 Scenario section3_scenario() {
   Scenario s;
   s.name = "section3";

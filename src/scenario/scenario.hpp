@@ -16,10 +16,30 @@
 
 namespace heteroplace::scenario {
 
+/// One named machine-class pool: the class definition plus how many
+/// nodes of it the cluster hosts (config `class.<name>.*`).
+struct ClassPoolSpec {
+  cluster::MachineClass klass;
+  int count{0};
+};
+
 struct ClusterSpec {
   int nodes{25};
   double cpu_per_node_mhz{12000.0};  // 4 processors × 3000 MHz
   double mem_per_node_mb{4096.0};
+  /// Explicit machine-class pools (config `classes` + `class.<name>.*`).
+  /// Empty = a scalar cluster of `nodes` identical default-class nodes,
+  /// the legacy layout, bit-identical to before classes existed. When
+  /// non-empty the scalar fields above are unused (the loader rejects
+  /// mixing the two spellings).
+  std::vector<ClassPoolSpec> classes;
+
+  [[nodiscard]] bool heterogeneous() const { return !classes.empty(); }
+  /// Pool counts summed; `nodes` for a scalar spec.
+  [[nodiscard]] int total_nodes() const;
+  /// Largest delivered per-node capacity across pools (scalar:
+  /// cpu_per_node_mhz) — the loader's per-instance CPU ceiling.
+  [[nodiscard]] double max_node_cpu_mhz() const;
 };
 
 /// Job-stream specification: a phased Poisson arrival process over a job
@@ -105,6 +125,10 @@ struct FaultSpec {
   /// Periodic batch-job checkpoint interval; a crash reverts each lost
   /// job to its last checkpoint. 0 = continuous (lossless) checkpointing.
   double checkpoint_interval_s{0.0};
+  /// Repair-crew capacity for node crashes: at most this many node
+  /// repairs in progress at once, excess crashes queued in failure
+  /// order. 0 = unlimited (the pinned pre-crew behavior).
+  int max_concurrent_repairs{0};
   // Stochastic renewal processes (0 MTTF disables each; an enabled
   // process needs both MTTF and MTTR positive).
   double node_mttf_s{0.0};

@@ -11,6 +11,7 @@
 #include <cassert>
 #include <string>
 
+#include "cluster/machine_class.hpp"
 #include "util/ids.hpp"
 #include "util/units.hpp"
 
@@ -25,6 +26,9 @@ struct JobSpec {
   util::Seconds submit_time{0.0};
   util::Seconds completion_goal{0.0};  // SLA: finish within goal of submit
   double importance{1.0};              // utility weight (service classes)
+  /// Machine constraints (required arch / accelerators / min per-core
+  /// speed); the default empty set runs anywhere.
+  cluster::ConstraintSet constraint{};
 
   /// Nominal length: execution time at full speed with no waiting.
   [[nodiscard]] util::Seconds nominal_length() const { return work / max_speed; }

@@ -26,6 +26,7 @@ std::vector<JobSpec> generate_jobs(ArrivalProcess& arrivals, const JobTemplate& 
     spec.submit_time = *t;
     spec.completion_goal = util::Seconds{spec.nominal_length().get() * tmpl.goal_stretch};
     spec.importance = tmpl.importance;
+    spec.constraint = tmpl.constraint;
     jobs.push_back(std::move(spec));
   }
   return jobs;

@@ -25,6 +25,8 @@ struct JobTemplate {
   /// Completion goal as a multiple of the job's nominal length.
   double goal_stretch{2.0};
   double importance{1.0};
+  /// Machine constraints stamped onto every generated job.
+  cluster::ConstraintSet constraint{};
 };
 
 /// Generate the full job stream: one JobSpec per arrival. Ids are assigned

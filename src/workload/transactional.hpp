@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "cluster/machine_class.hpp"
 #include "util/ids.hpp"
 #include "util/units.hpp"
 
@@ -95,6 +96,9 @@ struct TxAppSpec {
   /// CPU the app can productively use per instance (an instance cannot
   /// exceed its node's capacity; this caps it lower if desired).
   util::CpuMhz max_cpu_per_instance{1.0e9};
+
+  /// Machine constraints applied to every web instance of this app.
+  cluster::ConstraintSet constraint{};
 };
 
 /// A transactional app: spec plus its offered-load trace.

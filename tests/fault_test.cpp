@@ -612,6 +612,7 @@ TEST(FaultConfig, KeysRoundTripThroughLoader) {
   cfg.set("fault.seed", "7");
   cfg.set("fault.until_s", "50000");
   cfg.set("fault.checkpoint_interval_s", "900");
+  cfg.set("fault.max_concurrent_repairs", "2");
   cfg.set("fault.node_mttf_s", "40000");
   cfg.set("fault.node_mttr_s", "2000");
   cfg.set("fault.events", "1");
@@ -625,6 +626,7 @@ TEST(FaultConfig, KeysRoundTripThroughLoader) {
   EXPECT_EQ(s.faults.seed, 7u);
   EXPECT_DOUBLE_EQ(s.faults.until_s, 50000.0);
   EXPECT_DOUBLE_EQ(s.faults.checkpoint_interval_s, 900.0);
+  EXPECT_EQ(s.faults.max_concurrent_repairs, 2);
   EXPECT_DOUBLE_EQ(s.faults.node_mttf_s, 40000.0);
   EXPECT_DOUBLE_EQ(s.faults.node_mttr_s, 2000.0);
   ASSERT_EQ(s.faults.events.size(), 1u);
@@ -672,6 +674,7 @@ TEST(FaultConfig, RejectsInvalidValues) {
 
   reject({{"fault.node_mttf_s", "-1"}});
   reject({{"fault.checkpoint_interval_s", "-5"}});
+  reject({{"fault.max_concurrent_repairs", "-1"}});
   // Half a rate pair is meaningless: MTTF without MTTR (and vice versa).
   reject({{"fault.node_mttf_s", "1000"}});
   reject({{"fault.node_mttr_s", "100"}});
@@ -776,4 +779,76 @@ TEST(FaultConfig, MigrationRetryKeysRoundTripAndValidate) {
   reject("migration.max_transfer_retries", "-1");
   reject("migration.retry_backoff_s", "0");
   reject("migration.retry_backoff_max_s", "5");  // below retry_backoff_s default 30
+}
+
+TEST(FaultInjector, RepairCrewLimitServesQueuedNodeRepairsInFailureOrder) {
+  // Three nodes crash together at t=100, each with a 100 s repair. An
+  // unlimited crew (the default) runs all repairs concurrently and every
+  // node is back at t=200 — the pinned pre-crew behavior. A crew of one
+  // serializes them in failure order: recoveries at 200, 300, 400.
+  const auto failed_counts = [](int max_repairs) {
+    sim::Engine engine;
+    core::World world;
+    world.cluster().add_nodes(3, cluster::Resources{12000_mhz, 4096_mb});
+    core::PlacementController controller(engine, world, make_policy());
+    faults::FaultSchedule schedule;
+    for (std::size_t n = 0; n < 3; ++n) schedule.add(node_window(0, n, 100.0, 200.0));
+    faults::FaultOptions opts;
+    opts.max_concurrent_repairs = max_repairs;
+    faults::FaultInjector injector(engine, {{&world, &controller, nullptr}}, std::move(schedule),
+                                   opts);
+    controller.start();
+    injector.start();
+    std::vector<std::size_t> counts;
+    for (double t : {150.0, 250.0, 350.0, 450.0}) {
+      engine.run_until(util::Seconds{t});
+      counts.push_back(injector.failed_node_count(0));
+    }
+    EXPECT_EQ(injector.stats(0, engine.now()).node_crashes, 3);
+    EXPECT_EQ(injector.stats(0, engine.now()).node_recoveries, 3);
+    EXPECT_EQ(injector.stats(0, engine.now()).repairs, 3);
+    // Hands-on time is the window duration regardless of queueing, so
+    // MTTR prices the crew's work, not the backlog.
+    EXPECT_DOUBLE_EQ(injector.mttr_s(), 100.0);
+    return counts;
+  };
+
+  EXPECT_EQ(failed_counts(0), (std::vector<std::size_t>{3, 0, 0, 0}));  // unlimited
+  EXPECT_EQ(failed_counts(3), (std::vector<std::size_t>{3, 0, 0, 0}));  // crew covers all
+  EXPECT_EQ(failed_counts(2), (std::vector<std::size_t>{3, 1, 0, 0}));  // one queued
+  EXPECT_EQ(failed_counts(1), (std::vector<std::size_t>{3, 2, 1, 0}));  // fully serialized
+}
+
+TEST(FaultInjector, RepairCrewRecoversNodesInFailureOrder) {
+  // Staggered crashes under a crew of one: node 0 (down at 100) is fixed
+  // first even though node 1 (down at 120) has the shorter window.
+  sim::Engine engine;
+  core::World world;
+  world.cluster().add_nodes(2, cluster::Resources{12000_mhz, 4096_mb});
+  core::PlacementController controller(engine, world, make_policy());
+  faults::FaultSchedule schedule;
+  schedule.add(node_window(0, 0, 100.0, 300.0));  // 200 s repair
+  schedule.add(node_window(0, 1, 120.0, 170.0));  // 50 s repair, queued behind it
+  faults::FaultOptions opts;
+  opts.max_concurrent_repairs = 1;
+  faults::FaultInjector injector(engine, {{&world, &controller, nullptr}}, std::move(schedule),
+                                 opts);
+  controller.start();
+  injector.start();
+
+  const auto active = [&world](std::size_t n) {
+    return world.cluster().nodes()[n].power_state() == cluster::PowerState::kActive;
+  };
+  engine.run_until(util::Seconds{299.0});
+  EXPECT_FALSE(active(0));
+  EXPECT_FALSE(active(1));
+  // Node 0's repair completes at 300; only then does the crew pick node 1
+  // up, finishing its 50 s job at 350.
+  engine.run_until(util::Seconds{320.0});
+  EXPECT_TRUE(active(0));
+  EXPECT_FALSE(active(1));
+  engine.run_until(util::Seconds{360.0});
+  EXPECT_TRUE(active(1));
+  EXPECT_EQ(injector.stats(0, engine.now()).repairs, 2);
+  EXPECT_DOUBLE_EQ(injector.stats(0, engine.now()).repair_time_s, 250.0);
 }

@@ -642,11 +642,13 @@ TEST(MigrationScenario, ConfigKeysRoundTripThroughLoader) {
   cfg.set("migration.max_moves_per_tick", "3");
   cfg.set("migration.default_bandwidth_mb_per_s", "250");
   cfg.set("migration.selection", "cost");
+  cfg.set("migration.align_attach", "true");
   cfg.set("bandwidth.0.1", "500");
   cfg.set("link_latency.2.0", "9.5");
   const auto fs = scenario::federated_scenario_from_config(cfg);
   EXPECT_TRUE(fs.migration.enabled);
   EXPECT_EQ(fs.migration.policy, "drain+rebalance");
+  EXPECT_TRUE(fs.migration.align_attach);
   EXPECT_DOUBLE_EQ(fs.migration.check_interval_s, 45.0);
   EXPECT_EQ(fs.migration.max_moves_per_tick, 3);
   EXPECT_DOUBLE_EQ(fs.migration.default_bandwidth_mb_per_s, 250.0);
@@ -1007,4 +1009,73 @@ TEST(MigrationIntegration, RecoveryWithinSuspendWindowAbortsBeforeDetach) {
     EXPECT_GE(job.done().get(), job.spec().work.get() - 1e-6);
   }
   EXPECT_TRUE(fed.domain(0).world().cluster().validate().empty());
+}
+
+TEST(MigrationIntegration, AlignAttachLandsAtDestinationCycleWithSameCompletion) {
+  // align_attach parks an arrived image until the destination
+  // controller's next periodic cycle and attaches at kWorkloadArrival —
+  // ahead of kController at that shared timestamp — so the very cycle
+  // that first *could* see the job actually plans it. Since an
+  // immediately-attached job would have sat suspended until that same
+  // cycle anyway, the completion timeline is unchanged; only the attach
+  // instant moves onto the cycle boundary.
+  struct Run {
+    double attach_s{-1.0};      // first probe second with the move completed
+    double completion_s{-1.0};  // first probe second with the job finished
+  };
+  const auto drive = [](bool align) {
+    sim::Engine engine;
+    federation::Federation fed(engine, federation::make_router("least-loaded"));
+    for (int i = 0; i < 2; ++i) {
+      add_nodes(fed.add_domain("d" + std::to_string(i), make_policy()), 2);
+    }
+    migration::MigrationOptions opts;
+    opts.check_interval = util::Seconds{60.0};
+    opts.align_attach = align;
+    migration::MigrationManager mgr(fed, migration::TransferModel{},
+                                    migration::make_migration_policy("drain"), opts);
+    const auto spec = make_job(0);
+    engine.schedule_at(0_s, sim::EventPriority::kWorkloadArrival,
+                       [&fed, spec] { fed.submit_job(spec); });
+    // Drain whichever domain hosts the job at t=500; the manager's t=540
+    // tick ships it to the other domain.
+    engine.schedule_at(util::Seconds{500.0}, sim::EventPriority::kWorkloadArrival,
+                       [&] { fed.set_domain_weight(fed.job_domain(util::JobId{0}), 0.0); });
+    Run run;
+    for (int t = 500; t <= 4000; ++t) {
+      engine.schedule_at(util::Seconds{static_cast<double>(t)}, sim::EventPriority::kSampling,
+                         [&run, &mgr, &fed, t] {
+                           if (run.attach_s < 0.0 && mgr.stats().completed == 1) {
+                             run.attach_s = static_cast<double>(t);
+                           }
+                           if (run.completion_s < 0.0 && fed.total_completed() == 1) {
+                             run.completion_s = static_cast<double>(t);
+                           }
+                         });
+    }
+    fed.start();
+    mgr.start();
+    engine.run_until(util::Seconds{4000.0});
+    EXPECT_EQ(fed.total_completed(), 1u);
+    EXPECT_EQ(mgr.stats().completed, 1);
+    EXPECT_DOUBLE_EQ(mgr.stats().work_lost_mhz_s, 0.0);
+    return run;
+  };
+
+  const Run immediate = drive(false);
+  const Run aligned = drive(true);
+  ASSERT_GT(immediate.attach_s, 0.0);
+  ASSERT_GT(aligned.attach_s, 0.0);
+
+  // Immediate attach lands mid-cycle, right after the ~12 s transfer that
+  // the t=540 drain tick kicked off. The aligned attach waits for the
+  // destination's next cycle: with two auto-staggered 600 s controllers
+  // the destination fires at offset 300, so the boundary after the
+  // transfer is t=900.
+  EXPECT_LT(immediate.attach_s, 600.0);
+  EXPECT_DOUBLE_EQ(aligned.attach_s, 900.0);
+
+  // Deferring the attach costs nothing: the planning cycle — and hence
+  // the completion timeline — is identical either way.
+  EXPECT_DOUBLE_EQ(aligned.completion_s, immediate.completion_s);
 }
