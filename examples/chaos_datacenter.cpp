@@ -17,9 +17,22 @@
 //                --node_mttf=S --node_mttr=S --checkpoint=S
 //                --trace=PATH (stream a Chrome trace-event JSON of the run;
 //                open in Perfetto) --metrics=PATH (Prometheus text snapshot)
+//                --sla_report=PATH (SLA attribution + alert JSON; a human
+//                CSV lands next to it at PATH.csv)
+//
+// The run always carries two SLOs — 95% of web response-time samples
+// under goal, and half the batch jobs on goal — so the SLA ledger's
+// attribution-closure assertion (components sum exactly to each job's
+// wall lifetime) runs in-binary on every completed job. With
+// --sla_report the example re-reads its own report and further checks
+// that a web burn-rate alert opened during the dc-east blackout and
+// closed after recovery.
 
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
+#include "obs/trace_check.hpp"
 #include "scenario/federation_experiment.hpp"
 #include "scenario/report.hpp"
 #include "util/config.hpp"
@@ -33,7 +46,7 @@ int main(int argc, char** argv) {
   } catch (const util::ConfigError& e) {
     std::cerr << "usage: chaos_datacenter [--jobs=N] [--horizon=S] [--seed=N]"
                  " [--node_mttf=S] [--node_mttr=S] [--checkpoint=S]"
-                 " [--trace=PATH] [--metrics=PATH]\n"
+                 " [--trace=PATH] [--metrics=PATH] [--sla_report=PATH]\n"
               << e.what() << "\n";
     return 1;
   }
@@ -82,7 +95,15 @@ int main(int argc, char** argv) {
   // succeed once the windows close (well inside the 6-retry budget).
   fs.faults.events.push_back({"link-down", 0, 0, 1, 200041.0, 400.0, 1.0});
   fs.faults.events.push_back({"link-down", 0, 0, 2, 200041.0, 700.0, 1.0});
+  // "Dark" means dark: the blackout fails over demand and takes the
+  // controller offline, and simultaneous crash windows on all three
+  // dc-east nodes cut the power for real — every resident VM dies, so
+  // the domain's web samples breach for the whole outage and the web
+  // burn-rate alert below has a genuine signal to fire on.
   fs.faults.events.push_back({"blackout", 1, 0, 0, 350000.0, 7200.0, 1.0});
+  fs.faults.events.push_back({"node-crash", 1, 0, 0, 350000.0, 7200.0, 1.0});
+  fs.faults.events.push_back({"node-crash", 1, 1, 0, 350000.0, 7200.0, 1.0});
+  fs.faults.events.push_back({"node-crash", 1, 2, 0, 350000.0, 7200.0, 1.0});
 
   // Observability (opt-in): stream a full control-plane trace and dump a
   // Prometheus metrics snapshot at end of run.
@@ -92,6 +113,21 @@ int main(int argc, char** argv) {
     fs.obs.trace_path = trace_path;
   }
   fs.obs.metrics_path = cfg.get_string("metrics", "");
+
+  // SLA ledger + burn-rate alerting: registering SLOs turns the ledger
+  // on, so every completed job's attribution closure is asserted inside
+  // the run. The web SLO's windows are tuned so the two-hour dc-east
+  // blackout (a third of all web samples going bad) reliably opens an
+  // alert and recovery reliably closes it.
+  fs.slos.push_back({"web", /*target=*/0.95, /*long_window_s=*/14400.0,
+                     /*short_window_s=*/3600.0, /*burn_threshold=*/2.0});
+  fs.slos.push_back({"jobs", /*target=*/0.5, /*long_window_s=*/86400.0,
+                     /*short_window_s=*/14400.0, /*burn_threshold=*/1.5});
+  const std::string sla_path = cfg.get_string("sla_report", "");
+  if (!sla_path.empty()) {
+    fs.obs.sla_report_path = sla_path;
+    fs.obs.sla_report_csv_path = sla_path + ".csv";
+  }
 
   scenario::ExperimentOptions options;
   options.validate_invariants = true;
@@ -158,6 +194,46 @@ int main(int argc, char** argv) {
   expect(result.summary.jobs_completed > base.jobs.count / 2,
          "the cluster still completes most jobs under chaos");
 
+  // With --sla_report, re-read the written report and verify the blackout
+  // left its fingerprint: a web burn-rate alert opened while dc-east was
+  // dark (350000–357200 s) and closed once the short window drained
+  // after recovery.
+  if (!sla_path.empty()) {
+    const double blackout_start = 350000.0;
+    const double blackout_end = 357200.0;
+    bool blackout_alert_opened = false;
+    bool blackout_alert_closed = false;
+    try {
+      std::ifstream f(sla_path);
+      std::ostringstream buf;
+      buf << f.rdbuf();
+      const obs::JsonValue doc = obs::parse_json(buf.str());
+      const obs::JsonValue* alerts = doc.find("alerts");
+      const obs::JsonValue* events = alerts != nullptr ? alerts->find("events") : nullptr;
+      if (events != nullptr) {
+        for (const obs::JsonValue& e : events->array) {
+          const obs::JsonValue* app = e.find("app");
+          const obs::JsonValue* opened = e.find("opened_s");
+          if (app == nullptr || app->string != "web" || opened == nullptr) continue;
+          // One sampling period of slack: the opening evaluation lands at
+          // the first tick after enough bad samples accumulate.
+          if (opened->number < blackout_start || opened->number > blackout_end + 600.0) continue;
+          blackout_alert_opened = true;
+          const obs::JsonValue* closed = e.find("closed_s");
+          if (closed != nullptr && closed->type == obs::JsonValue::Type::kNumber &&
+              closed->number > blackout_end) {
+            blackout_alert_closed = true;
+          }
+        }
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "CHECK FAILED: SLA report unreadable: " << e.what() << "\n";
+      ++failures;
+    }
+    expect(blackout_alert_opened, "a web burn-rate alert opened during the dc-east blackout");
+    expect(blackout_alert_closed, "the blackout alert closed after recovery");
+  }
+
   if (failures > 0) {
     std::cerr << "\n" << failures << " chaos self-check(s) failed\n";
     return 1;
@@ -168,6 +244,9 @@ int main(int argc, char** argv) {
   }
   if (!fs.obs.metrics_path.empty()) {
     std::cout << "Metrics snapshot written to " << fs.obs.metrics_path << "\n";
+  }
+  if (!sla_path.empty()) {
+    std::cout << "SLA report written to " << sla_path << " (CSV: " << sla_path << ".csv)\n";
   }
   return 0;
 }

@@ -5,7 +5,12 @@
 // Writes the complete Figure-1/Figure-2 series to CSV and prints the
 // run summary plus a phase narrative.
 //
-// Run:  ./build/examples/heterogeneous_datacenter [--out=DIR] [--seed=N]
+// (Until PR 10 this file was named heterogeneous_datacenter.cpp — a
+// legacy of the paper's "heterogeneous workloads" phrasing. The cluster
+// here is homogeneous hardware; for machine-class heterogeneity see
+// examples/hetero_datacenter.cpp.)
+//
+// Run:  ./build/paper_section3 [--out=DIR] [--seed=N]
 //       [--policy=utility-driven|static-partition|proportional-equal|...]
 
 #include <filesystem>
@@ -60,7 +65,7 @@ int main(int argc, char** argv) {
   const std::string dir = cfg.get_string("out", "example_out");
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
-  const std::string path = dir + "/heterogeneous_datacenter.csv";
+  const std::string path = dir + "/paper_section3.csv";
   if (result.series.save_csv(path)) {
     std::cout << "\nFull time series written to " << path << "\n";
   }

@@ -5,7 +5,9 @@
 #include <limits>
 #include <vector>
 
+#include "obs/audit.hpp"
 #include "obs/profile.hpp"
+#include "obs/sla.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
 
@@ -16,6 +18,19 @@ using cluster::ActionType;
 using cluster::VmKind;
 using cluster::VmState;
 using workload::JobPhase;
+
+/// Executor lifecycle-action audit record ('X'); verdict must be a literal.
+void audit_action(obs::AuditLog* audit, double now, const char* verdict,
+                  const workload::Job& job, int node) {
+  if (audit == nullptr) return;
+  obs::AuditRecord rec;
+  rec.t = now;
+  rec.kind = 'X';
+  rec.verdict = verdict;
+  rec.consumer = static_cast<std::int64_t>(job.id().get());
+  rec.node = node;
+  audit->record(rec);
+}
 }  // namespace
 
 cluster::ActionCounts ActionExecutor::take_counts_delta() {
@@ -71,6 +86,7 @@ void ActionExecutor::on_job_finished(util::JobId job_id) {
     obs_.trace->instant(obs_.pid, obs::Lane::kExecutor, "job_completed", engine_.now().get(),
                         {{"job", static_cast<double>(job_id.get())}});
   }
+  if (obs_.sla != nullptr) obs_.sla->on_job_completed(job, engine_.now().get());
   if (on_completion_) on_completion_(job);
 }
 
@@ -111,6 +127,8 @@ void ActionExecutor::start_job(workload::Job& job, util::NodeId node, util::CpuM
   world_.cluster().set_vm_state(job.vm(), VmState::kStarting);
   job.set_phase(engine_.now(), JobPhase::kStarting);
   counts_.record(ActionType::kStartJob);
+  if (obs_.sla != nullptr) obs_.sla->on_job_started(job.id(), engine_.now().get());
+  audit_action(obs_.audit, engine_.now().get(), "start", job, static_cast<int>(node.get()));
   if (obs_.trace != nullptr) {
     obs_.trace->instant(obs_.pid, obs::Lane::kExecutor, "job_start", engine_.now().get(),
                         {{"job", static_cast<double>(job.id().get())},
@@ -144,6 +162,7 @@ void ActionExecutor::resume_job(workload::Job& job, util::NodeId node, util::Cpu
   world_.cluster().set_vm_state(job.vm(), VmState::kResuming);
   job.set_phase(engine_.now(), JobPhase::kResuming);
   counts_.record(ActionType::kResumeJob);
+  audit_action(obs_.audit, engine_.now().get(), "resume", job, static_cast<int>(node.get()));
   if (obs_.trace != nullptr) {
     obs_.trace->instant(obs_.pid, obs::Lane::kExecutor, "job_resume", engine_.now().get(),
                         {{"job", static_cast<double>(job.id().get())},
@@ -173,12 +192,14 @@ bool ActionExecutor::migrate_job(workload::Job& job, util::NodeId node, util::Cp
     job.set_phase(engine_.now(), JobPhase::kSuspended);
     job.count_suspend();
     counts_.record(ActionType::kSuspendJob);
+    audit_action(obs_.audit, engine_.now().get(), "suspend", job, -1);
     return true;
   }
   job.set_node(node);
   job.set_phase(engine_.now(), JobPhase::kMigrating);
   job.count_migrate();
   counts_.record(ActionType::kMigrateJob);
+  audit_action(obs_.audit, engine_.now().get(), "migrate", job, static_cast<int>(node.get()));
   if (obs_.trace != nullptr) {
     obs_.trace->instant(obs_.pid, obs::Lane::kExecutor, "job_migrate", engine_.now().get(),
                         {{"job", static_cast<double>(job.id().get())},
@@ -202,6 +223,8 @@ void ActionExecutor::suspend_job(workload::Job& job) {
   job.set_phase(engine_.now(), JobPhase::kSuspending);
   job.count_suspend();
   counts_.record(ActionType::kSuspendJob);
+  audit_action(obs_.audit, engine_.now().get(),
+               "suspend", job, job.node().valid() ? static_cast<int>(job.node().get()) : -1);
   if (obs_.trace != nullptr) {
     obs_.trace->instant(obs_.pid, obs::Lane::kExecutor, "job_suspend", engine_.now().get(),
                         {{"job", static_cast<double>(job.id().get())}});

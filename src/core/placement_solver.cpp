@@ -169,7 +169,8 @@ void spread_leftover_to_jobs(NodeScratch& node) {
 
 }  // namespace
 
-SolverResult solve_placement(const PlacementProblem& problem, const SolverConfig& config) {
+SolverResult solve_placement(const PlacementProblem& problem, const SolverConfig& config,
+                             obs::AuditLog* audit, double now) {
   SolverResult result;
   auto& stats = result.stats;
 
@@ -375,6 +376,17 @@ SolverResult solve_placement(const PlacementProblem& problem, const SolverConfig
     r.evictable = job.movable && !protected_near_done;
     r.seq = next_seq++;
     ns.add_resident(r);
+    if (audit != nullptr && job.phase == workload::JobPhase::kRunning) {
+      obs::AuditRecord rec;
+      rec.t = now;
+      rec.kind = 'J';
+      rec.verdict = "keep";
+      rec.consumer = static_cast<std::int64_t>(job.id.get());
+      rec.node = static_cast<int>(job.current_node.get());
+      rec.group = static_cast<int>(job_group[ji]);
+      rec.headroom = ns.target_headroom();
+      audit->record(rec);
+    }
   }
   fleet_mem_dirty = true;
 
@@ -459,7 +471,23 @@ SolverResult solve_placement(const PlacementProblem& problem, const SolverConfig
           // Evict from highest position first so swap-removal cannot
           // disturb the positions still queued for eviction.
           std::sort(best_victims.rbegin(), best_victims.rend());
-          for (std::size_t p : best_victims) evict_job_from(nodes[best_node], p);
+          for (std::size_t p : best_victims) {
+            if (audit != nullptr) {
+              const NodeScratch::Resident& v = nodes[best_node].residents[p];
+              obs::AuditRecord rec;
+              rec.t = now;
+              rec.kind = 'A';
+              rec.verdict = "evict";
+              rec.consumer = static_cast<std::int64_t>(app.id.get());
+              rec.node = static_cast<int>(nodes[best_node].id.get());
+              rec.group = static_cast<int>(app_group[as.index]);
+              rec.headroom = nodes[best_node].target_headroom();
+              rec.victim = static_cast<std::int64_t>(problem.jobs[v.index].id.get());
+              rec.slack = v.urgency;
+              audit->record(rec);
+            }
+            evict_job_from(nodes[best_node], p);
+          }
           best = best_node;
         }
       }
@@ -478,6 +506,17 @@ SolverResult solve_placement(const PlacementProblem& problem, const SolverConfig
       as.kept_nodes.push_back(nodes[best].id);
       fleet_mem_dirty = true;
       ++stats.instances_added;
+      if (audit != nullptr) {
+        obs::AuditRecord rec;
+        rec.t = now;
+        rec.kind = 'A';
+        rec.verdict = "place";
+        rec.consumer = static_cast<std::int64_t>(app.id.get());
+        rec.node = static_cast<int>(nodes[best].id.get());
+        rec.group = static_cast<int>(app_group[as.index]);
+        rec.headroom = nodes[best].target_headroom();
+        audit->record(rec);
+      }
     }
   }
 
@@ -602,6 +641,21 @@ SolverResult solve_placement(const PlacementProblem& problem, const SolverConfig
     return 0.0;
   };
 
+  // Audit emission shared by the packing and rescue phases.
+  auto audit_job = [&](const char* verdict, const SolverJob& job, std::size_t g, int node,
+                       double headroom) {
+    if (audit == nullptr) return;
+    obs::AuditRecord rec;
+    rec.t = now;
+    rec.kind = 'J';
+    rec.verdict = verdict;
+    rec.consumer = static_cast<std::int64_t>(job.id.get());
+    rec.node = node;
+    rec.group = static_cast<int>(g);
+    rec.headroom = headroom;
+    audit->record(rec);
+  };
+
   while (!heap.empty()) {
     bool any_admittable = false;
     for (std::size_t g = 0; g < n_groups; ++g) {
@@ -613,6 +667,12 @@ SolverResult solve_placement(const PlacementProblem& problem, const SolverConfig
     if (!any_admittable) {
       // Nothing left can be admitted anywhere it may run.
       stats.jobs_waiting += static_cast<int>(heap.size());
+      if (audit != nullptr) {
+        for (const WaitingKey& wk : heap) {
+          audit_job("reject", problem.jobs[wk.index], job_group[wk.index], -1,
+                    phase4_max_mem_free(job_group[wk.index]));
+        }
+      }
       break;
     }
     std::pop_heap(heap.begin(), heap.end(), heap_after);
@@ -623,10 +683,12 @@ SolverResult solve_placement(const PlacementProblem& problem, const SolverConfig
     --group_heap_count[jg];
     if (w.was_running && !config.allow_migration) {
       ++stats.jobs_waiting;  // becomes a suspension downstream
+      audit_job("reject", job, jg, -1, 0.0);
       continue;
     }
     if (phase4_max_mem_free(jg) + kEps < job.memory.get()) {
       ++stats.jobs_waiting;  // no compatible node can hold it — skip the heap drain
+      audit_job("reject", job, jg, -1, phase4_max_mem_free(jg));
       continue;
     }
     auto& slot_heap = slot_heaps[jg];
@@ -654,6 +716,7 @@ SolverResult solve_placement(const PlacementProblem& problem, const SolverConfig
     }
     if (best == nullptr) {  // unreachable unless the group's node set is empty
       ++stats.jobs_waiting;
+      audit_job("reject", job, jg, -1, 0.0);
       continue;
     }
     NodeScratch::Resident r;
@@ -683,6 +746,8 @@ SolverResult solve_placement(const PlacementProblem& problem, const SolverConfig
     // Landing back on its own node is not a migration (plan diff is a
     // plain resize there).
     if (w.was_running && best->id != job.current_node) ++stats.jobs_migrated;
+    audit_job(!w.was_running ? "place" : (best->id != job.current_node ? "migrate" : "keep"),
+              job, jg, static_cast<int>(best->id.get()), best->target_headroom());
   }
 
   // ---- Phase 5: per-node CPU distribution ----------------------------------
@@ -787,8 +852,11 @@ SolverResult solve_placement(const PlacementProblem& problem, const SolverConfig
         dest->add_resident(moved);
         dest->granted_sum += moved.grant;
         if (dest->id != job.current_node) ++stats.jobs_migrated;
+        audit_job("relocate", job, job_group[moved.index], static_cast<int>(dest->id.get()),
+                  dest->cpu_cap - dest->granted_sum);
       } else {
         ++stats.jobs_waiting;  // suspended by the executor
+        audit_job("reject", job, job_group[moved.index], -1, 0.0);
       }
     }
   }

@@ -18,6 +18,7 @@
 
 #include "cluster/placement.hpp"
 #include "core/placement_problem.hpp"
+#include "obs/audit.hpp"
 
 namespace heteroplace::core {
 
@@ -37,7 +38,13 @@ struct SolverResult {
   SolverStats stats;
 };
 
+/// `audit` (optional) receives one structured record per placement
+/// decision — job place/keep/reject/migrate, instance place, evictions
+/// with the displaced victim and its urgency slack — stamped with the
+/// decision-time headroom of the chosen node. `now` is the sim time the
+/// records carry; both default to "no audit".
 [[nodiscard]] SolverResult solve_placement(const PlacementProblem& problem,
-                                           const SolverConfig& config = {});
+                                           const SolverConfig& config = {},
+                                           obs::AuditLog* audit = nullptr, double now = 0.0);
 
 }  // namespace heteroplace::core

@@ -205,7 +205,7 @@ PolicyOutput UtilityDrivenPolicy::decide(const World& world, util::Seconds now) 
   SolverResult solved;
   {
     const obs::ScopedTimer timer(obs_.profiler, obs::Phase::kPolicySolve);
-    solved = solve_placement(problem, solver_config_);
+    solved = solve_placement(problem, solver_config_, obs_.audit, t);
   }
   if (tr != nullptr) {
     tr->end(obs_.pid, obs::Lane::kController, "solve", t,

@@ -19,6 +19,10 @@ JobCheckpoint checkpoint_job(const workload::Job& job, std::size_t from_domain,
   ckpt.image_size = ckpt.has_image ? job.spec().memory : util::MemMb{0.0};
   ckpt.taken_at = now;
   ckpt.from_domain = from_domain;
+  ckpt.phase_s = job.phase_seconds_all();
+  ckpt.gross = job.gross();
+  ckpt.hold_s = job.hold_seconds();
+  ckpt.accounted_until = job.accounted_until();
   return ckpt;
 }
 
@@ -26,6 +30,10 @@ workload::Job restore_job(const JobCheckpoint& ckpt, util::Seconds now) {
   workload::Job job{ckpt.spec};
   job.restore_progress(ckpt.done, ckpt.suspend_count, ckpt.migrate_count, now);
   if (ckpt.has_image) job.set_phase(now, workload::JobPhase::kSuspended);
+  // Re-applied after set_phase so the fresh job's [submit, now) gap never
+  // leaks into a phase bucket; the in-flight window becomes hold time.
+  job.restore_accounting(ckpt.phase_s, ckpt.gross,
+                         ckpt.hold_s + (now - ckpt.accounted_until).get());
   return job;
 }
 

@@ -10,6 +10,7 @@
 // the source World, so the source can forget the job while the image is
 // in flight and the destination can rebuild it wholesale.
 
+#include <array>
 #include <cstddef>
 
 #include "util/units.hpp"
@@ -29,6 +30,15 @@ struct JobCheckpoint {
   util::MemMb image_size{0.0};
   util::Seconds taken_at{0.0};
   std::size_t from_domain{0};
+  /// SLA-attribution state carried across the handoff: per-phase wall-time
+  /// buckets, the monotone gross-work accumulator, accumulated transfer
+  /// hold, and the instant up to which the buckets were folded. The
+  /// restore adds (now - accounted_until) to hold so the attribution of a
+  /// migrated job still partitions its full wall lifetime.
+  std::array<double, workload::kJobPhaseCount> phase_s{};
+  util::MhzSeconds gross{0.0};
+  double hold_s{0.0};
+  util::Seconds accounted_until{0.0};
 };
 
 /// Capture a checkpoint of `job` (which must be kSuspended — image parked

@@ -1,0 +1,105 @@
+#include "obs/alerts.hpp"
+
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace heteroplace::obs {
+
+void AlertEngine::add_slo(SloSpec spec) {
+  if (spec.app.empty()) throw std::invalid_argument("SloSpec: app must be non-empty");
+  if (!(spec.target > 0.0) || !(spec.target < 1.0)) {
+    throw std::invalid_argument("SloSpec: target must be in (0, 1)");
+  }
+  if (!(spec.short_window_s > 0.0) || spec.short_window_s > spec.long_window_s) {
+    throw std::invalid_argument("SloSpec: need 0 < short_window_s <= long_window_s");
+  }
+  if (!(spec.burn_threshold > 0.0)) {
+    throw std::invalid_argument("SloSpec: burn_threshold must be positive");
+  }
+  SloState st;
+  st.open_name = "slo_alert_open:" + spec.app;
+  st.close_name = "slo_alert_close:" + spec.app;
+  st.spec = std::move(spec);
+  slos_.push_back(std::move(st));
+}
+
+void AlertEngine::bind(TraceRecorder* trace, MetricsRegistry* metrics) {
+  trace_ = trace;
+  if (metrics == nullptr) return;
+  active_metric_ = &metrics->gauge("alerts_active", "SLO burn-rate alerts currently open");
+  for (SloState& s : slos_) {
+    s.opens_metric = &metrics->counter("alerts_total", "SLO burn-rate alerts opened",
+                                       prometheus_label("app", s.spec.app));
+  }
+}
+
+double AlertEngine::window_burn(const SloState& s, double now, double window_s) {
+  // Baseline: the latest snapshot at or before the window start; counts
+  // before the first snapshot are zero.
+  Snapshot base;
+  const double start = now - window_s;
+  for (const Snapshot& snap : s.window) {
+    if (snap.t > start) break;
+    base = snap;
+  }
+  const Snapshot& latest = s.window.back();
+  const std::uint64_t total = latest.total - base.total;
+  if (total == 0) return 0.0;
+  const double err = static_cast<double>(latest.bad - base.bad) / static_cast<double>(total);
+  return err / (1.0 - s.spec.target);
+}
+
+void AlertEngine::evaluate(double now, const std::vector<const SlaLedger*>& ledgers) {
+  for (SloState& s : slos_) {
+    Snapshot snap;
+    snap.t = now;
+    for (const SlaLedger* l : ledgers) {
+      const SlaLedger::SloCounts c = l->slo_counts(s.spec.app);
+      snap.total += c.total;
+      snap.bad += c.bad;
+    }
+    s.window.push_back(snap);
+    // Prune snapshots that can no longer be a long-window baseline (keep
+    // one at or before every possible window start).
+    while (s.window.size() >= 2 && s.window[1].t <= now - s.spec.long_window_s) {
+      s.window.pop_front();
+    }
+
+    const double burn_long = window_burn(s, now, s.spec.long_window_s);
+    const double burn_short = window_burn(s, now, s.spec.short_window_s);
+    const bool burning =
+        burn_long >= s.spec.burn_threshold && burn_short >= s.spec.burn_threshold;
+
+    if (burning && !s.open) {
+      s.open = true;
+      s.open_index = history_.size();
+      history_.push_back({s.spec.app, now, -1.0});
+      ++active_;
+      if (s.opens_metric != nullptr) s.opens_metric->inc();
+      if (trace_ != nullptr) {
+        trace_->instant(0, Lane::kController, s.open_name.c_str(), now,
+                        {{"burn_long", burn_long}, {"burn_short", burn_short}});
+      }
+    } else if (!burning && s.open) {
+      s.open = false;
+      history_[s.open_index].closed_s = now;
+      --active_;
+      if (trace_ != nullptr) {
+        trace_->instant(0, Lane::kController, s.close_name.c_str(), now,
+                        {{"burn_long", burn_long}, {"burn_short", burn_short}});
+      }
+    }
+  }
+  if (active_metric_ != nullptr) active_metric_->set(static_cast<double>(active_));
+}
+
+std::vector<SloSpec> AlertEngine::slos() const {
+  std::vector<SloSpec> out;
+  out.reserve(slos_.size());
+  for (const SloState& s : slos_) out.push_back(s.spec);
+  return out;
+}
+
+}  // namespace heteroplace::obs

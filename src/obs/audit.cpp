@@ -1,0 +1,59 @@
+#include "obs/audit.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/sla.hpp"  // format_double
+
+namespace heteroplace::obs {
+
+AuditLog::AuditLog(std::string domain, std::size_t capacity)
+    : domain_(std::move(domain)), capacity_(capacity) {
+  if (capacity_ == 0) throw std::invalid_argument("AuditLog: capacity must be positive");
+  ring_.reserve(capacity_ < 4096 ? capacity_ : 4096);
+}
+
+void AuditLog::record(const AuditRecord& r) {
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(r);
+    return;
+  }
+  ring_[next_] = r;
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<AuditRecord> AuditLog::snapshot() const {
+  std::vector<AuditRecord> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string render_audit_json(const std::vector<const AuditLog*>& logs) {
+  std::ostringstream os;
+  os << "{\"schema\":\"heteroplace-audit/v1\",\"domains\":[";
+  for (std::size_t d = 0; d < logs.size(); ++d) {
+    const AuditLog* log = logs[d];
+    if (d != 0) os << ",";
+    os << "{\"domain\":\"" << log->domain() << "\",\"total\":" << log->total()
+       << ",\"dropped\":" << log->dropped() << ",\"records\":[";
+    const std::vector<AuditRecord> records = log->snapshot();
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      const AuditRecord& r = records[i];
+      if (i != 0) os << ",";
+      os << "{\"t\":" << format_double(r.t) << ",\"kind\":\"" << r.kind << "\",\"verdict\":\""
+         << r.verdict << "\",\"consumer\":" << r.consumer << ",\"node\":" << r.node
+         << ",\"group\":" << r.group << ",\"headroom\":" << format_double(r.headroom);
+      if (r.victim >= 0) os << ",\"victim\":" << r.victim << ",\"slack\":" << format_double(r.slack);
+      os << "}";
+    }
+    os << "]}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace heteroplace::obs

@@ -1,0 +1,63 @@
+#pragma once
+
+// Placement decision audit log: structured per-cycle records of why the
+// solver placed, kept, evicted, migrated or rejected each consumer, and of
+// the lifecycle actions the executor then applied. Bounded ring per domain
+// (old records are dropped, counted), end-of-run JSON dump. Opt-in via
+// obs.audit=* keys; a null AuditLog* in ObsContext keeps the emission
+// sites branch-per-site cheap and audited-off runs bit-identical.
+//
+// Same threading contract as SlaLedger: one AuditLog per domain, written
+// only by that domain's solver/executor calls (which run inside that
+// domain's sharded batch items) — no locks needed, output byte-identical
+// across engine thread counts.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace heteroplace::obs {
+
+struct AuditRecord {
+  double t{0.0};
+  /// 'J' = batch job, 'A' = tx-app instance decision, 'X' = executor action.
+  char kind{'J'};
+  /// Verdict string literal: "place", "keep", "evict", "reject",
+  /// "migrate", "relocate", "start", "suspend", "resume" — the recorder
+  /// stores the pointer, so literals only.
+  const char* verdict{""};
+  std::int64_t consumer{-1};  // job or app id
+  int node{-1};               // decision target node (-1 = none)
+  int group{-1};              // compatibility group at decision time (-1 = n/a)
+  double headroom{0.0};       // target-node headroom at decision time
+  std::int64_t victim{-1};    // displaced job (evictions) / displacing consumer
+  double slack{0.0};          // victim's SLA-pressure (urgency) at eviction
+};
+
+class AuditLog {
+ public:
+  AuditLog(std::string domain, std::size_t capacity);
+
+  void record(const AuditRecord& r);
+
+  [[nodiscard]] const std::string& domain() const { return domain_; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::uint64_t dropped() const {
+    return total_ > ring_.size() ? total_ - ring_.size() : 0;
+  }
+  /// Retained records, oldest first.
+  [[nodiscard]] std::vector<AuditRecord> snapshot() const;
+
+ private:
+  std::string domain_;
+  std::vector<AuditRecord> ring_;
+  std::size_t capacity_;
+  std::size_t next_{0};
+  std::uint64_t total_{0};
+};
+
+/// Render the merged audit dump (logs in fixed domain order) as JSON.
+[[nodiscard]] std::string render_audit_json(const std::vector<const AuditLog*>& logs);
+
+}  // namespace heteroplace::obs

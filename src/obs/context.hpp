@@ -16,11 +16,19 @@ class Profiler;
 class Counter;
 class Gauge;
 class Histogram;
+class SlaLedger;
+class AuditLog;
 
 struct ObsContext {
   TraceRecorder* trace{nullptr};
   MetricsRegistry* metrics{nullptr};
   Profiler* profiler{nullptr};
+  /// Per-domain SLA attribution ledger (obs/sla.hpp); wired only for
+  /// domain contexts (pid >= 1) so parallel batch items never share one.
+  SlaLedger* sla{nullptr};
+  /// Per-domain placement decision audit ring (obs/audit.hpp); same
+  /// pid >= 1 wiring rule as the ledger.
+  AuditLog* audit{nullptr};
   /// Chrome trace pid for this subsystem's events: 0 = the global/serial
   /// spine (router, migration manager, fault injector), i+1 = domain i.
   std::uint32_t pid{0};
@@ -29,7 +37,8 @@ struct ObsContext {
   std::string labels;
 
   [[nodiscard]] bool any() const {
-    return trace != nullptr || metrics != nullptr || profiler != nullptr;
+    return trace != nullptr || metrics != nullptr || profiler != nullptr || sla != nullptr ||
+           audit != nullptr;
   }
 };
 

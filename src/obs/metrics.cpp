@@ -259,6 +259,18 @@ std::string MetricsRegistry::json() const {
   return os.str();
 }
 
+std::string prometheus_label(const std::string& key, const std::string& value) {
+  std::string out = key + "=\"";
+  for (const char c : value) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
 std::map<std::string, double> parse_prometheus_text(const std::string& text) {
   std::map<std::string, double> out;
   std::istringstream in(text);

@@ -95,6 +95,12 @@ class MetricsRegistry {
   std::map<std::string, Family> families_;
 };
 
+/// Render one `key="value"` Prometheus label pair, escaping the value per
+/// the text exposition spec (`\` -> `\\`, `"` -> `\"`, newline -> `\n`).
+/// Use this wherever label text is built from runtime strings (domain and
+/// app names); join multiple pairs with ",".
+[[nodiscard]] std::string prometheus_label(const std::string& key, const std::string& value);
+
 /// Parse Prometheus text exposition format back into sample name (with
 /// label text, exactly as written) -> value. Ignores # comment lines.
 /// Throws std::invalid_argument on malformed sample lines. Used by the

@@ -1,0 +1,443 @@
+#include "obs/sla.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/alerts.hpp"
+
+namespace heteroplace::obs {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+int bucket_index(double v) {
+  if (!(v > LogHistogram::kMin)) return 0;
+  const double raw = std::ceil(std::log(v / LogHistogram::kMin) / std::log(LogHistogram::kGrowth));
+  if (raw >= static_cast<double>(LogHistogram::kBuckets - 1)) return LogHistogram::kBuckets - 1;
+  return raw < 1.0 ? 1 : static_cast<int>(raw);
+}
+
+}  // namespace
+
+std::string format_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  for (const int prec : {15, 16, 17}) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+// --- LogHistogram -----------------------------------------------------------
+
+double LogHistogram::bucket_bound(int i) { return kMin * std::pow(kGrowth, i); }
+
+void LogHistogram::observe(double v) {
+  buckets_[static_cast<std::size_t>(bucket_index(v))] += 1;
+  ++count_;
+  sum_ += v;
+}
+
+void LogHistogram::merge(const LogHistogram& o) {
+  for (int i = 0; i < kBuckets; ++i) buckets_[static_cast<std::size_t>(i)] += o.buckets_[static_cast<std::size_t>(i)];
+  count_ += o.count_;
+  sum_ += o.sum_;
+}
+
+double LogHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  const double scaled = q * static_cast<double>(count_);
+  std::uint64_t rank = static_cast<std::uint64_t>(std::ceil(scaled));
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cum += buckets_[static_cast<std::size_t>(i)];
+    if (cum >= rank) return bucket_bound(i);
+  }
+  return bucket_bound(kBuckets - 1);
+}
+
+// --- SlaLedger --------------------------------------------------------------
+
+double SlaLedger::waking_integral(double now) const {
+  return waking_integral_ + (waking_open_ > 0 ? now - waking_since_ : 0.0);
+}
+
+void SlaLedger::on_admit(util::JobId id, double now) {
+  wake_at_admit_[id.get()] = waking_integral(now);
+}
+
+void SlaLedger::on_job_started(util::JobId id, double now) {
+  const auto it = wake_at_admit_.find(id.get());
+  if (it == wake_at_admit_.end()) return;  // restarted stint or foreign-born job
+  wake_overlap_[id.get()] = waking_integral(now) - it->second;
+  wake_at_admit_.erase(it);
+}
+
+void SlaLedger::on_wake_begin(double now) {
+  if (waking_open_ == 0) waking_since_ = now;
+  ++waking_open_;
+}
+
+void SlaLedger::on_wake_end(double now) {
+  if (waking_open_ <= 0) return;  // defensive: unmatched end
+  if (--waking_open_ == 0) waking_integral_ += now - waking_since_;
+}
+
+void SlaLedger::on_job_completed(const workload::Job& job, double now) {
+  using JP = workload::JobPhase;
+  const workload::JobSpec& spec = job.spec();
+  JobSlaRecord r;
+  r.id = job.id().get();
+  r.submit_s = spec.submit_time.get();
+  r.completion_s = now;
+  r.goal_s = spec.completion_goal.get();
+  r.ratio = r.goal_s > 0.0 ? (now - r.submit_s) / r.goal_s : 0.0;
+  r.suspends = job.suspend_count();
+  r.migrates = job.migrate_count();
+
+  const double pending = job.phase_seconds(JP::kPending);
+  double wake = 0.0;
+  if (const auto it = wake_overlap_.find(r.id); it != wake_overlap_.end()) {
+    wake = it->second;
+    wake_overlap_.erase(it);
+  }
+  wake_at_admit_.erase(r.id);
+  if (wake > pending) wake = pending;
+  if (wake < 0.0) wake = 0.0;
+  r.wake_excluded_s = wake;
+  r.queue_wait_s = pending - wake;
+  r.startup_s = job.phase_seconds(JP::kStarting);
+
+  const double running = job.phase_seconds(JP::kRunning);
+  const double max_speed = spec.max_speed.get();
+  r.run_full_s = max_speed > 0.0 ? job.done().get() / max_speed : 0.0;
+  double redo = max_speed > 0.0 ? (job.gross().get() - job.done().get()) / max_speed : 0.0;
+  if (redo < 0.0) redo = 0.0;
+  if (redo > running - r.run_full_s) redo = running - r.run_full_s;  // FP guard
+  r.redo_s = redo;
+  r.contention_s = running - r.run_full_s - r.redo_s;
+
+  r.suspend_s = job.phase_seconds(JP::kSuspending) + job.phase_seconds(JP::kSuspended);
+  r.resume_s = job.phase_seconds(JP::kResuming);
+  r.migration_s = job.phase_seconds(JP::kMigrating) + job.hold_seconds() +
+                  job.phase_seconds(JP::kCompleted);
+
+  const double wall = r.wall_s();
+  const double diff = std::abs(r.components_sum() - wall);
+  if (diff > 1e-9 * std::max(1.0, std::abs(wall))) {
+    throw std::logic_error("SlaLedger: attribution does not close for job " +
+                           std::to_string(r.id) + ": components sum " +
+                           std::to_string(r.components_sum()) + " vs wall " +
+                           std::to_string(wall));
+  }
+
+  if (r.ratio > 1.0) ++jobs_missed_;
+  ratio_hist_.observe(r.ratio);
+  const std::string klass = spec.constraint.arch.empty() ? "any" : spec.constraint.arch;
+  ratio_by_class_[klass].observe(r.ratio);
+  jobs_.push_back(r);
+}
+
+void SlaLedger::on_tx_sample(const std::string& app, double now, double rt_s, double goal_s) {
+  (void)now;
+  TxAppStats& s = tx_[app];
+  s.goal_s = goal_s;
+  s.rt.observe(rt_s);
+  ++s.samples;
+  if (rt_s > goal_s) ++s.breaches;
+}
+
+SlaLedger::SloCounts SlaLedger::slo_counts(const std::string& app) const {
+  if (app == "jobs") return {jobs_.size(), jobs_missed_};
+  if (const auto it = tx_.find(app); it != tx_.end()) {
+    return {it->second.samples, it->second.breaches};
+  }
+  return {};
+}
+
+// --- report rendering -------------------------------------------------------
+
+namespace {
+
+struct ComponentTotals {
+  double queue_wait{0}, wake_excluded{0}, startup{0}, run_full{0}, contention{0}, redo{0},
+      suspend{0}, resume{0}, migration{0};
+
+  void add(const JobSlaRecord& r) {
+    queue_wait += r.queue_wait_s;
+    wake_excluded += r.wake_excluded_s;
+    startup += r.startup_s;
+    run_full += r.run_full_s;
+    contention += r.contention_s;
+    redo += r.redo_s;
+    suspend += r.suspend_s;
+    resume += r.resume_s;
+    migration += r.migration_s;
+  }
+};
+
+void emit_components(std::ostream& os, const ComponentTotals& c) {
+  os << "{\"queue_wait_s\":" << format_double(c.queue_wait)
+     << ",\"wake_excluded_s\":" << format_double(c.wake_excluded)
+     << ",\"startup_s\":" << format_double(c.startup)
+     << ",\"run_full_s\":" << format_double(c.run_full)
+     << ",\"contention_s\":" << format_double(c.contention)
+     << ",\"redo_s\":" << format_double(c.redo) << ",\"suspend_s\":" << format_double(c.suspend)
+     << ",\"resume_s\":" << format_double(c.resume)
+     << ",\"migration_s\":" << format_double(c.migration) << "}";
+}
+
+void emit_quantiles(std::ostream& os, const LogHistogram& h) {
+  os << "{\"count\":" << h.count() << ",\"p50\":" << format_double(h.quantile(0.50))
+     << ",\"p95\":" << format_double(h.quantile(0.95))
+     << ",\"p99\":" << format_double(h.quantile(0.99)) << "}";
+}
+
+}  // namespace
+
+std::string render_sla_report_json(const std::vector<const SlaLedger*>& ledgers,
+                                   const AlertEngine* alerts) {
+  std::ostringstream os;
+  os << "{\"schema\":\"heteroplace-sla-report/v1\"";
+
+  // Merged view: fold ledgers in the (fixed) argument order.
+  LogHistogram merged_ratio;
+  std::map<std::string, LogHistogram> merged_by_class;
+  std::map<std::string, SlaLedger::TxAppStats> merged_tx;
+  ComponentTotals merged_components;
+  std::uint64_t merged_jobs = 0, merged_missed = 0;
+  for (const SlaLedger* l : ledgers) {
+    merged_ratio.merge(l->ratio_hist());
+    for (const auto& [k, h] : l->ratio_by_class()) merged_by_class[k].merge(h);
+    for (const auto& [k, s] : l->tx_apps()) {
+      SlaLedger::TxAppStats& m = merged_tx[k];
+      m.rt.merge(s.rt);
+      m.samples += s.samples;
+      m.breaches += s.breaches;
+      m.goal_s = s.goal_s;
+    }
+    for (const JobSlaRecord& r : l->jobs()) {
+      merged_components.add(r);
+      ++merged_jobs;
+      if (r.ratio > 1.0) ++merged_missed;
+    }
+  }
+
+  os << ",\"merged\":{\"jobs_completed\":" << merged_jobs << ",\"jobs_missed\":" << merged_missed
+     << ",\"components\":";
+  emit_components(os, merged_components);
+  os << ",\"ratio_quantiles\":";
+  emit_quantiles(os, merged_ratio);
+  os << ",\"ratio_by_class\":[";
+  {
+    bool first = true;
+    for (const auto& [k, h] : merged_by_class) {
+      if (!first) os << ",";
+      first = false;
+      os << "{\"class\":\"" << json_escape(k) << "\",\"quantiles\":";
+      emit_quantiles(os, h);
+      os << "}";
+    }
+  }
+  os << "],\"tx_apps\":[";
+  {
+    bool first = true;
+    for (const auto& [k, s] : merged_tx) {
+      if (!first) os << ",";
+      first = false;
+      os << "{\"app\":\"" << json_escape(k) << "\",\"samples\":" << s.samples
+         << ",\"breaches\":" << s.breaches << ",\"goal_s\":" << format_double(s.goal_s)
+         << ",\"rt_quantiles\":";
+      emit_quantiles(os, s.rt);
+      os << "}";
+    }
+  }
+  os << "]}";
+
+  os << ",\"domains\":[";
+  for (std::size_t i = 0; i < ledgers.size(); ++i) {
+    const SlaLedger* l = ledgers[i];
+    if (i != 0) os << ",";
+    ComponentTotals c;
+    std::uint64_t missed = 0;
+    for (const JobSlaRecord& r : l->jobs()) {
+      c.add(r);
+      if (r.ratio > 1.0) ++missed;
+    }
+    os << "{\"domain\":\"" << json_escape(l->domain())
+       << "\",\"jobs_completed\":" << l->jobs().size() << ",\"jobs_missed\":" << missed
+       << ",\"components\":";
+    emit_components(os, c);
+    os << ",\"ratio_quantiles\":";
+    emit_quantiles(os, l->ratio_hist());
+    os << ",\"tx_apps\":[";
+    bool first = true;
+    for (const auto& [k, s] : l->tx_apps()) {
+      if (!first) os << ",";
+      first = false;
+      os << "{\"app\":\"" << json_escape(k) << "\",\"samples\":" << s.samples
+         << ",\"breaches\":" << s.breaches << ",\"goal_s\":" << format_double(s.goal_s)
+         << ",\"rt_quantiles\":";
+      emit_quantiles(os, s.rt);
+      os << "}";
+    }
+    os << "]}";
+  }
+  os << "]";
+
+  os << ",\"jobs\":[";
+  {
+    bool first = true;
+    for (const SlaLedger* l : ledgers) {
+      for (const JobSlaRecord& r : l->jobs()) {
+        if (!first) os << ",";
+        first = false;
+        os << "{\"id\":" << r.id << ",\"domain\":\"" << json_escape(l->domain())
+           << "\",\"submit_s\":" << format_double(r.submit_s)
+           << ",\"completion_s\":" << format_double(r.completion_s)
+           << ",\"goal_s\":" << format_double(r.goal_s) << ",\"ratio\":" << format_double(r.ratio)
+           << ",\"queue_wait_s\":" << format_double(r.queue_wait_s)
+           << ",\"wake_excluded_s\":" << format_double(r.wake_excluded_s)
+           << ",\"startup_s\":" << format_double(r.startup_s)
+           << ",\"run_full_s\":" << format_double(r.run_full_s)
+           << ",\"contention_s\":" << format_double(r.contention_s)
+           << ",\"redo_s\":" << format_double(r.redo_s)
+           << ",\"suspend_s\":" << format_double(r.suspend_s)
+           << ",\"resume_s\":" << format_double(r.resume_s)
+           << ",\"migration_s\":" << format_double(r.migration_s)
+           << ",\"suspends\":" << r.suspends << ",\"migrates\":" << r.migrates << "}";
+      }
+    }
+  }
+  os << "]";
+
+  os << ",\"alerts\":";
+  if (alerts == nullptr) {
+    os << "null";
+  } else {
+    os << "{\"active\":" << alerts->active() << ",\"slos\":[";
+    bool first = true;
+    for (const SloSpec& s : alerts->slos()) {
+      if (!first) os << ",";
+      first = false;
+      os << "{\"app\":\"" << json_escape(s.app) << "\",\"target\":" << format_double(s.target)
+         << ",\"long_window_s\":" << format_double(s.long_window_s)
+         << ",\"short_window_s\":" << format_double(s.short_window_s)
+         << ",\"burn_threshold\":" << format_double(s.burn_threshold) << "}";
+    }
+    os << "],\"events\":[";
+    first = true;
+    for (const AlertEngine::AlertEvent& e : alerts->history()) {
+      if (!first) os << ",";
+      first = false;
+      os << "{\"app\":\"" << json_escape(e.app) << "\",\"opened_s\":" << format_double(e.opened_s)
+         << ",\"closed_s\":";
+      if (e.closed_s < 0.0) {
+        os << "null";
+      } else {
+        os << format_double(e.closed_s);
+      }
+      os << "}";
+    }
+    os << "]}";
+  }
+
+  os << "}";
+  return os.str();
+}
+
+std::string render_sla_report_csv(const std::vector<const SlaLedger*>& ledgers,
+                                  const AlertEngine* alerts) {
+  std::ostringstream os;
+  os << "kind,name,count,p50,p95,p99,extra\n";
+  LogHistogram merged_ratio;
+  std::map<std::string, SlaLedger::TxAppStats> merged_tx;
+  ComponentTotals c;
+  std::uint64_t missed = 0;
+  for (const SlaLedger* l : ledgers) {
+    merged_ratio.merge(l->ratio_hist());
+    for (const auto& [k, s] : l->tx_apps()) {
+      SlaLedger::TxAppStats& m = merged_tx[k];
+      m.rt.merge(s.rt);
+      m.samples += s.samples;
+      m.breaches += s.breaches;
+      m.goal_s = s.goal_s;
+    }
+    for (const JobSlaRecord& r : l->jobs()) {
+      c.add(r);
+      if (r.ratio > 1.0) ++missed;
+    }
+  }
+  os << "ratio,jobs," << merged_ratio.count() << "," << format_double(merged_ratio.quantile(0.5))
+     << "," << format_double(merged_ratio.quantile(0.95)) << ","
+     << format_double(merged_ratio.quantile(0.99)) << ",missed=" << missed << "\n";
+  for (const auto& [k, s] : merged_tx) {
+    os << "tx_rt," << k << "," << s.samples << "," << format_double(s.rt.quantile(0.5)) << ","
+       << format_double(s.rt.quantile(0.95)) << "," << format_double(s.rt.quantile(0.99))
+       << ",breaches=" << s.breaches << "\n";
+  }
+  const auto component = [&os](const char* name, double total) {
+    os << "component," << name << ",,,,," << format_double(total) << "\n";
+  };
+  component("queue_wait_s", c.queue_wait);
+  component("wake_excluded_s", c.wake_excluded);
+  component("startup_s", c.startup);
+  component("run_full_s", c.run_full);
+  component("contention_s", c.contention);
+  component("redo_s", c.redo);
+  component("suspend_s", c.suspend);
+  component("resume_s", c.resume);
+  component("migration_s", c.migration);
+  if (alerts != nullptr) {
+    for (const AlertEngine::AlertEvent& e : alerts->history()) {
+      os << "alert," << e.app << ",,,,,opened=" << format_double(e.opened_s) << " closed=";
+      if (e.closed_s < 0.0) {
+        os << "open";
+      } else {
+        os << format_double(e.closed_s);
+      }
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace heteroplace::obs

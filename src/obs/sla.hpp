@@ -1,0 +1,183 @@
+#pragma once
+
+// SLA attribution ledger: decomposes every completed job's wall lifetime
+// into attributed components and folds per-app/per-class quality metrics
+// into deterministic fixed-log-bucket histograms.
+//
+// The component decomposition leans on workload::Job's per-phase wall-time
+// buckets (advance_to folds every elapsed interval into the bucket of the
+// phase it was spent in, and cross-domain transfers carry the buckets plus
+// an explicit hold term through migration::JobCheckpoint), so
+//
+//   queue_wait + wake_excluded + startup + run_full + contention + redo
+//     + suspend + resume + migration == completion - submit
+//
+// holds structurally: the bucket increments telescope over the lifetime and
+// the ledger asserts closure (relative 1e-9) for every completion.
+// Component meanings:
+//   queue_wait    pending time not explained by a power wake in progress
+//   wake_excluded pending time while >= 1 node in the domain was waking
+//   run_full      done / max_speed — the irreducible full-speed run time
+//   contention    running time beyond full speed, i.e. delivered < max MHz
+//   redo          (gross - done) / max_speed — work redone after a fault
+//                 revert (gross is monotone, done is reverted)
+//   suspend       suspending + suspended wall time
+//   resume        resuming wall time
+//   migration     migrating wall time + cross-domain transfer hold
+//
+// Thread-safety by construction, not locks: one SlaLedger per domain,
+// touched only by that domain's sharded events (executor callbacks, power
+// manager) and the serial spine (arrivals, sampling), so parallel batches
+// never share a ledger and all output is byte-identical across engine
+// thread counts. Quantiles come from integer bucket counts, never samples.
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "workload/job.hpp"
+
+namespace heteroplace::obs {
+
+class AlertEngine;
+
+/// Deterministic fixed-log-bucket histogram. Bucket i covers
+/// (kMin * kGrowth^(i-1), kMin * kGrowth^i]; bucket 0 additionally absorbs
+/// everything <= kMin and the last bucket everything beyond the range.
+/// ~10% relative resolution over [1e-6, ~1.6e7] — wide enough for both
+/// completion ratios and response times in seconds.
+class LogHistogram {
+ public:
+  static constexpr int kBuckets = 320;
+  static constexpr double kMin = 1e-6;
+  static constexpr double kGrowth = 1.1;
+
+  void observe(double v);
+  void merge(const LogHistogram& o);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  /// Upper bound of the bucket holding the q-quantile sample (by rank
+  /// ceil(q * count)); 0 for an empty histogram. Integer-count walk —
+  /// byte-identical across runs and thread counts.
+  [[nodiscard]] double quantile(double q) const;
+  /// Upper bound of bucket i.
+  [[nodiscard]] static double bucket_bound(int i);
+  [[nodiscard]] const std::array<std::uint64_t, kBuckets>& buckets() const { return buckets_; }
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_{0};
+  double sum_{0.0};
+};
+
+/// Attribution record for one completed job.
+struct JobSlaRecord {
+  std::uint32_t id{0};
+  double submit_s{0.0};
+  double completion_s{0.0};
+  double goal_s{0.0};   // completion goal (relative to submit)
+  double ratio{0.0};    // (completion - submit) / goal; > 1 = SLA missed
+  double queue_wait_s{0.0};
+  double wake_excluded_s{0.0};
+  double startup_s{0.0};
+  double run_full_s{0.0};
+  double contention_s{0.0};
+  double redo_s{0.0};
+  double suspend_s{0.0};
+  double resume_s{0.0};
+  double migration_s{0.0};
+  int suspends{0};
+  int migrates{0};
+
+  /// Sum of the attributed components (== wall lifetime, asserted).
+  [[nodiscard]] double components_sum() const {
+    return queue_wait_s + wake_excluded_s + startup_s + run_full_s + contention_s + redo_s +
+           suspend_s + resume_s + migration_s;
+  }
+  [[nodiscard]] double wall_s() const { return completion_s - submit_s; }
+};
+
+/// Per-domain SLA ledger. See file comment for the threading contract.
+class SlaLedger {
+ public:
+  explicit SlaLedger(std::string domain) : domain_(std::move(domain)) {}
+
+  [[nodiscard]] const std::string& domain() const { return domain_; }
+
+  /// Job admitted to this domain (enters kPending) — serial spine.
+  void on_admit(util::JobId id, double now);
+  /// Job left kPending via executor start (first stint only matters for
+  /// the wake-exclusion overlap; later stints simply find no snapshot).
+  void on_job_started(util::JobId id, double now);
+  /// Power manager began / finished waking a node in this domain.
+  void on_wake_begin(double now);
+  void on_wake_end(double now);
+  /// Job completed; builds the attribution record from the Job's own
+  /// accounting and asserts closure. Throws std::logic_error if the
+  /// components do not sum to the wall lifetime within 1e-9 (relative).
+  void on_job_completed(const workload::Job& job, double now);
+  /// One transactional-app response-time sample (from the metrics
+  /// sampler); a sample breaching `goal_s` is an SLO error event.
+  void on_tx_sample(const std::string& app, double now, double rt_s, double goal_s);
+
+  struct TxAppStats {
+    LogHistogram rt;
+    std::uint64_t samples{0};
+    std::uint64_t breaches{0};
+    double goal_s{0.0};
+  };
+
+  /// Cumulative good/bad event counts for an SLO target: `app` is a tx
+  /// app name, or "jobs" for batch-job completions (bad = ratio > 1).
+  struct SloCounts {
+    std::uint64_t total{0};
+    std::uint64_t bad{0};
+  };
+  [[nodiscard]] SloCounts slo_counts(const std::string& app) const;
+
+  [[nodiscard]] const std::vector<JobSlaRecord>& jobs() const { return jobs_; }
+  [[nodiscard]] const LogHistogram& ratio_hist() const { return ratio_hist_; }
+  /// Completion-ratio histograms keyed by constraint class (job's required
+  /// arch; "any" for unconstrained jobs).
+  [[nodiscard]] const std::map<std::string, LogHistogram>& ratio_by_class() const {
+    return ratio_by_class_;
+  }
+  [[nodiscard]] const std::map<std::string, TxAppStats>& tx_apps() const { return tx_; }
+  /// Total waking-node wall time metered in this domain (diagnostic).
+  [[nodiscard]] double waking_integral(double now) const;
+
+ private:
+  std::string domain_;
+  std::vector<JobSlaRecord> jobs_;
+  LogHistogram ratio_hist_;
+  std::map<std::string, LogHistogram> ratio_by_class_;
+  std::map<std::string, TxAppStats> tx_;
+  std::uint64_t jobs_missed_{0};
+  // Wake-overlap metering: integral over time of [>=1 node waking].
+  double waking_integral_{0.0};
+  double waking_since_{0.0};
+  int waking_open_{0};
+  // Pending jobs: waking-integral value at admission, consumed at start.
+  std::map<std::uint32_t, double> wake_at_admit_;
+  // Wake overlap banked for jobs that already started.
+  std::map<std::uint32_t, double> wake_overlap_;
+};
+
+/// Render the merged end-of-run SLA report. Ledgers must be passed in
+/// fixed domain order (the merge folds them in argument order, keeping the
+/// output byte-identical across engine thread counts). `alerts` may be
+/// null when no SLOs are configured.
+[[nodiscard]] std::string render_sla_report_json(const std::vector<const SlaLedger*>& ledgers,
+                                                 const AlertEngine* alerts);
+[[nodiscard]] std::string render_sla_report_csv(const std::vector<const SlaLedger*>& ledgers,
+                                                const AlertEngine* alerts);
+
+/// Deterministic shortest-round-trip double formatting shared by the SLA
+/// report and audit JSON writers.
+[[nodiscard]] std::string format_double(double v);
+
+}  // namespace heteroplace::obs

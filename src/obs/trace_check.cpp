@@ -311,12 +311,30 @@ std::vector<std::string> validate_chrome_trace(const std::string& json_text) {
       }
       int& open = async_open[{cat->string, id->number}];
       if (phase == 'b') {
+        if (open > 0) {
+          report(where + ": overlapping async begin for " + cat->string + "/" +
+                 std::to_string(static_cast<std::uint64_t>(id->number)) +
+                 " (previous arc never ended)");
+        }
         ++open;
       } else if (open <= 0) {
         report(where + ": async end for " + cat->string + "/" +
                std::to_string(static_cast<std::uint64_t>(id->number)) + " with no open begin");
       } else {
         --open;
+      }
+    } else if (phase == 'C') {
+      // Counter events are meaningless without at least one numeric series
+      // value; Perfetto silently drops malformed ones, so catch them here.
+      const JsonValue* args = ev.find("args");
+      if (args == nullptr || args->type != JsonValue::Type::kObject || args->object.empty()) {
+        report(where + ": counter '" + name->string + "' has no args object");
+      } else {
+        for (const auto& [k, v] : args->object) {
+          if (v.type != JsonValue::Type::kNumber) {
+            report(where + ": counter '" + name->string + "' arg '" + k + "' is not numeric");
+          }
+        }
       }
     } else if (phase == 'i') {
       const JsonValue* scope = ev.find("s");

@@ -3,8 +3,10 @@
 // Self-checking for emitted trace files: a dependency-free JSON parser plus
 // Chrome trace-event schema validation (required fields, known phases,
 // monotone timestamps per (pid, tid), balanced B/E span nesting, matched
-// async begin/end pairs). Used by obs_test and by the trace_check CLI tool
-// that CI runs against the examples-smoke trace artifact.
+// non-overlapping async begin/end arcs per (cat, id), and counter ('C')
+// events carrying at least one numeric args series). Used by obs_test and
+// by the trace_check CLI tool that CI runs against the examples-smoke
+// trace artifact. The JSON model here is shared with tools/sla_report.
 
 #include <string>
 #include <utility>

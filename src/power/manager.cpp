@@ -6,6 +6,7 @@
 #include "core/utility_policy.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
+#include "obs/sla.hpp"
 #include "obs/trace.hpp"
 
 namespace heteroplace::power {
@@ -197,6 +198,7 @@ void PowerManager::wake_node(util::NodeId id) {
   world_.cluster().node(id).set_power_state(PowerState::kWaking);
   ++stats_.wakes;
   if (wakes_metric_ != nullptr) wakes_metric_->inc();
+  if (obs_.sla != nullptr) obs_.sla->on_wake_begin(engine_.now().get());
   if (obs_.trace != nullptr) {
     obs_.trace->instant(obs_.pid, obs::Lane::kPower, "wake", engine_.now().get(),
                         {{"node", static_cast<double>(id.get())}});
@@ -207,6 +209,10 @@ void PowerManager::wake_node(util::NodeId id) {
   engine_.schedule_in(util::Seconds{model_.wake_latency_s}, sim::EventPriority::kPower,
                       options_.shard, [this, id] {
                         cluster::Node& node = world_.cluster().node(id);
+                        // The wake interval ends here even when a crash
+                        // mid-wake aborts the transition below — the ledger's
+                        // begin/end metering must stay balanced.
+                        if (obs_.sla != nullptr) obs_.sla->on_wake_end(engine_.now().get());
                         // See park_node: a crash mid-wake leaves the node to
                         // the fault injector.
                         if (node.power_state() != PowerState::kWaking) return;

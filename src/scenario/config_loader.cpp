@@ -90,6 +90,7 @@ FederatedScenario federated_scenario_from_config(const util::Config& cfg) {
   fs.seed = base.seed;
   fs.engine_threads = base.engine_threads;
   fs.obs = base.obs;
+  fs.slos = base.slos;
   fs.router = k.str("router", "least-loaded");
   try {
     (void)federation::make_router(fs.router);
@@ -460,6 +461,19 @@ Scenario scenario_from_keyed(KeyedConfig& k) {
   } else if (ob.trace != "ring" && k.has("obs.trace_ring_capacity")) {
     throw util::ConfigError("obs.trace_ring_capacity has no effect with obs.trace=" + ob.trace);
   }
+  ob.audit = k.str("obs.audit", ob.audit);
+  ob.audit_path = k.str("obs.audit_path", ob.audit_path);
+  ob.audit_ring_capacity = static_cast<long>(
+      k.integer("obs.audit_ring_capacity", static_cast<long long>(ob.audit_ring_capacity)));
+  if (!ob.audit_enabled()) {
+    for (const char* key : {"obs.audit_path", "obs.audit_ring_capacity"}) {
+      if (k.has(key)) {
+        throw util::ConfigError(std::string(key) + " has no effect with obs.audit=off");
+      }
+    }
+  }
+  ob.sla_report_path = k.str("obs.sla_report_path", ob.sla_report_path);
+  ob.sla_report_csv_path = k.str("obs.sla_report_csv_path", ob.sla_report_csv_path);
   validate_obs_spec(ob);
 
   const auto n_apps = k.integer("apps", 1);
@@ -489,6 +503,40 @@ Scenario scenario_from_keyed(KeyedConfig& k) {
     app.spec.constraint = parse_constraint(p + "constraint.");
     app.trace = workload::DemandTrace{k.num(p + "lambda", 24.0)};
     s.apps.push_back(std::move(app));
+  }
+
+  // --- SLOs & burn-rate alerting ---------------------------------------------
+  // `slos = web,jobs` names the objectives; each is then described by
+  // slo.<name>.* keys. A name must be a tx app's name or the literal
+  // "jobs" (batch completion-ratio objective). Parsed after the apps so
+  // the name check sees the real app list.
+  const std::vector<std::string> slo_names = parse_tag_list(k.str("slos", ""), "slos");
+  for (const std::string& name : slo_names) {
+    const std::string p = "slo." + name + ".";
+    if (name != "jobs") {
+      bool known = false;
+      for (const TxAppScenario& app : s.apps) known = known || app.spec.name == name;
+      if (!known) {
+        throw util::ConfigError("slos: '" + name +
+                                "' is neither a tx app name nor the literal 'jobs'");
+      }
+    }
+    obs::SloSpec slo;
+    slo.app = name;
+    slo.target = k.num(p + "target", slo.target);
+    slo.long_window_s = k.num(p + "long_window_s", slo.long_window_s);
+    slo.short_window_s = k.num(p + "short_window_s", slo.short_window_s);
+    slo.burn_threshold = k.num(p + "burn_threshold", slo.burn_threshold);
+    if (!(slo.target > 0.0 && slo.target < 1.0)) {
+      throw util::ConfigError(p + "target: must be in (0, 1)");
+    }
+    if (slo.short_window_s <= 0.0 || slo.long_window_s < slo.short_window_s) {
+      throw util::ConfigError(p + "long_window_s/short_window_s: need 0 < short <= long");
+    }
+    if (slo.burn_threshold <= 0.0) {
+      throw util::ConfigError(p + "burn_threshold: must be positive");
+    }
+    s.slos.push_back(std::move(slo));
   }
 
   return s;

@@ -58,7 +58,7 @@ ExperimentResult run_experiment(const Scenario& scenario, const ExperimentOption
   // Constructed first so every subsystem below can borrow pointers into
   // the bundle; an obs-off scenario builds nothing and the run stays
   // bit-identical to the uninstrumented path (pinned by tests/obs_test.cpp).
-  Observability obs = make_observability(scenario.obs);
+  Observability obs = make_observability(scenario.obs, scenario.slos);
   if (obs.trace) {
     engine.set_observer(obs.trace.get());
     obs.trace->set_process_name(0, "global");
@@ -107,6 +107,9 @@ ExperimentResult run_experiment(const Scenario& scenario, const ExperimentOption
   MetricsRecorder recorder(world, job_model, tx_model);
   recorder.summary().scenario = scenario.name;
   recorder.summary().policy = to_string(options.policy);
+  // The one world's SLA ledger (pid 1; created lazily by context()).
+  obs::SlaLedger* const sla = obs.sla_on ? obs.context(1).sla : nullptr;
+  recorder.set_sla(sla);
 
   long invariant_violations = 0;
   controller.set_observer([&](const core::CycleReport& report) {
@@ -166,7 +169,10 @@ ExperimentResult run_experiment(const Scenario& scenario, const ExperimentOption
   // --- schedule arrivals, sampling, control loop ------------------------------
   for (const auto& spec : job_specs) {
     engine.schedule_at(spec.submit_time, sim::EventPriority::kWorkloadArrival,
-                       [&world, spec] { world.submit_job(spec); });
+                       [&world, spec, sla] {
+                         world.submit_job(spec);
+                         if (sla != nullptr) sla->on_admit(spec.id, spec.submit_time.get());
+                       });
   }
   auto sample_power = [&] {
     if (!power_mgr) return;
@@ -208,6 +214,7 @@ ExperimentResult run_experiment(const Scenario& scenario, const ExperimentOption
     sample_power();
     sample_faults();
     sample_classes();
+    if (obs.alerts) obs.alerts->evaluate(engine.now().get(), obs.ledger_list());
     engine.schedule_in(sample_dt, sim::EventPriority::kSampling, sample_tick);
   };
   engine.schedule_in(sample_dt, sim::EventPriority::kSampling, sample_tick);
@@ -234,6 +241,7 @@ ExperimentResult run_experiment(const Scenario& scenario, const ExperimentOption
   sample_power();
   sample_faults();
   sample_classes();
+  if (obs.alerts) obs.alerts->evaluate(engine.now().get(), obs.ledger_list());
   ExperimentResult result;
   result.summary = recorder.summary();
   result.summary.jobs_submitted = static_cast<long>(world.submitted_count());
@@ -277,7 +285,7 @@ ExperimentResult run_experiment(const Scenario& scenario, const ExperimentOption
         const auto& c = world.cluster().classes().at(static_cast<cluster::ClassId>(ci));
         obs.metrics
             ->gauge("cluster_class_placeable_mhz", "Placeable CPU per machine class",
-                    "class=\"" + c.name + "\"")
+                    obs::prometheus_label("class", c.name))
             .set(by_class[ci].cpu.get());
       }
     }

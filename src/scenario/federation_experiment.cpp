@@ -87,7 +87,7 @@ FederatedResult run_federated_experiment(const FederatedScenario& fs,
   std::vector<std::unique_ptr<power::PowerManager>> power_mgrs;
   // Declared before the federation for the same lifetime reason: domain
   // controllers hold ObsContext pointers into this bundle.
-  Observability obs = make_observability(fs.obs);
+  Observability obs = make_observability(fs.obs, fs.slos);
   if (obs.trace) {
     engine.set_observer(obs.trace.get());
     obs.trace->set_process_name(0, "global");
@@ -145,10 +145,18 @@ FederatedResult run_federated_experiment(const FederatedScenario& fs,
   std::vector<MetricsRecorder> recorders;
   recorders.reserve(fed.domain_count());
   std::vector<long> violations(fed.domain_count(), 0);
+  // Admitting-domain SLA ledgers, indexed by domain. The arrival lambdas
+  // credit on_admit to whichever domain the router picks.
+  std::vector<obs::SlaLedger*> domain_ledgers(fed.domain_count(), nullptr);
   for (std::size_t i = 0; i < fed.domain_count(); ++i) {
     recorders.emplace_back(fed.domain(i).world(), job_model, tx_model);
     recorders.back().summary().scenario = fs.name + "/" + fed.domain(i).name();
     recorders.back().summary().policy = to_string(options.policy);
+    if (obs.sla_on) {
+      domain_ledgers[i] =
+          obs.context(static_cast<std::uint32_t>(i + 1), fed.domain(i).name()).sla;
+      recorders.back().set_sla(domain_ledgers[i]);
+    }
     // Domain-level hook (not the raw executor slot, which the federation
     // owns for its load aggregates).
     fed.domain(i).set_completion_callback(
@@ -166,7 +174,11 @@ FederatedResult run_federated_experiment(const FederatedScenario& fs,
   // --- schedule arrivals, weight events, sampling, control loops --------------
   for (const auto& spec : job_specs) {
     engine.schedule_at(spec.submit_time, sim::EventPriority::kWorkloadArrival,
-                       [&fed, spec] { fed.submit_job(spec); });
+                       [&fed, &domain_ledgers, spec] {
+                         const federation::Domain& d = fed.submit_job(spec);
+                         obs::SlaLedger* const sla = domain_ledgers[d.index()];
+                         if (sla != nullptr) sla->on_admit(spec.id, spec.submit_time.get());
+                       });
   }
   for (const auto& ev : fs.weight_events) {
     if (ev.domain >= fed.domain_count()) {
@@ -399,6 +411,9 @@ FederatedResult run_federated_experiment(const FederatedScenario& fs,
   std::function<void()> sample_tick = [&] {
     const obs::ScopedTimer sample_timer(obs.profiler.get(), obs::Phase::kSampling);
     sample_all(engine.now());
+    // Serial tick; ledgers visited in fixed domain order, so alert
+    // open/close instants are byte-identical across engine thread counts.
+    if (obs.alerts) obs.alerts->evaluate(engine.now().get(), obs.ledger_list());
     engine.schedule_in(sample_dt, sim::EventPriority::kSampling, sample_tick);
   };
   engine.schedule_in(sample_dt, sim::EventPriority::kSampling, sample_tick);
@@ -422,6 +437,7 @@ FederatedResult run_federated_experiment(const FederatedScenario& fs,
 
   // --- finalize -----------------------------------------------------------------
   sample_all(engine.now());  // final sample, mirroring run_experiment
+  if (obs.alerts) obs.alerts->evaluate(engine.now().get(), obs.ledger_list());
   const auto routed = fed.jobs_per_domain();
   std::vector<ExperimentSummary> summaries;
   for (std::size_t i = 0; i < fed.domain_count(); ++i) {

@@ -111,6 +111,10 @@ struct FederatedScenario {
   PowerSpec power;
   FaultSpec faults;
   ObsSpec obs;
+  /// SLO burn-rate alert specs (see Scenario::slos); evaluated on the
+  /// shared sampling clock against the per-domain ledgers merged in
+  /// domain order.
+  std::vector<obs::SloSpec> slos;
   double horizon_s{0.0};
   double sample_interval_s{600.0};
   std::uint64_t seed{42};

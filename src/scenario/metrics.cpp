@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/sla.hpp"
 #include "perfmodel/tx_model.hpp"
 
 namespace heteroplace::scenario {
@@ -139,6 +140,9 @@ void MetricsRecorder::sample(util::Seconds now, const AllocationSample& alloc) {
     series_.add("tx_alloc_mhz_" + app.spec().name, t, app_alloc);
     const auto perf = perfmodel::evaluate_tx_app(app, now, util::CpuMhz{app_alloc});
     series_.add("tx_rt_" + app.spec().name, t, perf.response_time.get());
+    if (sla_ != nullptr) {
+      sla_->on_tx_sample(app.spec().name, t, perf.response_time.get(), app.spec().rt_goal.get());
+    }
     u_tx_weighted += u;
     importance_total += 1.0;
   }

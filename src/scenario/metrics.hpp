@@ -21,6 +21,10 @@
 #include "utility/job_utility.hpp"
 #include "utility/tx_utility.hpp"
 
+namespace heteroplace::obs {
+class SlaLedger;
+}  // namespace heteroplace::obs
+
 namespace heteroplace::scenario {
 
 /// End-of-run aggregates.
@@ -110,6 +114,11 @@ class MetricsRecorder {
   /// Hook for ActionExecutor::set_completion_callback.
   void on_job_completed(const workload::Job& job);
 
+  /// Feed each tx app's sampled response time into the domain's SLA
+  /// ledger (null = off). The recorder samples serially per domain, so
+  /// the ledger's threading contract holds.
+  void set_sla(obs::SlaLedger* sla) { sla_ = sla; }
+
   [[nodiscard]] const util::TimeSeriesSet& series() const { return series_; }
   [[nodiscard]] util::TimeSeriesSet& series() { return series_; }
   [[nodiscard]] ExperimentSummary& summary() { return summary_; }
@@ -121,6 +130,7 @@ class MetricsRecorder {
   std::shared_ptr<const utility::TxUtilityModel> tx_model_;
   util::TimeSeriesSet series_;
   ExperimentSummary summary_;
+  obs::SlaLedger* sla_{nullptr};
   double last_tx_utility_{0.0};
   bool have_tx_utility_{false};
 };

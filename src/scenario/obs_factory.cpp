@@ -43,22 +43,73 @@ void validate_obs_spec(const ObsSpec& spec) {
   if (spec.trace == "stream" && spec.trace_path.empty()) {
     throw util::ConfigError("obs.trace: mode 'stream' requires obs.trace_path");
   }
+  if (spec.audit != "off" && spec.audit != "ring") {
+    throw util::ConfigError("obs.audit: unknown mode '" + spec.audit + "' (expected off|ring)");
+  }
+  if (spec.audit == "ring") {
+    if (spec.audit_ring_capacity <= 0) {
+      throw util::ConfigError("obs.audit_ring_capacity: must be positive, got " +
+                              std::to_string(spec.audit_ring_capacity));
+    }
+    if (spec.audit_ring_capacity > kMaxRingCapacity) {
+      throw util::ConfigError("obs.audit_ring_capacity: " +
+                              std::to_string(spec.audit_ring_capacity) + " exceeds the maximum " +
+                              std::to_string(kMaxRingCapacity));
+    }
+  } else if (!spec.audit_path.empty()) {
+    throw util::ConfigError("obs.audit_path has no effect with obs.audit=off");
+  }
   if (spec.trace_enabled()) check_writable("obs.trace_path", spec.trace_path);
   check_writable("obs.metrics_path", spec.metrics_path);
   check_writable("obs.metrics_json_path", spec.metrics_json_path);
+  check_writable("obs.audit_path", spec.audit_path);
+  check_writable("obs.sla_report_path", spec.sla_report_path);
+  check_writable("obs.sla_report_csv_path", spec.sla_report_csv_path);
 }
 
-obs::ObsContext Observability::context(std::uint32_t pid, const std::string& domain) const {
+obs::ObsContext Observability::context(std::uint32_t pid, const std::string& domain) {
   obs::ObsContext ctx;
   ctx.trace = trace.get();
   ctx.metrics = metrics.get();
   ctx.profiler = profiler.get();
   ctx.pid = pid;
-  if (!domain.empty()) ctx.labels = "domain=\"" + domain + "\"";
+  if (!domain.empty()) ctx.labels = obs::prometheus_label("domain", domain);
+  if (pid >= 1 && (sla_on || audit_on)) {
+    const std::size_t slot = pid - 1;
+    const std::string name = domain.empty() ? "default" : domain;
+    if (sla_on) {
+      if (ledgers.size() <= slot) ledgers.resize(slot + 1);
+      if (!ledgers[slot]) ledgers[slot] = std::make_unique<obs::SlaLedger>(name);
+      ctx.sla = ledgers[slot].get();
+    }
+    if (audit_on) {
+      if (audits.size() <= slot) audits.resize(slot + 1);
+      if (!audits[slot]) audits[slot] = std::make_unique<obs::AuditLog>(name, audit_capacity);
+      ctx.audit = audits[slot].get();
+    }
+  }
   return ctx;
 }
 
-Observability make_observability(const ObsSpec& spec) {
+std::vector<const obs::SlaLedger*> Observability::ledger_list() const {
+  std::vector<const obs::SlaLedger*> out;
+  out.reserve(ledgers.size());
+  for (const auto& l : ledgers) {
+    if (l) out.push_back(l.get());
+  }
+  return out;
+}
+
+std::vector<const obs::AuditLog*> Observability::audit_list() const {
+  std::vector<const obs::AuditLog*> out;
+  out.reserve(audits.size());
+  for (const auto& a : audits) {
+    if (a) out.push_back(a.get());
+  }
+  return out;
+}
+
+Observability make_observability(const ObsSpec& spec, const std::vector<obs::SloSpec>& slos) {
   validate_obs_spec(spec);
   Observability o;
   if (spec.trace_enabled()) {
@@ -71,6 +122,14 @@ Observability make_observability(const ObsSpec& spec) {
   }
   if (spec.metrics_enabled()) o.metrics = std::make_unique<obs::MetricsRegistry>();
   if (spec.profile) o.profiler = std::make_unique<obs::Profiler>();
+  o.sla_on = spec.sla_enabled() || !slos.empty();
+  o.audit_on = spec.audit_enabled();
+  o.audit_capacity = static_cast<std::size_t>(spec.audit_ring_capacity);
+  if (!slos.empty()) {
+    o.alerts = std::make_unique<obs::AlertEngine>();
+    for (const obs::SloSpec& s : slos) o.alerts->add_slo(s);
+    o.alerts->bind(o.trace.get(), o.metrics.get());
+  }
   return o;
 }
 
@@ -91,6 +150,29 @@ void export_observability(const ObsSpec& spec, Observability& o) {
         throw util::ConfigError("obs.metrics_json_path: error writing '" +
                                 spec.metrics_json_path + "'");
       }
+    }
+  }
+  if (!spec.audit_path.empty()) {
+    std::ofstream f(spec.audit_path, std::ios::trunc);
+    f << obs::render_audit_json(o.audit_list());
+    if (!f) {
+      throw util::ConfigError("obs.audit_path: error writing '" + spec.audit_path + "'");
+    }
+  }
+  if (!spec.sla_report_path.empty()) {
+    std::ofstream f(spec.sla_report_path, std::ios::trunc);
+    f << obs::render_sla_report_json(o.ledger_list(), o.alerts.get());
+    if (!f) {
+      throw util::ConfigError("obs.sla_report_path: error writing '" + spec.sla_report_path +
+                              "'");
+    }
+  }
+  if (!spec.sla_report_csv_path.empty()) {
+    std::ofstream f(spec.sla_report_csv_path, std::ios::trunc);
+    f << obs::render_sla_report_csv(o.ledger_list(), o.alerts.get());
+    if (!f) {
+      throw util::ConfigError("obs.sla_report_csv_path: error writing '" +
+                              spec.sla_report_csv_path + "'");
     }
   }
 }

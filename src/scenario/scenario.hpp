@@ -11,6 +11,7 @@
 
 #include "cluster/actions.hpp"
 #include "core/placement_problem.hpp"
+#include "obs/alerts.hpp"
 #include "workload/job_factory.hpp"
 #include "workload/transactional.hpp"
 
@@ -163,12 +164,29 @@ struct ObsSpec {
   /// Wall-clock per-phase profiling (ExperimentResult/FederatedResult
   /// `profile`, digest-excluded like EngineStats).
   bool profile{false};
+  /// Placement decision audit log (obs/audit.hpp): "off" or "ring"
+  /// (bounded per-domain ring, dumped to audit_path at end of run).
+  std::string audit{"off"};
+  std::string audit_path;
+  long audit_ring_capacity{1L << 16};
+  /// End-of-run SLA attribution report paths (obs/sla.hpp): JSON
+  /// (machine-readable, byte-identical across engine thread counts) and
+  /// CSV (human summary). Either one enables the SLA ledger; so does a
+  /// non-empty Scenario::slos.
+  std::string sla_report_path;
+  std::string sla_report_csv_path;
 
   [[nodiscard]] bool trace_enabled() const { return trace != "off"; }
   [[nodiscard]] bool metrics_enabled() const {
     return !metrics_path.empty() || !metrics_json_path.empty();
   }
-  [[nodiscard]] bool any() const { return trace_enabled() || metrics_enabled() || profile; }
+  [[nodiscard]] bool audit_enabled() const { return audit != "off"; }
+  [[nodiscard]] bool sla_enabled() const {
+    return !sla_report_path.empty() || !sla_report_csv_path.empty();
+  }
+  [[nodiscard]] bool any() const {
+    return trace_enabled() || metrics_enabled() || profile || audit_enabled() || sla_enabled();
+  }
 };
 
 struct Scenario {
@@ -180,6 +198,9 @@ struct Scenario {
   PowerSpec power;
   FaultSpec faults;
   ObsSpec obs;
+  /// SLO burn-rate alert specs (config keys `slos` + `slo.<app>.*`);
+  /// `app` names a tx app or "jobs". Any entry enables the SLA ledger.
+  std::vector<obs::SloSpec> slos;
   /// Simulated horizon; 0 = run until every submitted job completes.
   double horizon_s{0.0};
   /// Sampling period for the time-series recorder.

@@ -32,12 +32,21 @@ void Job::advance_to(util::Seconds now) {
   if (now.get() < last_update_.get()) {
     throw std::logic_error("Job::advance_to: time went backwards");
   }
+  const util::Seconds dt = now - last_update_;
+  phase_s_[static_cast<std::size_t>(phase_)] += dt.get();
   if (phase_ == JobPhase::kRunning && speed_.get() > 0.0) {
-    const util::Seconds dt = now - last_update_;
     done_ += speed_ * dt;
+    gross_ += speed_ * dt;
     if (done_.get() > spec_.work.get()) done_ = spec_.work;  // clamp FP overshoot
   }
   last_update_ = now;
+}
+
+void Job::restore_accounting(const std::array<double, kJobPhaseCount>& phase_s,
+                             util::MhzSeconds gross, double hold_s) {
+  phase_s_ = phase_s;
+  gross_ = gross;
+  hold_s_ = hold_s;
 }
 
 void Job::set_speed(util::Seconds now, util::CpuMhz speed) {

@@ -8,6 +8,7 @@
 // relative to submission; their utility is a monotone function of the
 // ratio (completion - submit) / goal.
 
+#include <array>
 #include <cassert>
 #include <string>
 
@@ -48,6 +49,9 @@ enum class JobPhase {
 };
 
 [[nodiscard]] const char* to_string(JobPhase p);
+
+/// Number of JobPhase values (sizes the per-phase accounting buckets).
+inline constexpr int kJobPhaseCount = static_cast<int>(JobPhase::kCompleted) + 1;
 
 /// Runtime job state with explicit progress accounting.
 ///
@@ -101,8 +105,45 @@ class Job {
 
   /// Reinstate progress bookkeeping from a checkpoint image (see
   /// migration::JobCheckpoint). Resets the progress clock to `now` so no
-  /// phantom work accrues over the transfer window.
+  /// phantom work accrues over the transfer window. Does NOT touch the
+  /// SLA accounting (phase buckets / gross / hold): the crash-revert path
+  /// reverts `done` on a live job whose wall-time history must survive,
+  /// and the migration restore path overwrites accounting explicitly via
+  /// restore_accounting().
   void restore_progress(util::MhzSeconds done, int suspends, int migrates, util::Seconds now);
+
+  // --- SLA attribution accounting ------------------------------------------
+  // advance_to folds every elapsed interval into the bucket of the phase
+  // the job was in, so the buckets partition the job's accounted wall
+  // time exactly (the sum telescopes to completion - submit, modulo the
+  // cross-domain hold below). Pure bookkeeping: never read by any
+  // placement/execution decision, so enabling the SLA ledger cannot
+  // perturb simulation results.
+
+  /// Wall time accounted to `phase` so far.
+  [[nodiscard]] double phase_seconds(JobPhase phase) const {
+    return phase_s_[static_cast<std::size_t>(phase)];
+  }
+  [[nodiscard]] const std::array<double, kJobPhaseCount>& phase_seconds_all() const {
+    return phase_s_;
+  }
+
+  /// Monotone gross work: like `done` but never reverted by
+  /// restore_progress, so (gross - done) / max_speed is the full-speed
+  /// cost of work redone after a fault revert.
+  [[nodiscard]] util::MhzSeconds gross() const { return gross_; }
+
+  /// Wall time spent detached in cross-domain transfers (the hole between
+  /// the source job's last accounting update and the destination restore).
+  [[nodiscard]] double hold_seconds() const { return hold_s_; }
+
+  /// Time up to which the phase buckets are folded (== last_update_).
+  [[nodiscard]] util::Seconds accounted_until() const { return last_update_; }
+
+  /// Overwrite the accounting state wholesale from a checkpoint carried
+  /// across domains (migration::restore_job). Call after set_phase.
+  void restore_accounting(const std::array<double, kJobPhaseCount>& phase_s,
+                          util::MhzSeconds gross, double hold_s);
 
   /// Set on completion by the experiment driver.
   void mark_completed(util::Seconds t) { completion_time_ = t; }
@@ -126,6 +167,9 @@ class Job {
   int suspend_count_{0};
   int migrate_count_{0};
   bool held_{false};
+  std::array<double, kJobPhaseCount> phase_s_{};
+  util::MhzSeconds gross_{0.0};
+  double hold_s_{0.0};
 };
 
 }  // namespace heteroplace::workload

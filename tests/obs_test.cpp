@@ -155,6 +155,26 @@ TEST(Metrics, PrometheusTextRoundTrips) {
   EXPECT_THROW((void)obs::parse_prometheus_text("not a sample line\n"), std::invalid_argument);
 }
 
+TEST(Metrics, HelpTypeCommentsAndLabelEscaping) {
+  obs::MetricsRegistry reg;
+  // A hostile domain name: backslash, quote and newline must all be
+  // escaped per the exposition spec, and survive the parse round-trip.
+  const std::string nasty = "dc\\0\"east\nwing";
+  reg.counter("routed_total", "per-domain routes", obs::prometheus_label("domain", nasty)).inc(5);
+  reg.gauge("queue_depth", "current depth").set(1.0);
+
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("# HELP routed_total per-domain routes"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE routed_total counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE queue_depth gauge"), std::string::npos);
+  // The raw newline must not appear inside the sample line.
+  EXPECT_NE(text.find("\\n"), std::string::npos);
+
+  const auto parsed = obs::parse_prometheus_text(text);
+  EXPECT_DOUBLE_EQ(parsed.at("routed_total{domain=\"dc\\\\0\\\"east\\nwing\"}"), 5.0);
+  EXPECT_EQ(obs::prometheus_label("k", "a\\b\"c\nd"), "k=\"a\\\\b\\\"c\\nd\"");
+}
+
 TEST(Metrics, JsonSnapshotParses) {
   obs::MetricsRegistry reg;
   reg.counter("jobs_total", "jobs seen").inc(3);
@@ -163,6 +183,77 @@ TEST(Metrics, JsonSnapshotParses) {
   ASSERT_EQ(doc.type, obs::JsonValue::Type::kObject);
   EXPECT_NE(doc.find("jobs_total"), nullptr);
   EXPECT_NE(doc.find("rt_seconds"), nullptr);
+}
+
+// --- trace validator: counters and async arcs --------------------------------
+
+namespace {
+
+std::string wrap_events(const std::string& events) {
+  return "{\"traceEvents\":[" + events + "]}";
+}
+
+}  // namespace
+
+TEST(TraceCheck, CounterEventsNeedNumericArgs) {
+  const std::string good = wrap_events(
+      "{\"name\":\"queue\",\"ph\":\"C\",\"ts\":0,\"pid\":0,\"tid\":0,"
+      "\"args\":{\"depth\":3,\"inflight\":1.5}}");
+  EXPECT_TRUE(obs::validate_chrome_trace(good).empty());
+
+  const std::string no_args = wrap_events(
+      "{\"name\":\"queue\",\"ph\":\"C\",\"ts\":0,\"pid\":0,\"tid\":0}");
+  auto problems = obs::validate_chrome_trace(no_args);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("has no args object"), std::string::npos);
+
+  const std::string bad_arg = wrap_events(
+      "{\"name\":\"queue\",\"ph\":\"C\",\"ts\":0,\"pid\":0,\"tid\":0,"
+      "\"args\":{\"depth\":\"three\"}}");
+  problems = obs::validate_chrome_trace(bad_arg);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("is not numeric"), std::string::npos);
+}
+
+TEST(TraceCheck, AsyncArcsMustBalancePerIdAndCat) {
+  // A second begin for the same (cat, id) before the end is an emission bug.
+  const std::string overlap = wrap_events(
+      "{\"name\":\"m\",\"ph\":\"b\",\"cat\":\"migration\",\"id\":7,\"ts\":0,\"pid\":0,\"tid\":0},"
+      "{\"name\":\"m\",\"ph\":\"b\",\"cat\":\"migration\",\"id\":7,\"ts\":1,\"pid\":0,\"tid\":0}");
+  auto problems = obs::validate_chrome_trace(overlap);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("overlapping async begin"), std::string::npos);
+
+  const std::string dangling_end = wrap_events(
+      "{\"name\":\"m\",\"ph\":\"e\",\"cat\":\"migration\",\"id\":7,\"ts\":0,\"pid\":0,\"tid\":0}");
+  problems = obs::validate_chrome_trace(dangling_end);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("with no open begin"), std::string::npos);
+
+  // Distinct ids (or cats) are independent arcs; an arc still open at the
+  // horizon (migration in flight) is legitimate.
+  const std::string ok = wrap_events(
+      "{\"name\":\"m\",\"ph\":\"b\",\"cat\":\"migration\",\"id\":7,\"ts\":0,\"pid\":0,\"tid\":0},"
+      "{\"name\":\"m\",\"ph\":\"b\",\"cat\":\"migration\",\"id\":8,\"ts\":1,\"pid\":0,\"tid\":0},"
+      "{\"name\":\"m\",\"ph\":\"e\",\"cat\":\"migration\",\"id\":7,\"ts\":2,\"pid\":0,\"tid\":0}");
+  EXPECT_TRUE(obs::validate_chrome_trace(ok).empty());
+}
+
+// --- profiler ----------------------------------------------------------------
+
+TEST(Profiler, ReportsPhasesInEnumOrderWithCallCounts) {
+  obs::Profiler p;
+  p.add(obs::Phase::kPolicySolve, 500, 2);
+  p.add(obs::Phase::kControllerCycle, 1000);
+  p.add(obs::Phase::kPolicySolve, 250);
+  const obs::ProfileReport rep = p.report();
+  ASSERT_EQ(rep.size(), 2u);  // untouched phases are omitted
+  EXPECT_EQ(rep[0].name, obs::phase_name(obs::Phase::kControllerCycle));
+  EXPECT_EQ(rep[0].calls, 1u);
+  EXPECT_EQ(rep[0].total_ns, 1000u);
+  EXPECT_EQ(rep[1].name, obs::phase_name(obs::Phase::kPolicySolve));
+  EXPECT_EQ(rep[1].calls, 3u);
+  EXPECT_EQ(rep[1].total_ns, 750u);
 }
 
 // --- spec validation and config surface --------------------------------------
@@ -257,6 +348,33 @@ scenario::FederatedScenario everything_on_scenario() {
 }
 
 }  // namespace
+
+TEST(Profiler, FederatedRunAccumulatesAllPhasesAndEngineRows) {
+  // One shared profiler accumulates across the three domains' controller
+  // cycles (worker threads, relaxed atomics) plus the serial spine.
+  auto fs = everything_on_scenario();
+  fs.engine_threads = 4;
+  fs.obs.profile = true;
+  const auto res = scenario::run_federated_experiment(fs, scenario::ExperimentOptions{});
+  ASSERT_FALSE(res.profile.empty());
+
+  const auto calls_of = [&](const std::string& name) -> std::uint64_t {
+    for (const auto& row : res.profile) {
+      if (row.name == name) return row.calls;
+    }
+    return 0;
+  };
+  // Three domains x (horizon / cycle) control cycles all fold into one row.
+  EXPECT_GT(calls_of(obs::phase_name(obs::Phase::kControllerCycle)), 100u);
+  EXPECT_GT(calls_of(obs::phase_name(obs::Phase::kPolicySolve)), 0u);
+  EXPECT_GT(calls_of(obs::phase_name(obs::Phase::kMigrationTick)), 0u);
+  EXPECT_GT(calls_of(obs::phase_name(obs::Phase::kPowerTick)), 0u);
+  EXPECT_GT(calls_of(obs::phase_name(obs::Phase::kFaultEvent)), 0u);
+  EXPECT_GT(calls_of(obs::phase_name(obs::Phase::kSampling)), 0u);
+  // The runner appends engine/* rows from sim::EngineTiming.
+  EXPECT_GT(calls_of("engine/serial_spine"), 0u);
+  EXPECT_GT(calls_of("engine/batch_exec"), 0u);
+}
 
 TEST(ObsInvariance, SingleWorldObsOnIsDigestIdentical) {
   auto s = scenario::section3_scaled(0.15);

@@ -1,0 +1,157 @@
+// sla_report: validate and pretty-print SLA report JSON files written by
+// the obs layer (obs.sla_report_path / --sla_report). Checks that each
+// file parses, carries the heteroplace-sla-report/v1 schema tag, and that
+// every per-job attribution closes (components sum to the wall lifetime
+// within 1e-9 relative), then prints a human summary: completion-ratio
+// quantiles, per-app response-time quantiles, the attributed component
+// totals, and the burn-rate alert history. Exit status 0 = all files
+// clean, 1 = problems found, 2 = usage error.
+//
+//   sla_report report.json [more.json ...]
+
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/trace_check.hpp"
+
+namespace {
+
+using heteroplace::obs::JsonValue;
+
+double num(const JsonValue* v) {
+  return v != nullptr && v->type == JsonValue::Type::kNumber ? v->number : 0.0;
+}
+
+std::string str(const JsonValue* v) {
+  return v != nullptr && v->type == JsonValue::Type::kString ? v->string : std::string();
+}
+
+void print_quantiles(const char* label, const JsonValue* q) {
+  if (q == nullptr) return;
+  std::printf("  %-24s n=%-7.0f p50=%-12g p95=%-12g p99=%g\n", label, num(q->find("count")),
+              num(q->find("p50")), num(q->find("p95")), num(q->find("p99")));
+}
+
+const char* const kComponents[] = {"queue_wait_s", "wake_excluded_s", "startup_s",
+                                   "run_full_s",   "contention_s",    "redo_s",
+                                   "suspend_s",    "resume_s",        "migration_s"};
+
+int check_and_print(const std::string& path, const JsonValue& doc,
+                    std::vector<std::string>& problems) {
+  if (doc.type != JsonValue::Type::kObject) {
+    problems.push_back("top level is not an object");
+    return 1;
+  }
+  if (str(doc.find("schema")) != "heteroplace-sla-report/v1") {
+    problems.push_back("missing or unknown schema tag (want heteroplace-sla-report/v1)");
+    return 1;
+  }
+
+  // Per-job attribution closure: the ledger asserts this in-process, so a
+  // failure here means the file was edited or produced by a broken build.
+  if (const JsonValue* jobs = doc.find("jobs"); jobs != nullptr) {
+    for (const JsonValue& j : jobs->array) {
+      const double wall = num(j.find("completion_s")) - num(j.find("submit_s"));
+      double sum = 0.0;
+      for (const char* c : kComponents) sum += num(j.find(c));
+      if (std::abs(sum - wall) > 1e-9 * std::max(1.0, std::abs(wall))) {
+        problems.push_back("job " + std::to_string(static_cast<long long>(num(j.find("id")))) +
+                           ": components sum " + std::to_string(sum) + " != wall " +
+                           std::to_string(wall));
+      }
+    }
+  }
+
+  const JsonValue* merged = doc.find("merged");
+  if (merged == nullptr) {
+    problems.push_back("missing 'merged' section");
+    return 1;
+  }
+
+  std::printf("%s:\n", path.c_str());
+  std::printf("  jobs completed=%.0f missed=%.0f\n", num(merged->find("jobs_completed")),
+              num(merged->find("jobs_missed")));
+  print_quantiles("completion ratio", merged->find("ratio_quantiles"));
+  if (const JsonValue* by_class = merged->find("ratio_by_class"); by_class != nullptr) {
+    for (const JsonValue& c : by_class->array) {
+      const std::string label = "ratio[" + str(c.find("class")) + "]";
+      print_quantiles(label.c_str(), c.find("quantiles"));
+    }
+  }
+  if (const JsonValue* tx = merged->find("tx_apps"); tx != nullptr) {
+    for (const JsonValue& a : tx->array) {
+      const std::string label = "rt[" + str(a.find("app")) + "]";
+      print_quantiles(label.c_str(), a.find("rt_quantiles"));
+      std::printf("  %-24s samples=%.0f breaches=%.0f goal=%gs\n", "", num(a.find("samples")),
+                  num(a.find("breaches")), num(a.find("goal_s")));
+    }
+  }
+  if (const JsonValue* comp = merged->find("components"); comp != nullptr) {
+    std::printf("  attributed components (s):\n");
+    for (const char* c : kComponents) {
+      std::printf("    %-18s %g\n", c, num(comp->find(c)));
+    }
+  }
+  if (const JsonValue* domains = doc.find("domains"); domains != nullptr) {
+    for (const JsonValue& d : domains->array) {
+      std::printf("  domain %-12s jobs=%.0f missed=%.0f\n", str(d.find("domain")).c_str(),
+                  num(d.find("jobs_completed")), num(d.find("jobs_missed")));
+    }
+  }
+  if (const JsonValue* alerts = doc.find("alerts");
+      alerts != nullptr && alerts->type == JsonValue::Type::kObject) {
+    std::printf("  alerts active=%.0f\n", num(alerts->find("active")));
+    if (const JsonValue* events = alerts->find("events"); events != nullptr) {
+      for (const JsonValue& e : events->array) {
+        const JsonValue* closed = e.find("closed_s");
+        if (closed != nullptr && closed->type == JsonValue::Type::kNumber) {
+          std::printf("    %-12s opened=%gs closed=%gs\n", str(e.find("app")).c_str(),
+                      num(e.find("opened_s")), closed->number);
+        } else {
+          std::printf("    %-12s opened=%gs still open\n", str(e.find("app")).c_str(),
+                      num(e.find("opened_s")));
+        }
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <report.json> [more.json ...]\n", argv[0]);
+    return 2;
+  }
+  int bad = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::vector<std::string> problems;
+    try {
+      std::string text;
+      {
+        std::FILE* f = std::fopen(argv[i], "rb");
+        if (f == nullptr) throw std::invalid_argument("cannot open file");
+        char buf[65536];
+        std::size_t n = 0;
+        while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+        std::fclose(f);
+      }
+      const JsonValue doc = heteroplace::obs::parse_json(text);
+      check_and_print(argv[i], doc, problems);
+    } catch (const std::exception& e) {
+      problems.push_back(e.what());
+    }
+    if (!problems.empty()) {
+      ++bad;
+      for (const std::string& p : problems) {
+        std::fprintf(stderr, "%s: %s\n", argv[i], p.c_str());
+      }
+    }
+  }
+  return bad == 0 ? 0 : 1;
+}
